@@ -1,0 +1,154 @@
+//! Activity-concentration analysis — the §3.2.3 implication quantified.
+//!
+//! The paper's point about the stretched-exponential activity model is
+//! operational: *"system optimizations (like distributed caching, data
+//! prefetching) that aim to cover 'core' users should consider more users
+//! than that computed by a power law model."* This module measures how
+//! concentrated activity actually is (Gini, top-k shares) and how many
+//! users an optimisation must target to cover a desired share of activity
+//! — comparing the empirical answer with what a power-law extrapolation
+//! would have promised.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_stats::descriptive::gini;
+
+/// Concentration profile of a per-user activity vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcentrationProfile {
+    /// Users with non-zero activity.
+    pub active_users: usize,
+    /// Gini coefficient of activity across active users.
+    pub gini: f64,
+    /// Share of total activity from the top 1 % of users.
+    pub top1pct_share: f64,
+    /// Share from the top 10 %.
+    pub top10pct_share: f64,
+    /// Fraction of users needed to cover 50 % of activity.
+    pub users_for_50pct: f64,
+    /// Fraction of users needed to cover 90 % of activity.
+    pub users_for_90pct: f64,
+}
+
+impl ConcentrationProfile {
+    /// Computes the profile from per-user activity counts (zeros dropped).
+    pub fn from_activity(activity: &[f64]) -> Option<Self> {
+        let mut v: Vec<f64> = activity.iter().copied().filter(|&x| x > 0.0).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| f64::total_cmp(b, a));
+        let total: f64 = v.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let n = v.len();
+        let share_of_top = |frac: f64| -> f64 {
+            let k = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+            v[..k].iter().sum::<f64>() / total
+        };
+        let users_for = |target: f64| -> f64 {
+            let mut acc = 0.0;
+            for (i, &x) in v.iter().enumerate() {
+                acc += x;
+                if acc >= target * total {
+                    return (i + 1) as f64 / n as f64;
+                }
+            }
+            1.0
+        };
+        Some(Self {
+            active_users: n,
+            gini: gini(&v),
+            top1pct_share: share_of_top(0.01),
+            top10pct_share: share_of_top(0.10),
+            users_for_50pct: users_for(0.5),
+            users_for_90pct: users_for(0.9),
+        })
+    }
+
+    /// Fraction of users a *power-law* rank model `y ∝ i^{−β}` predicts
+    /// would cover `target` (0–1) of activity, given the same population
+    /// size. The paper's warning is that this under-counts: the true
+    /// (stretched-exponential) distribution needs more users.
+    pub fn power_law_users_for(&self, beta: f64, target: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&target), "target in [0,1]");
+        let n = self.active_users.max(2);
+        let weights: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-beta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for (i, w) in weights.iter().enumerate() {
+            acc += w;
+            if acc >= target * total {
+                return (i + 1) as f64 / n as f64;
+            }
+        }
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_activity_is_unconcentrated() {
+        let v = vec![5.0; 1000];
+        let p = ConcentrationProfile::from_activity(&v).unwrap();
+        assert!(p.gini.abs() < 1e-9);
+        assert!((p.top10pct_share - 0.10).abs() < 1e-9);
+        assert!((p.users_for_50pct - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn extreme_concentration() {
+        let mut v = vec![0.001f64; 999];
+        v.push(1000.0);
+        let p = ConcentrationProfile::from_activity(&v).unwrap();
+        assert!(p.gini > 0.95);
+        assert!(p.top1pct_share > 0.99);
+        assert!(p.users_for_50pct < 0.01);
+    }
+
+    #[test]
+    fn zeros_dropped() {
+        let v = vec![0.0, 0.0, 10.0, 10.0];
+        let p = ConcentrationProfile::from_activity(&v).unwrap();
+        assert_eq!(p.active_users, 2);
+        let empty = ConcentrationProfile::from_activity(&[0.0, 0.0]);
+        assert!(empty.is_none());
+    }
+
+    #[test]
+    fn stretched_exponential_needs_more_users_than_power_law_promises() {
+        // SE activity (the paper's Fig. 10 shape) vs a β=1.2 power law
+        // fitted through the same head.
+        let se: Vec<f64> = (1..=10_000)
+            .map(|i| {
+                let v: f64 = 7.0 - 0.45 * (i as f64).ln();
+                if v <= 0.0 {
+                    0.0
+                } else {
+                    v.powf(5.0)
+                }
+            })
+            .collect();
+        let p = ConcentrationProfile::from_activity(&se).unwrap();
+        let pl_promise = p.power_law_users_for(1.2, 0.5);
+        assert!(
+            p.users_for_50pct > pl_promise,
+            "SE coverage {} should exceed the power-law promise {}",
+            p.users_for_50pct,
+            pl_promise
+        );
+    }
+
+    #[test]
+    fn coverage_monotone_in_target() {
+        let v: Vec<f64> = (1..=500).map(|i| 1000.0 / i as f64).collect();
+        let p = ConcentrationProfile::from_activity(&v).unwrap();
+        assert!(p.users_for_50pct < p.users_for_90pct);
+        assert!(p.users_for_90pct <= 1.0);
+        assert!(p.top1pct_share < p.top10pct_share);
+    }
+}

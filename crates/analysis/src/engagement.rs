@@ -1,0 +1,304 @@
+//! User engagement (§3.2.2, Figs. 8 and 9).
+//!
+//! Fig. 8: among users active on the first observation day, the
+//! distribution of the *first return day* — bimodal: many return the very
+//! next day, many never return within the week.
+//!
+//! Fig. 9: among users who *uploaded* on the first day, the per-day
+//! probability of having at least one retrieval session on day x (an upper
+//! bound on "came back for their uploads", since file identity is not in
+//! the logs). The paper's headline: > 80 % of mobile-only users never do.
+
+use serde::{Deserialize, Serialize};
+
+use crate::usage::{ObservedGroup, UserSummary};
+
+/// Engagement stratification groups (Figs. 8/9 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngagementGroup {
+    /// Mobile-only user with one device.
+    OneMobileDev,
+    /// Mobile-only user with more than one device.
+    MultiMobileDev,
+    /// Mobile-only user with more than two devices.
+    ThreePlusMobileDev,
+    /// Uses both mobile and PC clients.
+    MobilePc,
+}
+
+/// Groups a user falls into (the >1 and >2 strata overlap by design,
+/// exactly as in the paper's figures).
+pub fn groups_of(user: &UserSummary) -> Vec<EngagementGroup> {
+    match user.group() {
+        ObservedGroup::MobilePc => vec![EngagementGroup::MobilePc],
+        ObservedGroup::MobileOnly => {
+            let mut g = Vec::with_capacity(3);
+            if user.mobile_devices == 1 {
+                g.push(EngagementGroup::OneMobileDev);
+            }
+            if user.mobile_devices > 1 {
+                g.push(EngagementGroup::MultiMobileDev);
+            }
+            if user.mobile_devices > 2 {
+                g.push(EngagementGroup::ThreePlusMobileDev);
+            }
+            g
+        }
+        ObservedGroup::PcOnly => Vec::new(),
+    }
+}
+
+/// Per-group Fig. 8 histogram: first-return-day distribution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReturnHistogram {
+    /// Users in the first-day cohort.
+    pub cohort: u64,
+    /// `returns[d]` = users whose first return was `d+1` days after the
+    /// first day (index 0 ⇒ next day); capped at 6.
+    pub returns: [u64; 6],
+    /// Users that never returned within the horizon (the "> 6" bar).
+    pub never: u64,
+}
+
+impl ReturnHistogram {
+    /// Fraction returning first on day `x` (1-based relative day; 1..=6).
+    pub fn frac_on_day(&self, x: usize) -> f64 {
+        assert!((1..=6).contains(&x), "relative day must be 1..=6");
+        self.returns[x - 1] as f64 / self.cohort.max(1) as f64
+    }
+
+    /// Fraction never returning (the paper's "inactive over one week").
+    pub fn frac_never(&self) -> f64 {
+        self.never as f64 / self.cohort.max(1) as f64
+    }
+}
+
+/// Per-group Fig. 9 curve: fraction of first-day uploaders with a retrieval
+/// on day x.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalAfterUpload {
+    /// First-day uploaders in the group.
+    pub cohort: u64,
+    /// `on_day[x]` = uploaders with ≥ 1 retrieval on relative day x (0..=6;
+    /// day 0 counts same-day retrievals after, or alongside, the upload).
+    pub on_day: [u64; 7],
+    /// Uploaders with no retrieval at all during the week.
+    pub never: u64,
+}
+
+impl RetrievalAfterUpload {
+    /// Fraction with a retrieval on relative day `x`.
+    pub fn frac_on_day(&self, x: usize) -> f64 {
+        assert!(x < 7, "relative day must be 0..=6");
+        self.on_day[x] as f64 / self.cohort.max(1) as f64
+    }
+
+    /// Fraction never retrieving during the observation week — the paper's
+    /// "> 80 % of mobile-only users" statistic.
+    pub fn frac_never(&self) -> f64 {
+        self.never as f64 / self.cohort.max(1) as f64
+    }
+}
+
+/// Collects Figs. 8 and 9 across users.
+#[derive(Debug, Default)]
+pub struct EngagementCollector {
+    fig8: [ReturnHistogram; 4],
+    fig9: [RetrievalAfterUpload; 4],
+}
+
+/// Finished engagement statistics, indexable by [`EngagementGroup`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngagementStats {
+    fig8: [ReturnHistogram; 4],
+    fig9: [RetrievalAfterUpload; 4],
+}
+
+fn idx(g: EngagementGroup) -> usize {
+    match g {
+        EngagementGroup::OneMobileDev => 0,
+        EngagementGroup::MultiMobileDev => 1,
+        EngagementGroup::ThreePlusMobileDev => 2,
+        EngagementGroup::MobilePc => 3,
+    }
+}
+
+impl EngagementCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one user.
+    pub fn push(&mut self, user: &UserSummary) {
+        let user_groups = groups_of(user);
+        if user_groups.is_empty() {
+            return; // PC-only users are outside Figs. 8/9.
+        }
+
+        // Fig. 8 cohort: active (any file op) on day 0.
+        if user.active_days.first() == Some(&0) {
+            let first_return = user.active_days.iter().copied().find(|&d| d > 0);
+            for &g in &user_groups {
+                let h = &mut self.fig8[idx(g)];
+                h.cohort += 1;
+                match first_return {
+                    Some(d) if (1..=6).contains(&d) => h.returns[(d - 1) as usize] += 1,
+                    Some(_) => h.never += 1, // beyond the tracked week
+                    None => h.never += 1,
+                }
+            }
+        }
+
+        // Fig. 9 cohort: uploaded on day 0.
+        if user.store_days.first() == Some(&0) {
+            for &g in &user_groups {
+                let r = &mut self.fig9[idx(g)];
+                r.cohort += 1;
+                let mut any = false;
+                for &d in &user.retrieve_days {
+                    if d <= 6 {
+                        r.on_day[d as usize] += 1;
+                        any = true;
+                    }
+                }
+                if !any {
+                    r.never += 1;
+                }
+            }
+        }
+    }
+
+    /// Finalises.
+    pub fn finish(self) -> EngagementStats {
+        EngagementStats {
+            fig8: self.fig8,
+            fig9: self.fig9,
+        }
+    }
+}
+
+impl EngagementStats {
+    /// Fig. 8 histogram for a group.
+    pub fn return_histogram(&self, g: EngagementGroup) -> &ReturnHistogram {
+        &self.fig8[idx(g)]
+    }
+
+    /// Fig. 9 curve for a group.
+    pub fn retrieval_after_upload(&self, g: EngagementGroup) -> &RetrievalAfterUpload {
+        &self.fig9[idx(g)]
+    }
+
+    /// All four groups in legend order.
+    pub fn groups() -> [EngagementGroup; 4] {
+        [
+            EngagementGroup::OneMobileDev,
+            EngagementGroup::MultiMobileDev,
+            EngagementGroup::ThreePlusMobileDev,
+            EngagementGroup::MobilePc,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(
+        devices: u32,
+        pc: bool,
+        active_days: Vec<u32>,
+        store_days: Vec<u32>,
+        retrieve_days: Vec<u32>,
+    ) -> UserSummary {
+        UserSummary {
+            user_id: 1,
+            store_bytes: 10_000_000,
+            retrieve_bytes: 0,
+            store_files: 2,
+            retrieve_files: 0,
+            mobile_devices: devices,
+            uses_pc: pc,
+            active_days,
+            store_days,
+            retrieve_days,
+        }
+    }
+
+    #[test]
+    fn group_assignment_overlapping_strata() {
+        assert_eq!(
+            groups_of(&user(1, false, vec![0], vec![0], vec![])),
+            vec![EngagementGroup::OneMobileDev]
+        );
+        assert_eq!(
+            groups_of(&user(2, false, vec![0], vec![0], vec![])),
+            vec![EngagementGroup::MultiMobileDev]
+        );
+        assert_eq!(
+            groups_of(&user(3, false, vec![0], vec![0], vec![])),
+            vec![
+                EngagementGroup::MultiMobileDev,
+                EngagementGroup::ThreePlusMobileDev
+            ]
+        );
+        assert_eq!(
+            groups_of(&user(2, true, vec![0], vec![0], vec![])),
+            vec![EngagementGroup::MobilePc]
+        );
+        assert!(groups_of(&user(0, true, vec![0], vec![0], vec![])).is_empty());
+    }
+
+    #[test]
+    fn fig8_next_day_and_never() {
+        let mut c = EngagementCollector::new();
+        c.push(&user(1, false, vec![0, 1, 3], vec![0], vec![])); // returns day 1
+        c.push(&user(1, false, vec![0], vec![0], vec![])); // never
+        c.push(&user(1, false, vec![0, 4], vec![0], vec![])); // returns day 4
+        c.push(&user(1, false, vec![2, 3], vec![2], vec![])); // not in cohort
+        let s = c.finish();
+        let h = s.return_histogram(EngagementGroup::OneMobileDev);
+        assert_eq!(h.cohort, 3);
+        assert!((h.frac_on_day(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.frac_on_day(4) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.frac_never() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig9_day0_and_never() {
+        let mut c = EngagementCollector::new();
+        // Uploads day 0, retrieves same day and day 2.
+        c.push(&user(1, false, vec![0, 2], vec![0], vec![0, 2]));
+        // Uploads day 0, never retrieves.
+        c.push(&user(1, false, vec![0], vec![0], vec![]));
+        let s = c.finish();
+        let r = s.retrieval_after_upload(EngagementGroup::OneMobileDev);
+        assert_eq!(r.cohort, 2);
+        assert!((r.frac_on_day(0) - 0.5).abs() < 1e-12);
+        assert!((r.frac_on_day(2) - 0.5).abs() < 1e-12);
+        assert!((r.frac_never() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uploader_cohort_requires_day0_store() {
+        let mut c = EngagementCollector::new();
+        // Active day 0 (retrieval only), stores later: not a day-0 uploader.
+        c.push(&user(1, false, vec![0, 1], vec![1], vec![0]));
+        let s = c.finish();
+        assert_eq!(s.retrieval_after_upload(EngagementGroup::OneMobileDev).cohort, 0);
+        assert_eq!(s.return_histogram(EngagementGroup::OneMobileDev).cohort, 1);
+    }
+
+    #[test]
+    fn multidev_users_counted_in_both_overlapping_groups() {
+        let mut c = EngagementCollector::new();
+        c.push(&user(3, false, vec![0, 1], vec![0], vec![]));
+        let s = c.finish();
+        assert_eq!(s.return_histogram(EngagementGroup::MultiMobileDev).cohort, 1);
+        assert_eq!(
+            s.return_histogram(EngagementGroup::ThreePlusMobileDev).cohort,
+            1
+        );
+        assert_eq!(s.return_histogram(EngagementGroup::OneMobileDev).cohort, 0);
+    }
+}

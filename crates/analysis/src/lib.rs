@@ -1,0 +1,37 @@
+//! The IMC'16 analysis pipeline over mobile cloud storage request logs.
+//!
+//! This crate is the paper's methodology as executable code. It consumes
+//! only raw [`mcs_trace::LogRecord`] streams — never the generator's
+//! internal parameters — and re-derives every result:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`sessionize`] | §3.1.1 session identification, Fig. 3 (τ derivation) |
+//! | [`session_stats`] | Figs. 4, 5; session-type mix |
+//! | [`filesize_model`] | §3.1.4, Fig. 6, Table 2 |
+//! | [`workload`] | §2.4, Fig. 1 |
+//! | [`usage`] | §3.2.1, Fig. 7, Table 3 |
+//! | [`engagement`] | §3.2.2, Figs. 8, 9 |
+//! | [`activity_model`] | §3.2.3, Fig. 10 |
+//! | [`concentration`] | §3.2.3 implication: coverage of "core" users |
+//! | [`perf`] | §4.1, Figs. 12, 14, 15 |
+//! | [`pipeline`] | the two-pass orchestration of all of the above |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity_model;
+pub mod concentration;
+pub mod engagement;
+pub mod filesize_model;
+pub mod perf;
+pub mod pipeline;
+mod proptests;
+pub mod session_stats;
+pub mod sessionize;
+pub mod usage;
+pub mod workload;
+
+pub use pipeline::{analyze, FullAnalysis, PipelineConfig};
+pub use sessionize::{Session, SessionKind, TauDerivation};
+pub use usage::{ObservedClass, ObservedGroup, UserSummary};

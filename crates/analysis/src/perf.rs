@@ -1,0 +1,215 @@
+//! Log-side performance analysis (§4.1, Figs. 12, 14, 15).
+//!
+//! From the HTTP access logs alone (no packet traces) the paper derives:
+//! per-chunk transmission time `t_tran = T_chunk − T_srv` split by device
+//! type and direction (Fig. 12), the RTT distribution (Fig. 14), and the
+//! estimated sending window `swnd = reqsize · RTT / t_tran` whose
+//! concentration at 64 KB exposes the servers' disabled window scaling
+//! (Fig. 15). Proxied requests are filtered out first, as in the paper.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_stats::{Ecdf, Histogram};
+use mcs_trace::{DeviceType, Direction, LogRecord};
+
+/// Collects the §4.1 distributions from chunk-request records.
+#[derive(Debug, Default)]
+pub struct PerfCollector {
+    upload_android_s: Vec<f64>,
+    upload_ios_s: Vec<f64>,
+    download_android_s: Vec<f64>,
+    download_ios_s: Vec<f64>,
+    rtt_ms: Vec<f64>,
+    swnd_bytes: Vec<f64>,
+    proxied_skipped: u64,
+}
+
+/// Finished performance statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfStats {
+    /// Fig. 12a: upload chunk time ECDF, Android (seconds).
+    pub upload_android: Option<Ecdf>,
+    /// Fig. 12a: upload chunk time ECDF, iOS.
+    pub upload_ios: Option<Ecdf>,
+    /// Fig. 12b: download chunk time ECDF, Android.
+    pub download_android: Option<Ecdf>,
+    /// Fig. 12b: download chunk time ECDF, iOS.
+    pub download_ios: Option<Ecdf>,
+    /// Fig. 14: per-chunk RTT ECDF (ms).
+    pub rtt: Option<Ecdf>,
+    /// Fig. 15: estimated sending-window histogram for storage chunks
+    /// (bytes, linear bins up to 128 KB).
+    pub swnd_hist: Histogram,
+    /// Raw swnd estimates (bytes) for quantile queries.
+    pub swnd: Option<Ecdf>,
+    /// Requests dropped by the proxy filter.
+    pub proxied_skipped: u64,
+}
+
+impl PerfCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one record. Only non-proxied mobile *chunk* requests count.
+    pub fn push(&mut self, r: &LogRecord) {
+        if !r.request.is_chunk() || !r.device_type.is_mobile() {
+            return;
+        }
+        if r.proxied {
+            self.proxied_skipped += 1;
+            return;
+        }
+        let tran_s = r.transmission_ms() / 1000.0;
+        if tran_s <= 0.0 {
+            return;
+        }
+        match (r.device_type, r.request.direction()) {
+            (DeviceType::Android, Direction::Store) => self.upload_android_s.push(tran_s),
+            (DeviceType::Ios, Direction::Store) => self.upload_ios_s.push(tran_s),
+            (DeviceType::Android, Direction::Retrieve) => self.download_android_s.push(tran_s),
+            (DeviceType::Ios, Direction::Retrieve) => self.download_ios_s.push(tran_s),
+            (DeviceType::Pc, _) => unreachable!("mobile filter"),
+        }
+        self.rtt_ms.push(r.rtt_ms);
+        if r.request.direction() == Direction::Store {
+            if let Some(swnd) = r.estimated_swnd() {
+                self.swnd_bytes.push(swnd);
+            }
+        }
+    }
+
+    /// Finalises.
+    pub fn finish(self) -> PerfStats {
+        let ecdf = |v: Vec<f64>| if v.is_empty() { None } else { Some(Ecdf::new(v)) };
+        let mut swnd_hist = Histogram::new(0.0, 131_072.0, 64);
+        for &w in &self.swnd_bytes {
+            swnd_hist.push(w);
+        }
+        PerfStats {
+            upload_android: ecdf(self.upload_android_s),
+            upload_ios: ecdf(self.upload_ios_s),
+            download_android: ecdf(self.download_android_s),
+            download_ios: ecdf(self.download_ios_s),
+            rtt: ecdf(self.rtt_ms),
+            swnd_hist,
+            swnd: ecdf(self.swnd_bytes),
+            proxied_skipped: self.proxied_skipped,
+        }
+    }
+}
+
+impl PerfStats {
+    /// Median upload time ratio Android/iOS (the Fig. 12a headline:
+    /// ≈ 4.1 s / 1.6 s ≈ 2.6).
+    pub fn upload_median_ratio(&self) -> Option<f64> {
+        Some(self.upload_android.as_ref()?.median() / self.upload_ios.as_ref()?.median())
+    }
+
+    /// Modal swnd estimate in bytes (Fig. 15's 64 KB concentration).
+    pub fn swnd_mode_bytes(&self) -> f64 {
+        let (idx, _) = self
+            .swnd_hist
+            .counts()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .unwrap_or((0, &0));
+        self.swnd_hist.bin_center(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_trace::RequestType;
+
+    fn chunk(
+        device: DeviceType,
+        dir: Direction,
+        tran_ms: f64,
+        rtt_ms: f64,
+        proxied: bool,
+    ) -> LogRecord {
+        LogRecord {
+            timestamp_ms: 0,
+            device_type: device,
+            device_id: 1,
+            user_id: 1,
+            request: RequestType::Chunk(dir),
+            volume_bytes: 524_288,
+            processing_ms: tran_ms + 100.0,
+            srv_ms: 100.0,
+            rtt_ms,
+            proxied,
+        }
+    }
+
+    #[test]
+    fn splits_by_device_and_direction() {
+        let mut c = PerfCollector::new();
+        c.push(&chunk(DeviceType::Android, Direction::Store, 4100.0, 100.0, false));
+        c.push(&chunk(DeviceType::Ios, Direction::Store, 1600.0, 100.0, false));
+        c.push(&chunk(DeviceType::Android, Direction::Retrieve, 1600.0, 100.0, false));
+        c.push(&chunk(DeviceType::Ios, Direction::Retrieve, 800.0, 100.0, false));
+        let s = c.finish();
+        assert_eq!(s.upload_android.as_ref().unwrap().len(), 1);
+        assert_eq!(s.upload_ios.as_ref().unwrap().len(), 1);
+        assert_eq!(s.download_android.as_ref().unwrap().len(), 1);
+        assert_eq!(s.download_ios.as_ref().unwrap().len(), 1);
+        let ratio = s.upload_median_ratio().unwrap();
+        assert!((ratio - 4.1 / 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proxied_filtered() {
+        let mut c = PerfCollector::new();
+        c.push(&chunk(DeviceType::Android, Direction::Store, 1000.0, 100.0, true));
+        let s = c.finish();
+        assert_eq!(s.proxied_skipped, 1);
+        assert!(s.upload_android.is_none());
+    }
+
+    #[test]
+    fn file_ops_and_pc_ignored() {
+        let mut c = PerfCollector::new();
+        let mut op = chunk(DeviceType::Android, Direction::Store, 1000.0, 100.0, false);
+        op.request = RequestType::FileOp(Direction::Store);
+        c.push(&op);
+        c.push(&chunk(DeviceType::Pc, Direction::Store, 1000.0, 100.0, false));
+        let s = c.finish();
+        assert!(s.upload_android.is_none());
+        assert!(s.rtt.is_none());
+    }
+
+    #[test]
+    fn swnd_concentrates_at_64kb_for_window_bound_flows() {
+        let mut c = PerfCollector::new();
+        // Window-bound upload: t_tran = reqsize/64KB * RTT = 8 RTT.
+        for rtt in [50.0, 100.0, 200.0] {
+            for _ in 0..100 {
+                c.push(&chunk(DeviceType::Ios, Direction::Store, 8.0 * rtt, rtt, false));
+            }
+        }
+        let s = c.finish();
+        let mode = s.swnd_mode_bytes();
+        assert!(
+            (mode - 65_536.0).abs() < 2048.0,
+            "swnd mode {mode} should sit at 64 KB"
+        );
+        // Quantiles also tight around 64 KB.
+        let e = s.swnd.unwrap();
+        assert!((e.median() - 65_536.0).abs() < 1500.0);
+    }
+
+    #[test]
+    fn degenerate_timing_skipped() {
+        let mut c = PerfCollector::new();
+        let mut r = chunk(DeviceType::Ios, Direction::Store, 0.0, 100.0, false);
+        r.processing_ms = 50.0; // below srv_ms → t_tran clamps to 0
+        c.push(&r);
+        let s = c.finish();
+        assert!(s.upload_ios.is_none());
+    }
+}

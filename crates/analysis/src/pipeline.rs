@@ -1,0 +1,300 @@
+//! The end-to-end analysis pipeline.
+//!
+//! Mirrors the paper's procedure over a trace it treats as opaque logs:
+//!
+//! 1. **Pass 1** — collect inter-file-operation intervals and derive the
+//!    session threshold τ (§3.1.1, Fig. 3).
+//! 2. **Pass 2** — sessionise every user with τ and feed each collector:
+//!    session statistics (Figs. 4, 5), file-size models (Fig. 6 / Table 2),
+//!    workload series (Fig. 1), usage (Fig. 7 / Table 3), engagement
+//!    (Figs. 8, 9), activity models (Fig. 10) and log-side performance
+//!    (Figs. 12, 14, 15).
+//!
+//! The trace is supplied as a factory of per-user record-block iterators so
+//! paper-scale inputs can stream twice without residing in memory.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_trace::LogRecord;
+
+use crate::activity_model::{ActivityCollector, ActivityStats};
+use crate::engagement::{EngagementCollector, EngagementStats};
+use crate::filesize_model::{FileSizeCollector, FileSizeModelFit};
+use crate::perf::{PerfCollector, PerfStats};
+use crate::session_stats::{SessionStats, SessionStatsCollector};
+use crate::sessionize::{derive_tau, file_op_intervals_s, sessionize, TauDerivation};
+use crate::usage::{UsageCollector, UsageStats, UserSummary};
+use crate::workload::WorkloadSeries;
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Trace horizon in seconds (for the hourly workload series).
+    pub horizon_secs: u64,
+    /// Cap on points fed to EM fits (deterministic subsampling above it).
+    pub max_fit_points: usize,
+    /// Largest per-session file count binned in Fig. 5b,c.
+    pub max_volume_bin_files: u32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            horizon_secs: 7 * 24 * 3600,
+            max_fit_points: 60_000,
+            max_volume_bin_files: 100,
+        }
+    }
+}
+
+/// Everything the paper's §2.4–§4.1 derive from the logs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullAnalysis {
+    /// §3.1.1 / Fig. 3: how τ was derived.
+    pub tau: TauDerivation,
+    /// Total sessions identified.
+    pub total_sessions: u64,
+    /// Figs. 4, 5 and the session-type mix.
+    pub sessions: SessionStats,
+    /// Fig. 6 / Table 2, store-only direction.
+    pub filesize_store: Option<FileSizeModelFit>,
+    /// Fig. 6 / Table 2, retrieve-only direction.
+    pub filesize_retrieve: Option<FileSizeModelFit>,
+    /// Fig. 1 workload series.
+    pub workload: WorkloadSeries,
+    /// Fig. 7 / Table 3.
+    pub usage: UsageStats,
+    /// Figs. 8, 9.
+    pub engagement: EngagementStats,
+    /// Fig. 10.
+    pub activity: ActivityStats,
+    /// Figs. 12, 14, 15.
+    pub perf: PerfStats,
+    /// Records processed in pass 2.
+    pub total_records: u64,
+    /// Users processed.
+    pub total_users: u64,
+}
+
+/// Runs the full pipeline. `blocks` is called twice and must yield the same
+/// sequence of per-user record blocks both times (each block: one user's
+/// records, time-ordered).
+///
+/// ```
+/// use mcs_analysis::{analyze, PipelineConfig};
+/// use mcs_trace::{TraceConfig, TraceGenerator};
+///
+/// let gen = TraceGenerator::new(TraceConfig {
+///     mobile_users: 200,
+///     pc_only_users: 40,
+///     ..TraceConfig::default()
+/// }).unwrap();
+/// let a = analyze(|| gen.iter_user_records(), &PipelineConfig::default());
+/// assert!(a.total_sessions > 100);
+/// assert!(a.sessions.store_only_frac() > 0.5); // write-dominated (§3.1.1)
+/// ```
+pub fn analyze<F, I>(mut blocks: F, cfg: &PipelineConfig) -> FullAnalysis
+where
+    F: FnMut() -> I,
+    I: Iterator<Item = Vec<LogRecord>>,
+{
+    // Pass 1: τ derivation. The paper's session analysis is over the
+    // *mobile* dataset; PC-client records feed only the §3.2 usage and
+    // engagement comparisons.
+    let mut intervals = Vec::new();
+    for block in blocks() {
+        let mobile: Vec<_> = block
+            .iter()
+            .copied()
+            .filter(|r| r.device_type.is_mobile())
+            .collect();
+        intervals.extend(file_op_intervals_s(&mobile));
+    }
+    let tau = derive_tau(&intervals, cfg.max_fit_points);
+    drop(intervals);
+
+    // Pass 2: everything else.
+    let tau_ms = tau.tau_ms();
+    let mut session_stats = SessionStatsCollector::new();
+    let mut filesize = FileSizeCollector::new();
+    let mut workload = WorkloadSeries::new(cfg.horizon_secs);
+    let mut usage = UsageCollector::new();
+    let mut engagement = EngagementCollector::new();
+    let mut activity = ActivityCollector::new();
+    let mut perf = PerfCollector::new();
+    let mut total_sessions = 0u64;
+    let mut total_records = 0u64;
+    let mut total_users = 0u64;
+
+    for block in blocks() {
+        if block.is_empty() {
+            continue;
+        }
+        total_users += 1;
+        total_records += block.len() as u64;
+        let mobile: Vec<_> = block
+            .iter()
+            .copied()
+            .filter(|r| r.device_type.is_mobile())
+            .collect();
+        for r in &mobile {
+            workload.push(r);
+            perf.push(r);
+        }
+        for s in sessionize(&mobile, tau_ms) {
+            total_sessions += 1;
+            session_stats.push(&s);
+            filesize.push(&s);
+        }
+        if let Some(summary) = UserSummary::from_records(&block) {
+            usage.push(&summary);
+            engagement.push(&summary);
+            activity.push(&summary);
+        }
+    }
+
+    let (filesize_store, filesize_retrieve) = filesize.finish(cfg.max_fit_points);
+    FullAnalysis {
+        tau,
+        total_sessions,
+        sessions: session_stats.finish(cfg.max_volume_bin_files),
+        filesize_store,
+        filesize_retrieve,
+        workload,
+        usage: usage.finish(),
+        engagement: engagement.finish(),
+        activity: activity.finish(),
+        perf: perf.finish(),
+        total_records,
+        total_users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_trace::{TraceConfig, TraceGenerator};
+
+    fn analyzed(seed: u64, users: u64) -> FullAnalysis {
+        let mut cfg = TraceConfig::small(seed);
+        cfg.mobile_users = users;
+        cfg.pc_only_users = users / 4;
+        let gen = TraceGenerator::new(cfg).unwrap();
+        analyze(|| gen.iter_user_records(), &PipelineConfig::default())
+    }
+
+    #[test]
+    fn end_to_end_on_small_trace() {
+        let a = analyzed(100, 1500);
+        assert!(a.total_records > 10_000, "records {}", a.total_records);
+        assert!(a.total_sessions > 1_000, "sessions {}", a.total_sessions);
+        assert!(a.total_users >= 1500);
+
+        // τ lands in the inter-mode gap (above every within-session gap,
+        // below the between-session mass).
+        assert!(
+            a.tau.tau_s > 30.0 && a.tau.tau_s < 6.0 * 3600.0,
+            "tau {}",
+            a.tau.tau_s
+        );
+
+        // §3.1.1: write-dominated session mix.
+        assert!(
+            a.sessions.store_only_frac() > 0.5,
+            "store-only {}",
+            a.sessions.store_only_frac()
+        );
+        assert!(a.sessions.mixed_frac() < 0.10, "mixed {}", a.sessions.mixed_frac());
+
+        // Fig. 5b slope ≈ 1.5 MB/file (photo-dominated uploads).
+        assert!(
+            (a.sessions.store_mb_per_file - 1.5).abs() < 1.2,
+            "slope {}",
+            a.sessions.store_mb_per_file
+        );
+
+        // Fig. 6/Table 2: store model exists with a dominant ~1.5 MB mode.
+        let fs = a.filesize_store.as_ref().expect("store file-size fit");
+        let m = fs.mixture.as_ref().expect("mixture");
+        assert!(
+            (m.components[0].mean - 1.5).abs() < 1.0,
+            "µ1 = {}",
+            m.components[0].mean
+        );
+
+        // Fig. 1: retrieval dominates volume, storage dominates file count.
+        assert!(a.workload.retrieve_to_store_volume_ratio() > 1.0);
+        assert!(a.workload.store_to_retrieve_file_ratio() > 1.5);
+
+        // Fig. 12: Android uploads markedly slower.
+        let ratio = a.perf.upload_median_ratio().expect("upload medians");
+        assert!(ratio > 1.5, "upload median ratio {ratio}");
+
+        // Fig. 14: RTT median ≈ 100 ms.
+        let rtt = a.perf.rtt.as_ref().unwrap().median();
+        assert!((rtt - 100.0).abs() < 25.0, "rtt median {rtt}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = analyzed(7, 400);
+        let b = analyzed(7, 400);
+        assert_eq!(a.total_records, b.total_records);
+        assert_eq!(a.total_sessions, b.total_sessions);
+        assert_eq!(a.tau.tau_s, b.tau.tau_s);
+        assert_eq!(
+            a.sessions.store_only_frac(),
+            b.sessions.store_only_frac()
+        );
+    }
+
+    #[test]
+    fn table3_shape_recovered() {
+        let a = analyzed(11, 2500);
+        let mo = a.usage.mobile_only;
+        let fr = mo.user_fracs();
+        // Upload-only users dominate mobile-only (paper: 51.5 %).
+        assert!((fr[0] - 0.515).abs() < 0.12, "upload-only {}", fr[0]);
+        // And they generate the bulk of stored volume (paper: 86.6 %).
+        let sv = mo.store_volume_fracs();
+        assert!(sv[0] > 0.6, "upload-only store share {}", sv[0]);
+        // PC-only users are spread more evenly (paper: 31.6 % upload-only).
+        let pc = a.usage.pc_only.user_fracs();
+        assert!(pc[0] < fr[0], "PC upload-only {} vs mobile {}", pc[0], fr[0]);
+    }
+
+    #[test]
+    fn engagement_shape_recovered() {
+        use crate::engagement::EngagementGroup;
+        let a = analyzed(13, 3000);
+        let one = a.engagement.return_histogram(EngagementGroup::OneMobileDev);
+        let multi = a.engagement.return_histogram(EngagementGroup::MultiMobileDev);
+        assert!(one.cohort > 50, "cohort {}", one.cohort);
+        // Fig. 8: single-device users churn far more.
+        assert!(
+            one.frac_never() > multi.frac_never() + 0.1,
+            "1-dev never {} vs multi {}",
+            one.frac_never(),
+            multi.frac_never()
+        );
+        // Fig. 9: mobile-only users rarely retrieve their uploads…
+        let r1 = a.engagement.retrieval_after_upload(EngagementGroup::OneMobileDev);
+        assert!(r1.frac_never() > 0.7, "1-dev never-retrieve {}", r1.frac_never());
+        // …while mobile+PC users do so more often.
+        let rp = a.engagement.retrieval_after_upload(EngagementGroup::MobilePc);
+        assert!(
+            rp.frac_never() < r1.frac_never(),
+            "mobile&pc {} vs 1-dev {}",
+            rp.frac_never(),
+            r1.frac_never()
+        );
+    }
+
+    #[test]
+    fn activity_model_se_wins() {
+        let a = analyzed(17, 2500);
+        let store = a.activity.store.as_ref().expect("store activity fit");
+        assert!(store.se_wins(), "SE must beat power law (Fig. 10)");
+        assert!(store.se.c < 1.0, "stretch factor {}", store.se.c);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests over the sessionizer: sessions must partition the
+//! record stream and conserve every counted quantity for *any* record
+//! layout, not only generator-shaped ones.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use mcs_trace::{DeviceType, Direction, LogRecord, RequestType};
+
+use crate::sessionize::{file_op_intervals_s, sessionize};
+
+fn arb_request() -> impl Strategy<Value = RequestType> {
+    prop_oneof![
+        Just(RequestType::FileOp(Direction::Store)),
+        Just(RequestType::FileOp(Direction::Retrieve)),
+        Just(RequestType::Chunk(Direction::Store)),
+        Just(RequestType::Chunk(Direction::Retrieve)),
+    ]
+}
+
+/// A random time-ordered single-user record stream.
+fn arb_stream() -> impl Strategy<Value = Vec<LogRecord>> {
+    (
+        proptest::collection::vec((0u64..5_000_000, arb_request(), 0u64..600_000), 0..120),
+    )
+        .prop_map(|(mut items,)| {
+            items.sort_by_key(|&(t, _, _)| t);
+            items
+                .into_iter()
+                .map(|(t, request, vol)| LogRecord {
+                    timestamp_ms: t,
+                    device_type: DeviceType::Android,
+                    device_id: 1,
+                    user_id: 9,
+                    request,
+                    volume_bytes: if request.is_chunk() { vol } else { 0 },
+                    processing_ms: 50.0,
+                    srv_ms: 10.0,
+                    rtt_ms: 100.0,
+                    proxied: false,
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #[test]
+    fn prop_sessions_conserve_counts(records in arb_stream(), tau_ms in 1_000u64..2_000_000) {
+        let sessions = sessionize(&records, tau_ms);
+        let ops_in = records.iter().filter(|r| r.request.is_file_op()).count() as u64;
+        let chunks_in = records.iter().filter(|r| r.request.is_chunk()).count() as u64;
+        let bytes_in: u64 = records.iter().map(|r| r.volume_bytes).sum();
+
+        let ops_out: u64 = sessions.iter().map(|s| s.total_ops() as u64).sum();
+        let chunks_out: u64 = sessions
+            .iter()
+            .map(|s| (s.store_chunks + s.retrieve_chunks) as u64)
+            .sum();
+        let bytes_out: u64 = sessions.iter().map(|s| s.total_bytes()).sum();
+
+        prop_assert_eq!(ops_out, ops_in, "file ops conserved");
+        prop_assert_eq!(chunks_out, chunks_in, "chunks conserved");
+        prop_assert_eq!(bytes_out, bytes_in, "bytes conserved");
+        prop_assert_eq!(sessions.is_empty(), records.is_empty());
+    }
+
+    #[test]
+    fn prop_session_time_bounds_nested(records in arb_stream(), tau_ms in 1_000u64..2_000_000) {
+        for s in sessionize(&records, tau_ms) {
+            prop_assert!(s.start_ms <= s.first_op_ms || s.total_ops() == 0);
+            prop_assert!(s.first_op_ms <= s.last_op_ms);
+            prop_assert!(s.start_ms <= s.end_ms);
+            prop_assert!(s.last_op_ms <= s.end_ms);
+        }
+    }
+
+    #[test]
+    fn prop_sessions_ordered_and_gap_respecting(
+        records in arb_stream(),
+        tau_ms in 1_000u64..2_000_000,
+    ) {
+        let sessions = sessionize(&records, tau_ms);
+        for w in sessions.windows(2) {
+            prop_assert!(w[0].start_ms <= w[1].start_ms, "chronological");
+            // The op starting the next session must be > tau after the last
+            // op of the previous one (that is the boundary rule).
+            prop_assert!(
+                w[1].first_op_ms.saturating_sub(w[0].last_op_ms) > tau_ms
+                    || w[1].total_ops() == 0,
+                "boundary violates tau: {} .. {} (tau {})",
+                w[0].last_op_ms,
+                w[1].first_op_ms,
+                tau_ms
+            );
+        }
+    }
+
+    #[test]
+    fn prop_larger_tau_never_increases_session_count(
+        records in arb_stream(),
+        tau_a in 1_000u64..1_000_000,
+        tau_b in 1_000u64..1_000_000,
+    ) {
+        let (lo, hi) = if tau_a <= tau_b { (tau_a, tau_b) } else { (tau_b, tau_a) };
+        let n_lo = sessionize(&records, lo).len();
+        let n_hi = sessionize(&records, hi).len();
+        prop_assert!(n_hi <= n_lo, "tau {lo}→{hi} grew sessions {n_lo}→{n_hi}");
+    }
+
+    #[test]
+    fn prop_intervals_match_op_count(records in arb_stream()) {
+        let ops = records.iter().filter(|r| r.request.is_file_op()).count();
+        let intervals = file_op_intervals_s(&records);
+        prop_assert_eq!(intervals.len(), ops.saturating_sub(1));
+        prop_assert!(intervals.iter().all(|&t| t >= 0.0));
+    }
+}

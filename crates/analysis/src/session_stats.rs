@@ -1,0 +1,316 @@
+//! Session-level statistics: the §3.1 figures.
+//!
+//! * Session-type mix (store-only / retrieve-only / mixed, §3.1.1),
+//! * burstiness — normalised user operating time (Fig. 4),
+//! * operations per session (Fig. 5a),
+//! * session volume vs file count with quartile bands (Fig. 5b,c).
+
+use serde::{Deserialize, Serialize};
+
+use mcs_stats::descriptive::quantile_sorted;
+use mcs_stats::{Ecdf, LinearFit};
+
+use crate::sessionize::{Session, SessionKind};
+
+/// Accumulates session-level statistics; feed every session, then `finish`.
+#[derive(Debug, Default)]
+pub struct SessionStatsCollector {
+    store_only: u64,
+    retrieve_only: u64,
+    mixed: u64,
+    // Normalised operating times keyed by op-count bands (>1, >10, >20).
+    norm_op_gt1: Vec<f64>,
+    norm_op_gt10: Vec<f64>,
+    norm_op_gt20: Vec<f64>,
+    ops_store_only: Vec<f64>,
+    ops_retrieve_only: Vec<f64>,
+    // (file count, session MB) scatter per direction-pure session kind.
+    store_points: Vec<(u32, f64)>,
+    retrieve_points: Vec<(u32, f64)>,
+}
+
+/// Per-bin volume statistics for Fig. 5b,c.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VolumeBin {
+    /// Number of files in sessions of this bin.
+    pub files: u32,
+    /// Sessions in the bin.
+    pub sessions: u64,
+    /// Mean session volume, MB.
+    pub mean_mb: f64,
+    /// Median session volume, MB.
+    pub median_mb: f64,
+    /// 25th percentile, MB.
+    pub p25_mb: f64,
+    /// 75th percentile, MB.
+    pub p75_mb: f64,
+}
+
+/// Finished session statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Count of store-only sessions.
+    pub store_only: u64,
+    /// Count of retrieve-only sessions.
+    pub retrieve_only: u64,
+    /// Count of mixed sessions.
+    pub mixed: u64,
+    /// ECDF of normalised operating time, sessions with > 1 op (Fig. 4).
+    pub norm_operating_gt1: Option<Ecdf>,
+    /// Same, sessions with > 10 ops.
+    pub norm_operating_gt10: Option<Ecdf>,
+    /// Same, sessions with > 20 ops.
+    pub norm_operating_gt20: Option<Ecdf>,
+    /// ECDF of file-operation counts in store-only sessions (Fig. 5a).
+    pub ops_store_only: Option<Ecdf>,
+    /// ECDF of file-operation counts in retrieve-only sessions (Fig. 5a).
+    pub ops_retrieve_only: Option<Ecdf>,
+    /// Fig. 5b bins (store-only sessions).
+    pub store_volume_bins: Vec<VolumeBin>,
+    /// Fig. 5c bins (retrieve-only sessions).
+    pub retrieve_volume_bins: Vec<VolumeBin>,
+    /// Least-squares slope of store-session volume vs file count, MB/file
+    /// (§3.1.3 reads ≈ 1.5 MB — the average stored file size).
+    pub store_mb_per_file: f64,
+}
+
+impl SessionStats {
+    /// Total sessions.
+    pub fn total(&self) -> u64 {
+        self.store_only + self.retrieve_only + self.mixed
+    }
+
+    /// Fraction of store-only sessions.
+    pub fn store_only_frac(&self) -> f64 {
+        self.store_only as f64 / self.total().max(1) as f64
+    }
+
+    /// Fraction of retrieve-only sessions.
+    pub fn retrieve_only_frac(&self) -> f64 {
+        self.retrieve_only as f64 / self.total().max(1) as f64
+    }
+
+    /// Fraction of mixed sessions.
+    pub fn mixed_frac(&self) -> f64 {
+        self.mixed as f64 / self.total().max(1) as f64
+    }
+}
+
+const MB: f64 = 1_000_000.0;
+
+impl SessionStatsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one session.
+    pub fn push(&mut self, s: &Session) {
+        match s.kind() {
+            SessionKind::StoreOnly => self.store_only += 1,
+            SessionKind::RetrieveOnly => self.retrieve_only += 1,
+            SessionKind::Mixed => self.mixed += 1,
+        }
+        let ops = s.total_ops();
+        if ops > 1 {
+            if let Some(norm) = s.normalized_operating_time() {
+                self.norm_op_gt1.push(norm);
+                if ops > 10 {
+                    self.norm_op_gt10.push(norm);
+                }
+                if ops > 20 {
+                    self.norm_op_gt20.push(norm);
+                }
+            }
+        }
+        match s.kind() {
+            SessionKind::StoreOnly => {
+                self.ops_store_only.push(s.store_ops as f64);
+                self.store_points
+                    .push((s.store_ops, s.store_bytes as f64 / MB));
+            }
+            SessionKind::RetrieveOnly => {
+                self.ops_retrieve_only.push(s.retrieve_ops as f64);
+                self.retrieve_points
+                    .push((s.retrieve_ops, s.retrieve_bytes as f64 / MB));
+            }
+            SessionKind::Mixed => {}
+        }
+    }
+
+    /// Finalises the statistics. `max_bin_files` bounds the Fig. 5b,c
+    /// x-axis (the paper plots up to 100 files).
+    pub fn finish(self, max_bin_files: u32) -> SessionStats {
+        let ecdf = |v: Vec<f64>| if v.is_empty() { None } else { Some(Ecdf::new(v)) };
+        let store_volume_bins = bin_volumes(&self.store_points, max_bin_files);
+        let retrieve_volume_bins = bin_volumes(&self.retrieve_points, max_bin_files);
+        let store_mb_per_file = fit_slope(&self.store_points);
+        SessionStats {
+            store_only: self.store_only,
+            retrieve_only: self.retrieve_only,
+            mixed: self.mixed,
+            norm_operating_gt1: ecdf(self.norm_op_gt1),
+            norm_operating_gt10: ecdf(self.norm_op_gt10),
+            norm_operating_gt20: ecdf(self.norm_op_gt20),
+            ops_store_only: ecdf(self.ops_store_only),
+            ops_retrieve_only: ecdf(self.ops_retrieve_only),
+            store_volume_bins,
+            retrieve_volume_bins,
+            store_mb_per_file,
+        }
+    }
+}
+
+fn bin_volumes(points: &[(u32, f64)], max_files: u32) -> Vec<VolumeBin> {
+    let mut by_count: Vec<Vec<f64>> = vec![Vec::new(); max_files as usize + 1];
+    for &(files, mb) in points {
+        if files >= 1 && files <= max_files {
+            by_count[files as usize].push(mb);
+        }
+    }
+    by_count
+        .into_iter()
+        .enumerate()
+        .filter(|(files, v)| *files >= 1 && !v.is_empty())
+        .map(|(files, mut v)| {
+            v.sort_by(f64::total_cmp);
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            VolumeBin {
+                files: files as u32,
+                sessions: v.len() as u64,
+                mean_mb: mean,
+                median_mb: quantile_sorted(&v, 0.5),
+                p25_mb: quantile_sorted(&v, 0.25),
+                p75_mb: quantile_sorted(&v, 0.75),
+            }
+        })
+        .collect()
+}
+
+/// Volume-vs-files slope through the origin (a session of zero files moves
+/// zero bytes), in MB per file.
+fn fit_slope(points: &[(u32, f64)]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let xs: Vec<f64> = points.iter().map(|&(f, _)| f as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+    LinearFit::fit_through_origin(&xs, &ys).slope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(store_ops: u32, retrieve_ops: u32, store_mb: f64, retrieve_mb: f64) -> Session {
+        Session {
+            user_id: 1,
+            start_ms: 0,
+            end_ms: 100_000,
+            store_ops,
+            retrieve_ops,
+            first_op_ms: 0,
+            last_op_ms: 5_000,
+            store_bytes: (store_mb * MB) as u64,
+            retrieve_bytes: (retrieve_mb * MB) as u64,
+            store_chunks: 1,
+            retrieve_chunks: 1,
+            any_mobile: true,
+            any_pc: false,
+        }
+    }
+
+    #[test]
+    fn kind_counting() {
+        let mut c = SessionStatsCollector::new();
+        c.push(&session(2, 0, 3.0, 0.0));
+        c.push(&session(2, 0, 3.0, 0.0));
+        c.push(&session(0, 1, 0.0, 70.0));
+        c.push(&session(1, 1, 1.5, 1.6));
+        let s = c.finish(100);
+        assert_eq!(s.store_only, 2);
+        assert_eq!(s.retrieve_only, 1);
+        assert_eq!(s.mixed, 1);
+        assert_eq!(s.total(), 4);
+        assert!((s.store_only_frac() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burstiness_bands() {
+        let mut c = SessionStatsCollector::new();
+        let mut s = session(25, 0, 37.5, 0.0);
+        s.last_op_ms = 2_000; // operating 2 s of a 100 s session
+        c.push(&s);
+        let mut s1 = session(1, 0, 1.5, 0.0);
+        s1.last_op_ms = 0;
+        c.push(&s1); // single-op: excluded from Fig. 4
+        let stats = c.finish(100);
+        assert_eq!(stats.norm_operating_gt1.as_ref().unwrap().len(), 1);
+        assert_eq!(stats.norm_operating_gt10.as_ref().unwrap().len(), 1);
+        assert_eq!(stats.norm_operating_gt20.as_ref().unwrap().len(), 1);
+        let v = stats.norm_operating_gt20.unwrap().sorted_values()[0];
+        assert!((v - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_bins_statistics() {
+        let mut c = SessionStatsCollector::new();
+        for mb in [1.0, 2.0, 3.0, 4.0] {
+            c.push(&session(2, 0, mb, 0.0));
+        }
+        let s = c.finish(100);
+        let bin = s
+            .store_volume_bins
+            .iter()
+            .find(|b| b.files == 2)
+            .expect("bin for 2 files");
+        assert_eq!(bin.sessions, 4);
+        assert!((bin.mean_mb - 2.5).abs() < 1e-9);
+        assert!((bin.median_mb - 2.5).abs() < 1e-9);
+        assert!(bin.p25_mb < bin.median_mb && bin.median_mb < bin.p75_mb);
+    }
+
+    #[test]
+    fn slope_recovers_mb_per_file() {
+        let mut c = SessionStatsCollector::new();
+        for files in 1..=20u32 {
+            c.push(&session(files, 0, files as f64 * 1.5, 0.0));
+        }
+        let s = c.finish(100);
+        assert!(
+            (s.store_mb_per_file - 1.5).abs() < 1e-9,
+            "slope {}",
+            s.store_mb_per_file
+        );
+    }
+
+    #[test]
+    fn bins_clamped_to_max_files() {
+        let mut c = SessionStatsCollector::new();
+        c.push(&session(500, 0, 750.0, 0.0));
+        c.push(&session(2, 0, 3.0, 0.0));
+        let s = c.finish(100);
+        assert!(s.store_volume_bins.iter().all(|b| b.files <= 100));
+        assert_eq!(s.store_volume_bins.len(), 1);
+    }
+
+    #[test]
+    fn empty_collector_finishes() {
+        let s = SessionStatsCollector::new().finish(100);
+        assert_eq!(s.total(), 0);
+        assert!(s.norm_operating_gt1.is_none());
+        assert!(s.ops_store_only.is_none());
+        assert!(s.store_volume_bins.is_empty());
+        assert_eq!(s.store_mb_per_file, 0.0);
+    }
+
+    #[test]
+    fn ops_cdfs_only_for_pure_sessions() {
+        let mut c = SessionStatsCollector::new();
+        c.push(&session(3, 2, 4.5, 3.2)); // mixed — excluded
+        c.push(&session(0, 4, 0.0, 6.4));
+        let s = c.finish(100);
+        assert!(s.ops_store_only.is_none());
+        assert_eq!(s.ops_retrieve_only.as_ref().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,548 @@
+//! Session identification (§3.1.1).
+//!
+//! The dataset is a stream of per-user HTTP requests; the paper groups them
+//! into *sessions* separated by file-operation gaps larger than a threshold
+//! τ, where τ is **derived from the data**: the valley of the log-scaled
+//! inter-operation-time histogram (≈ 1 hour), cross-checked against the
+//! crossover point of a two-component Gaussian mixture fitted to the same
+//! log-intervals (≈ 10 s within-session mode vs ≈ 1 day between-session
+//! mode, Fig. 3).
+
+use serde::{Deserialize, Serialize};
+
+use mcs_stats::{GaussianMixture, LogHistogram};
+use mcs_trace::{Direction, LogRecord, RequestType};
+
+/// Classification of a session by the operations it contains (§3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SessionKind {
+    /// Only file-storage operations (paper: 68.2 % of sessions).
+    StoreOnly,
+    /// Only file-retrieval operations (29.9 %).
+    RetrieveOnly,
+    /// Both (≈ 2 %).
+    Mixed,
+}
+
+/// Aggregated view of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Owning user.
+    pub user_id: u64,
+    /// Timestamp of the first request, ms.
+    pub start_ms: u64,
+    /// End of the session: last request's timestamp plus its processing
+    /// time, ms (the "session length" endpoint of Fig. 2).
+    pub end_ms: u64,
+    /// Number of file-storage operations.
+    pub store_ops: u32,
+    /// Number of file-retrieval operations.
+    pub retrieve_ops: u32,
+    /// Timestamp of the first file operation, ms.
+    pub first_op_ms: u64,
+    /// Timestamp of the last file operation, ms (Fig. 4's "user operating
+    /// time" is `last_op_ms − first_op_ms`).
+    pub last_op_ms: u64,
+    /// Bytes uploaded by chunk-storage requests.
+    pub store_bytes: u64,
+    /// Bytes downloaded by chunk-retrieval requests.
+    pub retrieve_bytes: u64,
+    /// Chunk-storage request count.
+    pub store_chunks: u32,
+    /// Chunk-retrieval request count.
+    pub retrieve_chunks: u32,
+    /// Whether any request came from a mobile device.
+    pub any_mobile: bool,
+    /// Whether any request came from a PC client.
+    pub any_pc: bool,
+}
+
+impl Session {
+    /// Session classification.
+    pub fn kind(&self) -> SessionKind {
+        match (self.store_ops > 0, self.retrieve_ops > 0) {
+            (true, false) => SessionKind::StoreOnly,
+            (false, true) => SessionKind::RetrieveOnly,
+            _ => SessionKind::Mixed,
+        }
+    }
+
+    /// Total file operations.
+    pub fn total_ops(&self) -> u32 {
+        self.store_ops + self.retrieve_ops
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.store_bytes + self.retrieve_bytes
+    }
+
+    /// Session length in ms (Fig. 2).
+    pub fn length_ms(&self) -> u64 {
+        self.end_ms.saturating_sub(self.start_ms)
+    }
+
+    /// The Fig. 4 user operating time (first to last file operation), ms.
+    pub fn operating_ms(&self) -> u64 {
+        self.last_op_ms.saturating_sub(self.first_op_ms)
+    }
+
+    /// Operating time normalised by session length; `None` for zero-length
+    /// sessions.
+    pub fn normalized_operating_time(&self) -> Option<f64> {
+        let len = self.length_ms();
+        if len == 0 {
+            None
+        } else {
+            Some(self.operating_ms() as f64 / len as f64)
+        }
+    }
+
+    /// Average file size per session in bytes (§3.1.4: session volume over
+    /// file count) for the given direction; `None` when the session has no
+    /// such operations.
+    pub fn avg_file_size(&self, dir: Direction) -> Option<f64> {
+        let (ops, bytes) = match dir {
+            Direction::Store => (self.store_ops, self.store_bytes),
+            Direction::Retrieve => (self.retrieve_ops, self.retrieve_bytes),
+        };
+        if ops == 0 {
+            None
+        } else {
+            Some(bytes as f64 / ops as f64)
+        }
+    }
+}
+
+/// Splits one user's time-ordered records into sessions with threshold
+/// `tau_ms`: a *file operation* more than τ after the previous file
+/// operation starts a new session; chunk requests never open sessions (they
+/// belong to transfers already announced).
+///
+/// Records must all belong to one user and be sorted by timestamp; panics
+/// otherwise in debug builds.
+pub fn sessionize(records: &[LogRecord], tau_ms: u64) -> Vec<Session> {
+    if records.is_empty() {
+        return Vec::new();
+    }
+    debug_assert!(
+        records.windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms),
+        "records must be time-ordered"
+    );
+    debug_assert!(
+        records.iter().all(|r| r.user_id == records[0].user_id),
+        "records must belong to a single user"
+    );
+
+    let mut sessions: Vec<Session> = Vec::new();
+    let mut current: Option<Session> = None;
+    let mut last_file_op_ms: Option<u64> = None;
+
+    for r in records {
+        let is_op = r.request.is_file_op();
+        let boundary = is_op
+            && match last_file_op_ms {
+                Some(prev) => r.timestamp_ms.saturating_sub(prev) > tau_ms,
+                // The user's very first file operation also starts the
+                // first session (records before it, if any, joined below).
+                None => current.is_none(),
+            };
+        if boundary {
+            if let Some(s) = current.take() {
+                sessions.push(s);
+            }
+            current = Some(new_session(r));
+        } else {
+            match &mut current {
+                Some(s) => extend_session(s, r),
+                // Chunk requests before any file op (trimmed trace): open
+                // a session anyway so no data is dropped.
+                None => current = Some(new_session(r)),
+            }
+        }
+        if is_op {
+            last_file_op_ms = Some(r.timestamp_ms);
+        }
+    }
+    if let Some(s) = current {
+        sessions.push(s);
+    }
+    sessions
+}
+
+fn new_session(r: &LogRecord) -> Session {
+    let mut s = Session {
+        user_id: r.user_id,
+        start_ms: r.timestamp_ms,
+        end_ms: r.timestamp_ms,
+        store_ops: 0,
+        retrieve_ops: 0,
+        first_op_ms: r.timestamp_ms,
+        last_op_ms: r.timestamp_ms,
+        store_bytes: 0,
+        retrieve_bytes: 0,
+        store_chunks: 0,
+        retrieve_chunks: 0,
+        any_mobile: false,
+        any_pc: false,
+    };
+    extend_session(&mut s, r);
+    s
+}
+
+fn extend_session(s: &mut Session, r: &LogRecord) {
+    s.end_ms = s
+        .end_ms
+        .max(r.timestamp_ms + r.processing_ms.max(0.0) as u64);
+    if r.device_type.is_mobile() {
+        s.any_mobile = true;
+    } else {
+        s.any_pc = true;
+    }
+    match r.request {
+        RequestType::FileOp(dir) => {
+            match dir {
+                Direction::Store => s.store_ops += 1,
+                Direction::Retrieve => s.retrieve_ops += 1,
+            }
+            if s.store_ops + s.retrieve_ops == 1 {
+                s.first_op_ms = r.timestamp_ms;
+            }
+            s.last_op_ms = r.timestamp_ms;
+        }
+        RequestType::Chunk(dir) => match dir {
+            Direction::Store => {
+                s.store_bytes += r.volume_bytes;
+                s.store_chunks += 1;
+            }
+            Direction::Retrieve => {
+                s.retrieve_bytes += r.volume_bytes;
+                s.retrieve_chunks += 1;
+            }
+        },
+    }
+}
+
+/// Collects the §3.1.1 inter-file-operation intervals (seconds) from one
+/// user's time-ordered records.
+pub fn file_op_intervals_s(records: &[LogRecord]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut prev: Option<u64> = None;
+    for r in records {
+        if r.request.is_file_op() {
+            if let Some(p) = prev {
+                out.push((r.timestamp_ms - p) as f64 / 1000.0);
+            }
+            prev = Some(r.timestamp_ms);
+        }
+    }
+    out
+}
+
+/// How the session threshold τ was derived (§3.1.1, Fig. 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TauDerivation {
+    /// Log-binned histogram of inter-operation times (seconds).
+    pub histogram: LogHistogram,
+    /// Two-component Gaussian mixture fitted to log₁₀(interval seconds).
+    pub gmm: Option<GaussianMixture>,
+    /// Valley of the histogram, seconds (the paper reads ≈ 1 h here).
+    pub valley_s: Option<f64>,
+    /// GMM crossover, seconds (the "equally likely in both components"
+    /// point).
+    pub crossover_s: Option<f64>,
+    /// The τ actually adopted, seconds.
+    pub tau_s: f64,
+}
+
+impl TauDerivation {
+    /// τ in milliseconds.
+    pub fn tau_ms(&self) -> u64 {
+        (self.tau_s * 1000.0) as u64
+    }
+}
+
+/// Derives τ from inter-operation intervals: histogram valley first, GMM
+/// crossover as fallback, 1 hour as last resort (and as the sanity anchor —
+/// a derived τ wildly off the bimodal structure falls back too).
+///
+/// For very large datasets the GMM is fitted on a deterministic subsample
+/// (every k-th interval) capped at `max_fit_points`.
+pub fn derive_tau(intervals_s: &[f64], max_fit_points: usize) -> TauDerivation {
+    let mut histogram = LogHistogram::new(0.05, 30.0 * 86_400.0, 72);
+    for &t in intervals_s {
+        histogram.push(t.max(0.05));
+    }
+    let valley_s = histogram.valley_value();
+
+    let logs: Vec<f64> = subsample(intervals_s, max_fit_points)
+        .iter()
+        .map(|&t| t.max(0.05).log10())
+        .collect();
+    let gmm = GaussianMixture::fit(&logs, 2, 300, 1e-8);
+    let crossover_s = gmm
+        .as_ref()
+        .and_then(|g| g.crossover())
+        .map(|log_x| 10f64.powf(log_x));
+
+    // Adopt the valley when it lies between the two GMM modes (or when no
+    // GMM is available); otherwise the crossover; otherwise 1 hour.
+    let tau_s = match (valley_s, crossover_s) {
+        (Some(v), Some(_)) | (Some(v), None) => v,
+        (None, Some(c)) => c,
+        (None, None) => 3600.0,
+    };
+
+    TauDerivation {
+        histogram,
+        gmm,
+        valley_s,
+        crossover_s,
+        tau_s,
+    }
+}
+
+/// Session counts across a τ sweep — the robustness check behind
+/// §3.1.1's threshold choice: any τ inside the inter-mode gap yields
+/// (nearly) the same sessionisation, visible as a plateau in this curve.
+pub fn tau_sweep(
+    blocks: &[Vec<mcs_trace::LogRecord>],
+    taus_s: &[f64],
+) -> Vec<(f64, u64)> {
+    taus_s
+        .iter()
+        .map(|&tau_s| {
+            let tau_ms = (tau_s * 1000.0) as u64;
+            let sessions: u64 = blocks
+                .iter()
+                .map(|b| sessionize(b, tau_ms).len() as u64)
+                .sum();
+            (tau_s, sessions)
+        })
+        .collect()
+}
+
+fn subsample(xs: &[f64], cap: usize) -> Vec<f64> {
+    if xs.len() <= cap {
+        return xs.to_vec();
+    }
+    let stride = xs.len().div_ceil(cap);
+    xs.iter().step_by(stride).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_trace::DeviceType;
+
+    fn rec(t_ms: u64, request: RequestType, bytes: u64) -> LogRecord {
+        LogRecord {
+            timestamp_ms: t_ms,
+            device_type: DeviceType::Android,
+            device_id: 1,
+            user_id: 42,
+            request,
+            volume_bytes: bytes,
+            processing_ms: 100.0,
+            srv_ms: 50.0,
+            rtt_ms: 90.0,
+            proxied: false,
+        }
+    }
+
+    const HOUR_MS: u64 = 3_600_000;
+
+    #[test]
+    fn single_session_with_chunks() {
+        let recs = vec![
+            rec(0, RequestType::FileOp(Direction::Store), 0),
+            rec(1000, RequestType::Chunk(Direction::Store), 512),
+            rec(2000, RequestType::Chunk(Direction::Store), 512),
+        ];
+        let ss = sessionize(&recs, HOUR_MS);
+        assert_eq!(ss.len(), 1);
+        let s = &ss[0];
+        assert_eq!(s.kind(), SessionKind::StoreOnly);
+        assert_eq!(s.store_ops, 1);
+        assert_eq!(s.store_bytes, 1024);
+        assert_eq!(s.store_chunks, 2);
+        assert_eq!(s.start_ms, 0);
+        assert_eq!(s.end_ms, 2100); // last chunk + processing
+    }
+
+    #[test]
+    fn gap_splits_sessions() {
+        let recs = vec![
+            rec(0, RequestType::FileOp(Direction::Store), 0),
+            rec(HOUR_MS + 1000, RequestType::FileOp(Direction::Store), 0),
+        ];
+        let ss = sessionize(&recs, HOUR_MS);
+        assert_eq!(ss.len(), 2);
+    }
+
+    #[test]
+    fn gap_below_tau_keeps_one_session() {
+        let recs = vec![
+            rec(0, RequestType::FileOp(Direction::Store), 0),
+            rec(HOUR_MS - 1000, RequestType::FileOp(Direction::Store), 0),
+        ];
+        let ss = sessionize(&recs, HOUR_MS);
+        assert_eq!(ss.len(), 1);
+        assert_eq!(ss[0].store_ops, 2);
+    }
+
+    #[test]
+    fn chunks_never_split_sessions() {
+        // Chunks keep flowing two hours after the op (big file): still one
+        // session.
+        let recs = vec![
+            rec(0, RequestType::FileOp(Direction::Retrieve), 0),
+            rec(HOUR_MS, RequestType::Chunk(Direction::Retrieve), 512),
+            rec(2 * HOUR_MS, RequestType::Chunk(Direction::Retrieve), 512),
+        ];
+        let ss = sessionize(&recs, HOUR_MS);
+        assert_eq!(ss.len(), 1);
+        assert_eq!(ss[0].retrieve_chunks, 2);
+    }
+
+    #[test]
+    fn late_chunks_attach_to_old_session_until_new_op() {
+        let recs = vec![
+            rec(0, RequestType::FileOp(Direction::Store), 0),
+            rec(500, RequestType::Chunk(Direction::Store), 512),
+            rec(2 * HOUR_MS, RequestType::FileOp(Direction::Store), 0),
+            rec(2 * HOUR_MS + 500, RequestType::Chunk(Direction::Store), 512),
+        ];
+        let ss = sessionize(&recs, HOUR_MS);
+        assert_eq!(ss.len(), 2);
+        assert_eq!(ss[0].store_chunks, 1);
+        assert_eq!(ss[1].store_chunks, 1);
+    }
+
+    #[test]
+    fn mixed_session_kind() {
+        let recs = vec![
+            rec(0, RequestType::FileOp(Direction::Store), 0),
+            rec(1000, RequestType::FileOp(Direction::Retrieve), 0),
+        ];
+        let ss = sessionize(&recs, HOUR_MS);
+        assert_eq!(ss.len(), 1);
+        assert_eq!(ss[0].kind(), SessionKind::Mixed);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(sessionize(&[], HOUR_MS).is_empty());
+    }
+
+    #[test]
+    fn operating_time_and_normalization() {
+        let recs = vec![
+            rec(0, RequestType::FileOp(Direction::Store), 0),
+            rec(3000, RequestType::FileOp(Direction::Store), 0),
+            rec(5000, RequestType::Chunk(Direction::Store), 512),
+            rec(99_900, RequestType::Chunk(Direction::Store), 512),
+        ];
+        let ss = sessionize(&recs, HOUR_MS);
+        let s = &ss[0];
+        assert_eq!(s.operating_ms(), 3000);
+        assert_eq!(s.length_ms(), 100_000); // 99_900 + 100ms processing
+        let norm = s.normalized_operating_time().unwrap();
+        assert!((norm - 0.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_file_size_per_direction() {
+        let recs = vec![
+            rec(0, RequestType::FileOp(Direction::Store), 0),
+            rec(1, RequestType::FileOp(Direction::Store), 0),
+            rec(2, RequestType::Chunk(Direction::Store), 3000),
+        ];
+        let s = sessionize(&recs, HOUR_MS)[0];
+        assert_eq!(s.avg_file_size(Direction::Store), Some(1500.0));
+        assert_eq!(s.avg_file_size(Direction::Retrieve), None);
+    }
+
+    #[test]
+    fn file_op_intervals() {
+        let recs = vec![
+            rec(0, RequestType::FileOp(Direction::Store), 0),
+            rec(500, RequestType::Chunk(Direction::Store), 512),
+            rec(10_000, RequestType::FileOp(Direction::Store), 0),
+            rec(16_000, RequestType::FileOp(Direction::Retrieve), 0),
+        ];
+        let iv = file_op_intervals_s(&recs);
+        assert_eq!(iv, vec![10.0, 6.0]);
+    }
+
+    #[test]
+    fn derive_tau_recovers_hour_scale_valley() {
+        // Plant bimodal intervals: ~10 s within sessions, ~1 day between.
+        let mut intervals = Vec::new();
+        for i in 0..4000 {
+            intervals.push(5.0 + (i % 20) as f64); // 5–25 s
+        }
+        for i in 0..1200 {
+            intervals.push(50_000.0 + (i % 1000) as f64 * 60.0); // ~0.6–1.4 d
+        }
+        let d = derive_tau(&intervals, 100_000);
+        assert!(
+            d.tau_s > 60.0 && d.tau_s < 40_000.0,
+            "tau {} outside the inter-mode gap",
+            d.tau_s
+        );
+        let g = d.gmm.as_ref().expect("gmm fit");
+        assert_eq!(g.components.len(), 2);
+        // Modes near 10^1 and 10^4.9 seconds.
+        assert!(g.components[0].mean < 2.0);
+        assert!(g.components[1].mean > 4.0);
+    }
+
+    #[test]
+    fn derive_tau_fallback_on_unimodal() {
+        let intervals: Vec<f64> = (0..500).map(|i| 9.0 + (i % 10) as f64 * 0.2).collect();
+        let d = derive_tau(&intervals, 10_000);
+        // No valley, no usable crossover — falls back somewhere sane.
+        assert!(d.tau_s > 0.0);
+    }
+
+    #[test]
+    fn tau_sweep_shows_plateau_in_the_gap() {
+        // One user: bursts of ops ~5 s apart, sessions ~1 day apart.
+        let mut recs = Vec::new();
+        for session in 0..6u64 {
+            let base = session * 86_400_000;
+            for op in 0..4u64 {
+                recs.push(rec(
+                    base + op * 5_000,
+                    RequestType::FileOp(Direction::Store),
+                    0,
+                ));
+            }
+        }
+        let blocks = vec![recs];
+        let sweep = tau_sweep(&blocks, &[1.0, 60.0, 600.0, 3600.0, 2.0 * 86_400.0]);
+        // τ below the intra gap over-splits; anything in the gap gives
+        // exactly 6 sessions; τ above the inter gap under-splits.
+        assert!(sweep[0].1 > 6);
+        assert_eq!(sweep[1].1, 6);
+        assert_eq!(sweep[2].1, 6);
+        assert_eq!(sweep[3].1, 6);
+        assert_eq!(sweep[4].1, 1);
+    }
+
+    #[test]
+    fn sessions_chronological_and_disjoint() {
+        let mut recs = Vec::new();
+        for k in 0..5u64 {
+            let base = k * 3 * HOUR_MS;
+            recs.push(rec(base, RequestType::FileOp(Direction::Store), 0));
+            recs.push(rec(base + 100, RequestType::Chunk(Direction::Store), 512));
+        }
+        let ss = sessionize(&recs, HOUR_MS);
+        assert_eq!(ss.len(), 5);
+        for w in ss.windows(2) {
+            assert!(w[0].start_ms < w[1].start_ms);
+        }
+    }
+}

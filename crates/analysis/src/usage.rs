@@ -1,0 +1,440 @@
+//! Usage-pattern analysis (§3.2.1): per-user store/retrieve volumes, the
+//! Fig. 7 ratio distributions, and the Table 3 four-way user typology with
+//! volume shares.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use mcs_stats::Ecdf;
+use mcs_trace::{Direction, LogRecord, RequestType};
+
+/// Per-user aggregate derived purely from that user's log records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserSummary {
+    /// User identifier.
+    pub user_id: u64,
+    /// Bytes stored (all devices).
+    pub store_bytes: u64,
+    /// Bytes retrieved (all devices).
+    pub retrieve_bytes: u64,
+    /// Stored files (file operations).
+    pub store_files: u64,
+    /// Retrieved files.
+    pub retrieve_files: u64,
+    /// Distinct mobile device ids seen.
+    pub mobile_devices: u32,
+    /// Whether any PC-client request was seen.
+    pub uses_pc: bool,
+    /// Days (0-based) with at least one file operation.
+    pub active_days: Vec<u32>,
+    /// Days with at least one *store* operation.
+    pub store_days: Vec<u32>,
+    /// Days with at least one *retrieve* operation.
+    pub retrieve_days: Vec<u32>,
+}
+
+impl UserSummary {
+    /// Builds the summary from one user's records (any order).
+    pub fn from_records(records: &[LogRecord]) -> Option<Self> {
+        let first = records.first()?;
+        let mut s = UserSummary {
+            user_id: first.user_id,
+            store_bytes: 0,
+            retrieve_bytes: 0,
+            store_files: 0,
+            retrieve_files: 0,
+            mobile_devices: 0,
+            uses_pc: false,
+            active_days: Vec::new(),
+            store_days: Vec::new(),
+            retrieve_days: Vec::new(),
+        };
+        let mut mobile_ids = HashSet::new();
+        let mut active = HashSet::new();
+        let mut store_d = HashSet::new();
+        let mut retrieve_d = HashSet::new();
+        for r in records {
+            debug_assert_eq!(r.user_id, s.user_id, "mixed users in one block");
+            if r.device_type.is_mobile() {
+                mobile_ids.insert(r.device_id);
+            } else {
+                s.uses_pc = true;
+            }
+            match r.request {
+                RequestType::FileOp(dir) => {
+                    let day = r.day() as u32;
+                    active.insert(day);
+                    match dir {
+                        Direction::Store => {
+                            s.store_files += 1;
+                            store_d.insert(day);
+                        }
+                        Direction::Retrieve => {
+                            s.retrieve_files += 1;
+                            retrieve_d.insert(day);
+                        }
+                    }
+                }
+                RequestType::Chunk(dir) => match dir {
+                    Direction::Store => s.store_bytes += r.volume_bytes,
+                    Direction::Retrieve => s.retrieve_bytes += r.volume_bytes,
+                },
+            }
+        }
+        s.mobile_devices = mobile_ids.len() as u32;
+        s.active_days = sorted(active);
+        s.store_days = sorted(store_d);
+        s.retrieve_days = sorted(retrieve_d);
+        Some(s)
+    }
+
+    /// The §3.2.1 stored-to-retrieved volume ratio, clamped into
+    /// `[1e-10, 1e10]` so pure uploaders/downloaders stay plottable on
+    /// Fig. 7's log axis.
+    pub fn volume_ratio(&self) -> f64 {
+        match (self.store_bytes, self.retrieve_bytes) {
+            (0, 0) => 1.0,
+            (_, 0) => 1e10,
+            (0, _) => 1e-10,
+            (s, r) => (s as f64 / r as f64).clamp(1e-10, 1e10),
+        }
+    }
+
+    /// Client group from observed devices.
+    pub fn group(&self) -> ObservedGroup {
+        match (self.mobile_devices > 0, self.uses_pc) {
+            (true, true) => ObservedGroup::MobilePc,
+            (true, false) => ObservedGroup::MobileOnly,
+            (false, _) => ObservedGroup::PcOnly,
+        }
+    }
+
+    /// The §3.2.1 classification. Order matters: the volume floor
+    /// (occasional) is checked before the ratio rules.
+    pub fn classify(&self) -> ObservedClass {
+        let total = self.store_bytes + self.retrieve_bytes;
+        if total < 1_000_000 {
+            return ObservedClass::Occasional;
+        }
+        let ratio = self.volume_ratio();
+        if ratio > 1e5 {
+            ObservedClass::UploadOnly
+        } else if ratio < 1e-5 {
+            ObservedClass::DownloadOnly
+        } else {
+            ObservedClass::Mixed
+        }
+    }
+}
+
+fn sorted(set: HashSet<u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = set.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Client group as observed from the logs (vs the generator's plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObservedGroup {
+    /// Only mobile-device requests.
+    MobileOnly,
+    /// Mobile and PC requests.
+    MobilePc,
+    /// Only PC requests.
+    PcOnly,
+}
+
+/// User class as derived by the §3.2.1 rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObservedClass {
+    /// Volume ratio > 10⁵.
+    UploadOnly,
+    /// Volume ratio < 10⁻⁵.
+    DownloadOnly,
+    /// Total volume < 1 MB.
+    Occasional,
+    /// Everything else.
+    Mixed,
+}
+
+/// One cell block of Table 3: class shares and volume shares within a
+/// client group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupUsage {
+    /// Users in the group.
+    pub users: u64,
+    /// Users per class \[upload, download, occasional, mixed\].
+    pub class_users: [u64; 4],
+    /// Stored bytes per class.
+    pub class_store_bytes: [u64; 4],
+    /// Retrieved bytes per class.
+    pub class_retrieve_bytes: [u64; 4],
+}
+
+impl GroupUsage {
+    fn push(&mut self, s: &UserSummary) {
+        let idx = match s.classify() {
+            ObservedClass::UploadOnly => 0,
+            ObservedClass::DownloadOnly => 1,
+            ObservedClass::Occasional => 2,
+            ObservedClass::Mixed => 3,
+        };
+        self.users += 1;
+        self.class_users[idx] += 1;
+        self.class_store_bytes[idx] += s.store_bytes;
+        self.class_retrieve_bytes[idx] += s.retrieve_bytes;
+    }
+
+    /// Fraction of the group's users in each class.
+    pub fn user_fracs(&self) -> [f64; 4] {
+        let n = self.users.max(1) as f64;
+        self.class_users.map(|c| c as f64 / n)
+    }
+
+    /// Each class's share of the group's stored volume.
+    pub fn store_volume_fracs(&self) -> [f64; 4] {
+        let total: u64 = self.class_store_bytes.iter().sum();
+        self.class_store_bytes
+            .map(|b| b as f64 / total.max(1) as f64)
+    }
+
+    /// Each class's share of the group's retrieved volume.
+    pub fn retrieve_volume_fracs(&self) -> [f64; 4] {
+        let total: u64 = self.class_retrieve_bytes.iter().sum();
+        self.class_retrieve_bytes
+            .map(|b| b as f64 / total.max(1) as f64)
+    }
+}
+
+/// Collects Fig. 7 and Table 3 from user summaries.
+#[derive(Debug, Default)]
+pub struct UsageCollector {
+    ratios_mobile_only: Vec<f64>,
+    ratios_mobile_pc: Vec<f64>,
+    ratios_pc_only: Vec<f64>,
+    ratios_1dev: Vec<f64>,
+    ratios_multi_dev: Vec<f64>,
+    ratios_3plus_dev: Vec<f64>,
+    mobile_only: GroupUsage,
+    mobile_pc: GroupUsage,
+    pc_only: GroupUsage,
+}
+
+/// Finished usage analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UsageStats {
+    /// Fig. 7a: volume-ratio ECDF for mobile&PC users.
+    pub ratio_mobile_pc: Option<Ecdf>,
+    /// Fig. 7a: mobile-only users.
+    pub ratio_mobile_only: Option<Ecdf>,
+    /// Fig. 7a: PC-only users.
+    pub ratio_pc_only: Option<Ecdf>,
+    /// Fig. 7b: mobile-only users with exactly 1 device.
+    pub ratio_1dev: Option<Ecdf>,
+    /// Fig. 7b: mobile-only users with > 1 device.
+    pub ratio_multi_dev: Option<Ecdf>,
+    /// Fig. 7b: mobile-only users with > 2 devices.
+    pub ratio_3plus_dev: Option<Ecdf>,
+    /// Table 3, "mobile only" block.
+    pub mobile_only: GroupUsage,
+    /// Table 3, "mobile & PC" block.
+    pub mobile_pc: GroupUsage,
+    /// Table 3, "PC only" block.
+    pub pc_only: GroupUsage,
+}
+
+impl UsageCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one user summary.
+    pub fn push(&mut self, s: &UserSummary) {
+        let ratio = s.volume_ratio();
+        match s.group() {
+            ObservedGroup::MobileOnly => {
+                self.ratios_mobile_only.push(ratio);
+                self.mobile_only.push(s);
+                if s.mobile_devices == 1 {
+                    self.ratios_1dev.push(ratio);
+                }
+                if s.mobile_devices > 1 {
+                    self.ratios_multi_dev.push(ratio);
+                }
+                if s.mobile_devices > 2 {
+                    self.ratios_3plus_dev.push(ratio);
+                }
+            }
+            ObservedGroup::MobilePc => {
+                self.ratios_mobile_pc.push(ratio);
+                self.mobile_pc.push(s);
+            }
+            ObservedGroup::PcOnly => {
+                self.ratios_pc_only.push(ratio);
+                self.pc_only.push(s);
+            }
+        }
+    }
+
+    /// Finalises.
+    pub fn finish(self) -> UsageStats {
+        let ecdf = |v: Vec<f64>| if v.is_empty() { None } else { Some(Ecdf::new(v)) };
+        UsageStats {
+            ratio_mobile_pc: ecdf(self.ratios_mobile_pc),
+            ratio_mobile_only: ecdf(self.ratios_mobile_only),
+            ratio_pc_only: ecdf(self.ratios_pc_only),
+            ratio_1dev: ecdf(self.ratios_1dev),
+            ratio_multi_dev: ecdf(self.ratios_multi_dev),
+            ratio_3plus_dev: ecdf(self.ratios_3plus_dev),
+            mobile_only: self.mobile_only,
+            mobile_pc: self.mobile_pc,
+            pc_only: self.pc_only,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_trace::DeviceType;
+
+    fn rec(
+        user: u64,
+        device_id: u64,
+        device: DeviceType,
+        request: RequestType,
+        bytes: u64,
+        day: u64,
+    ) -> LogRecord {
+        LogRecord {
+            timestamp_ms: day * 86_400_000 + 1000,
+            device_type: device,
+            device_id,
+            user_id: user,
+            request,
+            volume_bytes: bytes,
+            processing_ms: 10.0,
+            srv_ms: 1.0,
+            rtt_ms: 100.0,
+            proxied: false,
+        }
+    }
+
+    #[test]
+    fn summary_aggregation() {
+        let recs = vec![
+            rec(1, 10, DeviceType::Android, RequestType::FileOp(Direction::Store), 0, 0),
+            rec(1, 10, DeviceType::Android, RequestType::Chunk(Direction::Store), 5_000_000, 0),
+            rec(1, 11, DeviceType::Ios, RequestType::FileOp(Direction::Retrieve), 0, 2),
+            rec(1, 11, DeviceType::Ios, RequestType::Chunk(Direction::Retrieve), 2_000_000, 2),
+            rec(1, 12, DeviceType::Pc, RequestType::FileOp(Direction::Store), 0, 3),
+        ];
+        let s = UserSummary::from_records(&recs).unwrap();
+        assert_eq!(s.store_bytes, 5_000_000);
+        assert_eq!(s.retrieve_bytes, 2_000_000);
+        assert_eq!(s.store_files, 2);
+        assert_eq!(s.retrieve_files, 1);
+        assert_eq!(s.mobile_devices, 2);
+        assert!(s.uses_pc);
+        assert_eq!(s.group(), ObservedGroup::MobilePc);
+        assert_eq!(s.active_days, vec![0, 2, 3]);
+        assert_eq!(s.store_days, vec![0, 3]);
+        assert_eq!(s.retrieve_days, vec![2]);
+    }
+
+    #[test]
+    fn empty_records_none() {
+        assert!(UserSummary::from_records(&[]).is_none());
+    }
+
+    fn summary(store: u64, retrieve: u64, devices: u32, pc: bool) -> UserSummary {
+        UserSummary {
+            user_id: 1,
+            store_bytes: store,
+            retrieve_bytes: retrieve,
+            store_files: 1,
+            retrieve_files: 1,
+            mobile_devices: devices,
+            uses_pc: pc,
+            active_days: vec![0],
+            store_days: vec![0],
+            retrieve_days: vec![],
+        }
+    }
+
+    #[test]
+    fn classification_rules() {
+        // Occasional beats ratio rules.
+        assert_eq!(summary(500_000, 0, 1, false).classify(), ObservedClass::Occasional);
+        // Pure uploader.
+        assert_eq!(summary(10_000_000, 0, 1, false).classify(), ObservedClass::UploadOnly);
+        // Pure downloader.
+        assert_eq!(summary(0, 10_000_000, 1, false).classify(), ObservedClass::DownloadOnly);
+        // Two-way.
+        assert_eq!(
+            summary(10_000_000, 5_000_000, 1, false).classify(),
+            ObservedClass::Mixed
+        );
+        // Ratio 10^6 — upload-only despite nonzero retrieval.
+        assert_eq!(
+            summary(20_000_000_000, 10_000, 1, false).classify(),
+            ObservedClass::UploadOnly
+        );
+    }
+
+    #[test]
+    fn volume_ratio_clamps() {
+        assert_eq!(summary(1, 0, 1, false).volume_ratio(), 1e10);
+        assert_eq!(summary(0, 1, 1, false).volume_ratio(), 1e-10);
+        assert_eq!(summary(0, 0, 1, false).volume_ratio(), 1.0);
+        assert!((summary(200, 100, 1, false).volume_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_usage_fracs() {
+        let mut c = UsageCollector::new();
+        c.push(&summary(10_000_000, 0, 1, false)); // upload-only
+        c.push(&summary(10_000_000, 0, 1, false));
+        c.push(&summary(0, 10_000_000, 1, false)); // download-only
+        c.push(&summary(400_000, 0, 1, false)); // occasional
+        let stats = c.finish();
+        let g = stats.mobile_only;
+        assert_eq!(g.users, 4);
+        let fr = g.user_fracs();
+        assert!((fr[0] - 0.5).abs() < 1e-12);
+        assert!((fr[1] - 0.25).abs() < 1e-12);
+        assert!((fr[2] - 0.25).abs() < 1e-12);
+        // Upload-only users hold 100% of non-occasional store volume ≈ most.
+        let sv = g.store_volume_fracs();
+        assert!(sv[0] > 0.9);
+    }
+
+    #[test]
+    fn device_count_strata() {
+        let mut c = UsageCollector::new();
+        c.push(&summary(10_000_000, 0, 1, false));
+        c.push(&summary(10_000_000, 0, 2, false));
+        c.push(&summary(10_000_000, 0, 3, false));
+        let stats = c.finish();
+        assert_eq!(stats.ratio_1dev.as_ref().unwrap().len(), 1);
+        assert_eq!(stats.ratio_multi_dev.as_ref().unwrap().len(), 2);
+        assert_eq!(stats.ratio_3plus_dev.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn groups_split() {
+        let mut c = UsageCollector::new();
+        c.push(&summary(10_000_000, 0, 1, false)); // mobile only
+        c.push(&summary(10_000_000, 0, 1, true)); // mobile & pc
+        c.push(&summary(10_000_000, 0, 0, true)); // pc only
+        let stats = c.finish();
+        assert_eq!(stats.mobile_only.users, 1);
+        assert_eq!(stats.mobile_pc.users, 1);
+        assert_eq!(stats.pc_only.users, 1);
+        assert!(stats.ratio_mobile_only.is_some());
+        assert!(stats.ratio_mobile_pc.is_some());
+        assert!(stats.ratio_pc_only.is_some());
+    }
+}

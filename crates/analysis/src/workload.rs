@@ -1,0 +1,166 @@
+//! Workload overview (§2.4, Fig. 1): hourly transferred volume and file
+//! counts per direction, the diurnal profile, and the over-provisioning
+//! (peak-to-mean) factors the section's implications rest on.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_stats::timeseries::{DiurnalProfile, HourlySeries};
+use mcs_trace::{Direction, LogRecord, RequestType};
+
+/// Hourly workload series (Fig. 1a: volume; Fig. 1b: file counts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSeries {
+    /// Stored bytes per hour.
+    pub store_volume: HourlySeries,
+    /// Retrieved bytes per hour.
+    pub retrieve_volume: HourlySeries,
+    /// Stored files (file operations) per hour.
+    pub store_files: HourlySeries,
+    /// Retrieved files per hour.
+    pub retrieve_files: HourlySeries,
+}
+
+impl WorkloadSeries {
+    /// Creates empty series covering `horizon_secs`.
+    pub fn new(horizon_secs: u64) -> Self {
+        Self {
+            store_volume: HourlySeries::new(horizon_secs),
+            retrieve_volume: HourlySeries::new(horizon_secs),
+            store_files: HourlySeries::new(horizon_secs),
+            retrieve_files: HourlySeries::new(horizon_secs),
+        }
+    }
+
+    /// Accumulates one log record.
+    pub fn push(&mut self, r: &LogRecord) {
+        let t = r.second();
+        match r.request {
+            RequestType::FileOp(Direction::Store) => self.store_files.add(t, 1.0),
+            RequestType::FileOp(Direction::Retrieve) => self.retrieve_files.add(t, 1.0),
+            RequestType::Chunk(Direction::Store) => {
+                self.store_volume.add(t, r.volume_bytes as f64)
+            }
+            RequestType::Chunk(Direction::Retrieve) => {
+                self.retrieve_volume.add(t, r.volume_bytes as f64)
+            }
+        }
+    }
+
+    /// Ratio of total retrieved to stored bytes (Fig. 1a: > 1 — retrievals
+    /// dominate volume).
+    pub fn retrieve_to_store_volume_ratio(&self) -> f64 {
+        let s = self.store_volume.total();
+        if s == 0.0 {
+            f64::INFINITY
+        } else {
+            self.retrieve_volume.total() / s
+        }
+    }
+
+    /// Ratio of stored to retrieved file counts (Fig. 1b: > 2 — stored
+    /// files dominate counts).
+    pub fn store_to_retrieve_file_ratio(&self) -> f64 {
+        let r = self.retrieve_files.total();
+        if r == 0.0 {
+            f64::INFINITY
+        } else {
+            self.store_files.total() / r
+        }
+    }
+
+    /// Diurnal profile of total volume (both directions).
+    pub fn volume_diurnal(&self) -> DiurnalProfile {
+        let mut combined = HourlySeries::new(self.store_volume.len() as u64 * 3600);
+        for (i, (&s, &r)) in self
+            .store_volume
+            .bins()
+            .iter()
+            .zip(self.retrieve_volume.bins())
+            .enumerate()
+        {
+            combined.add(i as u64 * 3600, s + r);
+        }
+        combined.diurnal()
+    }
+
+    /// Peak-to-mean ratio of the total volume — the §2.4 over-provisioning
+    /// factor.
+    pub fn volume_peak_to_mean(&self) -> f64 {
+        let mut combined = HourlySeries::new(self.store_volume.len() as u64 * 3600);
+        for (i, (&s, &r)) in self
+            .store_volume
+            .bins()
+            .iter()
+            .zip(self.retrieve_volume.bins())
+            .enumerate()
+        {
+            combined.add(i as u64 * 3600, s + r);
+        }
+        combined.peak_to_mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_trace::DeviceType;
+
+    fn rec(t_s: u64, request: RequestType, bytes: u64) -> LogRecord {
+        LogRecord {
+            timestamp_ms: t_s * 1000,
+            device_type: DeviceType::Ios,
+            device_id: 1,
+            user_id: 1,
+            request,
+            volume_bytes: bytes,
+            processing_ms: 10.0,
+            srv_ms: 1.0,
+            rtt_ms: 100.0,
+            proxied: false,
+        }
+    }
+
+    #[test]
+    fn accumulates_by_kind() {
+        let mut w = WorkloadSeries::new(7200);
+        w.push(&rec(10, RequestType::FileOp(Direction::Store), 0));
+        w.push(&rec(20, RequestType::Chunk(Direction::Store), 1000));
+        w.push(&rec(4000, RequestType::FileOp(Direction::Retrieve), 0));
+        w.push(&rec(4100, RequestType::Chunk(Direction::Retrieve), 5000));
+        assert_eq!(w.store_files.bins(), &[1.0, 0.0]);
+        assert_eq!(w.retrieve_files.bins(), &[0.0, 1.0]);
+        assert_eq!(w.store_volume.total(), 1000.0);
+        assert_eq!(w.retrieve_volume.total(), 5000.0);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut w = WorkloadSeries::new(3600);
+        w.push(&rec(1, RequestType::Chunk(Direction::Store), 100));
+        w.push(&rec(2, RequestType::Chunk(Direction::Retrieve), 300));
+        w.push(&rec(3, RequestType::FileOp(Direction::Store), 0));
+        w.push(&rec(4, RequestType::FileOp(Direction::Store), 0));
+        w.push(&rec(5, RequestType::FileOp(Direction::Retrieve), 0));
+        assert!((w.retrieve_to_store_volume_ratio() - 3.0).abs() < 1e-12);
+        assert!((w.store_to_retrieve_file_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_with_zero_denominators() {
+        let mut w = WorkloadSeries::new(3600);
+        w.push(&rec(1, RequestType::Chunk(Direction::Retrieve), 300));
+        assert!(w.retrieve_to_store_volume_ratio().is_infinite());
+        assert!(w.store_to_retrieve_file_ratio().is_infinite());
+    }
+
+    #[test]
+    fn diurnal_peak_detection() {
+        let mut w = WorkloadSeries::new(2 * 86_400);
+        // Load at 23:00 on both days.
+        w.push(&rec(23 * 3600, RequestType::Chunk(Direction::Store), 1000));
+        w.push(&rec(86_400 + 23 * 3600 + 100, RequestType::Chunk(Direction::Retrieve), 2000));
+        let d = w.volume_diurnal();
+        assert_eq!(d.peak_hour(), 23);
+        assert!(w.volume_peak_to_mean() > 10.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Ablation benchmarks: the §4.3 mitigations measured as *simulated
+//! goodput* (criterion measures the wall time of the simulation; the
+//! interesting output — simulated seconds per flow — tracks it linearly
+//! because the event count scales with simulated transfer work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs::net::chunkflow::FlowConfig;
+use mcs::net::device::DeviceProfile;
+use mcs::net::simulate_flow;
+
+const FILE: u64 = 8 << 20;
+
+fn bench_chunk_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/chunk_size_android_upload");
+    for chunk_kb in [512u64, 2048] {
+        group.bench_function(format!("{chunk_kb}KB"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let t = simulate_flow(&FlowConfig {
+                    chunk_size: chunk_kb * 1024,
+                    ..FlowConfig::upload(DeviceProfile::android(), FILE, seed)
+                });
+                black_box(t.duration)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ssai(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/ssai_ios_upload");
+    for (label, disable) in [("ssai_on", false), ("ssai_off", true)] {
+        group.bench_function(label, |b| {
+            let mut seed = 1000;
+            b.iter(|| {
+                seed += 1;
+                let t = simulate_flow(&FlowConfig {
+                    disable_ssai: disable,
+                    ..FlowConfig::upload(DeviceProfile::ios(), FILE, seed)
+                });
+                black_box(t.duration)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/window_scaling_ios_upload");
+    for (label, scaling) in [("rwnd_64k", false), ("rwnd_scaled", true)] {
+        group.bench_function(label, |b| {
+            let mut seed = 2000;
+            b.iter(|| {
+                seed += 1;
+                let t = simulate_flow(&FlowConfig {
+                    server_window_scaling: scaling,
+                    batch_chunks: 8,
+                    ..FlowConfig::upload(DeviceProfile::ios(), FILE, seed)
+                });
+                black_box(t.duration)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/batching_android_upload");
+    for batch in [1u32, 4] {
+        group.bench_function(format!("batch_{batch}"), |b| {
+            let mut seed = 3000;
+            b.iter(|| {
+                seed += 1;
+                let t = simulate_flow(&FlowConfig {
+                    batch_chunks: batch,
+                    ..FlowConfig::upload(DeviceProfile::android(), FILE, seed)
+                });
+                black_box(t.duration)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chunk_sizes,
+    bench_ssai,
+    bench_window_scaling,
+    bench_batching
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Benchmarks for the analysis pipeline (the paper's §3 computations):
+//! sessionisation throughput, τ derivation, and the end-to-end two-pass
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs::analysis::sessionize::{derive_tau, file_op_intervals_s, sessionize};
+use mcs::analysis::{analyze, PipelineConfig};
+use mcs::trace::{TraceConfig, TraceGenerator};
+
+fn busy_user_block() -> Vec<mcs::trace::LogRecord> {
+    let gen = TraceGenerator::new(TraceConfig::small(2)).unwrap();
+    let busy = gen
+        .users()
+        .iter()
+        .max_by_key(|u| u.store_files + u.retrieve_files)
+        .unwrap();
+    gen.user_records(busy)
+}
+
+fn bench_sessionize(c: &mut Criterion) {
+    let block = busy_user_block();
+    c.bench_function("analysis/sessionize_busy_user", |b| {
+        b.iter(|| black_box(sessionize(&block, 3_600_000).len()));
+    });
+}
+
+fn bench_intervals(c: &mut Criterion) {
+    let block = busy_user_block();
+    c.bench_function("analysis/file_op_intervals", |b| {
+        b.iter(|| black_box(file_op_intervals_s(&block).len()));
+    });
+}
+
+fn bench_tau(c: &mut Criterion) {
+    // Bimodal synthetic intervals of trace-like size.
+    let mut intervals = Vec::new();
+    for i in 0..60_000 {
+        intervals.push(if i % 3 == 0 {
+            40_000.0 + (i % 977) as f64 * 80.0
+        } else {
+            2.0 + (i % 37) as f64
+        });
+    }
+    let mut group = c.benchmark_group("analysis/derive_tau");
+    group.sample_size(10);
+    group.bench_function("60k_intervals", |b| {
+        b.iter(|| black_box(derive_tau(&intervals, 20_000).tau_s));
+    });
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let cfg = TraceConfig {
+        mobile_users: 800,
+        pc_only_users: 150,
+        ..TraceConfig::default()
+    };
+    let gen = TraceGenerator::new(cfg).unwrap();
+    let pipeline = PipelineConfig {
+        max_fit_points: 10_000,
+        ..PipelineConfig::default()
+    };
+    let mut group = c.benchmark_group("analysis/full_pipeline");
+    group.sample_size(10);
+    group.bench_function("800_users", |b| {
+        b.iter(|| {
+            let a = analyze(|| gen.iter_user_records(), &pipeline);
+            black_box(a.total_sessions)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sessionize,
+    bench_intervals,
+    bench_tau,
+    bench_full_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks for the statistical fits behind the paper's models: EM on
+//! Gaussian and exponential mixtures, the stretched-exponential search,
+//! and ECDF queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs::stats::rng::{stream_rng, ExpMixtureSampler, LogSpaceGmmSampler};
+use mcs::stats::stretched_exp::StretchedExpFit;
+use mcs::stats::{Ecdf, ExponentialMixture, GaussianMixture};
+
+fn gmm_data(n: usize) -> Vec<f64> {
+    let s = LogSpaceGmmSampler::new(&[(0.7, 10f64.ln(), 1.0), (0.3, 86_400f64.ln(), 0.7)]);
+    let mut rng = stream_rng(1, 0);
+    (0..n).map(|_| s.sample(&mut rng).log10()).collect()
+}
+
+fn expmix_data(n: usize) -> Vec<f64> {
+    let s = ExpMixtureSampler::new(&[(0.91, 1.5), (0.07, 13.1), (0.02, 77.4)]);
+    let mut rng = stream_rng(2, 0);
+    (0..n).map(|_| s.sample(&mut rng)).collect()
+}
+
+fn bench_gmm(c: &mut Criterion) {
+    let data = gmm_data(20_000);
+    let mut group = c.benchmark_group("stats/gmm_em");
+    group.sample_size(10);
+    group.bench_function("k2_20k_points", |b| {
+        b.iter(|| black_box(GaussianMixture::fit(&data, 2, 200, 1e-8)));
+    });
+    group.finish();
+}
+
+fn bench_expmix(c: &mut Criterion) {
+    let data = expmix_data(20_000);
+    let mut group = c.benchmark_group("stats/expmix_em");
+    group.sample_size(10);
+    group.bench_function("k3_20k_points", |b| {
+        b.iter(|| black_box(ExponentialMixture::fit(&data, 3, 300, 1e-8)));
+    });
+    group.finish();
+}
+
+fn bench_stretched_exp(c: &mut Criterion) {
+    let activity: Vec<f64> = (1..=20_000)
+        .map(|i| {
+            let v: f64 = 7.2 - 0.45 * (i as f64).ln();
+            if v <= 0.0 {
+                0.0
+            } else {
+                v.powf(5.0)
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("stats/stretched_exp");
+    group.sample_size(10);
+    group.bench_function("golden_search_20k", |b| {
+        b.iter(|| black_box(StretchedExpFit::fit_default(&activity)));
+    });
+    group.finish();
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let data = expmix_data(100_000);
+    let ecdf = Ecdf::new(data);
+    c.bench_function("stats/ecdf_cdf_query", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.37) % 200.0;
+            black_box(ecdf.cdf(x))
+        });
+    });
+}
+
+criterion_group!(benches, bench_gmm, bench_expmix, bench_stretched_exp, bench_ecdf);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks for the storage-service substrate: MD5 throughput, dedup
+//! store path, retrieval path, and the download cache.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mcs::storage::{md5_digest as md5, Content, LruCache, StorageService};
+
+fn bench_md5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/md5");
+    for (label, size) in [("1KB", 1usize << 10), ("64KB", 64 << 10), ("1MB", 1 << 20)] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(md5(&data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_paths(c: &mut Criterion) {
+    c.bench_function("storage/store_fresh_photo", |b| {
+        let mut svc = StorageService::new(8, 168);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let content = Content::Synthetic {
+                seed,
+                size: 1_500_000,
+            };
+            black_box(svc.store(seed % 1000, &format!("p/{seed}.jpg"), &content, seed))
+        });
+    });
+    c.bench_function("storage/store_deduplicated", |b| {
+        let mut svc = StorageService::new(8, 168);
+        let hot = Content::Synthetic { seed: 7, size: 1_500_000 };
+        svc.store(1, "seed.jpg", &hot, 0);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            black_box(svc.store(n % 1000, &format!("d/{n}.jpg"), &hot, n))
+        });
+    });
+}
+
+fn bench_retrieve(c: &mut Criterion) {
+    c.bench_function("storage/retrieve_photo", |b| {
+        let mut svc = StorageService::new(4, 168);
+        let content = Content::Synthetic { seed: 9, size: 1_500_000 };
+        svc.store(1, "x.jpg", &content, 0);
+        b.iter(|| black_box(svc.retrieve(1, "x.jpg", 100)));
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("storage/lru_zipf_requests", |b| {
+        use mcs::stats::rng::{stream_rng, Zipf};
+        let zipf = Zipf::new(10_000, 1.0);
+        let mut rng = stream_rng(1, 0);
+        let mut cache = LruCache::new(500_000_000);
+        b.iter(|| {
+            let id = zipf.sample(&mut rng) as u64;
+            black_box(cache.request(id, 1_500_000))
+        });
+    });
+}
+
+criterion_group!(benches, bench_md5, bench_store_paths, bench_retrieve, bench_cache);
+criterion_main!(benches);

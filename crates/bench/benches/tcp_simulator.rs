@@ -1,0 +1,68 @@
+//! Benchmarks for the discrete-event TCP simulator: events per second on
+//! the §4 flow configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs::net::chunkflow::FlowConfig;
+use mcs::net::device::DeviceProfile;
+use mcs::net::link::LinkConfig;
+use mcs::net::simulate_flow;
+
+fn bench_upload_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcpsim/upload");
+    for (label, size) in [("2MB", 2u64 << 20), ("10MB", 10 << 20)] {
+        group.bench_function(format!("android_{label}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let t = simulate_flow(&FlowConfig::upload(
+                    DeviceProfile::android(),
+                    size,
+                    seed,
+                ));
+                black_box(t.duration)
+            });
+        });
+        group.bench_function(format!("ios_{label}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let t = simulate_flow(&FlowConfig::upload(DeviceProfile::ios(), size, seed));
+                black_box(t.duration)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_download_flow(c: &mut Criterion) {
+    c.bench_function("tcpsim/download_ios_10MB", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let t = simulate_flow(&FlowConfig::download(DeviceProfile::ios(), 10 << 20, seed));
+            black_box(t.duration)
+        });
+    });
+}
+
+fn bench_lossy_flow(c: &mut Criterion) {
+    c.bench_function("tcpsim/lossy_upload_ios_10MB", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = FlowConfig {
+                data_link: LinkConfig {
+                    loss_prob: 0.01,
+                    ..LinkConfig::default()
+                },
+                ..FlowConfig::upload(DeviceProfile::ios(), 10 << 20, seed)
+            };
+            black_box(simulate_flow(&cfg).timeouts)
+        });
+    });
+}
+
+criterion_group!(benches, bench_upload_flows, bench_download_flow, bench_lossy_flow);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Benchmarks for the synthetic workload generator: how fast can we
+//! synthesise the paper-shaped trace (records/s), per subsystem.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mcs::trace::{TraceConfig, TraceGenerator};
+
+fn bench_population(c: &mut Criterion) {
+    c.bench_function("population/build_5k_users", |b| {
+        let cfg = TraceConfig {
+            mobile_users: 5_000,
+            pc_only_users: 1_000,
+            ..TraceConfig::default()
+        };
+        b.iter(|| {
+            let gen = TraceGenerator::new(black_box(cfg.clone())).unwrap();
+            black_box(gen.users().len())
+        });
+    });
+}
+
+fn bench_user_records(c: &mut Criterion) {
+    let gen = TraceGenerator::new(TraceConfig::small(1)).unwrap();
+    // A busy user for a stable per-user cost measure.
+    let busy = gen
+        .users()
+        .iter()
+        .max_by_key(|u| u.store_files + u.retrieve_files)
+        .unwrap()
+        .clone();
+    c.bench_function("generator/busy_user_records", |b| {
+        b.iter(|| black_box(gen.user_records(&busy).len()));
+    });
+}
+
+fn bench_full_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator/full_trace");
+    group.sample_size(10);
+    group.bench_function("1k_users_streamed", |b| {
+        let cfg = TraceConfig {
+            mobile_users: 1_000,
+            pc_only_users: 200,
+            ..TraceConfig::default()
+        };
+        let gen = TraceGenerator::new(cfg).unwrap();
+        b.iter(|| {
+            let total: usize = gen.iter_user_records().map(|r| r.len()).sum();
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let gen = TraceGenerator::new(TraceConfig {
+        mobile_users: 300,
+        pc_only_users: 50,
+        ..TraceConfig::default()
+    })
+    .unwrap();
+    let records = gen.generate_sorted();
+    c.bench_function("io/csv_write_roundtrip", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |recs| {
+                let mut buf = Vec::with_capacity(1 << 20);
+                mcs::trace::io::write_csv(&mut buf, recs).unwrap();
+                let back =
+                    mcs::trace::io::read_csv(std::io::BufReader::new(&buf[..])).unwrap();
+                black_box(back.len())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_population,
+    bench_user_records,
+    bench_full_trace,
+    bench_serialization
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all                      # every experiment, medium scale
+//! repro f3 f12 t3                # specific experiments
+//! repro all --scale small        # fast run
+//! repro all --seed 7             # different seed
+//! repro all --export out/        # also write one report file per experiment
+//! repro sensitivity              # headline metrics across 5 seeds
+//! repro list                     # what exists
+//! ```
+
+use std::process::ExitCode;
+
+use mcs::{ExperimentId, Scale};
+use mcs_bench::{parse_scale, run_experiments};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: repro <all|list|EXPERIMENT...> [--scale small|medium|large] [--seed N] [--export DIR]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut scale = Scale::Medium;
+    let mut seed = 0x4d43_5331u64;
+    let mut export: Option<std::path::PathBuf> = None;
+    let mut ids: Vec<ExperimentId> = Vec::new();
+    let mut run_all = false;
+    let mut run_sensitivity_sweep = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(|s| parse_scale(s)) {
+                    Some(Ok(s)) => scale = s,
+                    _ => {
+                        eprintln!("--scale needs small|medium|large");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => seed = s,
+                    None => {
+                        eprintln!("--seed needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--export" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => export = Some(dir.into()),
+                    None => {
+                        eprintln!("--export needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "all" => run_all = true,
+            "sensitivity" => run_sensitivity_sweep = true,
+            "list" => {
+                println!("experiments (paper artifact → id):");
+                for &id in ExperimentId::all() {
+                    println!("  {id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => match other.parse::<ExperimentId>() {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+        i += 1;
+    }
+
+    if run_sensitivity_sweep {
+        let seeds: Vec<u64> = (0..5).map(|i| 1000 + i * 37).collect();
+        let report = mcs::run_sensitivity(scale, &seeds);
+        println!("{}", report.render());
+        return ExitCode::SUCCESS;
+    }
+    if run_all {
+        ids.clear();
+    } else if ids.is_empty() {
+        eprintln!("nothing to run; try `repro all` or `repro list`");
+        return ExitCode::FAILURE;
+    }
+    let (out, all_ok) = match &export {
+        None => run_experiments(scale, seed, &ids),
+        Some(dir) => match mcs_bench::run_and_export(scale, seed, &ids, dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    print!("{out}");
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

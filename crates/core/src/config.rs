@@ -1,0 +1,121 @@
+//! Reproduction configuration presets.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_analysis::PipelineConfig;
+use mcs_trace::TraceConfig;
+
+/// Scale presets trading runtime for statistical resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~2 k mobile users; seconds. CI-friendly.
+    Small,
+    /// ~10 k mobile users; tens of seconds. The default for `repro`.
+    Medium,
+    /// ~40 k mobile users; minutes. Tightest percentile estimates.
+    Large,
+}
+
+impl Scale {
+    /// Mobile-user population for the scale.
+    pub fn mobile_users(self) -> u64 {
+        match self {
+            Scale::Small => 2_000,
+            Scale::Medium => 10_000,
+            Scale::Large => 40_000,
+        }
+    }
+
+    /// PC-only population.
+    pub fn pc_only_users(self) -> u64 {
+        self.mobile_users() * 2 / 5
+    }
+
+    /// Simulated §4 flows per paper file size.
+    pub fn flows_per_size(self) -> u32 {
+        match self {
+            Scale::Small => 2,
+            Scale::Medium => 4,
+            Scale::Large => 8,
+        }
+    }
+}
+
+/// Top-level configuration for the reproduction suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Scale preset.
+    pub scale: Scale,
+    /// Trace-generator configuration (derived from scale + seed, then
+    /// freely adjustable).
+    pub trace: TraceConfig,
+    /// Analysis-pipeline knobs.
+    pub pipeline: PipelineConfig,
+}
+
+impl ReproConfig {
+    /// Builds the configuration for a scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let trace = TraceConfig {
+            seed,
+            mobile_users: scale.mobile_users(),
+            pc_only_users: scale.pc_only_users(),
+            ..TraceConfig::default()
+        };
+        let pipeline = PipelineConfig {
+            horizon_secs: trace.horizon_ms() / 1000,
+            ..PipelineConfig::default()
+        };
+        Self {
+            seed,
+            scale,
+            trace,
+            pipeline,
+        }
+    }
+
+    /// The default reproduction setup (medium scale, fixed seed).
+    pub fn paper_default() -> Self {
+        Self::new(Scale::Medium, 0x4d43_5331)
+    }
+
+    /// A fast setup for tests and CI.
+    pub fn small(seed: u64) -> Self {
+        Self::new(Scale::Small, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_valid() {
+        for scale in [Scale::Small, Scale::Medium, Scale::Large] {
+            let cfg = ReproConfig::new(scale, 1);
+            cfg.trace.validate().expect("valid trace config");
+            assert_eq!(cfg.trace.mobile_users, scale.mobile_users());
+            assert_eq!(
+                cfg.pipeline.horizon_secs,
+                cfg.trace.horizon_ms() / 1000
+            );
+        }
+    }
+
+    #[test]
+    fn scales_ordered() {
+        assert!(Scale::Small.mobile_users() < Scale::Medium.mobile_users());
+        assert!(Scale::Medium.mobile_users() < Scale::Large.mobile_users());
+        assert!(Scale::Small.flows_per_size() <= Scale::Large.flows_per_size());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = ReproConfig::paper_default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ReproConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

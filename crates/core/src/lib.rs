@@ -1,0 +1,44 @@
+//! `mcs` — umbrella crate of the IMC'16 mobile cloud storage reproduction.
+//!
+//! Re-exports the substrate crates and provides the experiment suite that
+//! regenerates every table and figure of *"An Empirical Analysis of a
+//! Large-scale Mobile Cloud Storage Service"* (IMC 2016):
+//!
+//! ```no_run
+//! use mcs::{ExperimentSuite, ReproConfig};
+//!
+//! let mut suite = ExperimentSuite::new(ReproConfig::small(42));
+//! let report = suite.run("f3".parse().unwrap());
+//! println!("{}", report.render());
+//! ```
+//!
+//! The five substrate crates are available as modules:
+//!
+//! * [`stats`] — statistics (EM fits, ECDFs, SE rank models, GoF tests),
+//! * [`trace`] — Table 1 log schema + paper-calibrated workload generator,
+//! * [`analysis`] — the paper's analysis pipeline,
+//! * [`net`] — the discrete-event TCP / chunk-transfer simulator (§4),
+//! * [`storage`] — the §2.1 service substrate and Table 4 optimisations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mcs_analysis as analysis;
+pub use mcs_net as net;
+pub use mcs_stats as stats;
+pub use mcs_storage as storage;
+pub use mcs_trace as trace;
+
+pub mod config;
+mod exp_behavior;
+mod exp_perf;
+mod exp_systems;
+pub mod render;
+pub mod report;
+pub mod sensitivity;
+pub mod suite;
+
+pub use config::{ReproConfig, Scale};
+pub use report::{ExperimentId, Metric, Report};
+pub use sensitivity::{run_sensitivity, SensitivityReport};
+pub use suite::ExperimentSuite;

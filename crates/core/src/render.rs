@@ -1,0 +1,174 @@
+//! Plain-text rendering for experiment reports: aligned tables, CDF/series
+//! listings, and unit formatting. Everything the `repro` harness prints
+//! comes through here so reports look uniform.
+
+/// Renders an aligned table. `headers.len()` must match every row's arity.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    assert!(rows.iter().all(|r| r.len() == cols), "ragged table");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an `(x, y)` series as two aligned columns with a title.
+pub fn series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|&(x, y)| vec![sig(x), sig(y)])
+        .collect();
+    format!("{title}\n{}", table(&[x_label, y_label], &rows))
+}
+
+/// Thins a long series to at most `max_points` evenly spaced entries.
+pub fn thin(points: &[(f64, f64)], max_points: usize) -> Vec<(f64, f64)> {
+    if points.len() <= max_points || max_points == 0 {
+        return points.to_vec();
+    }
+    let step = (points.len() - 1) as f64 / (max_points - 1) as f64;
+    (0..max_points)
+        .map(|i| points[(i as f64 * step).round() as usize])
+        .collect()
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a byte count with a binary-free, paper-style unit (the paper
+/// quotes decimal MB/TB).
+pub fn bytes(b: f64) -> String {
+    const UNITS: [(&str, f64); 4] = [
+        ("TB", 1e12),
+        ("GB", 1e9),
+        ("MB", 1e6),
+        ("KB", 1e3),
+    ];
+    for (unit, scale) in UNITS {
+        if b.abs() >= scale {
+            return format!("{:.2} {unit}", b / scale);
+        }
+    }
+    format!("{b:.0} B")
+}
+
+/// Formats a value to three significant figures.
+pub fn sig(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let decimals = (2 - mag).clamp(0, 9) as usize;
+    format!("{x:.decimals$}")
+}
+
+/// Formats seconds human-readably.
+pub fn secs(s: f64) -> String {
+    if s >= 86_400.0 {
+        format!("{:.1} d", s / 86_400.0)
+    } else if s >= 3600.0 {
+        format!("{:.1} h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1} min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("long-name"));
+        // Columns align.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].len().max(col), lines[2].len().max(col));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_table_panics() {
+        let _ = table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn thinning() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64)).collect();
+        let t = thin(&pts, 10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t[0], (0.0, 0.0));
+        assert_eq!(t[9], (99.0, 99.0));
+        // Short series pass through.
+        assert_eq!(thin(&pts[..5], 10).len(), 5);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(pct(0.682), "68.2%");
+        assert_eq!(bytes(1_500_000.0), "1.50 MB");
+        assert_eq!(bytes(2.3e12), "2.30 TB");
+        assert_eq!(bytes(12.0), "12 B");
+        assert_eq!(secs(90.0), "1.5 min");
+        assert_eq!(secs(0.5), "500.0 ms");
+        assert_eq!(secs(2.0 * 86_400.0), "2.0 d");
+    }
+
+    #[test]
+    fn sig_figs() {
+        assert_eq!(sig(0.0), "0");
+        assert_eq!(sig(1234.5), "1234");  // banker-style rounding of {:.0}
+        assert_eq!(sig(1.2345), "1.23");
+        assert_eq!(sig(0.012345), "0.0123");
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = series("CDF", "x", "F(x)", &[(1.0, 0.5), (2.0, 1.0)]);
+        assert!(s.starts_with("CDF\n"));
+        assert!(s.contains("F(x)"));
+    }
+}

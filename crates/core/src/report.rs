@@ -1,0 +1,287 @@
+//! Experiment identifiers and report structure.
+//!
+//! Every table and figure of the paper maps to one [`ExperimentId`]; a
+//! [`Report`] carries the regenerated rows/series plus headline
+//! paper-vs-measured metrics for EXPERIMENTS.md.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// One reproducible experiment (table, figure or ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentId {
+    /// Table 1: the log schema.
+    T1,
+    /// Fig. 1: workload diurnal variation.
+    F1,
+    /// Fig. 3: inter-operation histogram, GMM fit, τ derivation.
+    F3,
+    /// Fig. 4: burstiness (normalised operating time).
+    F4,
+    /// Fig. 5: session sizes.
+    F5,
+    /// Fig. 6 + Table 2: average-file-size mixture model.
+    F6T2,
+    /// Fig. 7: store/retrieve volume-ratio distributions.
+    F7,
+    /// Table 3: user typology and volume shares.
+    T3,
+    /// Fig. 8: user engagement (first return day).
+    F8,
+    /// Fig. 9: retrieval-after-upload.
+    F9,
+    /// Fig. 10: stretched-exponential activity model.
+    F10,
+    /// Fig. 12: chunk transfer time by device.
+    F12,
+    /// Fig. 13: sequence/in-flight traces.
+    F13,
+    /// Fig. 14: RTT distribution.
+    F14,
+    /// Fig. 15: estimated sending window.
+    F15,
+    /// Fig. 16: idle-time dissection.
+    F16,
+    /// Ablation: chunk-size sweep (§4.3).
+    A1,
+    /// Ablation: SSAI off / paced restart (§4.3).
+    A2,
+    /// Ablation: server window scaling (§4.1/4.3).
+    A3,
+    /// Ablation: deferred ("smart") auto backup (§3.2.2).
+    A4,
+    /// Ablation: f4-style warm tiering cost (Table 4).
+    A5,
+    /// Ablation: parallel TCP connections (§3.1.3 / §4.1).
+    A6,
+    /// Ablation: resumable downloads (§3.1.4 implication).
+    A7,
+}
+
+impl ExperimentId {
+    /// All experiments in paper order.
+    pub fn all() -> &'static [ExperimentId] {
+        use ExperimentId::*;
+        &[
+            T1, F1, F3, F4, F5, F6T2, F7, T3, F8, F9, F10, F12, F13, F14, F15, F16, A1, A2,
+            A3, A4, A5, A6, A7,
+        ]
+    }
+
+    /// Canonical lowercase id string.
+    pub fn as_str(&self) -> &'static str {
+        use ExperimentId::*;
+        match self {
+            T1 => "t1",
+            F1 => "f1",
+            F3 => "f3",
+            F4 => "f4",
+            F5 => "f5",
+            F6T2 => "f6",
+            F7 => "f7",
+            T3 => "t3",
+            F8 => "f8",
+            F9 => "f9",
+            F10 => "f10",
+            F12 => "f12",
+            F13 => "f13",
+            F14 => "f14",
+            F15 => "f15",
+            F16 => "f16",
+            A1 => "a1",
+            A2 => "a2",
+            A3 => "a3",
+            A4 => "a4",
+            A5 => "a5",
+            A6 => "a6",
+            A7 => "a7",
+        }
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ExperimentId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        use ExperimentId::*;
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "t1" | "table1" => T1,
+            "f1" | "fig1" => F1,
+            "f3" | "fig3" => F3,
+            "f4" | "fig4" => F4,
+            "f5" | "fig5" => F5,
+            "f6" | "fig6" | "t2" | "table2" => F6T2,
+            "f7" | "fig7" => F7,
+            "t3" | "table3" => T3,
+            "f8" | "fig8" => F8,
+            "f9" | "fig9" => F9,
+            "f10" | "fig10" => F10,
+            "f12" | "fig12" => F12,
+            "f13" | "fig13" => F13,
+            "f14" | "fig14" => F14,
+            "f15" | "fig15" => F15,
+            "f16" | "fig16" => F16,
+            "a1" => A1,
+            "a2" => A2,
+            "a3" => A3,
+            "a4" => A4,
+            "a5" => A5,
+            "a6" => A6,
+            "a7" => A7,
+            other => return Err(format!("unknown experiment id: {other}")),
+        })
+    }
+}
+
+/// A headline paper-vs-measured comparison row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// What is being compared.
+    pub name: String,
+    /// The paper's value, when it states one.
+    pub paper: Option<String>,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the shape criterion holds (None = informational only).
+    pub ok: Option<bool>,
+}
+
+impl Metric {
+    /// A paper-vs-measured row with a pass/fail verdict.
+    pub fn checked(
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            paper: Some(paper.into()),
+            measured: measured.into(),
+            ok: Some(ok),
+        }
+    }
+
+    /// An informational row (no paper value / no verdict).
+    pub fn info(name: impl Into<String>, measured: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            paper: None,
+            measured: measured.into(),
+            ok: None,
+        }
+    }
+}
+
+/// A regenerated table/figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Which experiment this is.
+    pub id: ExperimentId,
+    /// Human title ("Fig. 3 — …").
+    pub title: String,
+    /// Rendered body (tables and series).
+    pub body: String,
+    /// Headline metrics.
+    pub metrics: Vec<Metric>,
+}
+
+impl Report {
+    /// Whether every checked metric holds its shape criterion.
+    pub fn all_ok(&self) -> bool {
+        self.metrics.iter().all(|m| m.ok != Some(false))
+    }
+
+    /// Renders the full report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== [{}] {} ==\n\n", self.id, self.title));
+        if !self.metrics.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .metrics
+                .iter()
+                .map(|m| {
+                    vec![
+                        m.name.clone(),
+                        m.paper.clone().unwrap_or_else(|| "-".into()),
+                        m.measured.clone(),
+                        match m.ok {
+                            Some(true) => "ok".into(),
+                            Some(false) => "MISMATCH".into(),
+                            None => "".into(),
+                        },
+                    ]
+                })
+                .collect();
+            out.push_str(&crate::render::table(
+                &["metric", "paper", "measured", "shape"],
+                &rows,
+            ));
+            out.push('\n');
+        }
+        out.push_str(&self.body);
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_strings() {
+        for &id in ExperimentId::all() {
+            let parsed: ExperimentId = id.as_str().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+    }
+
+    #[test]
+    fn aliases_accepted() {
+        assert_eq!("table2".parse::<ExperimentId>().unwrap(), ExperimentId::F6T2);
+        assert_eq!("FIG3".parse::<ExperimentId>().unwrap(), ExperimentId::F3);
+        assert!("f99".parse::<ExperimentId>().is_err());
+    }
+
+    #[test]
+    fn all_list_has_every_table_and_figure() {
+        // 16 figures/tables + 7 ablations.
+        assert_eq!(ExperimentId::all().len(), 23);
+    }
+
+    #[test]
+    fn report_rendering_and_verdicts() {
+        let r = Report {
+            id: ExperimentId::F3,
+            title: "test".into(),
+            body: "body".into(),
+            metrics: vec![
+                Metric::checked("tau", "1 h", "52 min", true),
+                Metric::info("sessions", "12345"),
+            ],
+        };
+        assert!(r.all_ok());
+        let text = r.render();
+        assert!(text.contains("[f3]"));
+        assert!(text.contains("52 min"));
+        assert!(text.contains("body"));
+
+        let bad = Report {
+            metrics: vec![Metric::checked("x", "1", "2", false)],
+            ..r
+        };
+        assert!(!bad.all_ok());
+        assert!(bad.render().contains("MISMATCH"));
+    }
+}

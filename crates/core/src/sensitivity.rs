@@ -1,0 +1,167 @@
+//! Seed-sensitivity analysis: how stable are the reproduced shapes?
+//!
+//! The paper worked from one fixed trace; this reproduction can regenerate
+//! the world under any seed. Running the headline metrics across seeds
+//! turns "the shape holds" into a distributional statement — and flags any
+//! metric whose verdict is a seed lottery.
+
+use serde::Serialize;
+
+use mcs_analysis::engagement::EngagementGroup;
+
+use crate::config::{ReproConfig, Scale};
+use crate::render::{sig, table};
+use crate::suite::ExperimentSuite;
+
+/// One headline metric measured across seeds.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricSpread {
+    /// Metric name.
+    pub name: &'static str,
+    /// The paper's reference value (rendering only).
+    pub paper: &'static str,
+    /// Per-seed values.
+    pub values: Vec<f64>,
+}
+
+impl MetricSpread {
+    /// Mean across seeds.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len().max(1) as f64
+    }
+
+    /// Minimum.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64).sqrt()
+    }
+}
+
+/// Result of a sensitivity sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SensitivityReport {
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+    /// Metric spreads.
+    pub metrics: Vec<MetricSpread>,
+}
+
+impl SensitivityReport {
+    /// Renders the sweep as an aligned table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                vec![
+                    m.name.to_string(),
+                    m.paper.to_string(),
+                    sig(m.mean()),
+                    sig(m.std_dev()),
+                    format!("{} .. {}", sig(m.min()), sig(m.max())),
+                ]
+            })
+            .collect();
+        format!(
+            "Headline metrics across {} seeds ({:?}):\n{}",
+            self.seeds.len(),
+            self.seeds,
+            table(&["metric", "paper", "mean", "sd", "range"], &rows)
+        )
+    }
+}
+
+/// Runs the headline-metric sweep over `seeds` at `scale`.
+pub fn run_sensitivity(scale: Scale, seeds: &[u64]) -> SensitivityReport {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut metrics: Vec<MetricSpread> = vec![
+        MetricSpread { name: "store-only session fraction", paper: "0.682", values: vec![] },
+        MetricSpread { name: "mixed session fraction", paper: "0.02", values: vec![] },
+        MetricSpread { name: "tau (minutes)", paper: "60 (any inter-mode value)", values: vec![] },
+        MetricSpread { name: "store MB per file (Fig 5b slope)", paper: "1.5", values: vec![] },
+        MetricSpread { name: "store mixture mu1 (MB)", paper: "1.5", values: vec![] },
+        MetricSpread { name: "retrieve/store volume ratio", paper: "> 1", values: vec![] },
+        MetricSpread { name: "upload-only users, mobile-only", paper: "0.515", values: vec![] },
+        MetricSpread { name: "1-dev never-retrieve fraction", paper: "> 0.8", values: vec![] },
+        MetricSpread { name: "upload chunk median ratio (log side)", paper: "2.6", values: vec![] },
+        MetricSpread { name: "SE stretch factor c (store)", paper: "0.2", values: vec![] },
+    ];
+    for &seed in seeds {
+        let mut suite = ExperimentSuite::new(ReproConfig::new(scale, seed));
+        let a = suite.analysis();
+        let vals = [
+            a.sessions.store_only_frac(),
+            a.sessions.mixed_frac(),
+            a.tau.tau_s / 60.0,
+            a.sessions.store_mb_per_file,
+            a.filesize_store
+                .as_ref()
+                .and_then(|f| f.mixture.as_ref())
+                .map(|m| m.components[0].mean)
+                .unwrap_or(f64::NAN),
+            a.workload.retrieve_to_store_volume_ratio(),
+            a.usage.mobile_only.user_fracs()[0],
+            a.engagement
+                .retrieval_after_upload(EngagementGroup::OneMobileDev)
+                .frac_never(),
+            a.perf.upload_median_ratio().unwrap_or(f64::NAN),
+            a.activity.store.as_ref().map(|f| f.se.c).unwrap_or(f64::NAN),
+        ];
+        for (m, v) in metrics.iter_mut().zip(vals) {
+            m.values.push(v);
+        }
+    }
+    SensitivityReport {
+        seeds: seeds.to_vec(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_shapes_stable_across_seeds() {
+        let report = run_sensitivity(Scale::Small, &[1, 2, 3]);
+        assert_eq!(report.seeds.len(), 3);
+        assert_eq!(report.metrics[0].values.len(), 3);
+        // The write-dominated shape must hold for every seed.
+        let store_only = &report.metrics[0];
+        assert!(store_only.min() > 0.5, "{:?}", store_only.values);
+        // Mixed sessions stay rare for every seed.
+        assert!(report.metrics[1].max() < 0.1);
+        // Rendering includes every metric row.
+        let text = report.render();
+        for m in &report.metrics {
+            assert!(text.contains(m.name), "missing {}", m.name);
+        }
+    }
+
+    #[test]
+    fn spread_statistics() {
+        let m = MetricSpread {
+            name: "x",
+            paper: "-",
+            values: vec![1.0, 2.0, 3.0],
+        };
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 3.0);
+        assert!((m.std_dev() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Flow traces: what the paper's packet captures record.
+//!
+//! A [`FlowTrace`] carries the raw material of Figs. 12, 13 and 16:
+//! per-chunk completion times, the sequence-number and in-flight time
+//! series, and per-gap idle/RTO records.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sim::{Time, SEC};
+
+/// One completed chunk (or batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// Batch index within the flow.
+    pub index: u32,
+    /// Bytes in the batch.
+    pub bytes: u64,
+    /// Time the sender learned of end-to-end completion (OK received), µs.
+    pub completed_at: Time,
+}
+
+/// One inter-chunk idle gap at the TCP sender (Fig. 16c's unit of
+/// analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdleRecord {
+    /// The batch whose transmission this idle preceded.
+    pub before_batch: u32,
+    /// Sender idle time (last data of previous batch → first data of this
+    /// one), µs.
+    pub idle: Time,
+    /// The paper's idle definition: `T_srv + T_clt` only (Fig. 11 brackets
+    /// the idle between the last ACK and the next request, excluding
+    /// propagation), µs.
+    pub app_idle: Time,
+    /// The RTO in force when transmission resumed, µs.
+    pub rto: Time,
+    /// Whether slow-start restart fired for this gap.
+    pub restarted: bool,
+    /// Unlock-to-first-send latency (≈ 0; sanity field), µs.
+    pub unlock_to_send: Time,
+}
+
+impl IdleRecord {
+    /// The Fig. 16c x-value: idle time over RTO, with idle defined as the
+    /// paper defines it (`T_srv + T_clt`).
+    pub fn idle_over_rto(&self) -> f64 {
+        self.app_idle as f64 / self.rto.max(1) as f64
+    }
+
+    /// The same ratio under the RFC 5681 idle definition (time since the
+    /// last data transmission, which adds ≈ 1 RTT of propagation).
+    pub fn sender_idle_over_rto(&self) -> f64 {
+        self.idle as f64 / self.rto.max(1) as f64
+    }
+}
+
+/// Everything captured from one simulated flow.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowTrace {
+    /// Bytes the flow set out to move.
+    pub total_bytes: u64,
+    /// HTTP chunk size used.
+    pub chunk_size: u64,
+    /// Number of application-level batches.
+    pub batches: u32,
+    /// Wall-clock duration of the flow, µs.
+    pub duration: Time,
+    /// Per-batch completion records.
+    pub chunk_records: Vec<ChunkRecord>,
+    /// Inter-chunk idle records.
+    pub idle_records: Vec<IdleRecord>,
+    /// `(time, snd_nxt)` samples — Fig. 13a.
+    pub seq_samples: Vec<(Time, u64)>,
+    /// `(time, inflight bytes)` samples — Fig. 13b.
+    pub inflight_samples: Vec<(Time, u64)>,
+    /// Slow-start restarts after idle.
+    pub idle_restarts: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Fast retransmits.
+    pub fast_retransmits: u64,
+    /// Data packets dropped at the bottleneck buffer.
+    pub buffer_drops: u64,
+    /// Data packets lost randomly.
+    pub random_drops: u64,
+    /// Segments dropped before reaching the link (accounting only).
+    pub data_drops: u64,
+    /// True if the event budget tripped (diagnostic; never in sane runs).
+    pub aborted: bool,
+}
+
+impl FlowTrace {
+    /// Mean goodput over the whole flow, bytes per second.
+    pub fn goodput_bps(&self) -> f64 {
+        if self.duration == 0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 / (self.duration as f64 / SEC as f64)
+    }
+
+    /// Per-chunk transfer times, seconds (gap between consecutive batch
+    /// completions; the first batch counts from time zero). This is what
+    /// Fig. 12 plots, one point per chunk.
+    pub fn chunk_times_s(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.chunk_records.len());
+        let mut prev = 0;
+        for c in &self.chunk_records {
+            out.push((c.completed_at - prev) as f64 / SEC as f64);
+            prev = c.completed_at;
+        }
+        out
+    }
+
+    /// Fraction of idle gaps whose idle exceeded the RTO (Fig. 16c at
+    /// x = 1).
+    pub fn frac_idle_over_rto(&self) -> f64 {
+        if self.idle_records.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .idle_records
+            .iter()
+            .filter(|r| r.idle_over_rto() > 1.0)
+            .count();
+        n as f64 / self.idle_records.len() as f64
+    }
+
+    /// Fraction of idle gaps that actually restarted slow start.
+    pub fn frac_restarted(&self) -> f64 {
+        if self.idle_records.is_empty() {
+            return 0.0;
+        }
+        let n = self.idle_records.iter().filter(|r| r.restarted).count();
+        n as f64 / self.idle_records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_times_are_gaps() {
+        let t = FlowTrace {
+            total_bytes: 300,
+            duration: 3 * SEC,
+            chunk_records: vec![
+                ChunkRecord {
+                    index: 0,
+                    bytes: 100,
+                    completed_at: SEC,
+                },
+                ChunkRecord {
+                    index: 1,
+                    bytes: 100,
+                    completed_at: 3 * SEC,
+                },
+            ],
+            ..FlowTrace::default()
+        };
+        let times = t.chunk_times_s();
+        assert_eq!(times, vec![1.0, 2.0]);
+        assert!((t.goodput_bps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_fractions() {
+        let mk = |idle: Time, rto: Time, restarted: bool| IdleRecord {
+            before_batch: 1,
+            idle,
+            app_idle: idle,
+            rto,
+            restarted,
+            unlock_to_send: 0,
+        };
+        let t = FlowTrace {
+            idle_records: vec![mk(400, 300, true), mk(100, 300, false), mk(900, 300, true)],
+            ..FlowTrace::default()
+        };
+        assert!((t.frac_idle_over_rto() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.frac_restarted() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.idle_records[0].idle_over_rto() - 400.0 / 300.0).abs() < 1e-12);
+        assert!((t.idle_records[0].sender_idle_over_rto() - 400.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_degenerate_values() {
+        let t = FlowTrace::default();
+        assert_eq!(t.goodput_bps(), 0.0);
+        assert_eq!(t.frac_idle_over_rto(), 0.0);
+        assert_eq!(t.frac_restarted(), 0.0);
+        assert!(t.chunk_times_s().is_empty());
+    }
+}

@@ -1,0 +1,1078 @@
+//! The §2.1 / Fig. 11 chunk-transfer protocol over simulated TCP.
+//!
+//! One flow moves a file (or several batched chunks) over a single TCP
+//! connection. Chunks are strictly sequential at the HTTP level: the next
+//! chunk request is not issued until the previous chunk is acknowledged
+//! with an application-level `HTTP 200 OK`. Between chunks the TCP sender
+//! therefore sits **idle** for the server processing time `T_srv` plus the
+//! client processing time `T_clt` (Fig. 11); when that idle gap exceeds the
+//! RTO, stock TCP restarts slow start (RFC 5681 §4.1) and the next chunk
+//! pays several RTTs to regain its window — the paper's §4.2 diagnosis.
+
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+use mcs_stats::rng::stream_rng;
+
+use crate::capture::{ChunkRecord, FlowTrace, IdleRecord};
+use crate::device::{DeviceProfile, Direction, ServerProfile};
+use crate::link::{Link, LinkConfig, Transmit};
+use crate::sim::{EventQueue, Time};
+use crate::tcp::{CwndEvent, TcpConfig, TcpSender};
+
+/// Flow configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FlowConfig {
+    /// Upload (client sends) or download (server sends).
+    pub direction: Direction,
+    /// Client device model.
+    pub device: DeviceProfile,
+    /// Server model.
+    pub server: ServerProfile,
+    /// Data-path link (sender → receiver).
+    pub data_link: LinkConfig,
+    /// Reverse-path one-way delay for ACKs and control packets, µs.
+    pub ack_delay: Time,
+    /// HTTP chunk size, bytes (the service uses 512 KB; §4.3 proposes
+    /// 1.5–2 MB).
+    pub chunk_size: u64,
+    /// Total bytes to move.
+    pub total_bytes: u64,
+    /// Chunks acknowledged per application round trip (1 = the deployed
+    /// protocol; > 1 = the §4.3 batched-commands mitigation).
+    pub batch_chunks: u32,
+    /// Disable slow-start-after-idle (§4.3 SSAI ablation).
+    pub disable_ssai: bool,
+    /// Pace the first window after an idle gap instead of collapsing cwnd
+    /// (the Visweswaraiah & Heidemann mitigation the paper cites as its
+    /// reference 28).
+    pub pacing_after_idle: bool,
+    /// Server negotiates window scaling (§4.1/4.3 ablation; default off as
+    /// deployed).
+    pub server_window_scaling: bool,
+    /// Receiver delays ACKs per RFC 1122 (every second segment or a 40 ms
+    /// timer; out-of-order data still ACKs immediately). Off by default:
+    /// the §4 effects do not hinge on it, but the model supports it.
+    pub delayed_acks: bool,
+    /// RNG seed for this flow.
+    pub seed: u64,
+}
+
+impl FlowConfig {
+    /// An upload flow with the deployed service's parameters.
+    pub fn upload(device: DeviceProfile, total_bytes: u64, seed: u64) -> Self {
+        Self {
+            direction: Direction::Upload,
+            device,
+            server: ServerProfile::default(),
+            data_link: LinkConfig::default(),
+            ack_delay: LinkConfig::default().delay,
+            chunk_size: 512 * 1024,
+            total_bytes,
+            batch_chunks: 1,
+            disable_ssai: false,
+            pacing_after_idle: false,
+            server_window_scaling: false,
+            delayed_acks: false,
+            seed,
+        }
+    }
+
+    /// A download flow with the deployed service's parameters.
+    pub fn download(device: DeviceProfile, total_bytes: u64, seed: u64) -> Self {
+        Self {
+            direction: Direction::Download,
+            ..Self::upload(device, total_bytes, seed)
+        }
+    }
+
+    /// Receive window the data *receiver* advertises: the server's (64 KB
+    /// unless scaling) for uploads, the device's (2–4 MB) for downloads.
+    pub fn receiver_window(&self) -> u64 {
+        match self.direction {
+            Direction::Upload => {
+                let mut s = self.server;
+                s.window_scaling = self.server_window_scaling;
+                s.receive_window()
+            }
+            Direction::Download => self.device.receive_window,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.chunk_size > 0, "chunk size must be positive");
+        assert!(self.total_bytes > 0, "flow must move at least one byte");
+        assert!(self.batch_chunks >= 1, "batch must be at least one chunk");
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Data segment of flow `f` arrives at its receiver.
+    DataArrive { f: usize, seq_start: u64, seq_end: u64 },
+    /// Cumulative ACK arrives at flow `f`'s sender, with SACK information:
+    /// the start of the first out-of-order block (`u64::MAX` when none)
+    /// and the total bytes the receiver holds above the cumulative ACK.
+    AckArrive {
+        f: usize,
+        ack: u64,
+        first_hole_end: u64,
+        sacked: u64,
+    },
+    /// Application-level completion (HTTP 200 OK / next request) reaches
+    /// flow `f`'s sender host for the batch ending at this byte offset;
+    /// `delay_a` is the receiver-side processing it already absorbed.
+    CtrlArrive { f: usize, batch_end: u64, delay_a: Time },
+    /// Sender-side processing after the control packet finished; the next
+    /// batch may transmit. `app_idle` is the paper's idle definition:
+    /// `T_srv + T_clt` (Fig. 11), excluding propagation.
+    Unlock { f: usize, batch_end: u64, app_idle: Time },
+    /// Retransmission timer of flow `f`.
+    RtoFire { f: usize, epoch: u64 },
+    /// Pacing/emission timer releases flow `f`'s next segment.
+    PacedSend { f: usize },
+    /// Delayed-ACK timer of flow `f` fires.
+    DelackFire { f: usize, epoch: u64 },
+}
+
+/// Runs one flow to completion and returns its trace.
+///
+/// ```
+/// use mcs_net::{simulate_flow, DeviceProfile, FlowConfig};
+///
+/// // Upload a 2 MB file from the paper's Android reference device.
+/// let trace = simulate_flow(&FlowConfig::upload(DeviceProfile::android(), 2 << 20, 1));
+/// assert!(!trace.aborted);
+/// assert_eq!(trace.chunk_records.len(), 4); // 2 MB / 512 KB chunks
+/// assert!(trace.goodput_bps() > 0.0);
+/// ```
+pub fn simulate_flow(cfg: &FlowConfig) -> FlowTrace {
+    cfg.validate();
+    let mut traces = Simulation::new(std::slice::from_ref(cfg), cfg.data_link).run();
+    let mut t = traces.pop().expect("one flow in, one trace out");
+    // Single-flow runs own the link, so the global drop counters are theirs.
+    t.duration = t.duration.max(1);
+    t
+}
+
+/// Runs several flows **sharing one bottleneck link** (and therefore
+/// competing for its buffer and serialisation slots) to completion.
+///
+/// This is the faithful version of the §3.1.3 multi-connection scenario:
+/// unlike independent per-flow simulation, the aggregate cannot exceed the
+/// shared link rate, bursts from one flow can evict another flow's packets
+/// from the drop-tail queue, and RTTs inflate with the shared backlog.
+/// Each flow keeps its own device/server model and RNG stream; the
+/// per-flow `data_link` configs are ignored in favour of `shared_link`.
+pub fn simulate_shared(cfgs: &[FlowConfig], shared_link: LinkConfig) -> Vec<FlowTrace> {
+    assert!(!cfgs.is_empty(), "need at least one flow");
+    for c in cfgs {
+        c.validate();
+    }
+    Simulation::new(cfgs, shared_link).run()
+}
+
+/// Per-flow runtime state.
+struct FlowRt {
+    cfg: FlowConfig,
+    rng: ChaCha8Rng,
+    tcp: TcpSender,
+    // Sender state.
+    snd_una: u64,
+    snd_nxt: u64,
+    unlocked_end: u64,
+    rto_epoch: u64,
+    rtx_cursor: u64,
+    rtt_map: BTreeMap<u64, (Time, bool)>, // seq_end -> (send time, retransmitted)
+    emit_interval: Time,
+    next_emit: Time,
+    rcv_overhead: Time,
+    rcv_busy: Time,
+    pace_left: u32,
+    pace_interval: Time,
+    pace_next: Time,
+    pace_armed: bool,
+    // Receiver state.
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, u64>, // seq_start -> seq_end
+    delack_count: u8,
+    delack_epoch: u64,
+    next_boundary_idx: usize,
+    boundaries: Vec<u64>, // batch end offsets
+    // Idle accounting.
+    last_data_send: Option<Time>,
+    pending_idle: Option<PendingIdle>,
+    trace: FlowTrace,
+    done: bool,
+}
+
+struct PendingIdle {
+    batch_index: usize,
+    unlock_time: Time,
+    app_idle: Time,
+    restarted: bool,
+}
+
+impl FlowRt {
+    fn new(cfg: &FlowConfig, flow_index: usize) -> Self {
+        let tcp_cfg = TcpConfig {
+            rwnd: cfg.receiver_window(),
+            slow_start_after_idle: !cfg.disable_ssai,
+            ..TcpConfig::default()
+        };
+        // The client stack is part of the bottleneck (the Fig. 13a slope
+        // difference). Uploads: the client emits at most one segment per
+        // `upload_packet_overhead`. Downloads: the client *processes* (and
+        // therefore ACKs) at most one segment per `download_packet_overhead`,
+        // throttling the ACK clock. Neither inflates measured RTT with a
+        // phantom self-queue the way a link-rate clamp would.
+        let (emit_interval, rcv_overhead) = match cfg.direction {
+            Direction::Upload => (cfg.device.upload_packet_overhead, 0),
+            Direction::Download => (0, cfg.device.download_packet_overhead),
+        };
+        let mut boundaries = Vec::new();
+        let batch_bytes = cfg.chunk_size * cfg.batch_chunks as u64;
+        let mut off = batch_bytes.min(cfg.total_bytes);
+        loop {
+            boundaries.push(off);
+            if off >= cfg.total_bytes {
+                break;
+            }
+            off = (off + batch_bytes).min(cfg.total_bytes);
+        }
+        Self {
+            cfg: *cfg,
+            rng: stream_rng(cfg.seed, 0xF10 + flow_index as u64),
+            tcp: TcpSender::new(tcp_cfg),
+            snd_una: 0,
+            snd_nxt: 0,
+            unlocked_end: boundaries[0],
+            rto_epoch: 0,
+            rtx_cursor: 0,
+            rtt_map: BTreeMap::new(),
+            emit_interval,
+            next_emit: 0,
+            rcv_overhead,
+            rcv_busy: 0,
+            pace_left: 0,
+            pace_interval: 0,
+            pace_next: 0,
+            pace_armed: false,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            delack_count: 0,
+            delack_epoch: 0,
+            next_boundary_idx: 0,
+            boundaries,
+            last_data_send: None,
+            pending_idle: None,
+            trace: FlowTrace::default(),
+            done: false,
+        }
+    }
+
+    /// Applies SSAI or pacing when the sender resumes after an idle gap.
+    fn apply_idle_policy(&mut self, now: Time) -> Option<CwndEvent> {
+        if self.cfg.pacing_after_idle {
+            let idle = self
+                .tcp
+                .last_send()
+                .map(|t| now.saturating_sub(t))
+                .unwrap_or(0);
+            if idle > self.tcp.rto() {
+                // Keep cwnd, but pace one window's worth of segments over
+                // roughly one SRTT to rebuild the ACK clock without a burst.
+                let srtt = self.tcp.srtt().unwrap_or(100_000.0) as Time;
+                let segs = (self.tcp.send_window() / crate::tcp::MSS).max(1) as u32;
+                self.pace_left = segs;
+                self.pace_interval = (srtt / segs as u64).max(200);
+                self.pace_next = now;
+                return None;
+            }
+            return None;
+        }
+        self.tcp.on_send_attempt(now)
+    }
+
+    /// Completes the idle record when the first segment after an unlock
+    /// goes out.
+    fn finish_idle_record(&mut self, now: Time) {
+        if let Some(p) = self.pending_idle.take() {
+            if p.batch_index == 0 {
+                return; // connection start, not an inter-chunk idle
+            }
+            let idle = self
+                .last_data_send
+                .map(|t| now.saturating_sub(t))
+                .unwrap_or(0);
+            self.trace.idle_records.push(IdleRecord {
+                before_batch: p.batch_index as u32,
+                idle,
+                app_idle: p.app_idle,
+                rto: self.tcp.rto(),
+                restarted: p.restarted,
+                unlock_to_send: now.saturating_sub(p.unlock_time),
+            });
+        }
+    }
+
+    /// Karn's rule, conservatively: after any loss event, nothing currently
+    /// outstanding may produce an RTT sample (a cumulative ACK covering an
+    /// old segment long after its send time would poison SRTT/RTO).
+    fn invalidate_rtt_samples(&mut self) {
+        for v in self.rtt_map.values_mut() {
+            v.1 = true;
+        }
+    }
+
+    fn record_send_samples(&mut self, now: Time) {
+        self.trace.seq_samples.push((now, self.snd_nxt));
+        self.trace
+            .inflight_samples
+            .push((now, self.snd_nxt - self.snd_una));
+    }
+}
+
+/// The event-driven engine: any number of flows over one shared link.
+struct Simulation {
+    q: EventQueue<Ev>,
+    link: Link,
+    flows: Vec<FlowRt>,
+    done_count: usize,
+}
+
+impl Simulation {
+    fn new(cfgs: &[FlowConfig], link: LinkConfig) -> Self {
+        Self {
+            q: EventQueue::new(),
+            link: Link::new(link),
+            flows: cfgs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| FlowRt::new(c, i))
+                .collect(),
+            done_count: 0,
+        }
+    }
+
+    fn run(mut self) -> Vec<FlowTrace> {
+        let mut total_bytes = 0u64;
+        for f in 0..self.flows.len() {
+            let fl = &mut self.flows[f];
+            fl.trace.total_bytes = fl.cfg.total_bytes;
+            fl.trace.chunk_size = fl.cfg.chunk_size;
+            fl.trace.batches = fl.boundaries.len() as u32;
+            fl.pending_idle = Some(PendingIdle {
+                batch_index: 0,
+                unlock_time: 0,
+                app_idle: 0,
+                restarted: false,
+            });
+            total_bytes += fl.cfg.total_bytes;
+            self.try_send(f);
+        }
+        // Event budget guards against pathological configurations; real
+        // flows finish far below it.
+        let budget = 400 * self.flows.len() as u64 + 40 * (total_bytes / crate::tcp::MSS + 2) * 2;
+        let mut steps: u64 = 0;
+        while let Some((now, ev)) = self.q.pop() {
+            steps += 1;
+            if steps > budget {
+                for fl in &mut self.flows {
+                    if !fl.done {
+                        fl.trace.aborted = true;
+                    }
+                }
+                break;
+            }
+            match ev {
+                Ev::DataArrive { f, seq_start, seq_end } => self.on_data(f, now, seq_start, seq_end),
+                Ev::AckArrive {
+                    f,
+                    ack,
+                    first_hole_end,
+                    sacked,
+                } => self.on_ack(f, now, ack, first_hole_end, sacked),
+                Ev::CtrlArrive { f, batch_end, delay_a } => {
+                    let fl = &mut self.flows[f];
+                    let delay_b = match fl.cfg.direction {
+                        Direction::Upload => {
+                            fl.cfg.device.sample_clt(Direction::Upload, &mut fl.rng)
+                        }
+                        Direction::Download => fl.cfg.server.sample_srv(&mut fl.rng),
+                    };
+                    self.q.schedule_in(
+                        delay_b,
+                        Ev::Unlock {
+                            f,
+                            batch_end,
+                            app_idle: delay_a + delay_b,
+                        },
+                    );
+                }
+                Ev::Unlock { f, batch_end, app_idle } => self.on_unlock(f, now, batch_end, app_idle),
+                Ev::RtoFire { f, epoch } => self.on_rto(f, now, epoch),
+                Ev::PacedSend { f } => {
+                    self.flows[f].pace_armed = false;
+                    self.try_send(f);
+                }
+                Ev::DelackFire { f, epoch } => {
+                    let fl = &mut self.flows[f];
+                    if epoch == fl.delack_epoch && fl.delack_count > 0 {
+                        self.flush_ack(f, now);
+                    }
+                }
+            }
+            if self.done_count == self.flows.len() {
+                break;
+            }
+        }
+        let now = self.q.now();
+        let single = self.flows.len() == 1;
+        for fl in &mut self.flows {
+            if fl.trace.duration == 0 {
+                fl.trace.duration = now.max(1);
+            }
+            fl.trace.idle_restarts = fl.tcp.idle_restarts();
+            if single {
+                // A lone flow owns the link, so the global drop counters
+                // are attributable to it; shared runs keep the per-flow
+                // `data_drops` counter instead.
+                fl.trace.buffer_drops = self.link.buffer_drops;
+                fl.trace.random_drops = self.link.random_drops;
+            }
+        }
+        self.flows.into_iter().map(|fl| fl.trace).collect()
+    }
+
+    /// Sends as much new data of flow `f` as windows (and pacing) allow.
+    fn try_send(&mut self, f: usize) {
+        loop {
+            let now = self.q.now();
+            let fl = &self.flows[f];
+            if fl.snd_nxt >= fl.unlocked_end {
+                return;
+            }
+            let inflight = fl.snd_nxt - fl.snd_una;
+            let avail = fl.tcp.available_window(inflight);
+            if avail < 1 {
+                return;
+            }
+            let mut earliest = fl.next_emit;
+            if fl.pace_left > 0 {
+                earliest = earliest.max(fl.pace_next);
+            }
+            if earliest > now {
+                if !fl.pace_armed {
+                    self.flows[f].pace_armed = true;
+                    self.q.schedule(earliest, Ev::PacedSend { f });
+                }
+                return;
+            }
+            let bytes = crate::tcp::MSS
+                .min(fl.unlocked_end - fl.snd_nxt)
+                .min(avail.max(1));
+            let seq_start = fl.snd_nxt;
+            let seq_end = seq_start + bytes;
+            self.send_segment(f, now, seq_start, seq_end, false);
+            let fl = &mut self.flows[f];
+            fl.snd_nxt = seq_end;
+            if fl.pace_left > 0 {
+                fl.pace_left -= 1;
+                fl.pace_next = now.max(fl.pace_next) + fl.pace_interval;
+            }
+            fl.record_send_samples(now);
+        }
+    }
+
+    /// Puts one segment of flow `f` on the wire (fresh or retransmission).
+    fn send_segment(&mut self, f: usize, now: Time, seq_start: u64, seq_end: u64, retransmit: bool) {
+        let fl = &mut self.flows[f];
+        // First data after an idle period: the RFC 5681 idle check.
+        if !retransmit {
+            if let Some(ev) = fl.apply_idle_policy(now) {
+                if ev == CwndEvent::IdleRestart {
+                    if let Some(p) = &mut fl.pending_idle {
+                        p.restarted = true;
+                    }
+                }
+            }
+            fl.finish_idle_record(now);
+        }
+        let bytes = seq_end - seq_start;
+        match self.link.transmit(now, bytes, &mut fl.rng) {
+            Transmit::Arrive(at) => {
+                self.q
+                    .schedule(at.max(now), Ev::DataArrive { f, seq_start, seq_end });
+            }
+            Transmit::Drop => {
+                fl.trace.data_drops += 1;
+            }
+        }
+        fl.tcp.register_send(now, bytes);
+        fl.next_emit = now + fl.emit_interval;
+        fl.last_data_send = Some(now);
+        fl.rtt_map
+            .entry(seq_end)
+            .and_modify(|e| e.1 = true)
+            .or_insert((now, retransmit));
+        // Arm the retransmission timer.
+        if fl.snd_nxt > fl.snd_una || seq_end > fl.snd_una {
+            let at = now.saturating_add(fl.tcp.rto());
+            let epoch = fl.rto_epoch;
+            self.q.schedule(at, Ev::RtoFire { f, epoch });
+        }
+    }
+
+    fn on_data(&mut self, f: usize, now: Time, seq_start: u64, seq_end: u64) {
+        let fl = &mut self.flows[f];
+        // Reassembly.
+        if seq_end > fl.rcv_nxt {
+            if seq_start <= fl.rcv_nxt {
+                fl.rcv_nxt = seq_end;
+                // Pull contiguous out-of-order segments.
+                while let Some((&s, &e)) = fl.ooo.iter().next() {
+                    if s > fl.rcv_nxt {
+                        break;
+                    }
+                    fl.rcv_nxt = fl.rcv_nxt.max(e);
+                    fl.ooo.remove(&s);
+                }
+            } else {
+                fl.ooo.insert(seq_start, seq_end);
+            }
+        }
+        // A slow receiver stack (Android downloads) processes packets
+        // sequentially, so its ACKs fall behind when data arrives faster
+        // than it can handle — throttling the sender's ACK clock.
+        let processed_at = now.max(fl.rcv_busy) + fl.rcv_overhead;
+        fl.rcv_busy = processed_at;
+        // ACK policy: immediate per segment, or RFC 1122 delayed ACKs
+        // (every second segment / 40 ms timer; out-of-order data always
+        // ACKs immediately to feed fast retransmit).
+        let delayed = fl.cfg.delayed_acks;
+        fl.delack_count += 1;
+        if !delayed || fl.delack_count >= 2 || !fl.ooo.is_empty() {
+            self.flush_ack_at(f, processed_at);
+        } else {
+            let epoch = self.flows[f].delack_epoch;
+            self.q
+                .schedule(processed_at + 40 * crate::sim::MS, Ev::DelackFire { f, epoch });
+        }
+
+        // Application-level completion of the current batch.
+        let fl = &mut self.flows[f];
+        let ack_delay = fl.cfg.ack_delay;
+        while fl.next_boundary_idx < fl.boundaries.len()
+            && fl.rcv_nxt >= fl.boundaries[fl.next_boundary_idx]
+        {
+            let batch_end = fl.boundaries[fl.next_boundary_idx];
+            fl.next_boundary_idx += 1;
+            let delay_a = match fl.cfg.direction {
+                Direction::Upload => fl.cfg.server.sample_srv(&mut fl.rng),
+                Direction::Download => {
+                    fl.cfg.device.sample_clt(Direction::Download, &mut fl.rng)
+                }
+            };
+            self.q.schedule(
+                processed_at + delay_a + ack_delay,
+                Ev::CtrlArrive { f, batch_end, delay_a },
+            );
+        }
+    }
+
+    /// Emits the receiver's current cumulative ACK (with SACK info) now.
+    fn flush_ack(&mut self, f: usize, now: Time) {
+        let processed_at = now.max(self.flows[f].rcv_busy);
+        self.flush_ack_at(f, processed_at);
+    }
+
+    /// Emits the ACK with a given receiver-processing completion time.
+    fn flush_ack_at(&mut self, f: usize, processed_at: Time) {
+        let fl = &mut self.flows[f];
+        fl.delack_count = 0;
+        fl.delack_epoch += 1;
+        let ack = fl.rcv_nxt;
+        let first_hole_end = fl.ooo.keys().next().copied().unwrap_or(u64::MAX);
+        let sacked: u64 = fl.ooo.iter().map(|(&s, &e)| e - s).sum();
+        let ack_delay = fl.cfg.ack_delay;
+        self.q.schedule(
+            processed_at + ack_delay,
+            Ev::AckArrive {
+                f,
+                ack,
+                first_hole_end,
+                sacked,
+            },
+        );
+    }
+
+    fn on_ack(&mut self, f: usize, now: Time, ack: u64, first_hole_end: u64, sacked: u64) {
+        let fl = &mut self.flows[f];
+        let newly = ack.saturating_sub(fl.snd_una);
+        // RTT sample per Karn: from the newest never-retransmitted segment
+        // covered by this ACK.
+        let mut sample = None;
+        if newly > 0 {
+            let covered: Vec<u64> = fl.rtt_map.range(..=ack).map(|(&e, _)| e).collect();
+            for e in covered {
+                let (t, retx) = fl.rtt_map.remove(&e).expect("present");
+                if !retx {
+                    sample = Some(now.saturating_sub(t));
+                }
+            }
+        }
+        let ev = fl.tcp.on_ack(ack, newly, sample);
+        let mut arm_fresh = false;
+        if newly > 0 {
+            fl.snd_una = ack;
+            fl.rto_epoch += 1;
+            if fl.snd_nxt > fl.snd_una {
+                arm_fresh = true;
+            }
+        }
+        if ev == Some(CwndEvent::FastRetransmit) {
+            fl.tcp.set_recover_point(fl.snd_nxt);
+            fl.trace.fast_retransmits += 1;
+            fl.invalidate_rtt_samples();
+        }
+        if arm_fresh {
+            let at = now.saturating_add(fl.tcp.rto());
+            let epoch = fl.rto_epoch;
+            self.q.schedule(at, Ev::RtoFire { f, epoch });
+        }
+        // SACK-style hole repair: whenever the receiver reports a gap,
+        // retransmit missing bytes up to the congestion budget. Without
+        // this, a burst loss of N segments recovers one segment per
+        // RTT/RTO (pre-SACK NewReno) and large-window flows starve.
+        if first_hole_end != u64::MAX && first_hole_end > ack && self.flows[f].snd_nxt > ack {
+            self.retransmit_holes(f, now, ack, first_hole_end, sacked);
+        }
+        let fl = &mut self.flows[f];
+        fl.trace
+            .inflight_samples
+            .push((now, fl.snd_nxt - fl.snd_una));
+        self.try_send(f);
+    }
+
+    /// Retransmits bytes of the hole `[ack, first_hole_end)` subject to the
+    /// available congestion budget, tracked by a monotone cursor so the
+    /// same bytes are not re-sent on every duplicate ACK.
+    fn retransmit_holes(&mut self, f: usize, now: Time, ack: u64, first_hole_end: u64, sacked: u64) {
+        let fl = &self.flows[f];
+        let pipe = (fl.snd_nxt - ack).saturating_sub(sacked);
+        // Burst-cap the repair: spreading retransmissions across ACK events
+        // keeps a large hole from instantly re-overflowing the very buffer
+        // that dropped it.
+        let mut budget = fl
+            .tcp
+            .send_window()
+            .saturating_sub(pipe)
+            .min(4 * crate::tcp::MSS);
+        let mut cursor = fl.rtx_cursor.max(ack);
+        let hole_end = first_hole_end.min(fl.snd_nxt);
+        while budget > 0 && cursor < hole_end {
+            let end = (cursor + crate::tcp::MSS).min(hole_end);
+            self.send_segment(f, now, cursor, end, true);
+            budget = budget.saturating_sub(end - cursor);
+            cursor = end;
+        }
+        self.flows[f].rtx_cursor = cursor;
+    }
+
+    fn on_unlock(&mut self, f: usize, now: Time, batch_end: u64, app_idle: Time) {
+        let fl = &mut self.flows[f];
+        let batch_index = fl
+            .boundaries
+            .iter()
+            .position(|&b| b == batch_end)
+            .expect("unlock for known batch");
+        // Sender has learned the batch completed end-to-end.
+        fl.trace.chunk_records.push(ChunkRecord {
+            index: batch_index as u32,
+            bytes: batch_end
+                - if batch_index == 0 {
+                    0
+                } else {
+                    fl.boundaries[batch_index - 1]
+                },
+            completed_at: now,
+        });
+        if batch_end >= fl.cfg.total_bytes {
+            fl.done = true;
+            fl.trace.duration = now.max(1);
+            self.done_count += 1;
+            return;
+        }
+        fl.unlocked_end = fl.boundaries[batch_index + 1];
+        fl.pending_idle = Some(PendingIdle {
+            batch_index: batch_index + 1,
+            unlock_time: now,
+            app_idle,
+            restarted: false,
+        });
+        self.try_send(f);
+    }
+
+    fn on_rto(&mut self, f: usize, now: Time, epoch: u64) {
+        let fl = &mut self.flows[f];
+        if epoch != fl.rto_epoch || fl.snd_nxt <= fl.snd_una || fl.done {
+            return; // stale timer
+        }
+        fl.tcp.on_timeout();
+        fl.trace.timeouts += 1;
+        fl.rto_epoch += 1;
+        fl.invalidate_rtt_samples();
+        // Earlier hole repairs may themselves have been lost — walk the
+        // hole again from the cumulative ACK.
+        let (una, nxt) = (fl.snd_una, fl.snd_nxt);
+        let end = (una + crate::tcp::MSS).min(nxt);
+        self.send_segment(f, now, una, end, true);
+        self.flows[f].rtx_cursor = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{MS, SEC};
+
+    fn quiet_link() -> LinkConfig {
+        LinkConfig {
+            rate_bps: 40_000_000,
+            delay: 50 * MS,
+            buffer_bytes: 512 * 1024,
+            ..LinkConfig::default()
+        }
+    }
+
+    fn upload(device: DeviceProfile, bytes: u64, seed: u64) -> FlowConfig {
+        FlowConfig {
+            data_link: quiet_link(),
+            ..FlowConfig::upload(device, bytes, seed)
+        }
+    }
+
+    #[test]
+    fn single_chunk_completes() {
+        let t = simulate_flow(&upload(DeviceProfile::ios(), 512 * 1024, 1));
+        assert!(!t.aborted);
+        assert_eq!(t.chunk_records.len(), 1);
+        assert_eq!(t.chunk_records[0].bytes, 512 * 1024);
+        assert!(t.duration > 0);
+        assert_eq!(t.data_drops, 0);
+        assert_eq!(t.timeouts, 0);
+    }
+
+    #[test]
+    fn multi_chunk_flow_has_idle_records() {
+        let t = simulate_flow(&upload(DeviceProfile::android(), 4 * 512 * 1024, 2));
+        assert!(!t.aborted);
+        assert_eq!(t.chunk_records.len(), 4);
+        assert_eq!(t.idle_records.len(), 3, "one idle per inter-chunk gap");
+        for r in &t.idle_records {
+            assert!(r.idle > 0);
+            assert!(r.rto > 0);
+        }
+    }
+
+    #[test]
+    fn android_restarts_more_than_ios() {
+        let mut android_restarts = 0u64;
+        let mut ios_restarts = 0u64;
+        let mut android_idles = 0u64;
+        for seed in 0..30 {
+            let a = simulate_flow(&upload(DeviceProfile::android(), 8 * 512 * 1024, seed));
+            let i = simulate_flow(&upload(DeviceProfile::ios(), 8 * 512 * 1024, seed + 1000));
+            android_restarts += a.idle_restarts;
+            ios_restarts += i.idle_restarts;
+            android_idles += a.idle_records.len() as u64;
+        }
+        assert!(android_idles > 0);
+        assert!(
+            android_restarts > ios_restarts,
+            "android {android_restarts} vs ios {ios_restarts}"
+        );
+    }
+
+    #[test]
+    fn ssai_restart_slows_transfer() {
+        // Same seed, same device: SSAI on vs off.
+        let on = simulate_flow(&upload(DeviceProfile::android(), 16 * 512 * 1024, 7));
+        let off = simulate_flow(&FlowConfig {
+            disable_ssai: true,
+            ..upload(DeviceProfile::android(), 16 * 512 * 1024, 7)
+        });
+        assert!(on.idle_restarts > 0, "SSAI flow must restart at least once");
+        assert_eq!(off.idle_restarts, 0);
+        assert!(
+            off.duration < on.duration,
+            "no-SSAI {} vs SSAI {}",
+            off.duration,
+            on.duration
+        );
+    }
+
+    #[test]
+    fn upload_throughput_window_bound() {
+        // Long single batch (no idles): throughput ≈ rwnd / RTT.
+        let cfg = FlowConfig {
+            batch_chunks: 64,
+            ..upload(DeviceProfile::ios(), 16 * 512 * 1024, 3)
+        };
+        let t = simulate_flow(&cfg);
+        assert!(!t.aborted);
+        let secs = t.duration as f64 / SEC as f64;
+        let thpt = t.total_bytes as f64 / secs;
+        // rwnd/RTT = 65535 B / ~0.1 s ≈ 640 KB/s (stack overheads shave a
+        // little).
+        assert!(
+            (300_000.0..800_000.0).contains(&thpt),
+            "throughput {thpt} B/s"
+        );
+    }
+
+    #[test]
+    fn download_not_window_bound() {
+        // Client advertises MBs: throughput approaches the link rate.
+        let cfg = FlowConfig {
+            batch_chunks: 64,
+            ..FlowConfig {
+                data_link: quiet_link(),
+                ..FlowConfig::download(DeviceProfile::ios(), 16 * 512 * 1024, 4)
+            }
+        };
+        let t = simulate_flow(&cfg);
+        let secs = t.duration as f64 / SEC as f64;
+        let thpt = t.total_bytes as f64 / secs;
+        assert!(thpt > 1_500_000.0, "download throughput {thpt} B/s");
+    }
+
+    #[test]
+    fn window_scaling_unlocks_upload() {
+        let base = upload(DeviceProfile::ios(), 8 * 512 * 1024, 5);
+        let slow = simulate_flow(&FlowConfig {
+            batch_chunks: 16,
+            ..base
+        });
+        let fast = simulate_flow(&FlowConfig {
+            batch_chunks: 16,
+            server_window_scaling: true,
+            ..base
+        });
+        assert!(
+            fast.duration < slow.duration * 2 / 3,
+            "scaled {} vs clamped {}",
+            fast.duration,
+            slow.duration
+        );
+    }
+
+    #[test]
+    fn batching_removes_idles() {
+        let single = simulate_flow(&upload(DeviceProfile::android(), 8 * 512 * 1024, 6));
+        let batched = simulate_flow(&FlowConfig {
+            batch_chunks: 8,
+            ..upload(DeviceProfile::android(), 8 * 512 * 1024, 6)
+        });
+        assert_eq!(single.idle_records.len(), 7);
+        assert!(batched.idle_records.is_empty());
+        assert!(batched.duration < single.duration);
+    }
+
+    #[test]
+    fn larger_chunks_reduce_idles() {
+        let small = simulate_flow(&upload(DeviceProfile::android(), 4 * 1024 * 1024, 8));
+        let large = simulate_flow(&FlowConfig {
+            chunk_size: 2 * 1024 * 1024,
+            ..upload(DeviceProfile::android(), 4 * 1024 * 1024, 8)
+        });
+        assert!(large.idle_records.len() < small.idle_records.len());
+        assert!(large.duration < small.duration);
+    }
+
+    #[test]
+    fn pacing_beats_restart() {
+        let restart = simulate_flow(&upload(DeviceProfile::android(), 16 * 512 * 1024, 9));
+        let paced = simulate_flow(&FlowConfig {
+            pacing_after_idle: true,
+            ..upload(DeviceProfile::android(), 16 * 512 * 1024, 9)
+        });
+        assert_eq!(paced.idle_restarts, 0);
+        assert!(
+            paced.duration < restart.duration,
+            "paced {} vs restart {}",
+            paced.duration,
+            restart.duration
+        );
+    }
+
+    #[test]
+    fn lossy_link_recovers_and_completes() {
+        let cfg = FlowConfig {
+            data_link: LinkConfig {
+                loss_prob: 0.02,
+                ..quiet_link()
+            },
+            ..upload(DeviceProfile::ios(), 8 * 512 * 1024, 10)
+        };
+        let t = simulate_flow(&cfg);
+        assert!(!t.aborted, "flow must complete despite loss");
+        assert_eq!(t.chunk_records.len(), 8);
+        assert!(t.random_drops > 0);
+        assert!(t.fast_retransmits + t.timeouts > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_flow(&upload(DeviceProfile::android(), 4 * 512 * 1024, 42));
+        let b = simulate_flow(&upload(DeviceProfile::android(), 4 * 512 * 1024, 42));
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.idle_restarts, b.idle_restarts);
+        assert_eq!(a.seq_samples, b.seq_samples);
+    }
+
+    #[test]
+    fn seq_trace_monotone() {
+        let t = simulate_flow(&upload(DeviceProfile::ios(), 4 * 512 * 1024, 11));
+        for w in t.seq_samples.windows(2) {
+            assert!(w[0].0 <= w[1].0, "time ordered");
+            assert!(w[0].1 <= w[1].1, "sequence never decreases");
+        }
+        assert_eq!(t.seq_samples.last().unwrap().1, 4 * 512 * 1024);
+    }
+
+    #[test]
+    fn delayed_acks_complete_with_fewer_acks() {
+        // Delayed ACKs must not break correctness; throughput dips only
+        // mildly for window-bound flows (cwnd growth is byte-counted).
+        let base = FlowConfig {
+            batch_chunks: 8,
+            ..upload(DeviceProfile::ios(), 4 * 512 * 1024, 60)
+        };
+        let immediate = simulate_flow(&base);
+        let delayed = simulate_flow(&FlowConfig {
+            delayed_acks: true,
+            ..base
+        });
+        assert!(!delayed.aborted);
+        let bytes: u64 = delayed.chunk_records.iter().map(|c| c.bytes).sum();
+        assert_eq!(bytes, 4 * 512 * 1024);
+        // No more than ~40% slower (one extra 40ms timer per odd tail).
+        assert!(
+            delayed.duration < immediate.duration * 14 / 10,
+            "delayed {} vs immediate {}",
+            delayed.duration,
+            immediate.duration
+        );
+    }
+
+    #[test]
+    fn delayed_acks_still_fast_retransmit_on_loss() {
+        let cfg = FlowConfig {
+            delayed_acks: true,
+            data_link: LinkConfig {
+                loss_prob: 0.02,
+                ..quiet_link()
+            },
+            ..upload(DeviceProfile::ios(), 8 * 512 * 1024, 61)
+        };
+        let t = simulate_flow(&cfg);
+        assert!(!t.aborted, "lossy delayed-ack flow must complete");
+        let bytes: u64 = t.chunk_records.iter().map(|c| c.bytes).sum();
+        assert_eq!(bytes, 8 * 512 * 1024);
+    }
+
+    #[test]
+    fn shared_bottleneck_two_flows_complete() {
+        let cfgs = [
+            upload(DeviceProfile::ios(), 4 * 512 * 1024, 70),
+            upload(DeviceProfile::android(), 4 * 512 * 1024, 71),
+        ];
+        let traces = simulate_shared(&cfgs, quiet_link());
+        assert_eq!(traces.len(), 2);
+        for t in &traces {
+            assert!(!t.aborted);
+            let delivered: u64 = t.chunk_records.iter().map(|c| c.bytes).sum();
+            assert_eq!(delivered, 4 * 512 * 1024);
+        }
+        // Both finish; iOS finishes first (faster client).
+        assert!(traces[0].duration < traces[1].duration);
+    }
+
+    #[test]
+    fn shared_bottleneck_slows_flows_vs_isolation() {
+        // Two window-bound iOS uploads on a *narrow* shared link take
+        // longer than either would alone on that link.
+        let narrow = LinkConfig {
+            rate_bps: 1_500_000, // 187 KB/s: two flows must share
+            ..quiet_link()
+        };
+        let alone = simulate_flow(&FlowConfig {
+            data_link: narrow,
+            ..upload(DeviceProfile::ios(), 4 * 512 * 1024, 80)
+        });
+        let cfgs = [
+            upload(DeviceProfile::ios(), 4 * 512 * 1024, 80),
+            upload(DeviceProfile::ios(), 4 * 512 * 1024, 81),
+        ];
+        let shared = simulate_shared(&cfgs, narrow);
+        let slowest = shared.iter().map(|t| t.duration).max().unwrap();
+        assert!(
+            slowest > alone.duration * 14 / 10,
+            "sharing {} vs alone {}",
+            slowest,
+            alone.duration
+        );
+    }
+
+    #[test]
+    fn shared_parallel_upload_beats_single_connection() {
+        // The §3.1.3 scenario with honest contention: 4 connections
+        // splitting a 8 MB upload on the default (ample) link still beat
+        // one 64 KB-clamped connection.
+        let total = 8u64 << 20;
+        let one = simulate_flow(&FlowConfig {
+            batch_chunks: 16,
+            ..upload(DeviceProfile::ios(), total, 90)
+        });
+        let share = total / 4;
+        let cfgs: Vec<FlowConfig> = (0..4)
+            .map(|i| FlowConfig {
+                batch_chunks: 16,
+                ..upload(DeviceProfile::ios(), share, 91 + i)
+            })
+            .collect();
+        let traces = simulate_shared(&cfgs, quiet_link());
+        let slowest = traces.iter().map(|t| t.duration).max().unwrap();
+        assert!(
+            slowest * 2 < one.duration,
+            "4 shared conns {} vs 1 conn {}",
+            slowest,
+            one.duration
+        );
+    }
+
+    #[test]
+    fn shared_deterministic() {
+        let cfgs = [
+            upload(DeviceProfile::ios(), 2 * 512 * 1024, 100),
+            upload(DeviceProfile::android(), 2 * 512 * 1024, 101),
+        ];
+        let a = simulate_shared(&cfgs, quiet_link());
+        let b = simulate_shared(&cfgs, quiet_link());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inflight_bounded_by_receive_window() {
+        let t = simulate_flow(&upload(DeviceProfile::ios(), 8 * 512 * 1024, 12));
+        let max_inflight = t.inflight_samples.iter().map(|&(_, f)| f).max().unwrap();
+        assert!(
+            max_inflight <= 65_535 + crate::tcp::MSS,
+            "inflight {max_inflight} exceeds the 64 KB clamp"
+        );
+    }
+}
+

@@ -1,0 +1,37 @@
+//! Deterministic discrete-event TCP and chunk-transfer simulator for the
+//! IMC'16 mobile cloud storage reproduction.
+//!
+//! Section 4 of the paper diagnoses the service's transfer performance with
+//! packet captures: the 64 KB receive window servers advertise (no window
+//! scaling) caps upload throughput, and the idle gap between sequential
+//! chunk requests (`T_srv + T_clt`, Fig. 11) restarts TCP slow start when
+//! it exceeds the RTO — ~60 % of Android gaps vs ~18 % of iOS gaps.
+//!
+//! The paper's testbed (a Samsung Pad, an iPad Air 2 and a production
+//! front-end) is a hardware gate; this crate substitutes a from-scratch
+//! simulator in which those effects are **emergent**: [`tcp`] implements
+//! standard RFC 5681/6298 sender behaviour, [`chunkflow`] drives the §2.1
+//! HTTP chunk protocol over it, [`device`] supplies the measured
+//! Android/iOS client processing-time distributions — and Figs. 12, 13 and
+//! 16 fall out of [`experiments`].
+//!
+//! Everything is deterministic in the flow seed; no wall clock, no threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod chunkflow;
+pub mod device;
+pub mod experiments;
+pub mod link;
+mod proptests;
+pub mod sim;
+pub mod tcp;
+
+pub use capture::{ChunkRecord, FlowTrace, IdleRecord};
+pub use chunkflow::{simulate_flow, simulate_shared, FlowConfig};
+pub use device::{DeviceProfile, Direction, ServerProfile};
+pub use link::{Link, LinkConfig};
+pub use sim::{EventQueue, Time, MS, SEC};
+pub use tcp::{TcpConfig, TcpSender, MSS};

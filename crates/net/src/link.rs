@@ -1,0 +1,261 @@
+//! Bottleneck-link model: serialization at a finite rate, propagation
+//! delay, a drop-tail buffer, and optional random loss.
+//!
+//! One [`Link`] models one direction. The §4.3 discussion needs the buffer:
+//! disabling slow-start-after-idle lets a full 64 KB burst hit the
+//! bottleneck at once, and with a finite drop-tail queue the tail of the
+//! burst is lost — exactly the failure mode the paper warns about.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::sim::{Time, SEC};
+
+/// Link configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Serialization rate, bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay, µs.
+    pub delay: Time,
+    /// Drop-tail buffer size, bytes (packets whose queueing backlog would
+    /// exceed this are dropped).
+    pub buffer_bytes: u64,
+    /// Independent random loss probability per packet (wireless noise).
+    pub loss_prob: f64,
+    /// Mean of an exponential per-packet extra delay, µs (wireless MAC
+    /// contention / retry jitter). 0 disables it. Jitter inflates the
+    /// RTT variance the RFC 6298 estimator sees, raising RTOs the way
+    /// real mobile paths do.
+    pub jitter_mean: Time,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            rate_bps: 20_000_000, // 20 Mbit/s home WiFi
+            delay: 50_000,        // 50 ms one-way → 100 ms RTT
+            // ~1.5× the bandwidth-delay product: a typical (slightly
+            // bloated) home-router queue; a sub-BDP buffer makes every
+            // slow-start overshoot a multi-loss catastrophe.
+            buffer_bytes: 384 * 1024,
+            loss_prob: 0.0,
+            jitter_mean: 0,
+        }
+    }
+}
+
+/// Outcome of offering a packet to the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transmit {
+    /// Packet will arrive at the far end at this time.
+    Arrive(Time),
+    /// Dropped (buffer overflow or random loss).
+    Drop,
+}
+
+/// One direction of a bottleneck link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    cfg: LinkConfig,
+    /// Time the serializer frees up.
+    busy_until: Time,
+    /// Packets dropped by the buffer.
+    pub buffer_drops: u64,
+    /// Packets dropped by random loss.
+    pub random_drops: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(cfg: LinkConfig) -> Self {
+        assert!(cfg.rate_bps > 0, "link rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&cfg.loss_prob),
+            "loss probability must be in [0,1)"
+        );
+        Self {
+            cfg,
+            busy_until: 0,
+            buffer_drops: 0,
+            random_drops: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Serialization time of `bytes` at the link rate, µs.
+    pub fn serialization_time(&self, bytes: u64) -> Time {
+        (bytes * 8).saturating_mul(SEC) / self.cfg.rate_bps
+    }
+
+    /// Offers a packet at `now`; returns when it arrives, or `Drop`.
+    pub fn transmit(&mut self, now: Time, bytes: u64, rng: &mut impl Rng) -> Transmit {
+        // Backlog = data already queued but not yet serialized.
+        let backlog_time = self.busy_until.saturating_sub(now);
+        let backlog_bytes = backlog_time.saturating_mul(self.cfg.rate_bps) / (8 * SEC);
+        if backlog_bytes + bytes > self.cfg.buffer_bytes {
+            self.buffer_drops += 1;
+            return Transmit::Drop;
+        }
+        if self.cfg.loss_prob > 0.0 && rng.random::<f64>() < self.cfg.loss_prob {
+            // The packet still occupies the serializer (it is lost after
+            // transmission, e.g. on the air), which is the conservative
+            // choice for throughput.
+            self.busy_until = self.busy_until.max(now) + self.serialization_time(bytes);
+            self.random_drops += 1;
+            return Transmit::Drop;
+        }
+        let start = self.busy_until.max(now);
+        self.busy_until = start + self.serialization_time(bytes);
+        self.delivered += 1;
+        let jitter = if self.cfg.jitter_mean > 0 {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            (-(self.cfg.jitter_mean as f64) * u.ln()) as Time
+        } else {
+            0
+        };
+        Transmit::Arrive(self.busy_until + self.cfg.delay + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_stats::rng::stream_rng;
+
+    fn no_loss(rate_bps: u64, delay: Time, buffer: u64) -> Link {
+        Link::new(LinkConfig {
+            rate_bps,
+            delay,
+            buffer_bytes: buffer,
+            loss_prob: 0.0,
+            jitter_mean: 0,
+        })
+    }
+
+    #[test]
+    fn serialization_and_delay() {
+        let mut l = no_loss(8_000_000, 10_000, 1 << 20); // 1 MB/s
+        let mut rng = stream_rng(1, 0);
+        // 1000 bytes at 1 MB/s = 1000 µs + 10 ms delay.
+        match l.transmit(0, 1000, &mut rng) {
+            Transmit::Arrive(t) => assert_eq!(t, 11_000),
+            Transmit::Drop => panic!("dropped"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut l = no_loss(8_000_000, 0, 1 << 20);
+        let mut rng = stream_rng(2, 0);
+        let t1 = match l.transmit(0, 1000, &mut rng) {
+            Transmit::Arrive(t) => t,
+            _ => panic!(),
+        };
+        let t2 = match l.transmit(0, 1000, &mut rng) {
+            Transmit::Arrive(t) => t,
+            _ => panic!(),
+        };
+        assert_eq!(t2 - t1, 1000, "second packet serialises after the first");
+    }
+
+    #[test]
+    fn buffer_overflow_drops_tail() {
+        // Tiny buffer: 3000 bytes.
+        let mut l = no_loss(8_000_000, 0, 3000);
+        let mut rng = stream_rng(3, 0);
+        let mut delivered = 0;
+        let mut dropped = 0;
+        for _ in 0..10 {
+            match l.transmit(0, 1000, &mut rng) {
+                Transmit::Arrive(_) => delivered += 1,
+                Transmit::Drop => dropped += 1,
+            }
+        }
+        assert!((3..=4).contains(&delivered), "delivered {delivered}");
+        assert_eq!(delivered + dropped, 10);
+        assert_eq!(l.buffer_drops, dropped);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut l = no_loss(8_000_000, 0, 2000);
+        let mut rng = stream_rng(4, 0);
+        assert!(matches!(l.transmit(0, 1000, &mut rng), Transmit::Arrive(_)));
+        assert!(matches!(l.transmit(0, 1000, &mut rng), Transmit::Arrive(_)));
+        assert!(matches!(l.transmit(0, 1000, &mut rng), Transmit::Drop));
+        // 2 ms later the queue has drained; room again.
+        assert!(matches!(
+            l.transmit(2000, 1000, &mut rng),
+            Transmit::Arrive(_)
+        ));
+    }
+
+    #[test]
+    fn jitter_adds_mean_extra_delay() {
+        let mut l = Link::new(LinkConfig {
+            rate_bps: 1_000_000_000,
+            delay: 10_000,
+            buffer_bytes: 1 << 30,
+            loss_prob: 0.0,
+            jitter_mean: 5_000,
+        });
+        let mut rng = stream_rng(11, 0);
+        let n = 20_000u64;
+        let mut extra_sum = 0f64;
+        for i in 0..n {
+            let now = i * 1_000_000; // idle link each time
+            match l.transmit(now, 100, &mut rng) {
+                Transmit::Arrive(at) => {
+                    let base = now + l.serialization_time(100) + 10_000;
+                    assert!(at >= base);
+                    extra_sum += (at - base) as f64;
+                }
+                Transmit::Drop => panic!("no loss configured"),
+            }
+        }
+        let mean_extra = extra_sum / n as f64;
+        assert!(
+            (mean_extra - 5_000.0).abs() < 300.0,
+            "mean jitter {mean_extra}"
+        );
+    }
+
+    #[test]
+    fn random_loss_rate() {
+        let mut l = Link::new(LinkConfig {
+            rate_bps: 1_000_000_000,
+            delay: 0,
+            buffer_bytes: 1 << 30,
+            loss_prob: 0.1,
+            jitter_mean: 0,
+        });
+        let mut rng = stream_rng(5, 0);
+        let n = 20_000;
+        let mut drops = 0;
+        for i in 0..n {
+            if matches!(l.transmit(i * 100, 1000, &mut rng), Transmit::Drop) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "loss rate {rate}");
+        assert_eq!(l.random_drops, drops);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = Link::new(LinkConfig {
+            rate_bps: 0,
+            ..LinkConfig::default()
+        });
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests over the flow simulator: completion, conservation
+//! and determinism must hold for *any* sane configuration, not just the
+//! paper's parameters.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::chunkflow::{simulate_flow, FlowConfig};
+use crate::device::DeviceProfile;
+use crate::link::LinkConfig;
+use crate::sim::MS;
+
+fn arb_device() -> impl Strategy<Value = DeviceProfile> {
+    prop_oneof![
+        Just(DeviceProfile::android()),
+        Just(DeviceProfile::ios()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full flow simulation
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_upload_completes_and_conserves_bytes(
+        device in arb_device(),
+        total_kb in 64u64..4096,
+        chunk_kb in 128u64..2048,
+        batch in 1u32..4,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = FlowConfig {
+            chunk_size: chunk_kb * 1024,
+            batch_chunks: batch,
+            ..FlowConfig::upload(device, total_kb * 1024, seed)
+        };
+        let t = simulate_flow(&cfg);
+        prop_assert!(!t.aborted, "aborted");
+        // Every byte arrives exactly once at the application level.
+        let delivered: u64 = t.chunk_records.iter().map(|c| c.bytes).sum();
+        prop_assert_eq!(delivered, total_kb * 1024);
+        // Batch indices are dense and ordered.
+        for (i, c) in t.chunk_records.iter().enumerate() {
+            prop_assert_eq!(c.index as usize, i);
+        }
+        // One idle record per inter-batch gap.
+        prop_assert_eq!(t.idle_records.len() + 1, t.chunk_records.len());
+        // Sequence trace ends at the full byte count.
+        prop_assert_eq!(t.seq_samples.last().map(|&(_, s)| s), Some(total_kb * 1024));
+    }
+
+    #[test]
+    fn prop_download_completes(
+        device in arb_device(),
+        total_kb in 64u64..2048,
+        seed in 0u64..1_000,
+    ) {
+        let t = simulate_flow(&FlowConfig::download(device, total_kb * 1024, seed));
+        prop_assert!(!t.aborted);
+        let delivered: u64 = t.chunk_records.iter().map(|c| c.bytes).sum();
+        prop_assert_eq!(delivered, total_kb * 1024);
+    }
+
+    #[test]
+    fn prop_lossy_flows_still_complete(
+        loss in 0.0f64..0.08,
+        seed in 0u64..500,
+    ) {
+        let cfg = FlowConfig {
+            data_link: LinkConfig {
+                loss_prob: loss,
+                ..LinkConfig::default()
+            },
+            ..FlowConfig::upload(DeviceProfile::ios(), 2 << 20, seed)
+        };
+        let t = simulate_flow(&cfg);
+        prop_assert!(!t.aborted, "loss {loss} aborted the flow");
+        let delivered: u64 = t.chunk_records.iter().map(|c| c.bytes).sum();
+        prop_assert_eq!(delivered, 2 << 20);
+    }
+
+    #[test]
+    fn prop_deterministic_in_seed(seed in 0u64..10_000) {
+        let cfg = FlowConfig::upload(DeviceProfile::android(), 1 << 20, seed);
+        let a = simulate_flow(&cfg);
+        let b = simulate_flow(&cfg);
+        prop_assert_eq!(a.duration, b.duration);
+        prop_assert_eq!(a.idle_records, b.idle_records);
+        prop_assert_eq!(a.seq_samples, b.seq_samples);
+    }
+
+    #[test]
+    fn prop_inflight_never_exceeds_receiver_window(
+        device in arb_device(),
+        seed in 0u64..500,
+        scaling in proptest::bool::ANY,
+    ) {
+        let cfg = FlowConfig {
+            server_window_scaling: scaling,
+            ..FlowConfig::upload(device, 3 << 20, seed)
+        };
+        let rwnd = cfg.receiver_window();
+        let t = simulate_flow(&cfg);
+        let max_inflight = t.inflight_samples.iter().map(|&(_, f)| f).max().unwrap_or(0);
+        // One MSS of slack: the sampler records after the send.
+        prop_assert!(
+            max_inflight <= rwnd + crate::tcp::MSS,
+            "inflight {max_inflight} vs rwnd {rwnd}"
+        );
+    }
+
+    #[test]
+    fn prop_faster_links_do_not_slow_flows(seed in 0u64..200) {
+        // Identical everything, only the link rate doubles: the flow must
+        // not get slower (monotonicity sanity).
+        let slow = simulate_flow(&FlowConfig {
+            data_link: LinkConfig { rate_bps: 5_000_000, ..LinkConfig::default() },
+            batch_chunks: 8,
+            ..FlowConfig::upload(DeviceProfile::ios(), 2 << 20, seed)
+        });
+        let fast = simulate_flow(&FlowConfig {
+            data_link: LinkConfig { rate_bps: 50_000_000, ..LinkConfig::default() },
+            batch_chunks: 8,
+            ..FlowConfig::upload(DeviceProfile::ios(), 2 << 20, seed)
+        });
+        // Allow a small tolerance: RNG draws are shared but timing shifts
+        // can alter T_clt sampling order slightly.
+        prop_assert!(
+            fast.duration <= slow.duration + 200 * MS,
+            "fast {} vs slow {}",
+            fast.duration,
+            slow.duration
+        );
+    }
+}

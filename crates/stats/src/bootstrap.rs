@@ -1,0 +1,189 @@
+//! Percentile-bootstrap confidence intervals.
+//!
+//! Measurement papers quote medians and percentiles of skewed quantities
+//! (chunk times, RTTs, session sizes); bootstrap CIs say how much of a
+//! reported gap is sampling noise. Deterministic: resampling uses a seeded
+//! stream like everything else in this workspace.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::rng::stream_rng;
+
+/// A bootstrap confidence interval for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapCi {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower CI bound.
+    pub lo: f64,
+    /// Upper CI bound.
+    pub hi: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+    /// Bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+impl BootstrapCi {
+    /// Whether the interval excludes `value` (a quick significance check:
+    /// e.g. "is the Android/iOS median ratio CI entirely above 1?").
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile bootstrap for an arbitrary statistic of one sample.
+///
+/// Panics on an empty sample, a silly confidence level, or zero resamples.
+pub fn bootstrap_ci<F>(
+    sample: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> BootstrapCi
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!sample.is_empty(), "bootstrap of empty sample");
+    assert!(resamples >= 10, "need at least 10 resamples");
+    assert!((0.5..1.0).contains(&level), "level must be in [0.5, 1)");
+    let point = statistic(sample);
+    let mut rng = stream_rng(seed, 0xB005);
+    let n = sample.len();
+    let mut stats: Vec<f64> = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0f64; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = sample[rng.random_range(0..n)];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::descriptive::quantile_sorted(&stats, alpha);
+    let hi = crate::descriptive::quantile_sorted(&stats, 1.0 - alpha);
+    BootstrapCi {
+        point,
+        lo,
+        hi,
+        level,
+        resamples,
+    }
+}
+
+/// Bootstrap CI for the median — the common case.
+pub fn median_ci(sample: &[f64], resamples: usize, level: f64, seed: u64) -> BootstrapCi {
+    bootstrap_ci(sample, crate::descriptive::median, resamples, level, seed)
+}
+
+/// Bootstrap CI for the *ratio of medians* of two independent samples
+/// (Fig. 12's Android/iOS gap with uncertainty attached).
+pub fn median_ratio_ci(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> BootstrapCi {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    assert!(resamples >= 10, "need at least 10 resamples");
+    assert!((0.5..1.0).contains(&level), "level must be in [0.5, 1)");
+    let point = crate::descriptive::median(a) / crate::descriptive::median(b);
+    let mut rng = stream_rng(seed, 0xB006);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf_a = vec![0.0f64; a.len()];
+    let mut buf_b = vec![0.0f64; b.len()];
+    for _ in 0..resamples {
+        for slot in buf_a.iter_mut() {
+            *slot = a[rng.random_range(0..a.len())];
+        }
+        for slot in buf_b.iter_mut() {
+            *slot = b[rng.random_range(0..b.len())];
+        }
+        stats.push(crate::descriptive::median(&buf_a) / crate::descriptive::median(&buf_b));
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    BootstrapCi {
+        point,
+        lo: crate::descriptive::quantile_sorted(&stats, alpha),
+        hi: crate::descriptive::quantile_sorted(&stats, 1.0 - alpha),
+        level,
+        resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::LogNormal;
+
+    fn lognormal_sample(n: usize, median: f64, sigma: f64, seed: u64) -> Vec<f64> {
+        let d = LogNormal::from_median(median, sigma);
+        let mut rng = stream_rng(seed, 1);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn median_ci_covers_truth() {
+        let sample = lognormal_sample(2000, 100.0, 0.8, 3);
+        let ci = median_ci(&sample, 500, 0.95, 7);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(
+            ci.lo < 100.0 && 100.0 < ci.hi,
+            "true median outside CI: [{}, {}]",
+            ci.lo,
+            ci.hi
+        );
+        // CI is tight for n=2000.
+        assert!(ci.width() / ci.point < 0.2, "width {}", ci.width());
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let sample = lognormal_sample(500, 10.0, 1.0, 4);
+        let narrow = median_ci(&sample, 400, 0.80, 9);
+        let wide = median_ci(&sample, 400, 0.99, 9);
+        assert!(wide.width() > narrow.width());
+    }
+
+    #[test]
+    fn ratio_ci_detects_real_gap() {
+        // Medians 4 and 1.5 → true ratio ≈ 2.67; the CI must exclude 1.
+        let a = lognormal_sample(1500, 4.0, 0.8, 5);
+        let b = lognormal_sample(1500, 1.5, 0.8, 6);
+        let ci = median_ratio_ci(&a, &b, 400, 0.95, 11);
+        assert!((ci.point - 2.67).abs() < 0.5, "point {}", ci.point);
+        assert!(ci.excludes(1.0), "CI [{}, {}] must exclude 1", ci.lo, ci.hi);
+        assert!(!ci.excludes(ci.point));
+    }
+
+    #[test]
+    fn ratio_ci_covers_one_for_identical_populations() {
+        let a = lognormal_sample(800, 2.0, 0.7, 13);
+        let b = lognormal_sample(800, 2.0, 0.7, 14);
+        let ci = median_ratio_ci(&a, &b, 400, 0.95, 15);
+        assert!(!ci.excludes(1.0), "CI [{}, {}] should cover 1", ci.lo, ci.hi);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sample = lognormal_sample(300, 5.0, 0.6, 20);
+        let a = median_ci(&sample, 200, 0.95, 21);
+        let b = median_ci(&sample, 200, 0.95, 21);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = median_ci(&[], 100, 0.95, 1);
+    }
+}

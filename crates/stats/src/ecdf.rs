@@ -1,0 +1,248 @@
+//! Empirical distribution functions.
+//!
+//! Most of the paper's figures are empirical CDFs (Figs. 4, 5a, 12, 14, 16)
+//! or CCDFs on log–log axes (Fig. 6). [`Ecdf`] owns a sorted copy of the
+//! sample and answers CDF/CCDF/quantile queries in `O(log n)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Empirical cumulative distribution function over an `f64` sample.
+///
+/// ```
+/// use mcs_stats::Ecdf;
+///
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(e.cdf(2.5), 0.5);
+/// assert_eq!(e.median(), 2.5);
+/// assert_eq!(e.ccdf(3.0), 0.25);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample. Non-finite values are rejected.
+    ///
+    /// Panics if the sample is empty or contains NaN/±∞.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "ECDF of empty sample");
+        assert!(
+            sample.iter().all(|x| x.is_finite()),
+            "ECDF sample must be finite"
+        );
+        sample.sort_by(f64::total_cmp);
+        Self { sorted: sample }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `F(x) = Pr[X ≤ x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// `1 − F(x) = Pr[X > x]`.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// `q`-quantile via linear interpolation between order statistics.
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::descriptive::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the CDF at `n` points evenly spaced over `[min, max]`,
+    /// returning `(x, F(x))` pairs — the series a figure plots.
+    pub fn cdf_series(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two evaluation points");
+        let lo = self.min();
+        let hi = self.max();
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+
+    /// Evaluates the CDF at `n` points log-spaced over `[min, max]` (both
+    /// must be positive) — for figures with logarithmic x-axes (Figs. 14, 16).
+    pub fn cdf_series_log(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two evaluation points");
+        assert!(self.min() > 0.0, "log-spaced series needs positive sample");
+        let lo = self.min().ln();
+        let hi = self.max().ln();
+        (0..n)
+            .map(|i| {
+                let x = (lo + (hi - lo) * i as f64 / (n - 1) as f64).exp();
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+
+    /// Evaluates the CCDF at `n` log-spaced points (Fig. 6 style, both axes
+    /// logarithmic).
+    pub fn ccdf_series_log(&self, n: usize) -> Vec<(f64, f64)> {
+        self.cdf_series_log(n)
+            .into_iter()
+            .map(|(x, f)| (x, 1.0 - f))
+            .collect()
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic `sup |F₁ − F₂|`.
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in &self.sorted {
+            d = d.max((self.cdf(x) - other.cdf(x)).abs());
+        }
+        for &x in &other.sorted {
+            d = d.max((self.cdf(x) - other.cdf(x)).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_step_values() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(99.0), 1.0);
+    }
+
+    #[test]
+    fn ccdf_complements_cdf() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0]);
+        for &x in &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            assert!((e.cdf(x) + e.ccdf(x) - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn quantile_median() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0]);
+        assert_eq!(e.median(), 20.0);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(1.0), 30.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(1.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn series_shapes() {
+        let e = Ecdf::new(vec![1.0, 10.0, 100.0, 1000.0]);
+        let s = e.cdf_series(11);
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0].0, 1.0);
+        assert_eq!(s[10].0, 1000.0);
+        assert_eq!(s[10].1, 1.0);
+        let l = e.cdf_series_log(5);
+        assert!((l[0].0 - 1.0).abs() < 1e-9);
+        assert!((l[4].0 - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ks_identical_is_zero() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        let b = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_is_one() {
+        let a = Ecdf::new(vec![1.0, 2.0]);
+        let b = Ecdf::new(vec![10.0, 20.0]);
+        assert_eq!(a.ks_distance(&b), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let e = Ecdf::new(xs);
+            let pts = e.cdf_series(20);
+            for w in pts.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1 + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_quantile_cdf_consistency(
+            xs in proptest::collection::vec(-1e4f64..1e4, 2..100),
+            q in 0.01f64..0.99,
+        ) {
+            let e = Ecdf::new(xs);
+            let x = e.quantile(q);
+            // CDF at the q-quantile must be at least roughly q.
+            prop_assert!(e.cdf(x) + 1.0 / e.len() as f64 >= q - 1e-9);
+        }
+
+        #[test]
+        fn prop_ks_symmetric(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..50),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..50),
+        ) {
+            let ea = Ecdf::new(a);
+            let eb = Ecdf::new(b);
+            prop_assert!((ea.ks_distance(&eb) - eb.ks_distance(&ea)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Mixtures of exponential distributions fitted by expectation maximisation.
+//!
+//! Section 3.1.4 of the paper models the *average file size per session*
+//! with a mixture of exponentials
+//!
+//! ```text
+//! f(x) = Σᵢ αᵢ (1/µᵢ) e^(−x/µᵢ)
+//! ```
+//!
+//! where each µᵢ is read as a "typical file size" and αᵢ as the fraction of
+//! sessions around that size (Table 2: store-only ≈ {0.91 @ 1.5 MB,
+//! 0.07 @ 13.1 MB, 0.02 @ 77.4 MB}). The paper selects the component count
+//! n by growing it until some αᵢ < 0.001; [`ExponentialMixture::fit_select`]
+//! reproduces that rule.
+
+use serde::{Deserialize, Serialize};
+
+/// One exponential component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpComponent {
+    /// Mixing weight αᵢ.
+    pub weight: f64,
+    /// Mean µᵢ (same unit as the data; the paper uses MB).
+    pub mean: f64,
+}
+
+impl ExpComponent {
+    /// Weighted density αᵢ·(1/µᵢ)e^(−x/µᵢ) for x ≥ 0.
+    pub fn weighted_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.weight / self.mean * (-x / self.mean).exp()
+        }
+    }
+
+    /// Weighted tail αᵢ·e^(−x/µᵢ).
+    pub fn weighted_ccdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            self.weight
+        } else {
+            self.weight * (-x / self.mean).exp()
+        }
+    }
+}
+
+/// A fitted mixture of exponentials.
+///
+/// ```
+/// use mcs_stats::ExponentialMixture;
+/// use mcs_stats::rng::{stream_rng, ExpMixtureSampler};
+///
+/// // Sample the paper's Table 2 store-only mixture, then recover it.
+/// let sampler = ExpMixtureSampler::new(&[(0.91, 1.5), (0.07, 13.1), (0.02, 77.4)]);
+/// let mut rng = stream_rng(1, 0);
+/// let data: Vec<f64> = (0..20_000).map(|_| sampler.sample(&mut rng)).collect();
+/// let fit = ExponentialMixture::fit(&data, 3, 300, 1e-8).unwrap();
+/// assert!((fit.components[0].mean - 1.5).abs() < 0.4);
+/// assert!((fit.components[0].weight - 0.91).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialMixture {
+    /// Components sorted by ascending mean.
+    pub components: Vec<ExpComponent>,
+    /// Final per-sample average log-likelihood.
+    pub avg_log_likelihood: f64,
+    /// EM iterations actually run.
+    pub iterations: usize,
+}
+
+impl ExponentialMixture {
+    /// Fits a `k`-component exponential mixture to non-negative `data`.
+    ///
+    /// EM only converges to a local optimum, and exponential mixtures with
+    /// a dominant light component (exactly the paper's Table 2 shape:
+    /// α₁ = 0.91) are notorious for it. We therefore run EM from several
+    /// deterministic initialisations — component means geometrically spaced
+    /// between different quantile pairs — and keep the best final
+    /// log-likelihood. Returns `None` for insufficient (< 2k points) or
+    /// degenerate data.
+    pub fn fit(data: &[f64], k: usize, max_iter: usize, tol: f64) -> Option<Self> {
+        assert!(k >= 1, "need at least one component");
+        if data.len() < 2 * k {
+            return None;
+        }
+        if data.iter().any(|&x| x < 0.0) {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+
+        // Quantile pairs spanning progressively more of the tail; the
+        // (0.5, ~max) start is what rescues heavy-α₁ mixtures.
+        const INIT_SPANS: [(f64, f64); 4] = [(0.10, 0.99), (0.50, 0.999), (0.25, 0.90), (0.50, 1.0)];
+        let mut best: Option<Self> = None;
+        for &(qlo, qhi) in &INIT_SPANS {
+            let lo = crate::descriptive::quantile_sorted(&sorted, qlo).max(1e-9);
+            let hi = crate::descriptive::quantile_sorted(&sorted, qhi).max(lo * 1.0001);
+            let init: Vec<ExpComponent> = (0..k)
+                .map(|i| {
+                    let t = if k == 1 {
+                        0.5
+                    } else {
+                        i as f64 / (k - 1) as f64
+                    };
+                    ExpComponent {
+                        weight: 1.0 / k as f64,
+                        mean: lo * (hi / lo).powf(t),
+                    }
+                })
+                .collect();
+            let fit = Self::fit_from(data, init, max_iter, tol);
+            match (&best, &fit) {
+                (None, _) => best = fit,
+                (Some(b), Some(f)) if f.avg_log_likelihood > b.avg_log_likelihood => best = fit,
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Runs EM from an explicit initial component set.
+    pub fn fit_from(
+        data: &[f64],
+        init: Vec<ExpComponent>,
+        max_iter: usize,
+        tol: f64,
+    ) -> Option<Self> {
+        let k = init.len();
+        assert!(k >= 1, "need at least one component");
+        if data.len() < 2 * k || data.iter().any(|&x| x < 0.0) {
+            return None;
+        }
+        let mut comps = init;
+        let n = data.len();
+        let mut resp = vec![0.0f64; n * k];
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut ll = prev_ll;
+        let mut iters = 0;
+
+        for iter in 0..max_iter {
+            iters = iter + 1;
+            ll = 0.0;
+            for (i, &x) in data.iter().enumerate() {
+                let mut total = 0.0;
+                for (j, c) in comps.iter().enumerate() {
+                    let p = c.weighted_pdf(x).max(1e-300);
+                    resp[i * k + j] = p;
+                    total += p;
+                }
+                ll += total.ln();
+                for j in 0..k {
+                    resp[i * k + j] /= total;
+                }
+            }
+            ll /= n as f64;
+
+            for (j, comp) in comps.iter_mut().enumerate() {
+                let nj: f64 = (0..n).map(|i| resp[i * k + j]).sum();
+                if nj < 1e-9 {
+                    comp.weight = 0.0;
+                    continue;
+                }
+                let mean: f64 = (0..n).map(|i| resp[i * k + j] * data[i]).sum::<f64>() / nj;
+                comp.weight = nj / n as f64;
+                comp.mean = mean.max(1e-9);
+            }
+
+            if (ll - prev_ll).abs() < tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        comps.sort_by(|a, b| f64::total_cmp(&a.mean, &b.mean));
+        // Renormalise so the weights sum to exactly 1.0 — accumulated float
+        // drift otherwise leaks into CCDF values slightly above 1.
+        let wsum: f64 = comps.iter().map(|c| c.weight).sum();
+        if wsum > 0.0 {
+            for c in &mut comps {
+                c.weight /= wsum;
+            }
+        }
+        Some(Self {
+            components: comps,
+            avg_log_likelihood: ll,
+            iterations: iters,
+        })
+    }
+
+    /// Reproduces the paper's model-selection rule: starting at `k = 1`,
+    /// grow the component count until adding another component produces a
+    /// negligible weight (αᵢ < `min_weight`, the paper uses 0.001) or
+    /// `max_k` is reached; return the last accepted fit.
+    ///
+    /// We additionally require each extra component to *earn its keep* by
+    /// the Bayesian information criterion: with multi-start EM an
+    /// over-parameterised mixture can keep all weights non-negligible by
+    /// splitting a true component in two, which the weight rule alone does
+    /// not catch, yet adds almost no explanatory power — exactly what BIC's
+    /// parameter penalty rejects.
+    pub fn fit_select(
+        data: &[f64],
+        max_k: usize,
+        min_weight: f64,
+        max_iter: usize,
+        tol: f64,
+    ) -> Option<Self> {
+        let mut best: Option<Self> = None;
+        for k in 1..=max_k {
+            match Self::fit(data, k, max_iter, tol) {
+                Some(fit) => {
+                    let negligible = fit.components.iter().any(|c| c.weight < min_weight);
+                    if negligible {
+                        return best.or(Some(fit));
+                    }
+                    if let Some(prev) = &best {
+                        if fit.bic(data.len()) >= prev.bic(data.len()) {
+                            return best;
+                        }
+                    }
+                    best = Some(fit);
+                }
+                None => return best,
+            }
+        }
+        best
+    }
+
+    /// Bayesian information criterion on `n` samples (lower is better); a
+    /// k-component exponential mixture has `2k − 1` free parameters.
+    pub fn bic(&self, n: usize) -> f64 {
+        let params = (2 * self.k() - 1) as f64;
+        params * (n as f64).ln() - 2.0 * self.avg_log_likelihood * n as f64
+    }
+
+    /// Mixture density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|c| c.weighted_pdf(x)).sum()
+    }
+
+    /// Mixture tail `Pr[X > x]` — this is what Fig. 6 plots against the
+    /// empirical CCDF.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|c| c.weighted_ccdf(x)).sum()
+    }
+
+    /// Mixture CDF.
+    pub fn cdf(&self, x: f64) -> f64 {
+        1.0 - self.ccdf(x)
+    }
+
+    /// Mixture mean Σ αᵢ µᵢ.
+    pub fn mean(&self) -> f64 {
+        self.components.iter().map(|c| c.weight * c.mean).sum()
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Sample from a given mixture (tests only).
+    fn sample_mixture(comps: &[(f64, f64)], n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.random();
+                let mut acc = 0.0;
+                let mut mean = comps[comps.len() - 1].1;
+                for &(w, m) in comps {
+                    acc += w;
+                    if u < acc {
+                        mean = m;
+                        break;
+                    }
+                }
+                let v: f64 = rng.random::<f64>().max(1e-15);
+                -mean * v.ln()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_single_exponential() {
+        let data = sample_mixture(&[(1.0, 5.0)], 5000, 1);
+        let fit = ExponentialMixture::fit(&data, 1, 200, 1e-10).unwrap();
+        assert!((fit.components[0].mean - 5.0).abs() < 0.3);
+        assert!((fit.components[0].weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_paper_like_store_mixture() {
+        // Table 2 store-only parameters: 0.91@1.5, 0.07@13.1, 0.02@77.4 MB.
+        let truth = [(0.91, 1.5), (0.07, 13.1), (0.02, 77.4)];
+        let data = sample_mixture(&truth, 60_000, 2);
+        let fit = ExponentialMixture::fit(&data, 3, 500, 1e-10).unwrap();
+        // Components come back sorted by mean; check each within tolerance.
+        let c = &fit.components;
+        assert!((c[0].weight - 0.91).abs() < 0.04, "{:?}", c);
+        assert!((c[0].mean - 1.5).abs() < 0.3, "{:?}", c);
+        assert!((c[1].mean - 13.1).abs() < 4.0, "{:?}", c);
+        assert!((c[2].mean - 77.4).abs() < 15.0, "{:?}", c);
+    }
+
+    #[test]
+    fn fit_select_stops_at_three_for_three_component_data() {
+        let truth = [(0.5, 1.5), (0.3, 30.0), (0.2, 150.0)];
+        let data = sample_mixture(&truth, 30_000, 3);
+        let fit = ExponentialMixture::fit_select(&data, 5, 0.001, 300, 1e-8).unwrap();
+        assert!(
+            fit.k() >= 2 && fit.k() <= 4,
+            "selected k = {} for 3-component data",
+            fit.k()
+        );
+        // Every kept component carries non-negligible weight.
+        assert!(fit.components.iter().all(|c| c.weight >= 0.001));
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = sample_mixture(&[(0.7, 2.0), (0.3, 40.0)], 10_000, 4);
+        let fit = ExponentialMixture::fit(&data, 2, 300, 1e-9).unwrap();
+        let w: f64 = fit.components.iter().map(|c| c.weight).sum();
+        assert!((w - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccdf_monotone_and_bounded() {
+        let data = sample_mixture(&[(0.8, 1.5), (0.2, 20.0)], 5000, 5);
+        let fit = ExponentialMixture::fit(&data, 2, 300, 1e-9).unwrap();
+        let mut prev = 1.0 + 1e-12;
+        for i in 0..100 {
+            let x = i as f64;
+            let t = fit.ccdf(x);
+            assert!(t <= prev);
+            assert!((0.0..=1.0).contains(&t));
+            prev = t;
+        }
+        assert!((fit.ccdf(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_mean_matches_sample_mean() {
+        let data = sample_mixture(&[(0.6, 3.0), (0.4, 12.0)], 20_000, 6);
+        let fit = ExponentialMixture::fit(&data, 2, 300, 1e-9).unwrap();
+        let sample_mean = data.iter().sum::<f64>() / data.len() as f64;
+        assert!((fit.mean() - sample_mean).abs() / sample_mean < 0.02);
+    }
+
+    #[test]
+    fn rejects_negative_data() {
+        assert!(ExponentialMixture::fit(&[1.0, -2.0, 3.0, 4.0], 1, 50, 1e-8).is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = sample_mixture(&[(0.9, 1.5), (0.1, 30.0)], 3000, 9);
+        let a = ExponentialMixture::fit(&data, 2, 200, 1e-9).unwrap();
+        let b = ExponentialMixture::fit(&data, 2, 200, 1e-9).unwrap();
+        assert_eq!(a, b);
+    }
+}

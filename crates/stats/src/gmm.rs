@@ -1,0 +1,296 @@
+//! One-dimensional Gaussian mixture models fitted by expectation
+//! maximisation.
+//!
+//! Section 3.1.1 of the paper fits a **two-component Gaussian mixture** to
+//! the logarithm of inter-file-operation times: one component captures
+//! within-session gaps (mean ≈ 10 s) and the other between-session gaps
+//! (mean ≈ 1 day). The crossover between the two component posteriors
+//! justifies the session threshold τ = 1 hour.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::normal_pdf;
+
+/// A single Gaussian component of a mixture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussComponent {
+    /// Mixing weight α ∈ (0, 1].
+    pub weight: f64,
+    /// Mean µ.
+    pub mean: f64,
+    /// Standard deviation σ > 0.
+    pub std_dev: f64,
+}
+
+impl GaussComponent {
+    /// Weighted density α·N(x; µ, σ²).
+    pub fn weighted_pdf(&self, x: f64) -> f64 {
+        self.weight * normal_pdf((x - self.mean) / self.std_dev) / self.std_dev
+    }
+}
+
+/// A fitted K-component Gaussian mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMixture {
+    /// Components sorted by ascending mean.
+    pub components: Vec<GaussComponent>,
+    /// Final per-sample average log-likelihood.
+    pub avg_log_likelihood: f64,
+    /// EM iterations actually run.
+    pub iterations: usize,
+}
+
+impl GaussianMixture {
+    /// Fits a `k`-component mixture to `data` by EM.
+    ///
+    /// Initialisation is deterministic: component means are seeded at
+    /// evenly spaced sample quantiles, so repeated fits of the same data
+    /// give identical results. Returns `None` when `data` has fewer than
+    /// `2·k` points or zero variance.
+    pub fn fit(data: &[f64], k: usize, max_iter: usize, tol: f64) -> Option<Self> {
+        assert!(k >= 1, "need at least one component");
+        if data.len() < 2 * k {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let spread = sorted[sorted.len() - 1] - sorted[0];
+        if spread <= 0.0 {
+            return None;
+        }
+
+        // Deterministic init: means at quantiles, common σ from the spread.
+        let mut comps: Vec<GaussComponent> = (0..k)
+            .map(|i| {
+                let q = (i as f64 + 0.5) / k as f64;
+                GaussComponent {
+                    weight: 1.0 / k as f64,
+                    mean: crate::descriptive::quantile_sorted(&sorted, q),
+                    std_dev: (spread / (2.0 * k as f64)).max(1e-6),
+                }
+            })
+            .collect();
+
+        let n = data.len();
+        let mut resp = vec![0.0f64; n * k];
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut iters = 0;
+        let mut ll = prev_ll;
+
+        for iter in 0..max_iter {
+            iters = iter + 1;
+            // E step.
+            ll = 0.0;
+            for (i, &x) in data.iter().enumerate() {
+                let mut total = 0.0;
+                for (j, c) in comps.iter().enumerate() {
+                    let p = c.weighted_pdf(x).max(1e-300);
+                    resp[i * k + j] = p;
+                    total += p;
+                }
+                ll += total.ln();
+                for j in 0..k {
+                    resp[i * k + j] /= total;
+                }
+            }
+            ll /= n as f64;
+
+            // M step.
+            for (j, comp) in comps.iter_mut().enumerate() {
+                let nj: f64 = (0..n).map(|i| resp[i * k + j]).sum();
+                if nj < 1e-9 {
+                    // Dead component: re-seed at the global mean so EM can
+                    // recover instead of dividing by ~0.
+                    comp.weight = 1e-6;
+                    continue;
+                }
+                let mean: f64 = (0..n).map(|i| resp[i * k + j] * data[i]).sum::<f64>() / nj;
+                let var: f64 = (0..n)
+                    .map(|i| {
+                        let d = data[i] - mean;
+                        resp[i * k + j] * d * d
+                    })
+                    .sum::<f64>()
+                    / nj;
+                comp.weight = nj / n as f64;
+                comp.mean = mean;
+                comp.std_dev = var.sqrt().max(1e-6);
+            }
+
+            if (ll - prev_ll).abs() < tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        comps.sort_by(|a, b| f64::total_cmp(&a.mean, &b.mean));
+        Some(Self {
+            components: comps,
+            avg_log_likelihood: ll,
+            iterations: iters,
+        })
+    }
+
+    /// Mixture density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|c| c.weighted_pdf(x)).sum()
+    }
+
+    /// Posterior responsibility of component `j` at `x`.
+    pub fn responsibility(&self, j: usize, x: f64) -> f64 {
+        let num = self.components[j].weighted_pdf(x);
+        let den = self.pdf(x);
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// For a two-component mixture, the point between the two means where
+    /// the weighted densities are equal — the natural class boundary.
+    ///
+    /// Section 3.1.1 uses exactly this: the 1-hour mark is "equally likely
+    /// to be within the two components". Found by bisection on the
+    /// difference of weighted log-densities. Returns `None` unless the
+    /// mixture has exactly two components with distinct means and the
+    /// densities actually cross between them.
+    pub fn crossover(&self) -> Option<f64> {
+        if self.components.len() != 2 {
+            return None;
+        }
+        let (a, b) = (self.components[0], self.components[1]);
+        if a.mean >= b.mean {
+            return None;
+        }
+        let f = |x: f64| a.weighted_pdf(x) - b.weighted_pdf(x);
+        let (mut lo, mut hi) = (a.mean, b.mean);
+        let (flo, fhi) = (f(lo), f(hi));
+        if flo <= 0.0 || fhi >= 0.0 {
+            return None;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+
+    /// Bayesian information criterion for this fit on `n` samples: lower is
+    /// better. A K-component 1-D mixture has `3K − 1` free parameters.
+    pub fn bic(&self, n: usize) -> f64 {
+        let params = (3 * self.components.len() - 1) as f64;
+        params * (n as f64).ln() - 2.0 * self.avg_log_likelihood * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Box-Muller normal sample (tests only; library samplers live in rng).
+    fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        mean + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn bimodal_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                if i % 10 < 7 {
+                    normal(&mut rng, 1.0, 0.6) // "10 s" mode in log10 seconds
+                } else {
+                    normal(&mut rng, 4.9, 0.5) // "1 day" mode
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_two_well_separated_components() {
+        let data = bimodal_sample(4000, 7);
+        let fit = GaussianMixture::fit(&data, 2, 300, 1e-9).expect("fit");
+        let c0 = fit.components[0];
+        let c1 = fit.components[1];
+        assert!((c0.mean - 1.0).abs() < 0.1, "c0 mean {}", c0.mean);
+        assert!((c1.mean - 4.9).abs() < 0.1, "c1 mean {}", c1.mean);
+        assert!((c0.weight - 0.7).abs() < 0.05, "c0 weight {}", c0.weight);
+        assert!((c1.weight - 0.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn crossover_lies_between_modes() {
+        let data = bimodal_sample(4000, 11);
+        let fit = GaussianMixture::fit(&data, 2, 300, 1e-9).expect("fit");
+        let x = fit.crossover().expect("crossover");
+        assert!(x > 1.5 && x < 4.5, "crossover {x}");
+        // Responsibilities are balanced at the crossover.
+        let r = fit.responsibility(0, x);
+        assert!((r - 0.5).abs() < 1e-6, "responsibility {r}");
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let data = bimodal_sample(1000, 3);
+        let a = GaussianMixture::fit(&data, 2, 200, 1e-9).unwrap();
+        let b = GaussianMixture::fit(&data, 2, 200, 1e-9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = bimodal_sample(2000, 5);
+        let fit = GaussianMixture::fit(&data, 2, 200, 1e-9).unwrap();
+        let w: f64 = fit.components.iter().map(|c| c.weight).sum();
+        assert!((w - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_data_returns_none() {
+        assert!(GaussianMixture::fit(&[1.0, 2.0, 3.0], 2, 100, 1e-9).is_none());
+        assert!(GaussianMixture::fit(&[5.0; 50], 2, 100, 1e-9).is_none());
+    }
+
+    #[test]
+    fn single_component_matches_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let data: Vec<f64> = (0..3000).map(|_| normal(&mut rng, 3.0, 1.5)).collect();
+        let fit = GaussianMixture::fit(&data, 1, 200, 1e-10).unwrap();
+        let c = fit.components[0];
+        assert!((c.mean - 3.0).abs() < 0.1);
+        assert!((c.std_dev - 1.5).abs() < 0.1);
+        assert!((c.weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bic_prefers_two_components_for_bimodal_data() {
+        let data = bimodal_sample(3000, 13);
+        let f1 = GaussianMixture::fit(&data, 1, 300, 1e-9).unwrap();
+        let f2 = GaussianMixture::fit(&data, 2, 300, 1e-9).unwrap();
+        assert!(f2.bic(data.len()) < f1.bic(data.len()));
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let data = bimodal_sample(2000, 17);
+        let fit = GaussianMixture::fit(&data, 2, 200, 1e-9).unwrap();
+        // Trapezoid integration over a wide range.
+        let (lo, hi, steps) = (-10.0, 15.0, 20_000);
+        let h = (hi - lo) / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..=steps {
+            let x = lo + i as f64 * h;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            integral += w * fit.pdf(x) * h;
+        }
+        assert!((integral - 1.0).abs() < 1e-6, "integral {integral}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Goodness-of-fit machinery: χ² tests (the paper's Table 2 fits "pass the
+//! test when considering the significance level of P₀ = 5 %"), the
+//! one-sample Kolmogorov–Smirnov statistic, and R² against an arbitrary
+//! model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::chi2_sf;
+
+/// Result of a χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Chi2Test {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used.
+    pub dof: usize,
+    /// p-value `Pr[χ²_dof ≥ statistic]`.
+    pub p_value: f64,
+}
+
+impl Chi2Test {
+    /// Whether the fit is accepted at significance level `alpha`
+    /// (i.e. we fail to reject the null that data follow the model).
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// χ² test of observed bin counts against expected bin *probabilities*.
+///
+/// `fitted_params` is subtracted from the degrees of freedom along with the
+/// usual 1 (for the total), matching the textbook procedure for composite
+/// hypotheses. Bins with expected count below `min_expected` (commonly 5)
+/// are pooled with their right neighbour first.
+///
+/// Returns `None` when fewer than 2 usable bins remain or dof would be 0.
+pub fn chi2_binned(
+    observed: &[u64],
+    expected_probs: &[f64],
+    fitted_params: usize,
+    min_expected: f64,
+) -> Option<Chi2Test> {
+    assert_eq!(
+        observed.len(),
+        expected_probs.len(),
+        "observed/expected length mismatch"
+    );
+    let n: u64 = observed.iter().sum();
+    if n == 0 {
+        return None;
+    }
+    let nf = n as f64;
+
+    // Pool adjacent bins so every expected count ≥ min_expected.
+    let mut pooled: Vec<(f64, f64)> = Vec::new(); // (obs, exp)
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        acc_o += o as f64;
+        acc_e += p * nf;
+        if acc_e >= min_expected {
+            pooled.push((acc_o, acc_e));
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_o;
+            last.1 += acc_e;
+        } else {
+            pooled.push((acc_o, acc_e));
+        }
+    }
+    if pooled.len() < 2 {
+        return None;
+    }
+    let dof = pooled.len().checked_sub(1 + fitted_params)?;
+    if dof == 0 {
+        return None;
+    }
+
+    let statistic: f64 = pooled
+        .iter()
+        .filter(|&&(_, e)| e > 0.0)
+        .map(|&(o, e)| (o - e) * (o - e) / e)
+        .sum();
+    Some(Chi2Test {
+        statistic,
+        dof,
+        p_value: chi2_sf(statistic, dof),
+    })
+}
+
+/// One-sample Kolmogorov–Smirnov statistic of `sample` against a model CDF.
+///
+/// Returns `sup_x |F_n(x) − F(x)|` evaluated at the sample points (where the
+/// supremum of the step-function difference is attained).
+pub fn ks_statistic(sample: &[f64], model_cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!sample.is_empty(), "KS of empty sample");
+    let mut xs = sample.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = model_cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// R² of model predictions against observations.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), predicted.len(), "length mismatch");
+    assert!(!observed.is_empty(), "empty input");
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|&y| (y - mean) * (y - mean)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(&y, &p)| (y - p) * (y - p))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn chi2_accepts_true_model() {
+        // 10 equiprobable bins, uniform draws.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut obs = [0u64; 10];
+        for _ in 0..10_000 {
+            let b = rng.random_range(0..10usize);
+            obs[b] += 1;
+        }
+        let probs = [0.1f64; 10];
+        let t = chi2_binned(&obs, &probs, 0, 5.0).unwrap();
+        assert!(t.passes(0.05), "stat {} p {}", t.statistic, t.p_value);
+        assert_eq!(t.dof, 9);
+    }
+
+    #[test]
+    fn chi2_rejects_wrong_model() {
+        // Data heavily skewed into bin 0, tested against uniform.
+        let obs = [5000u64, 500, 500, 500, 500, 500, 500, 500, 500, 1000];
+        let probs = [0.1f64; 10];
+        let t = chi2_binned(&obs, &probs, 0, 5.0).unwrap();
+        assert!(!t.passes(0.05));
+        assert!(t.p_value < 1e-10);
+    }
+
+    #[test]
+    fn chi2_pools_small_bins() {
+        // Expected probabilities concentrate in 2 bins; tail bins pool.
+        let obs = [500u64, 480, 3, 2, 1, 0, 0];
+        let probs = [0.5, 0.49, 0.003, 0.003, 0.002, 0.001, 0.001];
+        let t = chi2_binned(&obs, &probs, 0, 5.0).unwrap();
+        assert!(t.dof < 6, "pooling should reduce dof, got {}", t.dof);
+    }
+
+    #[test]
+    fn chi2_empty_and_degenerate() {
+        assert!(chi2_binned(&[0, 0], &[0.5, 0.5], 0, 5.0).is_none());
+        // One pooled bin only.
+        assert!(chi2_binned(&[10], &[1.0], 0, 5.0).is_none());
+        // dof exhausted by fitted params.
+        assert!(chi2_binned(&[50, 50], &[0.5, 0.5], 1, 5.0).is_none());
+    }
+
+    #[test]
+    fn ks_exact_uniform() {
+        // Sample at exact uniform quantiles: KS = 1/(2n) ideally ~ small.
+        let n = 1000;
+        let sample: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(d < 1.0 / n as f64 + 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn ks_detects_wrong_model() {
+        let sample: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        // Model says everything is below 0.5.
+        let d = ks_statistic(&sample, |x| (2.0 * x).clamp(0.0, 1.0));
+        assert!(d > 0.4, "d = {d}");
+    }
+
+    #[test]
+    fn ks_exponential_sample() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let sample: Vec<f64> = (0..5000)
+            .map(|_| -2.0 * rng.random::<f64>().max(1e-15).ln())
+            .collect();
+        let d = ks_statistic(&sample, |x| 1.0 - (-x / 2.0).exp());
+        // For n = 5000 the 5% critical value is ≈ 1.36/√n ≈ 0.019.
+        assert!(d < 0.019, "d = {d}");
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_model() {
+        let obs = [1.0, 2.0, 3.0];
+        assert_eq!(r_squared(&obs, &obs), 1.0);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&obs, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_can_be_negative_for_bad_model() {
+        let obs = [1.0, 2.0, 3.0];
+        let bad = [10.0, -10.0, 10.0];
+        assert!(r_squared(&obs, &bad) < 0.0);
+    }
+}

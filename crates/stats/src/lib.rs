@@ -1,0 +1,50 @@
+//! Statistics substrate for the IMC'16 mobile cloud storage reproduction.
+//!
+//! The paper ("An Empirical Analysis of a Large-scale Mobile Cloud Storage
+//! Service", IMC 2016) builds its user-behaviour characterisation on a small
+//! set of statistical tools, all of which are implemented here from scratch:
+//!
+//! * [`histogram`] — linear and logarithmic binned histograms (Fig. 3),
+//! * [`ecdf`] — empirical CDF/CCDF and quantiles (Figs. 4, 5, 12, 14, 16),
+//! * [`gmm`] — 1-D Gaussian mixtures fitted by EM (Fig. 3, session threshold),
+//! * [`expmix`] — mixtures of exponentials fitted by EM (Fig. 6 / Table 2),
+//! * [`stretched_exp`] — stretched-exponential rank models (Fig. 10),
+//! * [`gof`] — χ² and Kolmogorov–Smirnov goodness-of-fit tests, R²,
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals,
+//! * [`linreg`] — ordinary least squares (Fig. 5b linear coefficient),
+//! * [`timeseries`] — hourly binning and diurnal profiles (Fig. 1),
+//! * [`descriptive`] — summary statistics, concentration measures,
+//! * [`rng`] — deterministic, seeded samplers for every distribution the
+//!   synthetic workload generator needs,
+//! * [`special`] — the special functions (erf, ln Γ, incomplete γ) backing
+//!   the distributions and tests.
+//!
+//! Everything is deterministic: no wall-clock time, no global RNG. Samplers
+//! take an explicit [`rand::Rng`], and all fitting routines are pure
+//! functions of their input slices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod descriptive;
+pub mod ecdf;
+pub mod expmix;
+pub mod gmm;
+pub mod gof;
+pub mod histogram;
+pub mod linreg;
+pub mod rng;
+pub mod special;
+pub mod stretched_exp;
+pub mod timeseries;
+
+pub use bootstrap::{bootstrap_ci, median_ci, median_ratio_ci, BootstrapCi};
+pub use descriptive::Summary;
+pub use ecdf::Ecdf;
+pub use expmix::ExponentialMixture;
+pub use gmm::GaussianMixture;
+pub use histogram::{Histogram, LogHistogram};
+pub use linreg::LinearFit;
+pub use stretched_exp::StretchedExpFit;
+pub use timeseries::HourlySeries;

@@ -1,0 +1,205 @@
+//! File content and chunk manifests.
+//!
+//! The service splits every file into 512 KB chunks, identifying the file
+//! and each chunk by MD5 (§2.1). Reproduction traces move terabytes, so
+//! materialising real bytes for every synthetic file would be wasteful:
+//! [`Content`] is either real bytes (small test files) or a *synthetic*
+//! `(seed, size)` pair whose digests are derived deterministically — two
+//! synthetic files share digests iff they share seed and size, preserving
+//! exactly the dedup semantics the metadata server needs.
+
+use bytes::Bytes;
+
+use crate::md5::{md5, Digest, Md5};
+
+/// The service's fixed chunk size: 512 KB (§2.1).
+pub const CHUNK_SIZE: u64 = 512 * 1024;
+
+/// File content: real bytes or a synthetic content identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// Actual bytes (tests, small files).
+    Inline(Bytes),
+    /// Synthetic content: identity is `(seed, size)`.
+    Synthetic {
+        /// Content seed — equal seeds (and sizes) mean equal content.
+        seed: u64,
+        /// Size in bytes.
+        size: u64,
+    },
+}
+
+impl Content {
+    /// Content length in bytes.
+    pub fn size(&self) -> u64 {
+        match self {
+            Content::Inline(b) => b.len() as u64,
+            Content::Synthetic { size, .. } => *size,
+        }
+    }
+
+    /// Whole-file digest.
+    pub fn file_digest(&self) -> Digest {
+        match self {
+            Content::Inline(b) => md5(b),
+            Content::Synthetic { seed, size } => {
+                let mut h = Md5::new();
+                h.update(b"mcs-synthetic-file");
+                h.update(&seed.to_le_bytes());
+                h.update(&size.to_le_bytes());
+                h.finalize()
+            }
+        }
+    }
+
+    /// Digest of chunk `index`.
+    pub fn chunk_digest(&self, index: u64) -> Digest {
+        match self {
+            Content::Inline(b) => {
+                let start = (index * CHUNK_SIZE) as usize;
+                let end = ((index + 1) * CHUNK_SIZE).min(b.len() as u64) as usize;
+                assert!(start < b.len() || (b.is_empty() && index == 0), "chunk index out of range");
+                md5(&b[start.min(b.len())..end])
+            }
+            Content::Synthetic { seed, size } => {
+                let mut h = Md5::new();
+                h.update(b"mcs-synthetic-chunk");
+                h.update(&seed.to_le_bytes());
+                h.update(&size.to_le_bytes());
+                h.update(&index.to_le_bytes());
+                h.finalize()
+            }
+        }
+    }
+}
+
+/// Number of chunks in a file of `size` bytes (at least one).
+pub fn chunk_count(size: u64) -> u64 {
+    if size == 0 {
+        1
+    } else {
+        size.div_ceil(CHUNK_SIZE)
+    }
+}
+
+/// Size of chunk `index` of a `size`-byte file.
+pub fn chunk_size_at(size: u64, index: u64) -> u64 {
+    let n = chunk_count(size);
+    assert!(index < n, "chunk index out of range");
+    if index + 1 < n {
+        CHUNK_SIZE
+    } else {
+        size - (n - 1) * CHUNK_SIZE
+    }
+}
+
+/// The metadata a client sends in a file-storage operation request (§2.1:
+/// name, size, file MD5, chunk count and per-chunk MD5s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileManifest {
+    /// File name (path within the user's namespace).
+    pub name: String,
+    /// File size in bytes.
+    pub size: u64,
+    /// Whole-file MD5.
+    pub file_digest: Digest,
+    /// Per-chunk MD5s, in order.
+    pub chunk_digests: Vec<Digest>,
+}
+
+impl FileManifest {
+    /// Builds the manifest a client would compute for `content`.
+    pub fn build(name: impl Into<String>, content: &Content) -> Self {
+        let size = content.size();
+        let n = chunk_count(size);
+        Self {
+            name: name.into(),
+            size,
+            file_digest: content.file_digest(),
+            chunk_digests: (0..n).map(|i| content.chunk_digest(i)).collect(),
+        }
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> u64 {
+        self.chunk_digests.len() as u64
+    }
+
+    /// Size of chunk `index`.
+    pub fn chunk_size(&self, index: u64) -> u64 {
+        chunk_size_at(self.size, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_identity() {
+        let a = Content::Synthetic { seed: 1, size: 100 };
+        let b = Content::Synthetic { seed: 1, size: 100 };
+        let c = Content::Synthetic { seed: 2, size: 100 };
+        let d = Content::Synthetic { seed: 1, size: 101 };
+        assert_eq!(a.file_digest(), b.file_digest());
+        assert_ne!(a.file_digest(), c.file_digest());
+        assert_ne!(a.file_digest(), d.file_digest());
+        assert_eq!(a.chunk_digest(0), b.chunk_digest(0));
+        assert_ne!(a.chunk_digest(0), c.chunk_digest(0));
+    }
+
+    #[test]
+    fn inline_chunking_digests() {
+        let data: Vec<u8> = (0..2 * CHUNK_SIZE + 100).map(|i| (i % 251) as u8).collect();
+        let c = Content::Inline(Bytes::from(data.clone()));
+        assert_eq!(chunk_count(c.size()), 3);
+        assert_eq!(
+            c.chunk_digest(0),
+            md5(&data[..CHUNK_SIZE as usize]),
+            "first chunk digest"
+        );
+        assert_eq!(
+            c.chunk_digest(2),
+            md5(&data[2 * CHUNK_SIZE as usize..]),
+            "final partial chunk digest"
+        );
+    }
+
+    #[test]
+    fn chunk_math() {
+        assert_eq!(chunk_count(0), 1);
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(CHUNK_SIZE), 1);
+        assert_eq!(chunk_count(CHUNK_SIZE + 1), 2);
+        assert_eq!(chunk_size_at(CHUNK_SIZE + 1, 0), CHUNK_SIZE);
+        assert_eq!(chunk_size_at(CHUNK_SIZE + 1, 1), 1);
+        let total: u64 = (0..chunk_count(3 * CHUNK_SIZE + 77))
+            .map(|i| chunk_size_at(3 * CHUNK_SIZE + 77, i))
+            .sum();
+        assert_eq!(total, 3 * CHUNK_SIZE + 77);
+    }
+
+    #[test]
+    fn manifest_matches_content() {
+        let content = Content::Synthetic {
+            seed: 9,
+            size: 3 * CHUNK_SIZE + 5,
+        };
+        let m = FileManifest::build("photos/img1.jpg", &content);
+        assert_eq!(m.size, content.size());
+        assert_eq!(m.chunk_count(), 4);
+        assert_eq!(m.file_digest, content.file_digest());
+        assert_eq!(m.chunk_digests[2], content.chunk_digest(2));
+        assert_eq!(m.chunk_size(3), 5);
+        assert_eq!(m.name, "photos/img1.jpg");
+    }
+
+    #[test]
+    fn same_content_different_names_same_digest() {
+        let content = Content::Synthetic { seed: 4, size: 1000 };
+        let a = FileManifest::build("a.jpg", &content);
+        let b = FileManifest::build("b.jpg", &content);
+        assert_eq!(a.file_digest, b.file_digest);
+        assert_ne!(a.name, b.name);
+    }
+}

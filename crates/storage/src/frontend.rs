@@ -1,0 +1,212 @@
+//! Storage front-end servers.
+//!
+//! Front-ends terminate the HTTP chunk requests (§2.1) and are where the
+//! paper's logs were collected; they keep a reference-counted chunk store
+//! and per-hour load counters (the server-side view of Fig. 1).
+
+use std::collections::HashMap;
+
+use crate::content::FileManifest;
+use crate::md5::Digest;
+
+/// Per-chunk bookkeeping in the chunk store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChunkMeta {
+    size: u64,
+    refs: u64,
+}
+
+/// A storage front-end server.
+#[derive(Debug)]
+pub struct FrontEnd {
+    /// Server index within the cluster.
+    pub id: usize,
+    chunks: HashMap<Digest, ChunkMeta>,
+    /// Bytes received per hour-of-trace (uploads).
+    pub upload_load: Vec<f64>,
+    /// Bytes served per hour-of-trace (downloads).
+    pub download_load: Vec<f64>,
+    /// Chunk-storage requests handled.
+    pub chunk_puts: u64,
+    /// Chunk-retrieval requests handled.
+    pub chunk_gets: u64,
+    /// Retrieval requests for unknown chunks (consistency violations).
+    pub missing_gets: u64,
+}
+
+impl FrontEnd {
+    /// Creates a front-end covering `horizon_hours` of load accounting.
+    pub fn new(id: usize, horizon_hours: usize) -> Self {
+        Self {
+            id,
+            chunks: HashMap::new(),
+            upload_load: vec![0.0; horizon_hours.max(1)],
+            download_load: vec![0.0; horizon_hours.max(1)],
+            chunk_puts: 0,
+            chunk_gets: 0,
+            missing_gets: 0,
+        }
+    }
+
+    fn hour(&self, now_ms: u64) -> usize {
+        ((now_ms / 3_600_000) as usize).min(self.upload_load.len() - 1)
+    }
+
+    /// Stores one chunk (idempotent per digest; refcount grows).
+    pub fn put_chunk(&mut self, digest: Digest, size: u64, now_ms: u64) {
+        self.chunk_puts += 1;
+        let h = self.hour(now_ms);
+        self.upload_load[h] += size as f64;
+        self.chunks
+            .entry(digest)
+            .and_modify(|m| m.refs += 1)
+            .or_insert(ChunkMeta { size, refs: 1 });
+    }
+
+    /// Serves one chunk; returns its size, or `None` if unknown.
+    pub fn get_chunk(&mut self, digest: &Digest, now_ms: u64) -> Option<u64> {
+        self.chunk_gets += 1;
+        match self.chunks.get(digest) {
+            Some(m) => {
+                let h = self.hour(now_ms);
+                self.download_load[h] += m.size as f64;
+                Some(m.size)
+            }
+            None => {
+                self.missing_gets += 1;
+                None
+            }
+        }
+    }
+
+    /// Ingests all chunks of a manifest (an upload's data phase).
+    pub fn put_file(&mut self, manifest: &FileManifest, now_ms: u64) {
+        for (i, &d) in manifest.chunk_digests.iter().enumerate() {
+            self.put_chunk(d, manifest.chunk_size(i as u64), now_ms);
+        }
+    }
+
+    /// Serves all chunks of a manifest; returns bytes served.
+    pub fn get_file(&mut self, manifest: &FileManifest, now_ms: u64) -> u64 {
+        let mut total = 0;
+        for d in &manifest.chunk_digests {
+            if let Some(sz) = self.get_chunk(d, now_ms) {
+                total += sz;
+            }
+        }
+        total
+    }
+
+    /// Reclaims the chunks of a manifest (garbage collection of orphaned
+    /// content): decrements refcounts and frees chunks that reach zero.
+    /// Returns bytes freed.
+    pub fn reclaim_file(&mut self, manifest: &FileManifest) -> u64 {
+        let mut freed = 0;
+        for (i, d) in manifest.chunk_digests.iter().enumerate() {
+            if let Some(meta) = self.chunks.get_mut(d) {
+                meta.refs = meta.refs.saturating_sub(1);
+                if meta.refs == 0 {
+                    freed += manifest.chunk_size(i as u64);
+                    self.chunks.remove(d);
+                }
+            }
+        }
+        freed
+    }
+
+    /// Distinct chunks resident.
+    pub fn distinct_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes of unique chunk data resident.
+    pub fn stored_bytes(&self) -> u64 {
+        self.chunks.values().map(|m| m.size).sum()
+    }
+
+    /// Peak-to-mean ratio of total (up + down) hourly load — the §2.4
+    /// over-provisioning factor seen server-side.
+    pub fn peak_to_mean_load(&self) -> f64 {
+        let totals: Vec<f64> = self
+            .upload_load
+            .iter()
+            .zip(&self.download_load)
+            .map(|(u, d)| u + d)
+            .collect();
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        let peak = totals.iter().copied().fold(0.0f64, f64::max);
+        if mean == 0.0 {
+            0.0
+        } else {
+            peak / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::{Content, CHUNK_SIZE};
+
+    fn manifest(seed: u64, size: u64) -> FileManifest {
+        FileManifest::build("f", &Content::Synthetic { seed, size })
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut fe = FrontEnd::new(0, 24);
+        let m = manifest(1, 2 * CHUNK_SIZE + 10);
+        fe.put_file(&m, 1000);
+        assert_eq!(fe.chunk_puts, 3);
+        assert_eq!(fe.distinct_chunks(), 3);
+        assert_eq!(fe.stored_bytes(), 2 * CHUNK_SIZE + 10);
+        let served = fe.get_file(&m, 2000);
+        assert_eq!(served, 2 * CHUNK_SIZE + 10);
+        assert_eq!(fe.missing_gets, 0);
+    }
+
+    #[test]
+    fn missing_chunk_recorded() {
+        let mut fe = FrontEnd::new(0, 24);
+        let m = manifest(2, 100);
+        assert_eq!(fe.get_chunk(&m.chunk_digests[0], 0), None);
+        assert_eq!(fe.missing_gets, 1);
+    }
+
+    #[test]
+    fn duplicate_chunks_refcounted_not_duplicated() {
+        let mut fe = FrontEnd::new(0, 24);
+        let m = manifest(3, CHUNK_SIZE);
+        fe.put_file(&m, 0);
+        fe.put_file(&m, 0);
+        assert_eq!(fe.distinct_chunks(), 1);
+        assert_eq!(fe.stored_bytes(), CHUNK_SIZE);
+        assert_eq!(fe.chunk_puts, 2);
+    }
+
+    #[test]
+    fn hourly_load_accounting() {
+        let mut fe = FrontEnd::new(0, 3);
+        let m = manifest(4, 1000);
+        fe.put_file(&m, 30 * 60 * 1000); // hour 0
+        fe.put_file(&m, 2 * 3_600_000 + 1); // hour 2
+        fe.get_file(&m, 2 * 3_600_000 + 2);
+        assert_eq!(fe.upload_load[0], 1000.0);
+        assert_eq!(fe.upload_load[1], 0.0);
+        assert_eq!(fe.upload_load[2], 1000.0);
+        assert_eq!(fe.download_load[2], 1000.0);
+        // Beyond-horizon timestamps clamp to the last hour.
+        fe.put_file(&m, 99 * 3_600_000);
+        assert_eq!(fe.upload_load[2], 2000.0);
+    }
+
+    #[test]
+    fn peak_to_mean() {
+        let mut fe = FrontEnd::new(0, 4);
+        let m = manifest(5, 4000);
+        fe.put_file(&m, 0);
+        assert!(fe.peak_to_mean_load() > 3.9, "{}", fe.peak_to_mean_load());
+        let empty = FrontEnd::new(1, 4);
+        assert_eq!(empty.peak_to_mean_load(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Mobile cloud storage service substrate for the IMC'16 reproduction.
+//!
+//! Section 2.1 of the paper describes the examined service's architecture
+//! precisely: metadata servers performing MD5-based file-level
+//! deduplication, storage front-end servers moving 512 KB chunks, share
+//! URLs, and no delta updates. This crate implements that service, plus the
+//! optimisations the paper *proposes* (Table 4), as executable systems:
+//!
+//! * [`md5`] — RFC 1321 digests from scratch (content identifiers),
+//! * [`content`] — chunk manifests over real or synthetic content,
+//! * [`metadata`] — the metadata server: namespaces, dedup, share URLs,
+//! * [`frontend`] — front-end chunk stores with hourly load accounting,
+//! * [`service`] — the clustered façade used by examples and tests,
+//! * [`defer`] — the "smart auto backup" deferred-upload scheduler
+//!   (§3.2.2 implication) with peak-load/QoE evaluation,
+//! * [`tier`] — f4-style hot/warm tiering and its cost model (Table 4),
+//! * [`cache`] — an LRU download cache for the popularity-locality
+//!   implication of §3.1.4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod content;
+pub mod defer;
+pub mod frontend;
+pub mod md5;
+pub mod metadata;
+pub mod replay;
+pub mod service;
+pub mod tier;
+
+pub use cache::LruCache;
+pub use content::{Content, FileManifest, CHUNK_SIZE};
+pub use defer::{evaluate_deferral, DeferPolicy, UploadJob};
+pub use frontend::FrontEnd;
+pub use md5::{md5 as md5_digest, Digest, Md5};
+pub use metadata::{MetadataServer, ShareUrl, StoreDecision, UserId};
+pub use replay::{replay_trace, ReplayConfig, ReplayStats};
+pub use service::{RetrieveOutcome, StorageService, StoreOutcome};
+pub use tier::{Tier, TierPolicy, TieredStore};

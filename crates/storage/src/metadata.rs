@@ -1,0 +1,376 @@
+//! The metadata server (§2.1).
+//!
+//! Every store or retrieve begins here. For storage the client sends the
+//! file's manifest; if a copy of the content is already on some storage
+//! server, the metadata server merely links it into the user's namespace
+//! and tells the client **not** to upload (file-level deduplication).
+//! Otherwise it directs the client to the closest front-end. For retrieval
+//! it resolves a path or shared URL to the manifest and a front-end.
+
+use std::collections::HashMap;
+
+use crate::content::FileManifest;
+use crate::md5::Digest;
+
+/// User account identifier.
+pub type UserId = u64;
+
+/// A shared-URL token (the service lets users share files by URL, §2.1;
+/// downloads by URL are the §3.2.1 content-distribution usage pattern).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShareUrl(pub String);
+
+/// One file entry in a user's namespace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Content digest (keys into the known-content table).
+    pub digest: Digest,
+    /// Upload (link) time, ms since trace start.
+    pub stored_at_ms: u64,
+}
+
+/// Outcome of a file-storage operation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreDecision {
+    /// Content already known: linked into the namespace, no upload needed.
+    Deduplicated,
+    /// Content unknown: client must upload all chunks to this front-end.
+    Upload {
+        /// Front-end to contact.
+        frontend: usize,
+    },
+}
+
+/// Metadata-server statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetadataStats {
+    /// File-storage operations handled.
+    pub store_ops: u64,
+    /// Stores satisfied by deduplication.
+    pub dedup_hits: u64,
+    /// Bytes the dedup avoided uploading.
+    pub dedup_bytes_saved: u64,
+    /// File-retrieval operations handled.
+    pub retrieve_ops: u64,
+    /// Retrievals that failed (unknown path/URL).
+    pub retrieve_misses: u64,
+    /// Delete operations handled.
+    pub delete_ops: u64,
+}
+
+/// The metadata server.
+#[derive(Debug, Default)]
+pub struct MetadataServer {
+    /// Content known to exist on storage servers, with the front-end
+    /// holding it.
+    known: HashMap<Digest, (FileManifest, usize)>,
+    /// Per-user namespaces: path → entry.
+    namespaces: HashMap<UserId, HashMap<String, FileEntry>>,
+    /// Published share URLs.
+    urls: HashMap<ShareUrl, Digest>,
+    /// Number of front-end servers to spread uploads over.
+    frontends: usize,
+    /// Counters.
+    pub stats: MetadataStats,
+}
+
+impl MetadataServer {
+    /// Creates a metadata server fronting `frontends` front-end servers.
+    pub fn new(frontends: usize) -> Self {
+        assert!(frontends > 0, "need at least one front-end");
+        Self {
+            frontends,
+            ..Self::default()
+        }
+    }
+
+    /// Handles a file-storage operation request: dedup check + namespace
+    /// link + front-end selection.
+    pub fn begin_store(
+        &mut self,
+        user: UserId,
+        manifest: FileManifest,
+        now_ms: u64,
+    ) -> StoreDecision {
+        self.stats.store_ops += 1;
+        let digest = manifest.file_digest;
+        let size = manifest.size;
+        let known = self.known.contains_key(&digest);
+        let ns = self.namespaces.entry(user).or_default();
+        ns.insert(
+            manifest.name.clone(),
+            FileEntry {
+                digest,
+                stored_at_ms: now_ms,
+            },
+        );
+        if known {
+            self.stats.dedup_hits += 1;
+            self.stats.dedup_bytes_saved += size;
+            StoreDecision::Deduplicated
+        } else {
+            StoreDecision::Upload {
+                frontend: self.closest_frontend(user),
+            }
+        }
+    }
+
+    /// Marks an upload complete: the content now exists on `frontend` and
+    /// future stores of it deduplicate.
+    pub fn complete_upload(&mut self, manifest: FileManifest, frontend: usize) {
+        self.known
+            .insert(manifest.file_digest, (manifest, frontend));
+    }
+
+    /// Resolves a path in a user's namespace for retrieval.
+    pub fn begin_retrieve(&mut self, user: UserId, path: &str) -> Option<(FileManifest, usize)> {
+        self.stats.retrieve_ops += 1;
+        let entry = self
+            .namespaces
+            .get(&user)
+            .and_then(|ns| ns.get(path))
+            .cloned();
+        match entry.and_then(|e| self.known.get(&e.digest).cloned()) {
+            Some((m, fe)) => Some((m, fe)),
+            None => {
+                self.stats.retrieve_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Publishes a share URL for a stored file.
+    pub fn publish_url(&mut self, user: UserId, path: &str) -> Option<ShareUrl> {
+        let entry = self.namespaces.get(&user)?.get(path)?;
+        let url = ShareUrl(format!("mcs://share/{}", entry.digest.to_hex()));
+        self.urls.insert(url.clone(), entry.digest);
+        Some(url)
+    }
+
+    /// Resolves a share URL (the §2.1 retrieval path: URL → file MD5 →
+    /// manifest).
+    pub fn begin_retrieve_url(
+        &mut self,
+        requester: UserId,
+        url: &ShareUrl,
+    ) -> Option<(FileManifest, usize)> {
+        self.stats.retrieve_ops += 1;
+        let _ = requester;
+        match self
+            .urls
+            .get(url)
+            .and_then(|d| self.known.get(d).cloned())
+        {
+            Some((m, fe)) => Some((m, fe)),
+            None => {
+                self.stats.retrieve_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Deletes a path from a user's namespace; returns the entry if it
+    /// existed. Content is *not* erased here — other users may still link
+    /// it; orphan collection is the front-end's garbage-collection job
+    /// (the §2.1 note that deletes never touch the front-end data path is
+    /// why the paper's logs do not contain them).
+    pub fn delete(&mut self, user: UserId, path: &str) -> Option<FileEntry> {
+        let entry = self.namespaces.get_mut(&user)?.remove(path)?;
+        self.stats.delete_ops += 1;
+        Some(entry)
+    }
+
+    /// Number of namespace links pointing at `digest` across all users.
+    pub fn link_count(&self, digest: &Digest) -> usize {
+        self.namespaces
+            .values()
+            .flat_map(|ns| ns.values())
+            .filter(|e| &e.digest == digest)
+            .count()
+    }
+
+    /// Contents with no remaining namespace links (eligible for GC),
+    /// with the front-end holding each.
+    pub fn orphans(&self) -> Vec<(Digest, usize)> {
+        let mut linked: std::collections::HashSet<Digest> = std::collections::HashSet::new();
+        for ns in self.namespaces.values() {
+            for e in ns.values() {
+                linked.insert(e.digest);
+            }
+        }
+        let mut v: Vec<(Digest, usize)> = self
+            .known
+            .iter()
+            .filter(|(d, _)| !linked.contains(d))
+            .map(|(d, (_, fe))| (*d, *fe))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Forgets an orphaned content (after the front-end reclaimed it).
+    pub fn forget(&mut self, digest: &Digest) -> bool {
+        self.known.remove(digest).is_some()
+    }
+
+    /// Lists a user's namespace (path, entry) pairs, sorted by path.
+    pub fn list(&self, user: UserId) -> Vec<(String, FileEntry)> {
+        let mut v: Vec<(String, FileEntry)> = self
+            .namespaces
+            .get(&user)
+            .map(|ns| ns.iter().map(|(k, e)| (k.clone(), e.clone())).collect())
+            .unwrap_or_default();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Manifest and front-end location of a known content.
+    pub fn manifest_of(&self, digest: &Digest) -> Option<(FileManifest, usize)> {
+        self.known.get(digest).cloned()
+    }
+
+    /// Whether content with this digest is stored.
+    pub fn knows(&self, digest: &Digest) -> bool {
+        self.known.contains_key(digest)
+    }
+
+    /// Number of distinct stored contents.
+    pub fn distinct_contents(&self) -> usize {
+        self.known.len()
+    }
+
+    /// "Closest" front-end for a user — deterministic rendezvous-style
+    /// assignment standing in for the geographic selection the real
+    /// service performs.
+    pub fn closest_frontend(&self, user: UserId) -> usize {
+        let mut best = 0usize;
+        let mut best_score = 0u64;
+        for fe in 0..self.frontends {
+            let mut x = user
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(fe as u64);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            if x >= best_score {
+                best_score = x;
+                best = fe;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::Content;
+
+    fn manifest(name: &str, seed: u64, size: u64) -> FileManifest {
+        FileManifest::build(name, &Content::Synthetic { seed, size })
+    }
+
+    #[test]
+    fn first_store_uploads_second_dedups() {
+        let mut md = MetadataServer::new(4);
+        let m = manifest("a.jpg", 1, 1000);
+        match md.begin_store(10, m.clone(), 0) {
+            StoreDecision::Upload { frontend } => assert!(frontend < 4),
+            other => panic!("expected upload, got {other:?}"),
+        }
+        md.complete_upload(m.clone(), 0);
+        // Same content, other user, other name.
+        let m2 = manifest("b.jpg", 1, 1000);
+        assert_eq!(md.begin_store(11, m2, 5), StoreDecision::Deduplicated);
+        assert_eq!(md.stats.dedup_hits, 1);
+        assert_eq!(md.stats.dedup_bytes_saved, 1000);
+        assert_eq!(md.distinct_contents(), 1);
+    }
+
+    #[test]
+    fn dedup_requires_completed_upload() {
+        let mut md = MetadataServer::new(1);
+        let m = manifest("a.jpg", 1, 1000);
+        let _ = md.begin_store(10, m, 0);
+        // Upload never completed; the same content must upload again.
+        let m2 = manifest("a.jpg", 1, 1000);
+        assert!(matches!(
+            md.begin_store(11, m2, 1),
+            StoreDecision::Upload { .. }
+        ));
+    }
+
+    #[test]
+    fn retrieve_by_path() {
+        let mut md = MetadataServer::new(2);
+        let m = manifest("docs/x.pdf", 7, 5000);
+        let _ = md.begin_store(1, m.clone(), 0);
+        md.complete_upload(m.clone(), 0);
+        let (got, fe) = md.begin_retrieve(1, "docs/x.pdf").expect("found");
+        assert_eq!(got.file_digest, m.file_digest);
+        assert!(fe < 2);
+        assert!(md.begin_retrieve(1, "docs/missing.pdf").is_none());
+        assert!(md.begin_retrieve(2, "docs/x.pdf").is_none());
+        assert_eq!(md.stats.retrieve_misses, 2);
+    }
+
+    #[test]
+    fn share_urls() {
+        let mut md = MetadataServer::new(2);
+        let m = manifest("video.mp4", 9, 150_000_000);
+        let _ = md.begin_store(1, m.clone(), 0);
+        md.complete_upload(m.clone(), 0);
+        let url = md.publish_url(1, "video.mp4").expect("published");
+        // A different user retrieves via the URL.
+        let (got, _) = md.begin_retrieve_url(99, &url).expect("resolved");
+        assert_eq!(got.file_digest, m.file_digest);
+        // Unknown URL misses.
+        assert!(md
+            .begin_retrieve_url(99, &ShareUrl("mcs://share/bogus".into()))
+            .is_none());
+        // URL for a path that does not exist.
+        assert!(md.publish_url(1, "nope").is_none());
+    }
+
+    #[test]
+    fn namespace_listing_sorted() {
+        let mut md = MetadataServer::new(1);
+        for (name, seed) in [("b.jpg", 1u64), ("a.jpg", 2), ("c.jpg", 3)] {
+            let m = manifest(name, seed, 100);
+            let _ = md.begin_store(5, m.clone(), 0);
+            md.complete_upload(m, 0);
+        }
+        let listing = md.list(5);
+        let names: Vec<&str> = listing.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.jpg", "b.jpg", "c.jpg"]);
+        assert!(md.list(999).is_empty());
+    }
+
+    #[test]
+    fn overwriting_a_path_replaces_entry() {
+        // §2.1 footnote: no delta updates; a changed file is a new upload.
+        let mut md = MetadataServer::new(1);
+        let v1 = manifest("note.txt", 1, 100);
+        let v2 = manifest("note.txt", 2, 120);
+        let _ = md.begin_store(1, v1.clone(), 0);
+        md.complete_upload(v1, 0);
+        let _ = md.begin_store(1, v2.clone(), 10);
+        md.complete_upload(v2.clone(), 0);
+        let (got, _) = md.begin_retrieve(1, "note.txt").unwrap();
+        assert_eq!(got.file_digest, v2.file_digest);
+        assert_eq!(md.distinct_contents(), 2, "old content still exists");
+    }
+
+    #[test]
+    fn frontend_assignment_deterministic_and_spread() {
+        let md = MetadataServer::new(8);
+        let mut seen = std::collections::HashSet::new();
+        for user in 0..200u64 {
+            let fe = md.closest_frontend(user);
+            assert_eq!(fe, md.closest_frontend(user));
+            assert!(fe < 8);
+            seen.insert(fe);
+        }
+        assert!(seen.len() >= 6, "assignment should spread: {seen:?}");
+    }
+}

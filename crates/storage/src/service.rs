@@ -1,0 +1,381 @@
+//! The clustered service façade: metadata server + front-end fleet,
+//! exposing the mobile app's operations (store a batch, retrieve by path or
+//! URL) end-to-end.
+
+use crate::content::{Content, FileManifest};
+use crate::frontend::FrontEnd;
+use crate::metadata::{MetadataServer, ShareUrl, StoreDecision, UserId};
+
+/// Outcome of one file store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOutcome {
+    /// Whether deduplication skipped the upload.
+    pub deduplicated: bool,
+    /// Bytes actually uploaded (0 when deduplicated).
+    pub bytes_uploaded: u64,
+    /// Front-end that handled the upload (None when deduplicated).
+    pub frontend: Option<usize>,
+}
+
+/// Outcome of one file retrieve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrieveOutcome {
+    /// Bytes downloaded.
+    pub bytes_downloaded: u64,
+    /// Front-end that served it.
+    pub frontend: usize,
+}
+
+/// The whole service.
+///
+/// ```
+/// use mcs_storage::{Content, StorageService};
+///
+/// let mut svc = StorageService::new(4, 24);
+/// let photo = Content::Synthetic { seed: 1, size: 1_500_000 };
+/// let first = svc.store(1, "a.jpg", &photo, 0);
+/// assert!(!first.deduplicated);
+/// // Another user uploads the same bytes: the metadata server dedups.
+/// let second = svc.store(2, "b.jpg", &photo, 10);
+/// assert!(second.deduplicated);
+/// assert_eq!(svc.retrieve(2, "b.jpg", 20).unwrap().bytes_downloaded, 1_500_000);
+/// ```
+#[derive(Debug)]
+pub struct StorageService {
+    metadata: MetadataServer,
+    frontends: Vec<FrontEnd>,
+}
+
+impl StorageService {
+    /// Builds a cluster of `n_frontends`, accounting load over
+    /// `horizon_hours`.
+    pub fn new(n_frontends: usize, horizon_hours: usize) -> Self {
+        assert!(n_frontends > 0, "need at least one front-end");
+        Self {
+            metadata: MetadataServer::new(n_frontends),
+            frontends: (0..n_frontends)
+                .map(|id| FrontEnd::new(id, horizon_hours))
+                .collect(),
+        }
+    }
+
+    /// Stores one file: metadata round trip, dedup check, chunk uploads.
+    pub fn store(
+        &mut self,
+        user: UserId,
+        name: &str,
+        content: &Content,
+        now_ms: u64,
+    ) -> StoreOutcome {
+        let manifest = FileManifest::build(name, content);
+        match self.metadata.begin_store(user, manifest.clone(), now_ms) {
+            StoreDecision::Deduplicated => StoreOutcome {
+                deduplicated: true,
+                bytes_uploaded: 0,
+                frontend: None,
+            },
+            StoreDecision::Upload { frontend } => {
+                self.frontends[frontend].put_file(&manifest, now_ms);
+                let bytes = manifest.size;
+                self.metadata.complete_upload(manifest, frontend);
+                StoreOutcome {
+                    deduplicated: false,
+                    bytes_uploaded: bytes,
+                    frontend: Some(frontend),
+                }
+            }
+        }
+    }
+
+    /// Stores a batch of files (the app's multi-select backup).
+    pub fn store_batch(
+        &mut self,
+        user: UserId,
+        files: &[(String, Content)],
+        now_ms: u64,
+    ) -> Vec<StoreOutcome> {
+        files
+            .iter()
+            .map(|(name, content)| self.store(user, name, content, now_ms))
+            .collect()
+    }
+
+    /// Retrieves a file from the user's own namespace.
+    pub fn retrieve(&mut self, user: UserId, path: &str, now_ms: u64) -> Option<RetrieveOutcome> {
+        let (manifest, fe) = self.metadata.begin_retrieve(user, path)?;
+        let bytes = self.frontends[fe].get_file(&manifest, now_ms);
+        Some(RetrieveOutcome {
+            bytes_downloaded: bytes,
+            frontend: fe,
+        })
+    }
+
+    /// Publishes a share URL.
+    pub fn publish_url(&mut self, user: UserId, path: &str) -> Option<ShareUrl> {
+        self.metadata.publish_url(user, path)
+    }
+
+    /// Retrieves shared content by URL (possibly by a different user).
+    pub fn retrieve_url(
+        &mut self,
+        requester: UserId,
+        url: &ShareUrl,
+        now_ms: u64,
+    ) -> Option<RetrieveOutcome> {
+        let (manifest, fe) = self.metadata.begin_retrieve_url(requester, url)?;
+        let bytes = self.frontends[fe].get_file(&manifest, now_ms);
+        Some(RetrieveOutcome {
+            bytes_downloaded: bytes,
+            frontend: fe,
+        })
+    }
+
+    /// Deletes a file from a user's namespace (§2.1: deletes go through
+    /// the metadata servers only and never hit the front-end data path —
+    /// reclamation happens later via [`Self::collect_garbage`]).
+    pub fn delete(&mut self, user: UserId, path: &str) -> bool {
+        self.metadata.delete(user, path).is_some()
+    }
+
+    /// Garbage-collects contents no namespace links anymore; returns bytes
+    /// reclaimed across the fleet.
+    pub fn collect_garbage(&mut self) -> u64 {
+        let orphans = self.metadata.orphans();
+        let mut freed = 0;
+        for (digest, fe) in orphans {
+            // Fetch the manifest before forgetting it.
+            let manifest = {
+                let (m, _) = self
+                    .metadata
+                    .manifest_of(&digest)
+                    .expect("orphan listed by metadata");
+                m
+            };
+            freed += self.frontends[fe].reclaim_file(&manifest);
+            self.metadata.forget(&digest);
+        }
+        freed
+    }
+
+    /// Metadata server view.
+    pub fn metadata(&self) -> &MetadataServer {
+        &self.metadata
+    }
+
+    /// Front-end fleet view.
+    pub fn frontends(&self) -> &[FrontEnd] {
+        &self.frontends
+    }
+
+    /// Total unique bytes resident across the fleet.
+    pub fn stored_bytes(&self) -> u64 {
+        self.frontends.iter().map(|f| f.stored_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn photo(seed: u64) -> Content {
+        Content::Synthetic {
+            seed,
+            size: 1_500_000,
+        }
+    }
+
+    #[test]
+    fn end_to_end_store_and_retrieve() {
+        let mut svc = StorageService::new(4, 24);
+        let out = svc.store(1, "p/1.jpg", &photo(1), 0);
+        assert!(!out.deduplicated);
+        assert_eq!(out.bytes_uploaded, 1_500_000);
+        let got = svc.retrieve(1, "p/1.jpg", 1000).expect("retrieved");
+        assert_eq!(got.bytes_downloaded, 1_500_000);
+    }
+
+    #[test]
+    fn cross_user_dedup_saves_upload() {
+        let mut svc = StorageService::new(4, 24);
+        let a = svc.store(1, "x.jpg", &photo(7), 0);
+        let b = svc.store(2, "y.jpg", &photo(7), 10);
+        assert!(!a.deduplicated);
+        assert!(b.deduplicated);
+        assert_eq!(b.bytes_uploaded, 0);
+        assert_eq!(svc.stored_bytes(), 1_500_000, "stored once");
+        // Both users can retrieve.
+        assert!(svc.retrieve(1, "x.jpg", 20).is_some());
+        assert!(svc.retrieve(2, "y.jpg", 20).is_some());
+    }
+
+    #[test]
+    fn batch_store() {
+        let mut svc = StorageService::new(2, 24);
+        let files: Vec<(String, Content)> = (0..5)
+            .map(|i| (format!("p/{i}.jpg"), photo(100 + i)))
+            .collect();
+        let outs = svc.store_batch(3, &files, 0);
+        assert_eq!(outs.len(), 5);
+        assert!(outs.iter().all(|o| !o.deduplicated));
+        assert_eq!(svc.metadata().distinct_contents(), 5);
+    }
+
+    #[test]
+    fn share_url_content_distribution() {
+        let mut svc = StorageService::new(4, 24);
+        let video = Content::Synthetic {
+            seed: 50,
+            size: 150_000_000,
+        };
+        svc.store(1, "clip.mp4", &video, 0);
+        let url = svc.publish_url(1, "clip.mp4").expect("url");
+        // Many downloaders (the §3.2.1 download-only pattern).
+        for user in 100..110 {
+            let got = svc.retrieve_url(user, &url, 1000).expect("served");
+            assert_eq!(got.bytes_downloaded, 150_000_000);
+        }
+    }
+
+    #[test]
+    fn delete_and_garbage_collection() {
+        let mut svc = StorageService::new(3, 24);
+        svc.store(1, "a.jpg", &photo(1), 0);
+        svc.store(2, "b.jpg", &photo(1), 1); // dedup link to same content
+        assert_eq!(svc.stored_bytes(), 1_500_000);
+
+        // Deleting one link leaves the content alive (user 2 still links).
+        assert!(svc.delete(1, "a.jpg"));
+        assert_eq!(svc.collect_garbage(), 0);
+        assert!(svc.retrieve(2, "b.jpg", 5).is_some());
+
+        // Deleting the last link orphans the content; GC reclaims it.
+        assert!(svc.delete(2, "b.jpg"));
+        let freed = svc.collect_garbage();
+        assert_eq!(freed, 1_500_000);
+        assert_eq!(svc.stored_bytes(), 0);
+        assert_eq!(svc.metadata().distinct_contents(), 0);
+        // Idempotent.
+        assert_eq!(svc.collect_garbage(), 0);
+        // The deleted path is gone.
+        assert!(svc.retrieve(2, "b.jpg", 9).is_none());
+        assert!(!svc.delete(2, "b.jpg"));
+    }
+
+    #[test]
+    fn gc_only_touches_orphans() {
+        let mut svc = StorageService::new(2, 24);
+        svc.store(1, "keep.jpg", &photo(5), 0);
+        svc.store(1, "drop.jpg", &photo(6), 1);
+        svc.delete(1, "drop.jpg");
+        let freed = svc.collect_garbage();
+        assert_eq!(freed, 1_500_000);
+        // The kept file still fully retrievable.
+        assert_eq!(
+            svc.retrieve(1, "keep.jpg", 5).unwrap().bytes_downloaded,
+            1_500_000
+        );
+    }
+
+    #[test]
+    fn retrieval_of_missing_path_is_none() {
+        let mut svc = StorageService::new(1, 24);
+        assert!(svc.retrieve(1, "ghost", 0).is_none());
+    }
+
+    #[test]
+    fn dedup_retrieve_works_without_reupload() {
+        // The §2.1 promise: a deduplicated store is still fully retrievable.
+        let mut svc = StorageService::new(3, 24);
+        svc.store(1, "a", &photo(9), 0);
+        let o = svc.store(2, "b", &photo(9), 1);
+        assert!(o.deduplicated);
+        // The content lives on user 1's front-end; the metadata server
+        // routes user 2's retrieval there, so the full bytes come back and
+        // no front-end reports a missing chunk.
+        let got = svc.retrieve(2, "b", 2).expect("routed");
+        assert_eq!(got.bytes_downloaded, 1_500_000);
+        assert!(svc.frontends().iter().all(|f| f.missing_gets == 0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Store { user: u64, name: u8, content_seed: u64, size: u32 },
+        Retrieve { user: u64, name: u8 },
+        Delete { user: u64, name: u8 },
+        Gc,
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..4, any::<u8>(), 0u64..6, 1u32..2_000_000).prop_map(
+                |(user, name, content_seed, size)| Op::Store {
+                    user,
+                    name: name % 8,
+                    content_seed,
+                    size,
+                }
+            ),
+            (0u64..4, any::<u8>()).prop_map(|(user, name)| Op::Retrieve { user, name: name % 8 }),
+            (0u64..4, any::<u8>()).prop_map(|(user, name)| Op::Delete { user, name: name % 8 }),
+            Just(Op::Gc),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Any operation sequence keeps the service consistent: a stored,
+        /// undeleted path always resolves with full bytes; no front-end
+        /// ever reports a missing chunk; GC never breaks a live link.
+        #[test]
+        fn prop_random_op_sequences_stay_consistent(ops in proptest::collection::vec(arb_op(), 1..60)) {
+            let mut svc = StorageService::new(4, 24);
+            // Ground truth: (user, name) -> expected size if live.
+            let mut live: std::collections::HashMap<(u64, String), u64> =
+                std::collections::HashMap::new();
+            for (t, op) in ops.into_iter().enumerate() {
+                let now = t as u64 * 1000;
+                match op {
+                    Op::Store { user, name, content_seed, size } => {
+                        let name = format!("f{name}");
+                        let content = Content::Synthetic { seed: content_seed, size: size as u64 };
+                        svc.store(user, &name, &content, now);
+                        live.insert((user, name), size as u64);
+                    }
+                    Op::Retrieve { user, name } => {
+                        let name = format!("f{name}");
+                        let got = svc.retrieve(user, &name, now);
+                        match live.get(&(user, name)) {
+                            Some(&size) => {
+                                let got = got.expect("live path must resolve");
+                                prop_assert_eq!(got.bytes_downloaded, size);
+                            }
+                            None => prop_assert!(got.is_none()),
+                        }
+                    }
+                    Op::Delete { user, name } => {
+                        let name = format!("f{name}");
+                        let existed = svc.delete(user, &name);
+                        prop_assert_eq!(existed, live.remove(&(user, name)).is_some());
+                    }
+                    Op::Gc => {
+                        let _ = svc.collect_garbage();
+                    }
+                }
+            }
+            // Final sweep: every live path still fully retrievable.
+            svc.collect_garbage();
+            for ((user, name), size) in &live {
+                let got = svc.retrieve(*user, name, 1_000_000).expect("live after GC");
+                prop_assert_eq!(got.bytes_downloaded, *size);
+            }
+            prop_assert!(svc.frontends().iter().all(|f| f.missing_gets == 0));
+        }
+    }
+}

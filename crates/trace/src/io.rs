@@ -1,0 +1,334 @@
+//! Trace serialisation: JSON-lines and a compact CSV form.
+//!
+//! The public dataset the paper released was a flat log file; these
+//! readers/writers let generated traces round-trip through files so the
+//! analysis pipeline can be pointed at stored traces, not only live
+//! generators. Both formats stream record-by-record.
+
+use std::io::{self, BufRead, Write};
+
+use crate::record::{DeviceType, Direction, LogRecord, RequestType};
+
+/// Writes records as JSON lines (one serde-serialised record per line).
+pub fn write_jsonl<W: Write>(mut w: W, records: impl IntoIterator<Item = LogRecord>) -> io::Result<usize> {
+    let mut n = 0;
+    for r in records {
+        serde_json::to_writer(&mut w, &r)?;
+        w.write_all(b"\n")?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads JSON-lines records, failing on the first malformed line.
+pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Vec<LogRecord>> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: LogRecord = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", i + 1),
+            )
+        })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// CSV header used by [`write_csv`].
+pub const CSV_HEADER: &str =
+    "timestamp_ms,device_type,device_id,user_id,request,volume_bytes,processing_ms,srv_ms,rtt_ms,proxied";
+
+fn device_str(d: DeviceType) -> &'static str {
+    match d {
+        DeviceType::Android => "android",
+        DeviceType::Ios => "ios",
+        DeviceType::Pc => "pc",
+    }
+}
+
+fn request_str(r: RequestType) -> &'static str {
+    match r {
+        RequestType::FileOp(Direction::Store) => "file_store",
+        RequestType::FileOp(Direction::Retrieve) => "file_retrieve",
+        RequestType::Chunk(Direction::Store) => "chunk_store",
+        RequestType::Chunk(Direction::Retrieve) => "chunk_retrieve",
+    }
+}
+
+fn parse_device(s: &str) -> Option<DeviceType> {
+    match s {
+        "android" => Some(DeviceType::Android),
+        "ios" => Some(DeviceType::Ios),
+        "pc" => Some(DeviceType::Pc),
+        _ => None,
+    }
+}
+
+fn parse_request(s: &str) -> Option<RequestType> {
+    match s {
+        "file_store" => Some(RequestType::FileOp(Direction::Store)),
+        "file_retrieve" => Some(RequestType::FileOp(Direction::Retrieve)),
+        "chunk_store" => Some(RequestType::Chunk(Direction::Store)),
+        "chunk_retrieve" => Some(RequestType::Chunk(Direction::Retrieve)),
+        _ => None,
+    }
+}
+
+/// Writes records as CSV with [`CSV_HEADER`]. No field can contain commas,
+/// so no quoting is needed.
+pub fn write_csv<W: Write>(mut w: W, records: impl IntoIterator<Item = LogRecord>) -> io::Result<usize> {
+    writeln!(w, "{CSV_HEADER}")?;
+    let mut n = 0;
+    for r in records {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.timestamp_ms,
+            device_str(r.device_type),
+            r.device_id,
+            r.user_id,
+            request_str(r.request),
+            r.volume_bytes,
+            r.processing_ms,
+            r.srv_ms,
+            r.rtt_ms,
+            r.proxied as u8,
+        )?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads CSV produced by [`write_csv`] (header required).
+pub fn read_csv<R: BufRead>(r: R) -> io::Result<Vec<LogRecord>> {
+    let bad = |line: usize, why: &str| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("line {line}: {why}"))
+    };
+    let mut lines = r.lines().enumerate();
+    match lines.next() {
+        Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
+        Some((_, Ok(_))) => return Err(bad(1, "missing or wrong CSV header")),
+        Some((_, Err(e))) => return Err(e),
+        None => return Ok(Vec::new()),
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 10 {
+            return Err(bad(i + 1, "expected 10 fields"));
+        }
+        let rec = LogRecord {
+            timestamp_ms: f[0].parse().map_err(|_| bad(i + 1, "timestamp"))?,
+            device_type: parse_device(f[1]).ok_or_else(|| bad(i + 1, "device type"))?,
+            device_id: f[2].parse().map_err(|_| bad(i + 1, "device id"))?,
+            user_id: f[3].parse().map_err(|_| bad(i + 1, "user id"))?,
+            request: parse_request(f[4]).ok_or_else(|| bad(i + 1, "request type"))?,
+            volume_bytes: f[5].parse().map_err(|_| bad(i + 1, "volume"))?,
+            processing_ms: f[6].parse().map_err(|_| bad(i + 1, "processing time"))?,
+            srv_ms: f[7].parse().map_err(|_| bad(i + 1, "srv time"))?,
+            rtt_ms: f[8].parse().map_err(|_| bad(i + 1, "rtt"))?,
+            proxied: match f[9] {
+                "0" => false,
+                "1" => true,
+                _ => return Err(bad(i + 1, "proxied flag")),
+            },
+        };
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Trace file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One serde-JSON record per line.
+    Jsonl,
+    /// Compact CSV with [`CSV_HEADER`].
+    Csv,
+}
+
+/// Writes a full generated trace to `path`, streaming user blocks in
+/// generation order (records are time-ordered *per user*; use
+/// [`crate::TraceGenerator::generate_sorted`] first if a globally sorted
+/// file is required).
+pub fn write_trace_file(
+    gen: &crate::TraceGenerator,
+    path: &std::path::Path,
+    format: TraceFormat,
+) -> io::Result<u64> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    let mut written = 0u64;
+    match format {
+        TraceFormat::Jsonl => {
+            for block in gen.iter_user_records() {
+                written += write_jsonl(&mut w, block)? as u64;
+            }
+        }
+        TraceFormat::Csv => {
+            writeln!(w, "{CSV_HEADER}")?;
+            for block in gen.iter_user_records() {
+                for r in block {
+                    writeln!(
+                        w,
+                        "{},{},{},{},{},{},{},{},{},{}",
+                        r.timestamp_ms,
+                        device_str(r.device_type),
+                        r.device_id,
+                        r.user_id,
+                        request_str(r.request),
+                        r.volume_bytes,
+                        r.processing_ms,
+                        r.srv_ms,
+                        r.rtt_ms,
+                        r.proxied as u8,
+                    )?;
+                    written += 1;
+                }
+            }
+        }
+    }
+    use std::io::Write as _;
+    w.flush()?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CHUNK_SIZE;
+    use std::io::BufReader;
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord {
+                timestamp_ms: 0,
+                device_type: DeviceType::Android,
+                device_id: 1,
+                user_id: 10,
+                request: RequestType::FileOp(Direction::Store),
+                volume_bytes: 0,
+                processing_ms: 12.5,
+                srv_ms: 3.0,
+                rtt_ms: 88.0,
+                proxied: false,
+            },
+            LogRecord {
+                timestamp_ms: 1500,
+                device_type: DeviceType::Ios,
+                device_id: 2,
+                user_id: 10,
+                request: RequestType::Chunk(Direction::Retrieve),
+                volume_bytes: CHUNK_SIZE,
+                processing_ms: 950.0,
+                srv_ms: 120.0,
+                rtt_ms: 140.5,
+                proxied: true,
+            },
+            LogRecord {
+                timestamp_ms: 99_999,
+                device_type: DeviceType::Pc,
+                device_id: 3,
+                user_id: 11,
+                request: RequestType::Chunk(Direction::Store),
+                volume_bytes: 4096,
+                processing_ms: 80.0,
+                srv_ms: 60.0,
+                rtt_ms: 30.0,
+                proxied: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        let n = write_jsonl(&mut buf, recs.clone()).unwrap();
+        assert_eq!(n, 3);
+        let back = read_jsonl(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        let n = write_csv(&mut buf, recs.clone()).unwrap();
+        assert_eq!(n, 3);
+        let back = read_csv(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, recs.clone()).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_jsonl(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let err = read_jsonl(BufReader::new(&b"not json\n"[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn csv_rejects_missing_header() {
+        let err = read_csv(BufReader::new(&b"1,android,1,1,file_store,0,1,1,1,0\n"[..]))
+            .unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn csv_rejects_bad_field() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, sample_records()).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace("android", "blackberry");
+        let err = read_csv(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("device type"));
+    }
+
+    #[test]
+    fn csv_empty_input_is_empty_vec() {
+        assert!(read_csv(BufReader::new(&b""[..])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_file_round_trip() {
+        use crate::{TraceConfig, TraceGenerator};
+        let gen = TraceGenerator::new(TraceConfig {
+            mobile_users: 60,
+            pc_only_users: 10,
+            ..TraceConfig::default()
+        })
+        .unwrap();
+        let dir = std::env::temp_dir();
+        let jsonl_path = dir.join("mcs-io-test.jsonl");
+        let csv_path = dir.join("mcs-io-test.csv");
+        let n1 = write_trace_file(&gen, &jsonl_path, TraceFormat::Jsonl).unwrap();
+        let n2 = write_trace_file(&gen, &csv_path, TraceFormat::Csv).unwrap();
+        assert_eq!(n1, n2);
+        assert!(n1 > 100);
+        let back_jsonl =
+            read_jsonl(BufReader::new(std::fs::File::open(&jsonl_path).unwrap())).unwrap();
+        let back_csv =
+            read_csv(BufReader::new(std::fs::File::open(&csv_path).unwrap())).unwrap();
+        assert_eq!(back_jsonl, back_csv);
+        assert_eq!(back_jsonl.len() as u64, n1);
+        let _ = std::fs::remove_file(jsonl_path);
+        let _ = std::fs::remove_file(csv_path);
+    }
+}

@@ -1,0 +1,416 @@
+//! User population synthesis: client groups, device inventories, user
+//! classes and activity levels.
+//!
+//! The paper's population (§2.2, §3.2): 1 148 640 mobile users on 1 396 494
+//! mobile devices (78.4 % Android accesses), 14.3 % of whom also use PC
+//! clients; plus ~2 M PC-only users for the §3.2 comparisons. Table 3 gives
+//! the per-group class mixes this module plants.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use mcs_stats::rng::{stream_rng, Categorical, StretchedExpSampler};
+
+use crate::config::TraceConfig;
+use crate::record::DeviceType;
+
+/// Which client platforms a user touches (§3.2 groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClientGroup {
+    /// Mobile devices only.
+    MobileOnly,
+    /// Both mobile devices and PC clients.
+    MobilePc,
+    /// PC clients only.
+    PcOnly,
+}
+
+/// The four §3.2.1 usage classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UserClass {
+    /// Stored/retrieved volume ratio > 10⁵ — backup users.
+    UploadOnly,
+    /// Ratio < 10⁻⁵ — content-distribution consumers.
+    DownloadOnly,
+    /// Total volume < 1 MB — tried the service and left.
+    Occasional,
+    /// Substantial two-way traffic — synchronisation users.
+    Mixed,
+}
+
+/// One device owned by a user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Globally unique device identifier.
+    pub id: u64,
+    /// Platform.
+    pub device_type: DeviceType,
+}
+
+/// A synthesised user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Globally unique user identifier.
+    pub user_id: u64,
+    /// Client group.
+    pub group: ClientGroup,
+    /// Usage class.
+    pub class: UserClass,
+    /// Devices (mobile first; a PC device is appended for PC-using groups).
+    pub devices: Vec<Device>,
+    /// Total files this user will store during the horizon.
+    pub store_files: u64,
+    /// Total files this user will retrieve during the horizon.
+    pub retrieve_files: u64,
+    /// Whether the user never returns after their first active day.
+    pub oneshot: bool,
+    /// First day (0-based) the user is active.
+    pub first_day: u32,
+}
+
+impl UserProfile {
+    /// Number of *mobile* devices.
+    pub fn mobile_device_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.device_type.is_mobile())
+            .count()
+    }
+
+    /// Whether the user uses any PC client.
+    pub fn uses_pc(&self) -> bool {
+        self.devices.iter().any(|d| d.device_type == DeviceType::Pc)
+    }
+}
+
+/// Builds the full user population for a configuration. Deterministic in
+/// `cfg.seed`.
+pub fn build_population(cfg: &TraceConfig) -> Vec<UserProfile> {
+    let mut rng = stream_rng(cfg.seed, STREAM_POPULATION);
+    let mut next_device_id: u64 = 1;
+    let mut users = Vec::with_capacity((cfg.mobile_users + cfg.pc_only_users) as usize);
+
+    let dev_count = Categorical::new(&[
+        cfg.device_count_probs[0],
+        cfg.device_count_probs[1],
+        cfg.device_count_probs[2],
+    ]);
+    let activity = StretchedExpSampler::new(cfg.activity.x0, cfg.activity.c);
+
+    for user_id in 1..=cfg.mobile_users {
+        let uses_pc = rng.random::<f64>() < cfg.mobile_pc_frac;
+        let group = if uses_pc {
+            ClientGroup::MobilePc
+        } else {
+            ClientGroup::MobileOnly
+        };
+        let mix = match group {
+            ClientGroup::MobileOnly => &cfg.class_mix_mobile_only,
+            ClientGroup::MobilePc => &cfg.class_mix_mobile_pc,
+            ClientGroup::PcOnly => unreachable!("mobile loop"),
+        };
+        let class = draw_class(&mut rng, mix);
+
+        // Casual one-off users do not own device fleets; multi-device
+        // ownership concentrates among engaged users (this also keeps the
+        // Fig. 8 multi-device cohorts from being diluted by one-shot
+        // occasional accounts).
+        let n_mobile = if class == UserClass::Occasional {
+            1
+        } else {
+            dev_count.sample(&mut rng) + 1
+        };
+        let mut devices = Vec::with_capacity(n_mobile + usize::from(uses_pc));
+        for _ in 0..n_mobile {
+            let device_type = if rng.random::<f64>() < cfg.android_frac {
+                DeviceType::Android
+            } else {
+                DeviceType::Ios
+            };
+            devices.push(Device {
+                id: next_device_id,
+                device_type,
+            });
+            next_device_id += 1;
+        }
+        if uses_pc {
+            devices.push(Device {
+                id: next_device_id,
+                device_type: DeviceType::Pc,
+            });
+            next_device_id += 1;
+        }
+
+        let (mut store_files, mut retrieve_files) =
+            draw_activity(&mut rng, class, &activity, cfg.activity.max_files);
+        // Users syncing several devices move proportionally more files
+        // (each device contributes its own backups/syncs).
+        if n_mobile > 1 && class != UserClass::Occasional {
+            store_files = (store_files * n_mobile as u64).min(cfg.activity.max_files);
+            retrieve_files = (retrieve_files * n_mobile as u64).min(cfg.activity.max_files);
+        }
+        let oneshot = draw_oneshot(&mut rng, cfg, group, n_mobile);
+        let first_day = rng.random_range(0..cfg.horizon_days);
+
+        users.push(UserProfile {
+            user_id,
+            group,
+            class,
+            devices,
+            store_files,
+            retrieve_files,
+            oneshot,
+            first_day,
+        });
+    }
+
+    for offset in 0..cfg.pc_only_users {
+        let user_id = cfg.mobile_users + offset + 1;
+        let class = draw_class(&mut rng, &cfg.class_mix_pc_only);
+        let devices = vec![Device {
+            id: next_device_id,
+            device_type: DeviceType::Pc,
+        }];
+        next_device_id += 1;
+        let (store_files, retrieve_files) =
+            draw_activity(&mut rng, class, &activity, cfg.activity.max_files);
+        // PC users return more evenly; reuse the multi-device rate.
+        let oneshot = rng.random::<f64>() < cfg.engagement.oneshot_2dev;
+        let first_day = rng.random_range(0..cfg.horizon_days);
+        users.push(UserProfile {
+            user_id,
+            group: ClientGroup::PcOnly,
+            class,
+            devices,
+            store_files,
+            retrieve_files,
+            oneshot,
+            first_day,
+        });
+    }
+
+    users
+}
+
+/// RNG stream id for population synthesis (other generator stages use
+/// different streams; see `generator.rs`).
+pub(crate) const STREAM_POPULATION: u64 = 1;
+
+fn draw_class(rng: &mut impl Rng, mix: &crate::config::ClassMix) -> UserClass {
+    let u: f64 = rng.random();
+    if u < mix.upload_only {
+        UserClass::UploadOnly
+    } else if u < mix.upload_only + mix.download_only {
+        UserClass::DownloadOnly
+    } else if u < mix.upload_only + mix.download_only + mix.occasional {
+        UserClass::Occasional
+    } else {
+        UserClass::Mixed
+    }
+}
+
+/// Draws (store, retrieve) file budgets consistent with the user's class.
+///
+/// Upload-only users still make the occasional retrieval *request stream*
+/// impossible — their retrieve budget is zero so their volume ratio is
+/// infinite (> 10⁵), matching the §3.2.1 classification; and vice versa.
+/// Occasional users move a handful of small files. Mixed users get two
+/// independent activity draws. Retrieval budgets are smaller than storage
+/// budgets overall: the paper observes over twice as many stored as
+/// retrieved files per hour (Fig. 1b).
+fn draw_activity<R: Rng>(
+    rng: &mut R,
+    class: UserClass,
+    activity: &StretchedExpSampler,
+    cap: u64,
+) -> (u64, u64) {
+    fn draw<R: Rng>(rng: &mut R, activity: &StretchedExpSampler, cap: u64) -> u64 {
+        let x = activity.sample(rng).round() as u64;
+        x.clamp(1, cap)
+    }
+    match class {
+        UserClass::UploadOnly => (draw(rng, activity, cap), 0),
+        UserClass::DownloadOnly => (0, (draw(rng, activity, cap) / 2).max(1)),
+        UserClass::Occasional => (u64::from(rng.random::<f64>() < 0.5), 0),
+        UserClass::Mixed => {
+            let s = draw(rng, activity, cap);
+            let r = (draw(rng, activity, cap) / 2).max(1);
+            (s, r)
+        }
+    }
+}
+
+fn draw_oneshot(
+    rng: &mut impl Rng,
+    cfg: &TraceConfig,
+    group: ClientGroup,
+    n_mobile: usize,
+) -> bool {
+    let p = match group {
+        ClientGroup::MobilePc => cfg.engagement.oneshot_mobile_pc,
+        _ => match n_mobile {
+            1 => cfg.engagement.oneshot_1dev,
+            2 => cfg.engagement.oneshot_2dev,
+            _ => cfg.engagement.oneshot_3dev,
+        },
+    };
+    rng.random::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(seed: u64) -> (TraceConfig, Vec<UserProfile>) {
+        let cfg = TraceConfig {
+            seed,
+            mobile_users: 5_000,
+            pc_only_users: 1_500,
+            ..TraceConfig::default()
+        };
+        let users = build_population(&cfg);
+        (cfg, users)
+    }
+
+    #[test]
+    fn population_size_and_ids_unique() {
+        let (cfg, users) = population(1);
+        assert_eq!(users.len() as u64, cfg.mobile_users + cfg.pc_only_users);
+        let mut uids: Vec<u64> = users.iter().map(|u| u.user_id).collect();
+        uids.sort_unstable();
+        uids.dedup();
+        assert_eq!(uids.len(), users.len());
+        let mut dids: Vec<u64> = users
+            .iter()
+            .flat_map(|u| u.devices.iter().map(|d| d.id))
+            .collect();
+        let n_devices = dids.len();
+        dids.sort_unstable();
+        dids.dedup();
+        assert_eq!(dids.len(), n_devices, "device ids must be unique");
+    }
+
+    #[test]
+    fn group_fractions_close_to_config() {
+        let (cfg, users) = population(2);
+        let mobile: Vec<_> = users
+            .iter()
+            .filter(|u| u.group != ClientGroup::PcOnly)
+            .collect();
+        let with_pc = mobile
+            .iter()
+            .filter(|u| u.group == ClientGroup::MobilePc)
+            .count();
+        let frac = with_pc as f64 / mobile.len() as f64;
+        assert!(
+            (frac - cfg.mobile_pc_frac).abs() < 0.02,
+            "mobile&PC fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn android_share_of_devices() {
+        let (cfg, users) = population(3);
+        let mobile_devices: Vec<DeviceType> = users
+            .iter()
+            .flat_map(|u| u.devices.iter())
+            .filter(|d| d.device_type.is_mobile())
+            .map(|d| d.device_type)
+            .collect();
+        let android = mobile_devices
+            .iter()
+            .filter(|&&d| d == DeviceType::Android)
+            .count();
+        let frac = android as f64 / mobile_devices.len() as f64;
+        assert!((frac - cfg.android_frac).abs() < 0.02, "android {frac}");
+    }
+
+    #[test]
+    fn class_mix_close_to_table3() {
+        let (cfg, users) = population(4);
+        let mobile_only: Vec<_> = users
+            .iter()
+            .filter(|u| u.group == ClientGroup::MobileOnly)
+            .collect();
+        let frac = |c: UserClass| {
+            mobile_only.iter().filter(|u| u.class == c).count() as f64 / mobile_only.len() as f64
+        };
+        assert!((frac(UserClass::UploadOnly) - cfg.class_mix_mobile_only.upload_only).abs() < 0.03);
+        assert!(
+            (frac(UserClass::DownloadOnly) - cfg.class_mix_mobile_only.download_only).abs() < 0.03
+        );
+        assert!((frac(UserClass::Occasional) - cfg.class_mix_mobile_only.occasional).abs() < 0.03);
+    }
+
+    #[test]
+    fn budgets_respect_class_semantics() {
+        let (_, users) = population(5);
+        for u in &users {
+            match u.class {
+                UserClass::UploadOnly => {
+                    assert!(u.store_files >= 1);
+                    assert_eq!(u.retrieve_files, 0);
+                }
+                UserClass::DownloadOnly => {
+                    assert_eq!(u.store_files, 0);
+                    assert!(u.retrieve_files >= 1);
+                }
+                UserClass::Occasional => {
+                    assert!(u.store_files <= 1 && u.retrieve_files == 0);
+                }
+                UserClass::Mixed => {
+                    assert!(u.store_files >= 1 && u.retrieve_files >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pc_only_users_have_only_pc_devices() {
+        let (_, users) = population(6);
+        for u in users.iter().filter(|u| u.group == ClientGroup::PcOnly) {
+            assert_eq!(u.devices.len(), 1);
+            assert_eq!(u.devices[0].device_type, DeviceType::Pc);
+            assert_eq!(u.mobile_device_count(), 0);
+            assert!(u.uses_pc());
+        }
+    }
+
+    #[test]
+    fn mobile_pc_users_have_both() {
+        let (_, users) = population(7);
+        for u in users.iter().filter(|u| u.group == ClientGroup::MobilePc) {
+            assert!(u.mobile_device_count() >= 1);
+            assert!(u.uses_pc());
+        }
+    }
+
+    #[test]
+    fn oneshot_rate_depends_on_device_count() {
+        let (cfg, users) = population(8);
+        let rate = |n: usize| {
+            let group: Vec<_> = users
+                .iter()
+                .filter(|u| u.group == ClientGroup::MobileOnly && u.mobile_device_count() == n)
+                .collect();
+            group.iter().filter(|u| u.oneshot).count() as f64 / group.len().max(1) as f64
+        };
+        assert!((rate(1) - cfg.engagement.oneshot_1dev).abs() < 0.05);
+        assert!(rate(2) < rate(1));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (_, a) = population(9);
+        let (_, b) = population(9);
+        assert_eq!(a, b);
+        let (_, c) = population(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn first_day_within_horizon() {
+        let (cfg, users) = population(11);
+        assert!(users.iter().all(|u| u.first_day < cfg.horizon_days));
+    }
+}

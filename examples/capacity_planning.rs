@@ -1,0 +1,123 @@
+//! Capacity planning with the reproduction toolkit: size a cluster for the
+//! paper's workload, then apply each Table 4 cost lever and watch the
+//! requirements shrink.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use mcs::render::{bytes, pct};
+use mcs::storage::defer::DeferralReport;
+use mcs::storage::{evaluate_deferral, replay_trace, DeferPolicy, ReplayConfig, UploadJob};
+use mcs::trace::{Direction, TraceConfig, TraceGenerator};
+
+fn main() {
+    // A week of workload from 4 000 mobile users.
+    let gen = TraceGenerator::new(TraceConfig {
+        seed: 77,
+        mobile_users: 4_000,
+        pc_only_users: 1_000,
+        ..TraceConfig::default()
+    })
+    .expect("valid config");
+
+    // --- 1. Replay through the service: raw demand. ----------------------
+    let (svc, stats) = replay_trace(&gen, &ReplayConfig::default());
+    println!("== raw demand over one week ==");
+    println!("  files stored:        {}", stats.stores);
+    println!("  bytes uploaded:      {}", bytes(stats.bytes_uploaded as f64));
+    println!(
+        "  dedup saved:         {} ({} of offered uploads)",
+        bytes(stats.bytes_deduplicated as f64),
+        pct(stats.bytes_deduplicated as f64
+            / (stats.bytes_uploaded + stats.bytes_deduplicated).max(1) as f64),
+    );
+    println!("  bytes downloaded:    {}", bytes(stats.bytes_downloaded as f64));
+
+    // --- 2. The §2.4 over-provisioning problem. --------------------------
+    let worst = svc
+        .frontends()
+        .iter()
+        .map(|f| f.peak_to_mean_load())
+        .fold(0.0f64, f64::max);
+    println!("\n== §2.4: peak-driven provisioning ==");
+    println!("  worst front-end peak-to-mean load: {worst:.1}x");
+    println!("  (capacity sized for the peak idles {:.0}% of the time)", (1.0 - 1.0 / worst) * 100.0);
+
+    // --- 3. Lever 1 — smart auto backup (§3.2.2 / A4). --------------------
+    let jobs: Vec<UploadJob> = gen
+        .users()
+        .iter()
+        .flat_map(|u| {
+            let sessions = gen.user_sessions(u);
+            sessions
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.store_bytes() > 0)
+                .map(|(i, s)| UploadJob {
+                    submitted_ms: s.start_ms,
+                    bytes: s.store_bytes(),
+                    first_retrieval_ms: sessions[i..]
+                        .iter()
+                        .find(|l| l.retrieve_bytes() > 0)
+                        .map(|l| l.start_ms),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let policy = DeferPolicy::default();
+    let report = evaluate_deferral(&jobs, &policy, 7 * 24);
+    println!("\n== lever 1: deferred auto backup ==");
+    println!(
+        "  peak-window load moved to trough: {}",
+        pct(report.peak_window_reduction(&policy))
+    );
+    println!(
+        "  top-8-hour mean load: {} -> {}",
+        bytes(DeferralReport::top_k_mean(&report.immediate_hourly, 8)),
+        bytes(DeferralReport::top_k_mean(&report.deferred_hourly, 8)),
+    );
+    println!("  QoE violations: {}", pct(report.qoe_violation_rate()));
+
+    // --- 4. Lever 2 — warm tiering (Table 4 / A5). ------------------------
+    use mcs::storage::{TierPolicy, TieredStore};
+    let mut tiers = TieredStore::new(TierPolicy::default());
+    let mut id = 0u64;
+    for u in gen.users() {
+        let sessions = gen.user_sessions(u);
+        let mut owned = Vec::new();
+        for s in &sessions {
+            for f in &s.files {
+                match f.direction {
+                    Direction::Store => {
+                        tiers.put(id, f.size, s.start_ms);
+                        owned.push(id);
+                        id += 1;
+                    }
+                    Direction::Retrieve => {
+                        if let Some(&o) = owned.last() {
+                            let _ = tiers.read(o, s.start_ms);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    tiers.demote_all_eligible(gen.config().horizon_ms() + 5 * 86_400_000);
+    println!("\n== lever 2: f4-style warm tier ==");
+    println!(
+        "  provisioned capacity: {} -> {} ({} saved)",
+        bytes(tiers.provisioned_bytes_all_hot()),
+        bytes(tiers.provisioned_bytes()),
+        pct(tiers.capacity_saving()),
+    );
+
+    // --- 5. Put it together. ----------------------------------------------
+    println!("\n== summary ==");
+    println!(
+        "  the paper's backup-dominated usage means: dedup trims uploads, \
+         deferral flattens the evening peak, and warm storage absorbs the \
+         {} of objects nobody reads back.",
+        pct(tiers.warm_fraction()),
+    );
+}

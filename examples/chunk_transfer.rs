@@ -1,0 +1,92 @@
+//! The §4 performance story as a runnable scenario: upload the same file
+//! from an Android and an iOS device over the simulated service, watch the
+//! slow-start restarts, then apply each §4.3 mitigation.
+//!
+//! ```text
+//! cargo run --release --example chunk_transfer
+//! ```
+
+use mcs::net::chunkflow::FlowConfig;
+use mcs::net::device::DeviceProfile;
+use mcs::net::sim::SEC;
+use mcs::net::simulate_flow;
+use mcs::render::bytes;
+
+fn show(label: &str, cfg: &FlowConfig) {
+    let t = simulate_flow(cfg);
+    let chunk_times = t.chunk_times_s();
+    let median = {
+        let mut v = chunk_times.clone();
+        v.sort_by(f64::total_cmp);
+        v.get(v.len() / 2).copied().unwrap_or(f64::NAN)
+    };
+    println!(
+        "{label:<34} {:>9}/s   median chunk {:>6.2}s   restarts {:>3}   idles>RTO {:>5.1}%",
+        bytes(t.goodput_bps()),
+        median,
+        t.idle_restarts,
+        t.frac_idle_over_rto() * 100.0,
+    );
+}
+
+fn main() {
+    let file = 10u64 << 20; // the paper's 10 MB test file
+    println!("uploading a 10 MB file, 512 KB chunks, deployed configuration:\n");
+    let android = FlowConfig::upload(DeviceProfile::android(), file, 1);
+    let ios = FlowConfig::upload(DeviceProfile::ios(), file, 2);
+    show("android (deployed)", &android);
+    show("ios (deployed)", &ios);
+
+    println!("\nwhy android is slow — the Fig. 13 view (first 5 seconds):");
+    let t = simulate_flow(&android);
+    let mut last_printed = 0u64;
+    for &(at, inflight) in &t.inflight_samples {
+        if at > 5 * SEC {
+            break;
+        }
+        if at < last_printed + SEC / 2 {
+            continue;
+        }
+        last_printed = at;
+        let bar = "#".repeat((inflight / 4096) as usize);
+        println!("  t={:>4.1}s inflight {:>6} B {}", at as f64 / SEC as f64, inflight, bar);
+    }
+
+    println!("\nmitigations (§4.3), android upload:\n");
+    show("deployed (512 KB, SSAI on)", &android);
+    show(
+        "2 MB chunks",
+        &FlowConfig {
+            chunk_size: 2 << 20,
+            ..android
+        },
+    );
+    show(
+        "batch 4 chunks per request",
+        &FlowConfig {
+            batch_chunks: 4,
+            ..android
+        },
+    );
+    show(
+        "SSAI disabled",
+        &FlowConfig {
+            disable_ssai: true,
+            ..android
+        },
+    );
+    show(
+        "paced restart",
+        &FlowConfig {
+            pacing_after_idle: true,
+            ..android
+        },
+    );
+    show(
+        "server window scaling",
+        &FlowConfig {
+            server_window_scaling: true,
+            ..android
+        },
+    );
+}

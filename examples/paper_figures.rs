@@ -1,0 +1,47 @@
+//! Regenerate selected paper figures from the library API (the `repro`
+//! binary wraps the same [`mcs::ExperimentSuite`]; this example shows how
+//! to drive it programmatically and inspect structured results).
+//!
+//! ```text
+//! cargo run --release --example paper_figures           # headline set
+//! cargo run --release --example paper_figures -- f12    # one figure
+//! ```
+
+use mcs::{ExperimentId, ExperimentSuite, ReproConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut suite = ExperimentSuite::new(ReproConfig::small(2016));
+
+    let ids: Vec<ExperimentId> = if args.is_empty() {
+        // The paper's headline results.
+        vec![
+            "f3".parse().unwrap(),
+            "t2".parse().unwrap(),
+            "t3".parse().unwrap(),
+            "f9".parse().unwrap(),
+            "f16".parse().unwrap(),
+        ]
+    } else {
+        args.iter()
+            .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    };
+
+    let mut ok = true;
+    for id in ids {
+        let report = suite.run(id);
+        println!("{}", report.render());
+        ok &= report.all_ok();
+    }
+
+    // Structured access: pull a specific number out instead of text.
+    let analysis = suite.analysis();
+    println!(
+        "programmatic access example: tau = {:.0} s over {} sessions",
+        analysis.tau.tau_s, analysis.total_sessions
+    );
+    if !ok {
+        eprintln!("warning: some shape checks failed at this scale/seed");
+    }
+}

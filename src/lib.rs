@@ -1,0 +1,7 @@
+//! Root package of the `mcs` workspace.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories required by the repository layout; the actual library lives
+//! in the [`mcs`] umbrella crate (re-exported here for convenience).
+
+pub use mcs::*;

@@ -1,0 +1,115 @@
+//! Integration: replay the synthetic workload through the storage-service
+//! substrate and check the §2.1 invariants hold under trace-scale load.
+
+use mcs::storage::{Content, StorageService};
+use mcs::trace::{Direction, TraceConfig, TraceGenerator};
+
+/// Replays every planned session of a small trace into the service.
+fn replay(seed: u64) -> (StorageService, u64, u64) {
+    let gen = TraceGenerator::new(TraceConfig {
+        seed,
+        mobile_users: 400,
+        pc_only_users: 100,
+        ..TraceConfig::default()
+    })
+    .unwrap();
+    let horizon_hours = (gen.config().horizon_ms() / 3_600_000) as usize;
+    let mut svc = StorageService::new(8, horizon_hours);
+    let mut stored_files = 0u64;
+    let mut retrieved_files = 0u64;
+    let mut file_seq = 0u64;
+    for user in gen.users() {
+        let mut owned: Vec<String> = Vec::new();
+        for session in gen.user_sessions(user) {
+            for f in &session.files {
+                match f.direction {
+                    Direction::Store => {
+                        file_seq += 1;
+                        let name = format!("f{file_seq}");
+                        // ~3 % of uploads are duplicates of popular content
+                        // (the same meme forwarded around).
+                        let content = if file_seq.is_multiple_of(33) {
+                            Content::Synthetic { seed: 1, size: 2_000_000 }
+                        } else {
+                            Content::Synthetic { seed: 1000 + file_seq, size: f.size.max(1) }
+                        };
+                        svc.store(user.user_id, &name, &content, session.start_ms);
+                        owned.push(name);
+                        stored_files += 1;
+                    }
+                    Direction::Retrieve => {
+                        if let Some(name) = owned.last() {
+                            let got = svc
+                                .retrieve(user.user_id, name, session.start_ms)
+                                .expect("own file must resolve");
+                            assert!(got.bytes_downloaded > 0);
+                            retrieved_files += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (svc, stored_files, retrieved_files)
+}
+
+#[test]
+fn replayed_trace_respects_service_invariants() {
+    let (svc, stored, _retrieved) = replay(23);
+    assert!(stored > 1000, "replay too small: {stored}");
+
+    // Dedup fired for the repeated popular content.
+    let stats = svc.metadata().stats;
+    assert!(stats.dedup_hits > 0);
+    assert!(stats.dedup_bytes_saved > 0);
+    assert_eq!(stats.store_ops, stored);
+
+    // No retrieval ever hit a missing chunk (routing is consistent).
+    assert!(svc.frontends().iter().all(|f| f.missing_gets == 0));
+
+    // Unique storage is below the sum of uploads (dedup) but nonzero.
+    let unique: u64 = svc.stored_bytes();
+    assert!(unique > 0);
+
+    // Load spread over multiple front-ends.
+    let active = svc
+        .frontends()
+        .iter()
+        .filter(|f| f.distinct_chunks() > 0)
+        .count();
+    assert!(active >= 6, "only {active} front-ends used");
+}
+
+#[test]
+fn frontend_load_shows_diurnal_pattern() {
+    let (svc, _, _) = replay(29);
+    // Aggregate upload load per hour-of-day across the fleet.
+    let mut per_hod = [0.0f64; 24];
+    for fe in svc.frontends() {
+        for (h, &v) in fe.upload_load.iter().enumerate() {
+            per_hod[h % 24] += v;
+        }
+    }
+    let peak_hod = (0..24).max_by(|&a, &b| per_hod[a].total_cmp(&per_hod[b])).unwrap();
+    let trough_hod = (0..24).min_by(|&a, &b| per_hod[a].total_cmp(&per_hod[b])).unwrap();
+    assert!(
+        (18..=23).contains(&peak_hod),
+        "peak hour-of-day {peak_hod} not in the evening"
+    );
+    assert!(
+        per_hod[peak_hod] > 3.0 * per_hod[trough_hod].max(1.0),
+        "no diurnal contrast: peak {} trough {}",
+        per_hod[peak_hod],
+        per_hod[trough_hod]
+    );
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let (a, sa, ra) = replay(31);
+    let (b, sb, rb) = replay(31);
+    assert_eq!(sa, sb);
+    assert_eq!(ra, rb);
+    assert_eq!(a.stored_bytes(), b.stored_bytes());
+    assert_eq!(a.metadata().stats, b.metadata().stats);
+}
