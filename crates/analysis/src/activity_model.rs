@@ -12,7 +12,7 @@ use mcs_stats::stretched_exp::{PowerLawRankFit, StretchedExpFit};
 use crate::usage::UserSummary;
 
 /// Fitted activity models for one direction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ActivityFit {
     /// Stretched-exponential fit (the paper's model).
     pub se: StretchedExpFit,
@@ -64,7 +64,7 @@ pub struct ActivityCollector {
 }
 
 /// Finished Fig. 10 analysis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ActivityStats {
     /// Fig. 10a: stored-file activity.
     pub store: Option<ActivityFit>,
@@ -82,6 +82,14 @@ impl ActivityCollector {
     pub fn push(&mut self, user: &UserSummary) {
         self.stored.push(user.store_files as f64);
         self.retrieved.push(user.retrieve_files as f64);
+    }
+
+    /// Absorbs another collector's state, appending `other`'s per-user
+    /// activities after this collector's (the fits see the same sequence a
+    /// single-pass collector would have).
+    pub fn merge(&mut self, other: Self) {
+        self.stored.extend(other.stored);
+        self.retrieved.extend(other.retrieved);
     }
 
     /// Fits both directions.
@@ -183,6 +191,26 @@ mod tests {
             assert!(w[0].1 >= w[1].1);
         }
         assert_eq!(series[0].0, 1);
+    }
+
+    #[test]
+    fn merge_of_split_inputs_equals_single_pass() {
+        let users: Vec<UserSummary> = se_activity(2000, 0.25, 0.5, 6.0)
+            .into_iter()
+            .zip(se_activity(2000, 0.2, 0.4, 5.0))
+            .map(|(s, r)| user_with(s, r))
+            .collect();
+        let mut whole = ActivityCollector::new();
+        users.iter().for_each(|u| whole.push(u));
+        let expected = whole.finish();
+        for split in [1, 13, 700, 1999] {
+            let mut left = ActivityCollector::new();
+            let mut right = ActivityCollector::new();
+            users[..split].iter().for_each(|u| left.push(u));
+            users[split..].iter().for_each(|u| right.push(u));
+            left.merge(right);
+            assert_eq!(left.finish(), expected, "split {split}");
+        }
     }
 
     #[test]

@@ -61,6 +61,15 @@ pub struct ReturnHistogram {
 }
 
 impl ReturnHistogram {
+    /// Adds another histogram's counts.
+    pub fn merge(&mut self, other: &Self) {
+        self.cohort += other.cohort;
+        for (a, b) in self.returns.iter_mut().zip(&other.returns) {
+            *a += b;
+        }
+        self.never += other.never;
+    }
+
     /// Fraction returning first on day `x` (1-based relative day; 1..=6).
     pub fn frac_on_day(&self, x: usize) -> f64 {
         assert!((1..=6).contains(&x), "relative day must be 1..=6");
@@ -87,6 +96,15 @@ pub struct RetrievalAfterUpload {
 }
 
 impl RetrievalAfterUpload {
+    /// Adds another curve's counts.
+    pub fn merge(&mut self, other: &Self) {
+        self.cohort += other.cohort;
+        for (a, b) in self.on_day.iter_mut().zip(&other.on_day) {
+            *a += b;
+        }
+        self.never += other.never;
+    }
+
     /// Fraction with a retrieval on relative day `x`.
     pub fn frac_on_day(&self, x: usize) -> f64 {
         assert!(x < 7, "relative day must be 0..=6");
@@ -108,7 +126,7 @@ pub struct EngagementCollector {
 }
 
 /// Finished engagement statistics, indexable by [`EngagementGroup`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngagementStats {
     fig8: [ReturnHistogram; 4],
     fig9: [RetrievalAfterUpload; 4],
@@ -166,6 +184,17 @@ impl EngagementCollector {
                     r.never += 1;
                 }
             }
+        }
+    }
+
+    /// Absorbs another collector's counts (all fields are plain sums, so
+    /// the merge is order-insensitive).
+    pub fn merge(&mut self, other: Self) {
+        for (a, b) in self.fig8.iter_mut().zip(&other.fig8) {
+            a.merge(b);
+        }
+        for (a, b) in self.fig9.iter_mut().zip(&other.fig9) {
+            a.merge(b);
         }
     }
 
@@ -285,8 +314,37 @@ mod tests {
         // Active day 0 (retrieval only), stores later: not a day-0 uploader.
         c.push(&user(1, false, vec![0, 1], vec![1], vec![0]));
         let s = c.finish();
-        assert_eq!(s.retrieval_after_upload(EngagementGroup::OneMobileDev).cohort, 0);
+        assert_eq!(
+            s.retrieval_after_upload(EngagementGroup::OneMobileDev)
+                .cohort,
+            0
+        );
         assert_eq!(s.return_histogram(EngagementGroup::OneMobileDev).cohort, 1);
+    }
+
+    #[test]
+    fn merge_of_split_inputs_equals_single_pass() {
+        let users: Vec<UserSummary> = (0..24u32)
+            .map(|i| {
+                user(
+                    1 + i % 3,
+                    i % 6 == 0,
+                    vec![0, 1 + i % 5],
+                    vec![i % 2],
+                    if i % 3 == 0 { vec![i % 7] } else { vec![] },
+                )
+            })
+            .collect();
+        let mut whole = EngagementCollector::new();
+        users.iter().for_each(|u| whole.push(u));
+        let expected = whole.finish();
+        let (a, b) = users.split_at(9);
+        let mut left = EngagementCollector::new();
+        let mut right = EngagementCollector::new();
+        a.iter().for_each(|u| left.push(u));
+        b.iter().for_each(|u| right.push(u));
+        left.merge(right);
+        assert_eq!(left.finish(), expected);
     }
 
     #[test]
@@ -294,9 +352,13 @@ mod tests {
         let mut c = EngagementCollector::new();
         c.push(&user(3, false, vec![0, 1], vec![0], vec![]));
         let s = c.finish();
-        assert_eq!(s.return_histogram(EngagementGroup::MultiMobileDev).cohort, 1);
         assert_eq!(
-            s.return_histogram(EngagementGroup::ThreePlusMobileDev).cohort,
+            s.return_histogram(EngagementGroup::MultiMobileDev).cohort,
+            1
+        );
+        assert_eq!(
+            s.return_histogram(EngagementGroup::ThreePlusMobileDev)
+                .cohort,
             1
         );
         assert_eq!(s.return_histogram(EngagementGroup::OneMobileDev).cohort, 0);

@@ -39,6 +39,20 @@ pub struct FileSizeModelFit {
     pub ks: f64,
 }
 
+// Manual equality: `ks` is NaN when no mixture was fitted, and two fits
+// must still compare equal there — the pipeline equivalence tests need
+// bitwise semantics, not IEEE NaN ≠ NaN.
+impl PartialEq for FileSizeModelFit {
+    fn eq(&self, other: &Self) -> bool {
+        self.direction == other.direction
+            && self.sessions == other.sessions
+            && self.ecdf == other.ecdf
+            && self.mixture == other.mixture
+            && self.chi2 == other.chi2
+            && self.ks.to_bits() == other.ks.to_bits()
+    }
+}
+
 impl FileSizeModelFit {
     /// Whether the fit passes the χ² test at 5 % (the paper's criterion).
     pub fn passes_chi2(&self) -> bool {
@@ -52,11 +66,7 @@ impl FileSizeModelFit {
             .ccdf_series_log(points)
             .into_iter()
             .map(|(x, emp)| {
-                let model = self
-                    .mixture
-                    .as_ref()
-                    .map(|m| m.ccdf(x))
-                    .unwrap_or(f64::NAN);
+                let model = self.mixture.as_ref().map(|m| m.ccdf(x)).unwrap_or(f64::NAN);
                 (x, emp, model)
             })
             .collect()
@@ -100,9 +110,21 @@ impl FileSizeCollector {
         }
     }
 
+    /// Absorbs another collector's state, appending `other`'s samples after
+    /// this collector's. Subsampling happens only in [`Self::finish`], so
+    /// merging shard collectors in shard order feeds the EM fit the exact
+    /// sequence a single-pass collector would have.
+    pub fn merge(&mut self, other: Self) {
+        self.store_avgs_mb.extend(other.store_avgs_mb);
+        self.retrieve_avgs_mb.extend(other.retrieve_avgs_mb);
+    }
+
     /// Fits both directions. `max_fit_points` caps the EM input via
     /// deterministic subsampling (EM is O(n·k) per iteration).
-    pub fn finish(self, max_fit_points: usize) -> (Option<FileSizeModelFit>, Option<FileSizeModelFit>) {
+    pub fn finish(
+        self,
+        max_fit_points: usize,
+    ) -> (Option<FileSizeModelFit>, Option<FileSizeModelFit>) {
         (
             fit_direction(Direction::Store, self.store_avgs_mb, max_fit_points),
             fit_direction(Direction::Retrieve, self.retrieve_avgs_mb, max_fit_points),
@@ -149,7 +171,11 @@ fn fit_direction(
 /// at the 5 % level.
 fn chi2_of(m: &ExponentialMixture, sample: &[f64]) -> Option<Chi2Test> {
     let sample = &subsample(sample, 4_000)[..];
-    let lo = sample.iter().copied().fold(f64::INFINITY, f64::min).max(1e-6);
+    let lo = sample
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-6);
     let hi = sample.iter().copied().fold(0.0f64, f64::max) * 1.001;
     if hi <= lo {
         return None;
@@ -214,7 +240,11 @@ mod tests {
         let mut rng = stream_rng(11, 0);
         let mut c = FileSizeCollector::new();
         for _ in 0..30_000 {
-            c.push(&session_with_avg(Direction::Store, sampler.sample(&mut rng), 1));
+            c.push(&session_with_avg(
+                Direction::Store,
+                sampler.sample(&mut rng),
+                1,
+            ));
         }
         let (store, retrieve) = c.finish(30_000);
         assert!(retrieve.is_none());
@@ -234,7 +264,11 @@ mod tests {
         let mut rng = stream_rng(12, 0);
         let mut c = FileSizeCollector::new();
         for _ in 0..20_000 {
-            c.push(&session_with_avg(Direction::Store, sampler.sample(&mut rng), 1));
+            c.push(&session_with_avg(
+                Direction::Store,
+                sampler.sample(&mut rng),
+                1,
+            ));
         }
         let (store, _) = c.finish(20_000);
         let fit = store.unwrap();
@@ -246,7 +280,11 @@ mod tests {
             "chi2 = {:?} for correctly-specified model",
             fit.chi2
         );
-        assert!(fit.ks < 0.03, "ks = {} for correctly-specified model", fit.ks);
+        assert!(
+            fit.ks < 0.03,
+            "ks = {} for correctly-specified model",
+            fit.ks
+        );
     }
 
     #[test]
@@ -255,7 +293,11 @@ mod tests {
         let mut rng = stream_rng(13, 0);
         let mut c = FileSizeCollector::new();
         for _ in 0..5_000 {
-            c.push(&session_with_avg(Direction::Retrieve, sampler.sample(&mut rng), 2));
+            c.push(&session_with_avg(
+                Direction::Retrieve,
+                sampler.sample(&mut rng),
+                2,
+            ));
         }
         let (_, retrieve) = c.finish(5_000);
         let fit = retrieve.unwrap();
@@ -266,8 +308,38 @@ mod tests {
             assert!((0.0..=1.0).contains(&emp));
             assert!((0.0..=1.0 + 1e-9).contains(&model));
             // Model should track the empirical tail loosely everywhere.
-            assert!((emp - model).abs() < 0.15, "at {x}: emp {emp} model {model}");
+            assert!(
+                (emp - model).abs() < 0.15,
+                "at {x}: emp {emp} model {model}"
+            );
         }
+    }
+
+    #[test]
+    fn merge_of_split_inputs_equals_single_pass() {
+        let sampler = ExpMixtureSampler::new(&[(0.85, 1.5), (0.15, 20.0)]);
+        let mut rng = stream_rng(14, 0);
+        let sessions: Vec<Session> = (0..3_000)
+            .map(|i| {
+                let dir = if i % 4 == 0 {
+                    Direction::Retrieve
+                } else {
+                    Direction::Store
+                };
+                session_with_avg(dir, sampler.sample(&mut rng), 1 + i % 3)
+            })
+            .collect();
+        let mut whole = FileSizeCollector::new();
+        sessions.iter().for_each(|s| whole.push(s));
+        // Subsample in finish() so the merge path exercises it too.
+        let expected = whole.finish(1_000);
+        let (a, b) = sessions.split_at(1_100);
+        let mut left = FileSizeCollector::new();
+        let mut right = FileSizeCollector::new();
+        a.iter().for_each(|s| left.push(s));
+        b.iter().for_each(|s| right.push(s));
+        left.merge(right);
+        assert_eq!(left.finish(1_000), expected);
     }
 
     #[test]

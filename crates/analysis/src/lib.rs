@@ -32,6 +32,6 @@ pub mod sessionize;
 pub mod usage;
 pub mod workload;
 
-pub use pipeline::{analyze, FullAnalysis, PipelineConfig};
+pub use pipeline::{analyze, par_analyze, FullAnalysis, PipelineConfig};
 pub use sessionize::{Session, SessionKind, TauDerivation};
 pub use usage::{ObservedClass, ObservedGroup, UserSummary};

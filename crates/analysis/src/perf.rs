@@ -25,7 +25,7 @@ pub struct PerfCollector {
 }
 
 /// Finished performance statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfStats {
     /// Fig. 12a: upload chunk time ECDF, Android (seconds).
     pub upload_android: Option<Ecdf>,
@@ -80,9 +80,27 @@ impl PerfCollector {
         }
     }
 
+    /// Absorbs another collector's state, appending `other`'s samples after
+    /// this collector's so the merged Vecs equal a single sequential pass.
+    pub fn merge(&mut self, other: Self) {
+        self.upload_android_s.extend(other.upload_android_s);
+        self.upload_ios_s.extend(other.upload_ios_s);
+        self.download_android_s.extend(other.download_android_s);
+        self.download_ios_s.extend(other.download_ios_s);
+        self.rtt_ms.extend(other.rtt_ms);
+        self.swnd_bytes.extend(other.swnd_bytes);
+        self.proxied_skipped += other.proxied_skipped;
+    }
+
     /// Finalises.
     pub fn finish(self) -> PerfStats {
-        let ecdf = |v: Vec<f64>| if v.is_empty() { None } else { Some(Ecdf::new(v)) };
+        let ecdf = |v: Vec<f64>| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(Ecdf::new(v))
+            }
+        };
         let mut swnd_hist = Histogram::new(0.0, 131_072.0, 64);
         for &w in &self.swnd_bytes {
             swnd_hist.push(w);
@@ -149,10 +167,34 @@ mod tests {
     #[test]
     fn splits_by_device_and_direction() {
         let mut c = PerfCollector::new();
-        c.push(&chunk(DeviceType::Android, Direction::Store, 4100.0, 100.0, false));
-        c.push(&chunk(DeviceType::Ios, Direction::Store, 1600.0, 100.0, false));
-        c.push(&chunk(DeviceType::Android, Direction::Retrieve, 1600.0, 100.0, false));
-        c.push(&chunk(DeviceType::Ios, Direction::Retrieve, 800.0, 100.0, false));
+        c.push(&chunk(
+            DeviceType::Android,
+            Direction::Store,
+            4100.0,
+            100.0,
+            false,
+        ));
+        c.push(&chunk(
+            DeviceType::Ios,
+            Direction::Store,
+            1600.0,
+            100.0,
+            false,
+        ));
+        c.push(&chunk(
+            DeviceType::Android,
+            Direction::Retrieve,
+            1600.0,
+            100.0,
+            false,
+        ));
+        c.push(&chunk(
+            DeviceType::Ios,
+            Direction::Retrieve,
+            800.0,
+            100.0,
+            false,
+        ));
         let s = c.finish();
         assert_eq!(s.upload_android.as_ref().unwrap().len(), 1);
         assert_eq!(s.upload_ios.as_ref().unwrap().len(), 1);
@@ -165,7 +207,13 @@ mod tests {
     #[test]
     fn proxied_filtered() {
         let mut c = PerfCollector::new();
-        c.push(&chunk(DeviceType::Android, Direction::Store, 1000.0, 100.0, true));
+        c.push(&chunk(
+            DeviceType::Android,
+            Direction::Store,
+            1000.0,
+            100.0,
+            true,
+        ));
         let s = c.finish();
         assert_eq!(s.proxied_skipped, 1);
         assert!(s.upload_android.is_none());
@@ -177,7 +225,13 @@ mod tests {
         let mut op = chunk(DeviceType::Android, Direction::Store, 1000.0, 100.0, false);
         op.request = RequestType::FileOp(Direction::Store);
         c.push(&op);
-        c.push(&chunk(DeviceType::Pc, Direction::Store, 1000.0, 100.0, false));
+        c.push(&chunk(
+            DeviceType::Pc,
+            Direction::Store,
+            1000.0,
+            100.0,
+            false,
+        ));
         let s = c.finish();
         assert!(s.upload_android.is_none());
         assert!(s.rtt.is_none());
@@ -189,7 +243,13 @@ mod tests {
         // Window-bound upload: t_tran = reqsize/64KB * RTT = 8 RTT.
         for rtt in [50.0, 100.0, 200.0] {
             for _ in 0..100 {
-                c.push(&chunk(DeviceType::Ios, Direction::Store, 8.0 * rtt, rtt, false));
+                c.push(&chunk(
+                    DeviceType::Ios,
+                    Direction::Store,
+                    8.0 * rtt,
+                    rtt,
+                    false,
+                ));
             }
         }
         let s = c.finish();
@@ -201,6 +261,42 @@ mod tests {
         // Quantiles also tight around 64 KB.
         let e = s.swnd.unwrap();
         assert!((e.median() - 65_536.0).abs() < 1500.0);
+    }
+
+    #[test]
+    fn merge_of_split_inputs_equals_single_pass() {
+        let recs: Vec<LogRecord> = (0..60)
+            .map(|i| {
+                let device = if i % 2 == 0 {
+                    DeviceType::Android
+                } else {
+                    DeviceType::Ios
+                };
+                let dir = if i % 3 == 0 {
+                    Direction::Retrieve
+                } else {
+                    Direction::Store
+                };
+                chunk(
+                    device,
+                    dir,
+                    500.0 + 37.0 * i as f64,
+                    40.0 + i as f64,
+                    i % 11 == 0,
+                )
+            })
+            .collect();
+        let mut whole = PerfCollector::new();
+        recs.iter().for_each(|r| whole.push(r));
+        let expected = whole.finish();
+        for split in [1, 7, 29, 59] {
+            let mut left = PerfCollector::new();
+            let mut right = PerfCollector::new();
+            recs[..split].iter().for_each(|r| left.push(r));
+            recs[split..].iter().for_each(|r| right.push(r));
+            left.merge(right);
+            assert_eq!(left.finish(), expected, "split {split}");
+        }
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //! The trace is supplied as a factory of per-user record-block iterators so
 //! paper-scale inputs can stream twice without residing in memory.
 
+use std::thread;
+
 use serde::{Deserialize, Serialize};
 
-use mcs_trace::LogRecord;
+use mcs_trace::{effective_threads, shard_ranges, BlockSource, LogRecord};
 
 use crate::activity_model::{ActivityCollector, ActivityStats};
 use crate::engagement::{EngagementCollector, EngagementStats};
@@ -35,6 +37,11 @@ pub struct PipelineConfig {
     pub max_fit_points: usize,
     /// Largest per-session file count binned in Fig. 5b,c.
     pub max_volume_bin_files: u32,
+    /// Worker threads for [`par_analyze`] (`0` = one per available core).
+    /// Any value produces results bit-identical to [`analyze`]; the knob
+    /// only trades wall-clock for cores.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -43,12 +50,13 @@ impl Default for PipelineConfig {
             horizon_secs: 7 * 24 * 3600,
             max_fit_points: 60_000,
             max_volume_bin_files: 100,
+            threads: 0,
         }
     }
 }
 
 /// Everything the paper's §2.4–§4.1 derive from the logs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FullAnalysis {
     /// §3.1.1 / Fig. 3: how τ was derived.
     pub tau: TauDerivation,
@@ -101,72 +109,203 @@ where
     // Pass 1: τ derivation. The paper's session analysis is over the
     // *mobile* dataset; PC-client records feed only the §3.2 usage and
     // engagement comparisons.
+    let mut mobile = Vec::new();
     let mut intervals = Vec::new();
     for block in blocks() {
-        let mobile: Vec<_> = block
-            .iter()
-            .copied()
-            .filter(|r| r.device_type.is_mobile())
-            .collect();
-        intervals.extend(file_op_intervals_s(&mobile));
+        gather_intervals(&block, &mut mobile, &mut intervals);
     }
     let tau = derive_tau(&intervals, cfg.max_fit_points);
     drop(intervals);
 
     // Pass 2: everything else.
     let tau_ms = tau.tau_ms();
-    let mut session_stats = SessionStatsCollector::new();
-    let mut filesize = FileSizeCollector::new();
-    let mut workload = WorkloadSeries::new(cfg.horizon_secs);
-    let mut usage = UsageCollector::new();
-    let mut engagement = EngagementCollector::new();
-    let mut activity = ActivityCollector::new();
-    let mut perf = PerfCollector::new();
-    let mut total_sessions = 0u64;
-    let mut total_records = 0u64;
-    let mut total_users = 0u64;
-
+    let mut collectors = Collectors::new(cfg);
     for block in blocks() {
-        if block.is_empty() {
-            continue;
-        }
-        total_users += 1;
-        total_records += block.len() as u64;
-        let mobile: Vec<_> = block
+        collectors.push_block(&block, &mut mobile, tau_ms);
+    }
+    collectors.finish(tau, cfg)
+}
+
+/// Runs the full pipeline sharded over `cfg.threads` workers, producing a
+/// [`FullAnalysis`] **bit-identical** to [`analyze`] over the same blocks.
+///
+/// Determinism contract: the per-user blocks are partitioned into
+/// contiguous shards, each worker feeds a private collector set, and shard
+/// states are reduced in ascending shard order. Every collector merge is
+/// Vec concatenation or exact integer-valued `f64` addition, so the reduced
+/// state reproduces the exact sequential push order; order-sensitive
+/// subsampling for the EM fits happens only in `finish()`, after the
+/// canonical-order reduce. `threads == 0` resolves to the machine's
+/// available parallelism; one shard (or one thread) falls back to the
+/// sequential path.
+pub fn par_analyze<B>(blocks: &B, cfg: &PipelineConfig) -> FullAnalysis
+where
+    B: BlockSource + ?Sized,
+{
+    let ranges = shard_ranges(blocks.len(), effective_threads(cfg.threads));
+    if ranges.len() <= 1 {
+        return analyze(|| (0..blocks.len()).map(|i| blocks.block(i)), cfg);
+    }
+
+    // Pass 1: shard-local interval gather, concatenated in shard order so
+    // `derive_tau` sees the exact sequential interval sequence.
+    let shard_intervals: Vec<Vec<f64>> = thread::scope(|scope| {
+        let handles: Vec<_> = ranges
             .iter()
-            .copied()
-            .filter(|r| r.device_type.is_mobile())
+            .cloned()
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut mobile = Vec::new();
+                    let mut intervals = Vec::new();
+                    for idx in range {
+                        gather_intervals(&blocks.block(idx), &mut mobile, &mut intervals);
+                    }
+                    intervals
+                })
+            })
             .collect();
-        for r in &mobile {
-            workload.push(r);
-            perf.push(r);
-        }
-        for s in sessionize(&mobile, tau_ms) {
-            total_sessions += 1;
-            session_stats.push(&s);
-            filesize.push(&s);
-        }
-        if let Some(summary) = UserSummary::from_records(&block) {
-            usage.push(&summary);
-            engagement.push(&summary);
-            activity.push(&summary);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pass-1 shard worker panicked"))
+            .collect()
+    });
+    let mut intervals = Vec::new();
+    for shard in shard_intervals {
+        intervals.extend(shard);
+    }
+    let tau = derive_tau(&intervals, cfg.max_fit_points);
+    drop(intervals);
+
+    // Pass 2: private collector set per shard, merged in shard order.
+    let tau_ms = tau.tau_ms();
+    let shard_states: Vec<Collectors> = thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut collectors = Collectors::new(cfg);
+                    let mut mobile = Vec::new();
+                    for idx in range {
+                        collectors.push_block(&blocks.block(idx), &mut mobile, tau_ms);
+                    }
+                    collectors
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pass-2 shard worker panicked"))
+            .collect()
+    });
+    let merged = shard_states
+        .into_iter()
+        .reduce(|mut acc, shard| {
+            acc.merge(shard);
+            acc
+        })
+        .expect("at least one shard");
+    merged.finish(tau, cfg)
+}
+
+/// Refills `mobile` with the block's mobile-device records and appends
+/// their inter-file-operation intervals (pass 1's per-block step). The
+/// scratch buffer avoids one allocation per block.
+fn gather_intervals(block: &[LogRecord], mobile: &mut Vec<LogRecord>, intervals: &mut Vec<f64>) {
+    mobile.clear();
+    mobile.extend(block.iter().copied().filter(|r| r.device_type.is_mobile()));
+    intervals.extend(file_op_intervals_s(mobile));
+}
+
+/// The pass-2 collector set. Each instance is a monoid over per-user
+/// blocks: `a.push_block(..)` for a shard of blocks then `merge` in shard
+/// order equals pushing every block into one instance sequentially.
+struct Collectors {
+    session_stats: SessionStatsCollector,
+    filesize: FileSizeCollector,
+    workload: WorkloadSeries,
+    usage: UsageCollector,
+    engagement: EngagementCollector,
+    activity: ActivityCollector,
+    perf: PerfCollector,
+    total_sessions: u64,
+    total_records: u64,
+    total_users: u64,
+}
+
+impl Collectors {
+    fn new(cfg: &PipelineConfig) -> Self {
+        Self {
+            session_stats: SessionStatsCollector::new(),
+            filesize: FileSizeCollector::new(),
+            workload: WorkloadSeries::new(cfg.horizon_secs),
+            usage: UsageCollector::new(),
+            engagement: EngagementCollector::new(),
+            activity: ActivityCollector::new(),
+            perf: PerfCollector::new(),
+            total_sessions: 0,
+            total_records: 0,
+            total_users: 0,
         }
     }
 
-    let (filesize_store, filesize_retrieve) = filesize.finish(cfg.max_fit_points);
-    FullAnalysis {
-        tau,
-        total_sessions,
-        sessions: session_stats.finish(cfg.max_volume_bin_files),
-        filesize_store,
-        filesize_retrieve,
-        workload,
-        usage: usage.finish(),
-        engagement: engagement.finish(),
-        activity: activity.finish(),
-        perf: perf.finish(),
-        total_records,
-        total_users,
+    /// Feeds one user's records through every collector. `mobile` is a
+    /// reusable scratch buffer for the mobile-filtered view.
+    fn push_block(&mut self, block: &[LogRecord], mobile: &mut Vec<LogRecord>, tau_ms: u64) {
+        if block.is_empty() {
+            return;
+        }
+        self.total_users += 1;
+        self.total_records += block.len() as u64;
+        mobile.clear();
+        mobile.extend(block.iter().copied().filter(|r| r.device_type.is_mobile()));
+        for r in mobile.iter() {
+            self.workload.push(r);
+            self.perf.push(r);
+        }
+        for s in sessionize(mobile, tau_ms) {
+            self.total_sessions += 1;
+            self.session_stats.push(&s);
+            self.filesize.push(&s);
+        }
+        if let Some(summary) = UserSummary::from_records(block) {
+            self.usage.push(&summary);
+            self.engagement.push(&summary);
+            self.activity.push(&summary);
+        }
+    }
+
+    /// Absorbs the next shard's state (shards must be merged in ascending
+    /// shard order for exact equality with the sequential pass).
+    fn merge(&mut self, other: Self) {
+        self.session_stats.merge(other.session_stats);
+        self.filesize.merge(other.filesize);
+        self.workload.merge(&other.workload);
+        self.usage.merge(other.usage);
+        self.engagement.merge(other.engagement);
+        self.activity.merge(other.activity);
+        self.perf.merge(other.perf);
+        self.total_sessions += other.total_sessions;
+        self.total_records += other.total_records;
+        self.total_users += other.total_users;
+    }
+
+    fn finish(self, tau: TauDerivation, cfg: &PipelineConfig) -> FullAnalysis {
+        let (filesize_store, filesize_retrieve) = self.filesize.finish(cfg.max_fit_points);
+        FullAnalysis {
+            tau,
+            total_sessions: self.total_sessions,
+            sessions: self.session_stats.finish(cfg.max_volume_bin_files),
+            filesize_store,
+            filesize_retrieve,
+            workload: self.workload,
+            usage: self.usage.finish(),
+            engagement: self.engagement.finish(),
+            activity: self.activity.finish(),
+            perf: self.perf.finish(),
+            total_records: self.total_records,
+            total_users: self.total_users,
+        }
     }
 }
 
@@ -204,7 +343,11 @@ mod tests {
             "store-only {}",
             a.sessions.store_only_frac()
         );
-        assert!(a.sessions.mixed_frac() < 0.10, "mixed {}", a.sessions.mixed_frac());
+        assert!(
+            a.sessions.mixed_frac() < 0.10,
+            "mixed {}",
+            a.sessions.mixed_frac()
+        );
 
         // Fig. 5b slope ≈ 1.5 MB/file (photo-dominated uploads).
         assert!(
@@ -242,10 +385,66 @@ mod tests {
         assert_eq!(a.total_records, b.total_records);
         assert_eq!(a.total_sessions, b.total_sessions);
         assert_eq!(a.tau.tau_s, b.tau.tau_s);
-        assert_eq!(
-            a.sessions.store_only_frac(),
-            b.sessions.store_only_frac()
-        );
+        assert_eq!(a.sessions.store_only_frac(), b.sessions.store_only_frac());
+    }
+
+    #[test]
+    fn par_analyze_matches_sequential_for_any_thread_count() {
+        let mut tcfg = TraceConfig::small(7);
+        tcfg.mobile_users = 400;
+        tcfg.pc_only_users = 100;
+        let gen = TraceGenerator::new(tcfg).unwrap();
+        let cfg = PipelineConfig::default();
+        let seq = analyze(|| gen.iter_user_records(), &cfg);
+        for threads in [1, 2, 4, 7] {
+            let par = par_analyze(&gen, &PipelineConfig { threads, ..cfg });
+            // Field-level comparison first for readable failures, whole
+            // struct last to catch anything the fields miss.
+            assert_eq!(par.tau, seq.tau, "tau, threads {threads}");
+            assert_eq!(
+                par.total_sessions, seq.total_sessions,
+                "sessions, threads {threads}"
+            );
+            assert_eq!(
+                par.sessions, seq.sessions,
+                "session stats, threads {threads}"
+            );
+            assert_eq!(
+                par.filesize_store, seq.filesize_store,
+                "fs store, threads {threads}"
+            );
+            assert_eq!(
+                par.filesize_retrieve, seq.filesize_retrieve,
+                "fs retrieve, threads {threads}"
+            );
+            assert_eq!(par.workload, seq.workload, "workload, threads {threads}");
+            assert_eq!(par.usage, seq.usage, "usage, threads {threads}");
+            assert_eq!(
+                par.engagement, seq.engagement,
+                "engagement, threads {threads}"
+            );
+            assert_eq!(par.activity, seq.activity, "activity, threads {threads}");
+            assert_eq!(par.perf, seq.perf, "perf, threads {threads}");
+            assert_eq!(
+                par.total_records, seq.total_records,
+                "records, threads {threads}"
+            );
+            assert_eq!(par.total_users, seq.total_users, "users, threads {threads}");
+            assert_eq!(par, seq, "full analysis, threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_analyze_zero_threads_resolves_to_available_parallelism() {
+        let mut tcfg = TraceConfig::small(5);
+        tcfg.mobile_users = 60;
+        tcfg.pc_only_users = 15;
+        let gen = TraceGenerator::new(tcfg).unwrap();
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.threads, 0);
+        let par = par_analyze(&gen, &cfg);
+        let seq = analyze(|| gen.iter_user_records(), &cfg);
+        assert_eq!(par, seq);
     }
 
     #[test]
@@ -260,7 +459,12 @@ mod tests {
         assert!(sv[0] > 0.6, "upload-only store share {}", sv[0]);
         // PC-only users are spread more evenly (paper: 31.6 % upload-only).
         let pc = a.usage.pc_only.user_fracs();
-        assert!(pc[0] < fr[0], "PC upload-only {} vs mobile {}", pc[0], fr[0]);
+        assert!(
+            pc[0] < fr[0],
+            "PC upload-only {} vs mobile {}",
+            pc[0],
+            fr[0]
+        );
     }
 
     #[test]
@@ -268,7 +472,9 @@ mod tests {
         use crate::engagement::EngagementGroup;
         let a = analyzed(13, 3000);
         let one = a.engagement.return_histogram(EngagementGroup::OneMobileDev);
-        let multi = a.engagement.return_histogram(EngagementGroup::MultiMobileDev);
+        let multi = a
+            .engagement
+            .return_histogram(EngagementGroup::MultiMobileDev);
         assert!(one.cohort > 50, "cohort {}", one.cohort);
         // Fig. 8: single-device users churn far more.
         assert!(
@@ -278,10 +484,18 @@ mod tests {
             multi.frac_never()
         );
         // Fig. 9: mobile-only users rarely retrieve their uploads…
-        let r1 = a.engagement.retrieval_after_upload(EngagementGroup::OneMobileDev);
-        assert!(r1.frac_never() > 0.7, "1-dev never-retrieve {}", r1.frac_never());
+        let r1 = a
+            .engagement
+            .retrieval_after_upload(EngagementGroup::OneMobileDev);
+        assert!(
+            r1.frac_never() > 0.7,
+            "1-dev never-retrieve {}",
+            r1.frac_never()
+        );
         // …while mobile+PC users do so more often.
-        let rp = a.engagement.retrieval_after_upload(EngagementGroup::MobilePc);
+        let rp = a
+            .engagement
+            .retrieval_after_upload(EngagementGroup::MobilePc);
         assert!(
             rp.frac_never() < r1.frac_never(),
             "mobile&pc {} vs 1-dev {}",

@@ -1,6 +1,7 @@
-//! Property-based tests over the sessionizer: sessions must partition the
+//! Property-based tests over the sessionizer (sessions must partition the
 //! record stream and conserve every counted quantity for *any* record
-//! layout, not only generator-shaped ones.
+//! layout, not only generator-shaped ones) and over the parallel pipeline
+//! (sharded analysis must be invariant in the shard count).
 
 #![cfg(test)]
 
@@ -8,6 +9,7 @@ use proptest::prelude::*;
 
 use mcs_trace::{DeviceType, Direction, LogRecord, RequestType};
 
+use crate::pipeline::{analyze, par_analyze, PipelineConfig};
 use crate::sessionize::{file_op_intervals_s, sessionize};
 
 fn arb_request() -> impl Strategy<Value = RequestType> {
@@ -21,9 +23,10 @@ fn arb_request() -> impl Strategy<Value = RequestType> {
 
 /// A random time-ordered single-user record stream.
 fn arb_stream() -> impl Strategy<Value = Vec<LogRecord>> {
-    (
-        proptest::collection::vec((0u64..5_000_000, arb_request(), 0u64..600_000), 0..120),
-    )
+    (proptest::collection::vec(
+        (0u64..5_000_000, arb_request(), 0u64..600_000),
+        0..120,
+    ),)
         .prop_map(|(mut items,)| {
             items.sort_by_key(|&(t, _, _)| t);
             items
@@ -44,7 +47,66 @@ fn arb_stream() -> impl Strategy<Value = Vec<LogRecord>> {
         })
 }
 
+/// A random multi-user block set: each block one user's time-ordered
+/// records, distinct user ids, mixed mobile/PC devices.
+fn arb_blocks() -> impl Strategy<Value = Vec<Vec<LogRecord>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (0u64..5_000_000, arb_request(), 0u64..600_000, 0u8..3),
+            0..40,
+        ),
+        0..12,
+    )
+    .prop_map(|users| {
+        users
+            .into_iter()
+            .enumerate()
+            .map(|(uid, mut items)| {
+                items.sort_by_key(|&(t, _, _, _)| t);
+                items
+                    .into_iter()
+                    .map(|(t, request, vol, dev)| LogRecord {
+                        timestamp_ms: t,
+                        device_type: match dev {
+                            0 => DeviceType::Android,
+                            1 => DeviceType::Ios,
+                            _ => DeviceType::Pc,
+                        },
+                        device_id: dev as u64 + 1,
+                        user_id: uid as u64 + 1,
+                        request,
+                        volume_bytes: if request.is_chunk() { vol } else { 0 },
+                        processing_ms: 50.0,
+                        srv_ms: 10.0,
+                        rtt_ms: 100.0,
+                        proxied: false,
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
 proptest! {
+    #[test]
+    fn prop_par_analyze_invariant_in_shard_count(blocks in arb_blocks()) {
+        let cfg = PipelineConfig {
+            horizon_secs: 5_000,
+            max_fit_points: 500,
+            max_volume_bin_files: 20,
+            threads: 0,
+        };
+        let seq = analyze(|| blocks.iter().cloned(), &cfg);
+        // Serialized comparison sidesteps NaN != NaN inside failed fits
+        // (non-finite floats render as null).
+        let seq_json = serde_json::to_string(&seq).expect("serialize sequential");
+        for threads in [1usize, 2, 4, 7] {
+            let par = par_analyze(&blocks, &PipelineConfig { threads, ..cfg });
+            let par_json = serde_json::to_string(&par).expect("serialize parallel");
+            prop_assert_eq!(&par_json, &seq_json, "threads {}", threads);
+        }
+    }
+
     #[test]
     fn prop_sessions_conserve_counts(records in arb_stream(), tau_ms in 1_000u64..2_000_000) {
         let sessions = sessionize(&records, tau_ms);

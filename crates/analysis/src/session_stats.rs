@@ -47,7 +47,7 @@ pub struct VolumeBin {
 }
 
 /// Finished session statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionStats {
     /// Count of store-only sessions.
     pub store_only: u64,
@@ -138,10 +138,33 @@ impl SessionStatsCollector {
         }
     }
 
+    /// Absorbs another collector's state. Appending `other`'s samples
+    /// after this collector's makes the merge equivalent to pushing both
+    /// session streams into one collector in that order — the monoid law
+    /// the sharded pipeline relies on.
+    pub fn merge(&mut self, other: Self) {
+        self.store_only += other.store_only;
+        self.retrieve_only += other.retrieve_only;
+        self.mixed += other.mixed;
+        self.norm_op_gt1.extend(other.norm_op_gt1);
+        self.norm_op_gt10.extend(other.norm_op_gt10);
+        self.norm_op_gt20.extend(other.norm_op_gt20);
+        self.ops_store_only.extend(other.ops_store_only);
+        self.ops_retrieve_only.extend(other.ops_retrieve_only);
+        self.store_points.extend(other.store_points);
+        self.retrieve_points.extend(other.retrieve_points);
+    }
+
     /// Finalises the statistics. `max_bin_files` bounds the Fig. 5b,c
     /// x-axis (the paper plots up to 100 files).
     pub fn finish(self, max_bin_files: u32) -> SessionStats {
-        let ecdf = |v: Vec<f64>| if v.is_empty() { None } else { Some(Ecdf::new(v)) };
+        let ecdf = |v: Vec<f64>| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(Ecdf::new(v))
+            }
+        };
         let store_volume_bins = bin_volumes(&self.store_points, max_bin_files);
         let retrieve_volume_bins = bin_volumes(&self.retrieve_points, max_bin_files);
         let store_mb_per_file = fit_slope(&self.store_points);
@@ -302,6 +325,31 @@ mod tests {
         assert!(s.ops_store_only.is_none());
         assert!(s.store_volume_bins.is_empty());
         assert_eq!(s.store_mb_per_file, 0.0);
+    }
+
+    #[test]
+    fn merge_of_split_inputs_equals_single_pass() {
+        let sessions: Vec<Session> = (0..40u32)
+            .map(|i| match i % 3 {
+                0 => session(1 + i % 7, 0, (1 + i % 7) as f64 * 1.5, 0.0),
+                1 => session(0, 1 + i % 5, 0.0, (1 + i % 5) as f64 * 20.0),
+                _ => session(2, 3, 3.0, 60.0),
+            })
+            .collect();
+        let mut whole = SessionStatsCollector::new();
+        for s in &sessions {
+            whole.push(s);
+        }
+        let expected = whole.finish(100);
+        for split in [1usize, 7, 20, 39] {
+            let (a, b) = sessions.split_at(split);
+            let mut left = SessionStatsCollector::new();
+            let mut right = SessionStatsCollector::new();
+            a.iter().for_each(|s| left.push(s));
+            b.iter().for_each(|s| right.push(s));
+            left.merge(right);
+            assert_eq!(left.finish(100), expected, "split {split}");
+        }
     }
 
     #[test]

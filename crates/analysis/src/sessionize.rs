@@ -126,7 +126,9 @@ pub fn sessionize(records: &[LogRecord], tau_ms: u64) -> Vec<Session> {
         return Vec::new();
     }
     debug_assert!(
-        records.windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms),
+        records
+            .windows(2)
+            .all(|w| w[0].timestamp_ms <= w[1].timestamp_ms),
         "records must be time-ordered"
     );
     debug_assert!(
@@ -240,7 +242,7 @@ pub fn file_op_intervals_s(records: &[LogRecord]) -> Vec<f64> {
 }
 
 /// How the session threshold τ was derived (§3.1.1, Fig. 3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TauDerivation {
     /// Log-binned histogram of inter-operation times (seconds).
     pub histogram: LogHistogram,
@@ -305,10 +307,7 @@ pub fn derive_tau(intervals_s: &[f64], max_fit_points: usize) -> TauDerivation {
 /// Session counts across a τ sweep — the robustness check behind
 /// §3.1.1's threshold choice: any τ inside the inter-mode gap yields
 /// (nearly) the same sessionisation, visible as a plateau in this curve.
-pub fn tau_sweep(
-    blocks: &[Vec<mcs_trace::LogRecord>],
-    taus_s: &[f64],
-) -> Vec<(f64, u64)> {
+pub fn tau_sweep(blocks: &[Vec<mcs_trace::LogRecord>], taus_s: &[f64]) -> Vec<(f64, u64)> {
     taus_s
         .iter()
         .map(|&tau_s| {

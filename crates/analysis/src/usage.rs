@@ -205,6 +205,16 @@ impl GroupUsage {
         self.class_retrieve_bytes
             .map(|b| b as f64 / total.max(1) as f64)
     }
+
+    /// Adds another block's counts (all fields are plain sums).
+    pub fn merge(&mut self, other: &Self) {
+        self.users += other.users;
+        for i in 0..4 {
+            self.class_users[i] += other.class_users[i];
+            self.class_store_bytes[i] += other.class_store_bytes[i];
+            self.class_retrieve_bytes[i] += other.class_retrieve_bytes[i];
+        }
+    }
 }
 
 /// Collects Fig. 7 and Table 3 from user summaries.
@@ -222,7 +232,7 @@ pub struct UsageCollector {
 }
 
 /// Finished usage analysis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UsageStats {
     /// Fig. 7a: volume-ratio ECDF for mobile&PC users.
     pub ratio_mobile_pc: Option<Ecdf>,
@@ -278,9 +288,29 @@ impl UsageCollector {
         }
     }
 
+    /// Absorbs another collector's state, appending `other`'s ratio samples
+    /// after this collector's and summing the Table 3 blocks.
+    pub fn merge(&mut self, other: Self) {
+        self.ratios_mobile_only.extend(other.ratios_mobile_only);
+        self.ratios_mobile_pc.extend(other.ratios_mobile_pc);
+        self.ratios_pc_only.extend(other.ratios_pc_only);
+        self.ratios_1dev.extend(other.ratios_1dev);
+        self.ratios_multi_dev.extend(other.ratios_multi_dev);
+        self.ratios_3plus_dev.extend(other.ratios_3plus_dev);
+        self.mobile_only.merge(&other.mobile_only);
+        self.mobile_pc.merge(&other.mobile_pc);
+        self.pc_only.merge(&other.pc_only);
+    }
+
     /// Finalises.
     pub fn finish(self) -> UsageStats {
-        let ecdf = |v: Vec<f64>| if v.is_empty() { None } else { Some(Ecdf::new(v)) };
+        let ecdf = |v: Vec<f64>| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(Ecdf::new(v))
+            }
+        };
         UsageStats {
             ratio_mobile_pc: ecdf(self.ratios_mobile_pc),
             ratio_mobile_only: ecdf(self.ratios_mobile_only),
@@ -325,11 +355,46 @@ mod tests {
     #[test]
     fn summary_aggregation() {
         let recs = vec![
-            rec(1, 10, DeviceType::Android, RequestType::FileOp(Direction::Store), 0, 0),
-            rec(1, 10, DeviceType::Android, RequestType::Chunk(Direction::Store), 5_000_000, 0),
-            rec(1, 11, DeviceType::Ios, RequestType::FileOp(Direction::Retrieve), 0, 2),
-            rec(1, 11, DeviceType::Ios, RequestType::Chunk(Direction::Retrieve), 2_000_000, 2),
-            rec(1, 12, DeviceType::Pc, RequestType::FileOp(Direction::Store), 0, 3),
+            rec(
+                1,
+                10,
+                DeviceType::Android,
+                RequestType::FileOp(Direction::Store),
+                0,
+                0,
+            ),
+            rec(
+                1,
+                10,
+                DeviceType::Android,
+                RequestType::Chunk(Direction::Store),
+                5_000_000,
+                0,
+            ),
+            rec(
+                1,
+                11,
+                DeviceType::Ios,
+                RequestType::FileOp(Direction::Retrieve),
+                0,
+                2,
+            ),
+            rec(
+                1,
+                11,
+                DeviceType::Ios,
+                RequestType::Chunk(Direction::Retrieve),
+                2_000_000,
+                2,
+            ),
+            rec(
+                1,
+                12,
+                DeviceType::Pc,
+                RequestType::FileOp(Direction::Store),
+                0,
+                3,
+            ),
         ];
         let s = UserSummary::from_records(&recs).unwrap();
         assert_eq!(s.store_bytes, 5_000_000);
@@ -367,11 +432,20 @@ mod tests {
     #[test]
     fn classification_rules() {
         // Occasional beats ratio rules.
-        assert_eq!(summary(500_000, 0, 1, false).classify(), ObservedClass::Occasional);
+        assert_eq!(
+            summary(500_000, 0, 1, false).classify(),
+            ObservedClass::Occasional
+        );
         // Pure uploader.
-        assert_eq!(summary(10_000_000, 0, 1, false).classify(), ObservedClass::UploadOnly);
+        assert_eq!(
+            summary(10_000_000, 0, 1, false).classify(),
+            ObservedClass::UploadOnly
+        );
         // Pure downloader.
-        assert_eq!(summary(0, 10_000_000, 1, false).classify(), ObservedClass::DownloadOnly);
+        assert_eq!(
+            summary(0, 10_000_000, 1, false).classify(),
+            ObservedClass::DownloadOnly
+        );
         // Two-way.
         assert_eq!(
             summary(10_000_000, 5_000_000, 1, false).classify(),
@@ -409,6 +483,35 @@ mod tests {
         // Upload-only users hold 100% of non-occasional store volume ≈ most.
         let sv = g.store_volume_fracs();
         assert!(sv[0] > 0.9);
+    }
+
+    #[test]
+    fn merge_of_split_inputs_equals_single_pass() {
+        let users: Vec<UserSummary> = (0..30u64)
+            .map(|i| {
+                let mut s = summary(
+                    i * 700_000,
+                    (30 - i) * 600_000,
+                    1 + (i % 3) as u32,
+                    i % 4 == 0,
+                );
+                if i % 5 == 0 {
+                    s.mobile_devices = 0;
+                    s.uses_pc = true;
+                }
+                s
+            })
+            .collect();
+        let mut whole = UsageCollector::new();
+        users.iter().for_each(|u| whole.push(u));
+        let expected = whole.finish();
+        let (a, b) = users.split_at(11);
+        let mut left = UsageCollector::new();
+        let mut right = UsageCollector::new();
+        a.iter().for_each(|u| left.push(u));
+        b.iter().for_each(|u| right.push(u));
+        left.merge(right);
+        assert_eq!(left.finish(), expected);
     }
 
     #[test]

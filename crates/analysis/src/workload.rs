@@ -8,7 +8,7 @@ use mcs_stats::timeseries::{DiurnalProfile, HourlySeries};
 use mcs_trace::{Direction, LogRecord, RequestType};
 
 /// Hourly workload series (Fig. 1a: volume; Fig. 1b: file counts).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSeries {
     /// Stored bytes per hour.
     pub store_volume: HourlySeries,
@@ -37,13 +37,22 @@ impl WorkloadSeries {
         match r.request {
             RequestType::FileOp(Direction::Store) => self.store_files.add(t, 1.0),
             RequestType::FileOp(Direction::Retrieve) => self.retrieve_files.add(t, 1.0),
-            RequestType::Chunk(Direction::Store) => {
-                self.store_volume.add(t, r.volume_bytes as f64)
-            }
+            RequestType::Chunk(Direction::Store) => self.store_volume.add(t, r.volume_bytes as f64),
             RequestType::Chunk(Direction::Retrieve) => {
                 self.retrieve_volume.add(t, r.volume_bytes as f64)
             }
         }
+    }
+
+    /// Adds another series covering the same horizon. Bin amounts are
+    /// integer-valued byte/file counts, so merging per-shard series equals
+    /// the sequential accumulation exactly (see
+    /// [`HourlySeries::merge`]).
+    pub fn merge(&mut self, other: &Self) {
+        self.store_volume.merge(&other.store_volume);
+        self.retrieve_volume.merge(&other.retrieve_volume);
+        self.store_files.merge(&other.store_files);
+        self.retrieve_files.merge(&other.retrieve_files);
     }
 
     /// Ratio of total retrieved to stored bytes (Fig. 1a: > 1 — retrievals
@@ -134,6 +143,25 @@ mod tests {
     }
 
     #[test]
+    fn merge_equals_single_pass() {
+        let recs = [
+            rec(10, RequestType::FileOp(Direction::Store), 0),
+            rec(20, RequestType::Chunk(Direction::Store), 1000),
+            rec(4000, RequestType::FileOp(Direction::Retrieve), 0),
+            rec(4100, RequestType::Chunk(Direction::Retrieve), 5000),
+            rec(5000, RequestType::Chunk(Direction::Store), 300),
+        ];
+        let mut whole = WorkloadSeries::new(7200);
+        recs.iter().for_each(|r| whole.push(r));
+        let mut left = WorkloadSeries::new(7200);
+        let mut right = WorkloadSeries::new(7200);
+        recs[..2].iter().for_each(|r| left.push(r));
+        recs[2..].iter().for_each(|r| right.push(r));
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
     fn ratios() {
         let mut w = WorkloadSeries::new(3600);
         w.push(&rec(1, RequestType::Chunk(Direction::Store), 100));
@@ -158,7 +186,11 @@ mod tests {
         let mut w = WorkloadSeries::new(2 * 86_400);
         // Load at 23:00 on both days.
         w.push(&rec(23 * 3600, RequestType::Chunk(Direction::Store), 1000));
-        w.push(&rec(86_400 + 23 * 3600 + 100, RequestType::Chunk(Direction::Retrieve), 2000));
+        w.push(&rec(
+            86_400 + 23 * 3600 + 100,
+            RequestType::Chunk(Direction::Retrieve),
+            2000,
+        ));
         let d = w.volume_diurnal();
         assert_eq!(d.peak_hour(), 23);
         assert!(w.volume_peak_to_mean() > 10.0);

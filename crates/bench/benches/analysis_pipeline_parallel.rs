@@ -1,0 +1,87 @@
+//! Parallel-pipeline scaling: `par_analyze` at 1/2/4/8 worker threads
+//! against the sequential `analyze` baseline, plus sharded trace
+//! generation. Results at every thread count are bit-identical (asserted
+//! once up front); the bench measures only the wall-clock trade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs::analysis::{analyze, par_analyze, PipelineConfig};
+use mcs::trace::{TraceConfig, TraceGenerator};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_setup() -> (TraceGenerator, PipelineConfig) {
+    let cfg = TraceConfig {
+        mobile_users: 800,
+        pc_only_users: 150,
+        ..TraceConfig::default()
+    };
+    let gen = TraceGenerator::new(cfg).unwrap();
+    let pipeline = PipelineConfig {
+        max_fit_points: 10_000,
+        ..PipelineConfig::default()
+    };
+    (gen, pipeline)
+}
+
+fn bench_par_analyze(c: &mut Criterion) {
+    let (gen, pipeline) = bench_setup();
+
+    // Determinism guard: every thread count must reproduce the sequential
+    // analysis exactly before we bother timing anything.
+    let seq = analyze(|| gen.iter_user_records(), &pipeline);
+    for threads in THREADS {
+        let par = par_analyze(
+            &gen,
+            &PipelineConfig {
+                threads,
+                ..pipeline
+            },
+        );
+        assert_eq!(par, seq, "par_analyze diverged at {threads} threads");
+    }
+
+    let mut group = c.benchmark_group("analysis/parallel_pipeline");
+    group.sample_size(10);
+    group.bench_function("sequential_800_users", |b| {
+        b.iter(|| {
+            let a = analyze(|| gen.iter_user_records(), &pipeline);
+            black_box(a.total_sessions)
+        });
+    });
+    for threads in THREADS {
+        let cfg = PipelineConfig {
+            threads,
+            ..pipeline
+        };
+        group.bench_function(format!("par_800_users_t{threads}"), |b| {
+            b.iter(|| {
+                let a = par_analyze(&gen, &cfg);
+                black_box(a.total_sessions)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_par_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace/parallel_generate_sorted");
+    group.sample_size(10);
+    for threads in THREADS {
+        let cfg = TraceConfig {
+            mobile_users: 800,
+            pc_only_users: 150,
+            threads,
+            ..TraceConfig::default()
+        };
+        let gen = TraceGenerator::new(cfg).unwrap();
+        group.bench_function(format!("800_users_t{threads}"), |b| {
+            b.iter(|| black_box(gen.generate_sorted().len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_analyze, bench_par_generate);
+criterion_main!(benches);

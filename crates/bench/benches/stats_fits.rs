@@ -72,5 +72,11 @@ fn bench_ecdf(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gmm, bench_expmix, bench_stretched_exp, bench_ecdf);
+criterion_group!(
+    benches,
+    bench_gmm,
+    bench_expmix,
+    bench_stretched_exp,
+    bench_ecdf
+);
 criterion_main!(benches);

@@ -33,7 +33,10 @@ fn bench_store_paths(c: &mut Criterion) {
     });
     c.bench_function("storage/store_deduplicated", |b| {
         let mut svc = StorageService::new(8, 168);
-        let hot = Content::Synthetic { seed: 7, size: 1_500_000 };
+        let hot = Content::Synthetic {
+            seed: 7,
+            size: 1_500_000,
+        };
         svc.store(1, "seed.jpg", &hot, 0);
         let mut n = 0u64;
         b.iter(|| {
@@ -46,7 +49,10 @@ fn bench_store_paths(c: &mut Criterion) {
 fn bench_retrieve(c: &mut Criterion) {
     c.bench_function("storage/retrieve_photo", |b| {
         let mut svc = StorageService::new(4, 168);
-        let content = Content::Synthetic { seed: 9, size: 1_500_000 };
+        let content = Content::Synthetic {
+            seed: 9,
+            size: 1_500_000,
+        };
         svc.store(1, "x.jpg", &content, 0);
         b.iter(|| black_box(svc.retrieve(1, "x.jpg", 100)));
     });
@@ -65,5 +71,11 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_md5, bench_store_paths, bench_retrieve, bench_cache);
+criterion_group!(
+    benches,
+    bench_md5,
+    bench_store_paths,
+    bench_retrieve,
+    bench_cache
+);
 criterion_main!(benches);

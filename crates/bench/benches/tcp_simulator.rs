@@ -16,11 +16,7 @@ fn bench_upload_flows(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let t = simulate_flow(&FlowConfig::upload(
-                    DeviceProfile::android(),
-                    size,
-                    seed,
-                ));
+                let t = simulate_flow(&FlowConfig::upload(DeviceProfile::android(), size, seed));
                 black_box(t.duration)
             });
         });
@@ -64,5 +60,10 @@ fn bench_lossy_flow(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_upload_flows, bench_download_flow, bench_lossy_flow);
+criterion_group!(
+    benches,
+    bench_upload_flows,
+    bench_download_flow,
+    bench_lossy_flow
+);
 criterion_main!(benches);

@@ -66,8 +66,7 @@ fn bench_serialization(c: &mut Criterion) {
             |recs| {
                 let mut buf = Vec::with_capacity(1 << 20);
                 mcs::trace::io::write_csv(&mut buf, recs).unwrap();
-                let back =
-                    mcs::trace::io::read_csv(std::io::BufReader::new(&buf[..])).unwrap();
+                let back = mcs::trace::io::read_csv(std::io::BufReader::new(&buf[..])).unwrap();
                 black_box(back.len())
             },
             BatchSize::LargeInput,

@@ -5,6 +5,7 @@
 //! repro f3 f12 t3                # specific experiments
 //! repro all --scale small        # fast run
 //! repro all --seed 7             # different seed
+//! repro all --threads 4          # pipeline workers (0 = all cores)
 //! repro all --export out/        # also write one report file per experiment
 //! repro sensitivity              # headline metrics across 5 seeds
 //! repro list                     # what exists
@@ -19,13 +20,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <all|list|EXPERIMENT...> [--scale small|medium|large] [--seed N] [--export DIR]"
+            "usage: repro <all|list|EXPERIMENT...> [--scale small|medium|large] [--seed N] [--threads N] [--export DIR]"
         );
         return ExitCode::FAILURE;
     }
 
     let mut scale = Scale::Medium;
     let mut seed = 0x4d43_5331u64;
+    let mut threads = 0usize;
     let mut export: Option<std::path::PathBuf> = None;
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut run_all = false;
@@ -49,6 +51,16 @@ fn main() -> ExitCode {
                     Some(s) => seed = s,
                     None => {
                         eprintln!("--seed needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => threads = n,
+                    None => {
+                        eprintln!("--threads needs an integer (0 = one per core)");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -96,8 +108,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let (out, all_ok) = match &export {
-        None => run_experiments(scale, seed, &ids),
-        Some(dir) => match mcs_bench::run_and_export(scale, seed, &ids, dir) {
+        None => run_experiments(scale, seed, threads, &ids),
+        Some(dir) => match mcs_bench::run_and_export(scale, seed, threads, &ids, dir) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("export failed: {e}");

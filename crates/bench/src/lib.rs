@@ -15,10 +15,17 @@ pub fn parse_scale(s: &str) -> Result<Scale, String> {
     }
 }
 
-/// Runs the given experiments (all of them when `which` is empty) and
-/// returns the rendered output and whether every shape check held.
-pub fn run_experiments(scale: Scale, seed: u64, which: &[ExperimentId]) -> (String, bool) {
-    let mut suite = ExperimentSuite::new(ReproConfig::new(scale, seed));
+/// Runs the given experiments (all of them when `which` is empty) with
+/// `threads` pipeline workers (`0` = one per core; results are identical
+/// for any value) and returns the rendered output and whether every shape
+/// check held.
+pub fn run_experiments(
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    which: &[ExperimentId],
+) -> (String, bool) {
+    let mut suite = ExperimentSuite::new(ReproConfig::new(scale, seed).with_threads(threads));
     let reports: Vec<_> = if which.is_empty() {
         suite.run_all()
     } else {
@@ -34,7 +41,11 @@ pub fn run_experiments(scale: Scale, seed: u64, which: &[ExperimentId]) -> (Stri
     out.push_str(&format!(
         "{} experiment(s) run; shape checks: {}\n",
         reports.len(),
-        if all_ok { "all ok" } else { "MISMATCHES PRESENT" }
+        if all_ok {
+            "all ok"
+        } else {
+            "MISMATCHES PRESENT"
+        }
     ));
     (out, all_ok)
 }
@@ -45,11 +56,12 @@ pub fn run_experiments(scale: Scale, seed: u64, which: &[ExperimentId]) -> (Stri
 pub fn run_and_export(
     scale: Scale,
     seed: u64,
+    threads: usize,
     which: &[ExperimentId],
     dir: &std::path::Path,
 ) -> std::io::Result<(String, bool)> {
     std::fs::create_dir_all(dir)?;
-    let mut suite = ExperimentSuite::new(ReproConfig::new(scale, seed));
+    let mut suite = ExperimentSuite::new(ReproConfig::new(scale, seed).with_threads(threads));
     let ids: Vec<ExperimentId> = if which.is_empty() {
         ExperimentId::all().to_vec()
     } else {
@@ -67,7 +79,11 @@ pub fn run_and_export(
     out.push_str(&format!(
         "reports exported to {}; shape checks: {}\n",
         dir.display(),
-        if all_ok { "all ok" } else { "MISMATCHES PRESENT" }
+        if all_ok {
+            "all ok"
+        } else {
+            "MISMATCHES PRESENT"
+        }
     ));
     Ok((out, all_ok))
 }
@@ -85,7 +101,7 @@ mod tests {
 
     #[test]
     fn single_experiment_runs() {
-        let (out, _ok) = run_experiments(Scale::Small, 5, &[ExperimentId::T1]);
+        let (out, _ok) = run_experiments(Scale::Small, 5, 0, &[ExperimentId::T1]);
         assert!(out.contains("Table 1"));
     }
 
@@ -94,7 +110,7 @@ mod tests {
         let dir = std::env::temp_dir().join("mcs-repro-export-test");
         let _ = std::fs::remove_dir_all(&dir);
         let (out, _ok) =
-            run_and_export(Scale::Small, 5, &[ExperimentId::T1], &dir).expect("export");
+            run_and_export(Scale::Small, 5, 0, &[ExperimentId::T1], &dir).expect("export");
         assert!(out.contains("exported"));
         let text = std::fs::read_to_string(dir.join("t1.txt")).expect("file written");
         assert!(text.contains("Table 1"));

@@ -76,6 +76,14 @@ impl ReproConfig {
         }
     }
 
+    /// Sets the worker-thread count for both trace generation and analysis
+    /// (`0` = one per available core). Results are identical for any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.trace.threads = threads;
+        self.pipeline.threads = threads;
+        self
+    }
+
     /// The default reproduction setup (medium scale, fixed seed).
     pub fn paper_default() -> Self {
         Self::new(Scale::Medium, 0x4d43_5331)
@@ -97,10 +105,7 @@ mod tests {
             let cfg = ReproConfig::new(scale, 1);
             cfg.trace.validate().expect("valid trace config");
             assert_eq!(cfg.trace.mobile_users, scale.mobile_users());
-            assert_eq!(
-                cfg.pipeline.horizon_secs,
-                cfg.trace.horizon_ms() / 1000
-            );
+            assert_eq!(cfg.pipeline.horizon_secs, cfg.trace.horizon_ms() / 1000);
         }
     }
 
@@ -109,6 +114,27 @@ mod tests {
         assert!(Scale::Small.mobile_users() < Scale::Medium.mobile_users());
         assert!(Scale::Medium.mobile_users() < Scale::Large.mobile_users());
         assert!(Scale::Small.flows_per_size() <= Scale::Large.flows_per_size());
+    }
+
+    #[test]
+    fn with_threads_sets_both_knobs() {
+        let cfg = ReproConfig::small(3).with_threads(4);
+        assert_eq!(cfg.trace.threads, 4);
+        assert_eq!(cfg.pipeline.threads, 4);
+    }
+
+    #[test]
+    fn threads_default_to_zero_and_old_json_still_parses() {
+        let cfg = ReproConfig::small(3);
+        assert_eq!(cfg.trace.threads, 0);
+        assert_eq!(cfg.pipeline.threads, 0);
+        // Configs serialized before the threads knob existed must load.
+        let json = serde_json::to_string(&cfg).unwrap();
+        let stripped = json
+            .replace(",\"threads\":0", "")
+            .replace("\"threads\":0,", "");
+        let back: ReproConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(cfg, back);
     }
 
     #[test]

@@ -8,7 +8,6 @@ use crate::render::{pct, series, sig, table, thin};
 use crate::report::{ExperimentId, Metric, Report};
 use crate::suite::ExperimentSuite;
 
-
 impl ExperimentSuite {
     /// Table 1 — the log schema, demonstrated on real generated rows.
     pub(crate) fn exp_t1(&mut self) -> Report {
@@ -91,9 +90,8 @@ impl ExperimentSuite {
         let peak_hour = diurnal.peak_hour();
         let p2m = w.volume_peak_to_mean();
         // Periodicity of the total volume series.
-        let mut combined = mcs_stats::timeseries::HourlySeries::new(
-            w.store_volume.len() as u64 * 3600,
-        );
+        let mut combined =
+            mcs_stats::timeseries::HourlySeries::new(w.store_volume.len() as u64 * 3600);
         for (i, (&a, &b)) in w
             .store_volume
             .bins()
@@ -393,7 +391,10 @@ impl ExperimentSuite {
             }
         }
         for (label, bins) in [
-            ("Fig. 5b — store-only session volume vs files", &a.sessions.store_volume_bins),
+            (
+                "Fig. 5b — store-only session volume vs files",
+                &a.sessions.store_volume_bins,
+            ),
             (
                 "Fig. 5c — retrieve-only session volume vs files",
                 &a.sessions.retrieve_volume_bins,
@@ -652,12 +653,7 @@ impl ExperimentSuite {
                     pct(mo_store[0]),
                     mo_store[0] > 0.6,
                 ),
-                Metric::checked(
-                    "mobile-only mixed users",
-                    "7.2%",
-                    pct(mo[3]),
-                    mo[3] < 0.2,
-                ),
+                Metric::checked("mobile-only mixed users", "7.2%", pct(mo[3]), mo[3] < 0.2),
                 Metric::checked(
                     "PC users spread more evenly (upload-only share)",
                     "31.6% (vs 51.5% mobile)",
@@ -688,11 +684,23 @@ impl ExperimentSuite {
             rows.push(row);
         }
         let body = table(
-            &["group", "cohort", "d1", "d2", "d3", "d4", "d5", "d6", ">6 (never)"],
+            &[
+                "group",
+                "cohort",
+                "d1",
+                "d2",
+                "d3",
+                "d4",
+                "d5",
+                "d6",
+                ">6 (never)",
+            ],
             &rows,
         );
         let one = a.engagement.return_histogram(EngagementGroup::OneMobileDev);
-        let multi = a.engagement.return_histogram(EngagementGroup::MultiMobileDev);
+        let multi = a
+            .engagement
+            .return_histogram(EngagementGroup::MultiMobileDev);
         Report {
             id: ExperimentId::F8,
             title: "Fig. 8 — user engagement (first return day)".into(),
@@ -740,12 +748,29 @@ impl ExperimentSuite {
             rows.push(row);
         }
         let body = table(
-            &["group", "uploaders", "d0", "d1", "d2", "d3", "d4", "d5", "d6", "never"],
+            &[
+                "group",
+                "uploaders",
+                "d0",
+                "d1",
+                "d2",
+                "d3",
+                "d4",
+                "d5",
+                "d6",
+                "never",
+            ],
             &rows,
         );
-        let one = a.engagement.retrieval_after_upload(EngagementGroup::OneMobileDev);
-        let multi = a.engagement.retrieval_after_upload(EngagementGroup::MultiMobileDev);
-        let pc = a.engagement.retrieval_after_upload(EngagementGroup::MobilePc);
+        let one = a
+            .engagement
+            .retrieval_after_upload(EngagementGroup::OneMobileDev);
+        let multi = a
+            .engagement
+            .retrieval_after_upload(EngagementGroup::MultiMobileDev);
+        let pc = a
+            .engagement
+            .retrieval_after_upload(EngagementGroup::MobilePc);
         Report {
             id: ExperimentId::F9,
             title: "Fig. 9 — probability of retrieving after a first-day upload".into(),
@@ -784,7 +809,10 @@ impl ExperimentSuite {
         let a = self.analysis();
         let mut body = String::new();
         let mut metrics = Vec::new();
-        for (label, fit) in [("stored", &a.activity.store), ("retrieved", &a.activity.retrieve)] {
+        for (label, fit) in [
+            ("stored", &a.activity.store),
+            ("retrieved", &a.activity.retrieve),
+        ] {
             let Some(f) = fit else { continue };
             body.push_str(&format!(
                 "{label}: SE fit c = {:.3}, a = {:.3}, b = {:.3}, R² = {:.5}; power-law R² = {:.5}\n",
@@ -793,16 +821,17 @@ impl ExperimentSuite {
             let rows: Vec<Vec<String>> = f
                 .rank_series(12)
                 .iter()
-                .map(|&(rank, obs, model)| {
-                    vec![rank.to_string(), sig(obs), sig(model)]
-                })
+                .map(|&(rank, obs, model)| vec![rank.to_string(), sig(obs), sig(model)])
                 .collect();
             body.push_str(&table(&["rank", "observed", "SE model"], &rows));
             body.push('\n');
             metrics.push(Metric::checked(
                 format!("{label}: SE beats power law (R²)"),
                 "SE model fits, power law deviates",
-                format!("SE {:.4} vs PL {:.4}", f.se.r_squared, f.power_law.r_squared),
+                format!(
+                    "SE {:.4} vs PL {:.4}",
+                    f.se.r_squared, f.power_law.r_squared
+                ),
                 f.se_wins(),
             ));
             metrics.push(Metric::checked(
@@ -852,4 +881,3 @@ impl ExperimentSuite {
         }
     }
 }
-

@@ -48,8 +48,18 @@ impl ExperimentSuite {
         // Simulator side (the paper's active experiments).
         let au = run_campaign(DeviceProfile::android(), NetDirection::Upload, flows, seed);
         let iu = run_campaign(DeviceProfile::ios(), NetDirection::Upload, flows, seed + 1);
-        let ad = run_campaign(DeviceProfile::android(), NetDirection::Download, flows, seed + 2);
-        let id_ = run_campaign(DeviceProfile::ios(), NetDirection::Download, flows, seed + 3);
+        let ad = run_campaign(
+            DeviceProfile::android(),
+            NetDirection::Download,
+            flows,
+            seed + 2,
+        );
+        let id_ = run_campaign(
+            DeviceProfile::ios(),
+            NetDirection::Download,
+            flows,
+            seed + 3,
+        );
         let rows: Vec<Vec<String>> = [&au, &iu, &ad, &id_]
             .iter()
             .map(|c| {
@@ -64,9 +74,13 @@ impl ExperimentSuite {
             })
             .collect();
         body.push_str("Simulated §4 campaign (per-chunk seconds):\n");
-        body.push_str(&table(&["device", "direction", "median", "p90", "goodput"], &rows));
+        body.push_str(&table(
+            &["device", "direction", "median", "p90", "goodput"],
+            &rows,
+        ));
 
-        let sim_ratio = au.chunk_time_ecdf().unwrap().median() / iu.chunk_time_ecdf().unwrap().median();
+        let sim_ratio =
+            au.chunk_time_ecdf().unwrap().median() / iu.chunk_time_ecdf().unwrap().median();
         // Bootstrap the simulated median ratio so the figure carries an
         // uncertainty statement, not just a point estimate.
         let ratio_ci = mcs_stats::bootstrap::median_ratio_ci(
@@ -148,7 +162,10 @@ impl ExperimentSuite {
             body.push('\n');
         }
         let mean_inflight = |t: &mcs_net::FlowTrace| {
-            t.inflight_samples.iter().map(|&(_, f)| f as f64).sum::<f64>()
+            t.inflight_samples
+                .iter()
+                .map(|&(_, f)| f as f64)
+                .sum::<f64>()
                 / t.inflight_samples.len().max(1) as f64
         };
         Report {
@@ -265,10 +282,25 @@ impl ExperimentSuite {
     pub(crate) fn exp_f16(&mut self) -> Report {
         let flows = self.config().scale.flows_per_size();
         let seed = self.config().seed;
-        let au = run_campaign(DeviceProfile::android(), NetDirection::Upload, flows, seed + 10);
+        let au = run_campaign(
+            DeviceProfile::android(),
+            NetDirection::Upload,
+            flows,
+            seed + 10,
+        );
         let iu = run_campaign(DeviceProfile::ios(), NetDirection::Upload, flows, seed + 11);
-        let ad = run_campaign(DeviceProfile::android(), NetDirection::Download, flows, seed + 12);
-        let id_ = run_campaign(DeviceProfile::ios(), NetDirection::Download, flows, seed + 13);
+        let ad = run_campaign(
+            DeviceProfile::android(),
+            NetDirection::Download,
+            flows,
+            seed + 12,
+        );
+        let id_ = run_campaign(
+            DeviceProfile::ios(),
+            NetDirection::Download,
+            flows,
+            seed + 13,
+        );
 
         let mut body = String::new();
         // Fig. 16a/b distributions (T_clt/T_srv are model inputs; the
@@ -388,7 +420,12 @@ impl ExperimentSuite {
             ]);
         }
         let body = table(
-            &["chunk size", "android goodput", "ios goodput", "android restarts/flow"],
+            &[
+                "chunk size",
+                "android goodput",
+                "ios goodput",
+                "android restarts/flow",
+            ],
             &rows,
         );
         let base_a = goodputs[0].1;
@@ -441,7 +478,13 @@ impl ExperimentSuite {
             })
             .collect();
         let body = table(
-            &["configuration", "android goodput", "ios goodput", "restarts/flow", "drops/flow"],
+            &[
+                "configuration",
+                "android goodput",
+                "ios goodput",
+                "restarts/flow",
+                "drops/flow",
+            ],
             &rows,
         );
         let base = &rows_data[0];
@@ -541,7 +584,11 @@ impl ExperimentSuite {
             ]);
         }
         let body = table(
-            &["connections", "ios upload goodput", "android upload goodput"],
+            &[
+                "connections",
+                "ios upload goodput",
+                "android upload goodput",
+            ],
             &rows,
         );
         Report {
@@ -615,7 +662,11 @@ impl ExperimentSuite {
                 Metric::checked(
                     "late failures hurt most without resume",
                     "saving grows with progress lost",
-                    format!("{} @80% vs {} @20%", crate::render::pct(savings[2]), crate::render::pct(savings[0])),
+                    format!(
+                        "{} @80% vs {} @20%",
+                        crate::render::pct(savings[2]),
+                        crate::render::pct(savings[0])
+                    ),
                     savings[2] > savings[0],
                 ),
             ],

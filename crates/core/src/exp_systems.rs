@@ -157,9 +157,15 @@ impl ExperimentSuite {
                 "provisioned capacity (all hot)".into(),
                 bytes(store.provisioned_bytes_all_hot()),
             ],
-            vec!["provisioned capacity (tiered)".into(), bytes(store.provisioned_bytes())],
+            vec![
+                "provisioned capacity (tiered)".into(),
+                bytes(store.provisioned_bytes()),
+            ],
             vec!["objects warm at end of week".into(), pct(warm)],
-            vec!["warm reads (slower path)".into(), store.stats.warm_reads.to_string()],
+            vec![
+                "warm reads (slower path)".into(),
+                store.stats.warm_reads.to_string(),
+            ],
             vec!["hot reads".into(), store.stats.hot_reads.to_string()],
             vec!["demotions".into(), store.stats.demotions.to_string()],
         ];

@@ -38,10 +38,7 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Renders an `(x, y)` series as two aligned columns with a title.
 pub fn series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|&(x, y)| vec![sig(x), sig(y)])
-        .collect();
+    let rows: Vec<Vec<String>> = points.iter().map(|&(x, y)| vec![sig(x), sig(y)]).collect();
     format!("{title}\n{}", table(&[x_label, y_label], &rows))
 }
 
@@ -64,12 +61,7 @@ pub fn pct(x: f64) -> String {
 /// Formats a byte count with a binary-free, paper-style unit (the paper
 /// quotes decimal MB/TB).
 pub fn bytes(b: f64) -> String {
-    const UNITS: [(&str, f64); 4] = [
-        ("TB", 1e12),
-        ("GB", 1e9),
-        ("MB", 1e6),
-        ("KB", 1e3),
-    ];
+    const UNITS: [(&str, f64); 4] = [("TB", 1e12), ("GB", 1e9), ("MB", 1e6), ("KB", 1e3)];
     for (unit, scale) in UNITS {
         if b.abs() >= scale {
             return format!("{:.2} {unit}", b / scale);
@@ -160,7 +152,7 @@ mod tests {
     #[test]
     fn sig_figs() {
         assert_eq!(sig(0.0), "0");
-        assert_eq!(sig(1234.5), "1234");  // banker-style rounding of {:.0}
+        assert_eq!(sig(1234.5), "1234"); // banker-style rounding of {:.0}
         assert_eq!(sig(1.2345), "1.23");
         assert_eq!(sig(0.012345), "0.0123");
     }

@@ -65,8 +65,8 @@ impl ExperimentId {
     pub fn all() -> &'static [ExperimentId] {
         use ExperimentId::*;
         &[
-            T1, F1, F3, F4, F5, F6T2, F7, T3, F8, F9, F10, F12, F13, F14, F15, F16, A1, A2,
-            A3, A4, A5, A6, A7,
+            T1, F1, F3, F4, F5, F6T2, F7, T3, F8, F9, F10, F12, F13, F14, F15, F16, A1, A2, A3, A4,
+            A5, A6, A7,
         ]
     }
 
@@ -249,7 +249,10 @@ mod tests {
 
     #[test]
     fn aliases_accepted() {
-        assert_eq!("table2".parse::<ExperimentId>().unwrap(), ExperimentId::F6T2);
+        assert_eq!(
+            "table2".parse::<ExperimentId>().unwrap(),
+            ExperimentId::F6T2
+        );
         assert_eq!("FIG3".parse::<ExperimentId>().unwrap(), ExperimentId::F3);
         assert!("f99".parse::<ExperimentId>().is_err());
     }

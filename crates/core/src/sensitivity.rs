@@ -37,7 +37,10 @@ impl MetricSpread {
 
     /// Maximum.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Sample standard deviation.
@@ -89,16 +92,56 @@ impl SensitivityReport {
 pub fn run_sensitivity(scale: Scale, seeds: &[u64]) -> SensitivityReport {
     assert!(!seeds.is_empty(), "need at least one seed");
     let mut metrics: Vec<MetricSpread> = vec![
-        MetricSpread { name: "store-only session fraction", paper: "0.682", values: vec![] },
-        MetricSpread { name: "mixed session fraction", paper: "0.02", values: vec![] },
-        MetricSpread { name: "tau (minutes)", paper: "60 (any inter-mode value)", values: vec![] },
-        MetricSpread { name: "store MB per file (Fig 5b slope)", paper: "1.5", values: vec![] },
-        MetricSpread { name: "store mixture mu1 (MB)", paper: "1.5", values: vec![] },
-        MetricSpread { name: "retrieve/store volume ratio", paper: "> 1", values: vec![] },
-        MetricSpread { name: "upload-only users, mobile-only", paper: "0.515", values: vec![] },
-        MetricSpread { name: "1-dev never-retrieve fraction", paper: "> 0.8", values: vec![] },
-        MetricSpread { name: "upload chunk median ratio (log side)", paper: "2.6", values: vec![] },
-        MetricSpread { name: "SE stretch factor c (store)", paper: "0.2", values: vec![] },
+        MetricSpread {
+            name: "store-only session fraction",
+            paper: "0.682",
+            values: vec![],
+        },
+        MetricSpread {
+            name: "mixed session fraction",
+            paper: "0.02",
+            values: vec![],
+        },
+        MetricSpread {
+            name: "tau (minutes)",
+            paper: "60 (any inter-mode value)",
+            values: vec![],
+        },
+        MetricSpread {
+            name: "store MB per file (Fig 5b slope)",
+            paper: "1.5",
+            values: vec![],
+        },
+        MetricSpread {
+            name: "store mixture mu1 (MB)",
+            paper: "1.5",
+            values: vec![],
+        },
+        MetricSpread {
+            name: "retrieve/store volume ratio",
+            paper: "> 1",
+            values: vec![],
+        },
+        MetricSpread {
+            name: "upload-only users, mobile-only",
+            paper: "0.515",
+            values: vec![],
+        },
+        MetricSpread {
+            name: "1-dev never-retrieve fraction",
+            paper: "> 0.8",
+            values: vec![],
+        },
+        MetricSpread {
+            name: "upload chunk median ratio (log side)",
+            paper: "2.6",
+            values: vec![],
+        },
+        MetricSpread {
+            name: "SE stretch factor c (store)",
+            paper: "0.2",
+            values: vec![],
+        },
     ];
     for &seed in seeds {
         let mut suite = ExperimentSuite::new(ReproConfig::new(scale, seed));
@@ -119,7 +162,11 @@ pub fn run_sensitivity(scale: Scale, seeds: &[u64]) -> SensitivityReport {
                 .retrieval_after_upload(EngagementGroup::OneMobileDev)
                 .frac_never(),
             a.perf.upload_median_ratio().unwrap_or(f64::NAN),
-            a.activity.store.as_ref().map(|f| f.se.c).unwrap_or(f64::NAN),
+            a.activity
+                .store
+                .as_ref()
+                .map(|f| f.se.c)
+                .unwrap_or(f64::NAN),
         ];
         for (m, v) in metrics.iter_mut().zip(vals) {
             m.values.push(v);

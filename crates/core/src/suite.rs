@@ -1,7 +1,7 @@
 //! The experiment suite: lazily generates the trace, runs the analysis
 //! pipeline once, and regenerates any table/figure on demand.
 
-use mcs_analysis::{analyze, FullAnalysis};
+use mcs_analysis::{par_analyze, FullAnalysis};
 use mcs_trace::TraceGenerator;
 
 use crate::config::ReproConfig;
@@ -44,7 +44,9 @@ impl ExperimentSuite {
         if self.analysis.is_none() {
             let pipeline = self.cfg.pipeline;
             let gen = self.generator();
-            let analysis = analyze(|| gen.iter_user_records(), &pipeline);
+            // Sharded over `pipeline.threads` workers; bit-identical to the
+            // sequential pipeline for any thread count.
+            let analysis = par_analyze(gen, &pipeline);
             self.analysis = Some(analysis);
         }
         self.analysis.as_ref().expect("just built")
@@ -147,14 +149,25 @@ mod tests {
 
         // T3: all three client groups and all four classes.
         let t3 = body("t3");
-        for needle in ["mobile only", "mobile & PC", "PC only", "upload-only", "occasional"] {
+        for needle in [
+            "mobile only",
+            "mobile & PC",
+            "PC only",
+            "upload-only",
+            "occasional",
+        ] {
             assert!(t3.contains(needle), "t3 missing {needle}");
         }
 
         // F8/F9: all four engagement groups.
         let f8 = body("f8");
         let f9 = body("f9");
-        for needle in ["1 mobile dev", ">1 mobile dev", ">2 mobile dev", "mobile & PC"] {
+        for needle in [
+            "1 mobile dev",
+            ">1 mobile dev",
+            ">2 mobile dev",
+            "mobile & PC",
+        ] {
             assert!(f8.contains(needle), "f8 missing {needle}");
             assert!(f9.contains(needle), "f9 missing {needle}");
         }

@@ -110,7 +110,11 @@ impl FlowConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     /// Data segment of flow `f` arrives at its receiver.
-    DataArrive { f: usize, seq_start: u64, seq_end: u64 },
+    DataArrive {
+        f: usize,
+        seq_start: u64,
+        seq_end: u64,
+    },
     /// Cumulative ACK arrives at flow `f`'s sender, with SACK information:
     /// the start of the first out-of-order block (`u64::MAX` when none)
     /// and the total bytes the receiver holds above the cumulative ACK.
@@ -123,11 +127,19 @@ enum Ev {
     /// Application-level completion (HTTP 200 OK / next request) reaches
     /// flow `f`'s sender host for the batch ending at this byte offset;
     /// `delay_a` is the receiver-side processing it already absorbed.
-    CtrlArrive { f: usize, batch_end: u64, delay_a: Time },
+    CtrlArrive {
+        f: usize,
+        batch_end: u64,
+        delay_a: Time,
+    },
     /// Sender-side processing after the control packet finished; the next
     /// batch may transmit. `app_idle` is the paper's idle definition:
     /// `T_srv + T_clt` (Fig. 11), excluding propagation.
-    Unlock { f: usize, batch_end: u64, app_idle: Time },
+    Unlock {
+        f: usize,
+        batch_end: u64,
+        app_idle: Time,
+    },
     /// Retransmission timer of flow `f`.
     RtoFire { f: usize, epoch: u64 },
     /// Pacing/emission timer releases flow `f`'s next segment.
@@ -387,14 +399,22 @@ impl Simulation {
                 break;
             }
             match ev {
-                Ev::DataArrive { f, seq_start, seq_end } => self.on_data(f, now, seq_start, seq_end),
+                Ev::DataArrive {
+                    f,
+                    seq_start,
+                    seq_end,
+                } => self.on_data(f, now, seq_start, seq_end),
                 Ev::AckArrive {
                     f,
                     ack,
                     first_hole_end,
                     sacked,
                 } => self.on_ack(f, now, ack, first_hole_end, sacked),
-                Ev::CtrlArrive { f, batch_end, delay_a } => {
+                Ev::CtrlArrive {
+                    f,
+                    batch_end,
+                    delay_a,
+                } => {
                     let fl = &mut self.flows[f];
                     let delay_b = match fl.cfg.direction {
                         Direction::Upload => {
@@ -411,7 +431,11 @@ impl Simulation {
                         },
                     );
                 }
-                Ev::Unlock { f, batch_end, app_idle } => self.on_unlock(f, now, batch_end, app_idle),
+                Ev::Unlock {
+                    f,
+                    batch_end,
+                    app_idle,
+                } => self.on_unlock(f, now, batch_end, app_idle),
                 Ev::RtoFire { f, epoch } => self.on_rto(f, now, epoch),
                 Ev::PacedSend { f } => {
                     self.flows[f].pace_armed = false;
@@ -487,7 +511,14 @@ impl Simulation {
     }
 
     /// Puts one segment of flow `f` on the wire (fresh or retransmission).
-    fn send_segment(&mut self, f: usize, now: Time, seq_start: u64, seq_end: u64, retransmit: bool) {
+    fn send_segment(
+        &mut self,
+        f: usize,
+        now: Time,
+        seq_start: u64,
+        seq_end: u64,
+        retransmit: bool,
+    ) {
         let fl = &mut self.flows[f];
         // First data after an idle period: the RFC 5681 idle check.
         if !retransmit {
@@ -503,8 +534,14 @@ impl Simulation {
         let bytes = seq_end - seq_start;
         match self.link.transmit(now, bytes, &mut fl.rng) {
             Transmit::Arrive(at) => {
-                self.q
-                    .schedule(at.max(now), Ev::DataArrive { f, seq_start, seq_end });
+                self.q.schedule(
+                    at.max(now),
+                    Ev::DataArrive {
+                        f,
+                        seq_start,
+                        seq_end,
+                    },
+                );
             }
             Transmit::Drop => {
                 fl.trace.data_drops += 1;
@@ -557,8 +594,10 @@ impl Simulation {
             self.flush_ack_at(f, processed_at);
         } else {
             let epoch = self.flows[f].delack_epoch;
-            self.q
-                .schedule(processed_at + 40 * crate::sim::MS, Ev::DelackFire { f, epoch });
+            self.q.schedule(
+                processed_at + 40 * crate::sim::MS,
+                Ev::DelackFire { f, epoch },
+            );
         }
 
         // Application-level completion of the current batch.
@@ -571,13 +610,15 @@ impl Simulation {
             fl.next_boundary_idx += 1;
             let delay_a = match fl.cfg.direction {
                 Direction::Upload => fl.cfg.server.sample_srv(&mut fl.rng),
-                Direction::Download => {
-                    fl.cfg.device.sample_clt(Direction::Download, &mut fl.rng)
-                }
+                Direction::Download => fl.cfg.device.sample_clt(Direction::Download, &mut fl.rng),
             };
             self.q.schedule(
                 processed_at + delay_a + ack_delay,
-                Ev::CtrlArrive { f, batch_end, delay_a },
+                Ev::CtrlArrive {
+                    f,
+                    batch_end,
+                    delay_a,
+                },
             );
         }
     }
@@ -659,7 +700,14 @@ impl Simulation {
     /// Retransmits bytes of the hole `[ack, first_hole_end)` subject to the
     /// available congestion budget, tracked by a monotone cursor so the
     /// same bytes are not re-sent on every duplicate ACK.
-    fn retransmit_holes(&mut self, f: usize, now: Time, ack: u64, first_hole_end: u64, sacked: u64) {
+    fn retransmit_holes(
+        &mut self,
+        f: usize,
+        now: Time,
+        ack: u64,
+        first_hole_end: u64,
+        sacked: u64,
+    ) {
         let fl = &self.flows[f];
         let pipe = (fl.snd_nxt - ack).saturating_sub(sacked);
         // Burst-cap the repair: spreading retransmissions across ACK events
@@ -1075,4 +1123,3 @@ mod tests {
         );
     }
 }
-

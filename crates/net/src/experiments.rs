@@ -139,7 +139,12 @@ pub fn run_section4(flows_per_size: u32, seed: u64) -> Section4Results {
             flows_per_size,
             seed,
         ),
-        ios_upload: run_campaign(DeviceProfile::ios(), Direction::Upload, flows_per_size, seed + 1),
+        ios_upload: run_campaign(
+            DeviceProfile::ios(),
+            Direction::Upload,
+            flows_per_size,
+            seed + 1,
+        ),
         android_download: run_campaign(
             DeviceProfile::android(),
             Direction::Download,
@@ -163,7 +168,11 @@ pub fn run_fig13(seed: u64) -> (FlowTrace, FlowTrace) {
         10 << 20,
         seed,
     ));
-    let ios = simulate_flow(&FlowConfig::upload(DeviceProfile::ios(), 10 << 20, seed + 1));
+    let ios = simulate_flow(&FlowConfig::upload(
+        DeviceProfile::ios(),
+        10 << 20,
+        seed + 1,
+    ));
     (android, ios)
 }
 
@@ -241,7 +250,6 @@ pub fn run_mitigations(file_size: u64, flows: u32, seed: u64) -> Vec<MitigationR
         .collect()
 }
 
-
 /// §3.1.3 notes the service "uses multiple TCP connections to accelerate
 /// upload and download" — the natural way around the 64 KB per-connection
 /// receive window. This models k connections each moving `total/k` bytes
@@ -287,7 +295,6 @@ pub fn run_parallel_upload(
         goodput: total_bytes as f64 / (slowest as f64 / SEC as f64),
     }
 }
-
 
 /// §3.1.4 implication: *"a considerable fraction of retrievals download
 /// large files … suggesting a need for resilience to possible failures,
@@ -399,7 +406,10 @@ mod tests {
         // higher in-flight window on average (Fig. 13b).
         assert!(a.idle_restarts > 0);
         let mean_inflight = |t: &FlowTrace| {
-            t.inflight_samples.iter().map(|&(_, f)| f as f64).sum::<f64>()
+            t.inflight_samples
+                .iter()
+                .map(|&(_, f)| f as f64)
+                .sum::<f64>()
                 / t.inflight_samples.len().max(1) as f64
         };
         assert!(
@@ -437,7 +447,12 @@ mod tests {
         let early = run_resume_ablation(DeviceProfile::android(), 150 << 20, 0.2, 1234);
         let late = run_resume_ablation(DeviceProfile::android(), 150 << 20, 0.8, 1234);
         assert!(early.saving() > 0.1, "early saving {}", early.saving());
-        assert!(late.saving() > early.saving(), "late {} vs early {}", late.saving(), early.saving());
+        assert!(
+            late.saving() > early.saving(),
+            "late {} vs early {}",
+            late.saving(),
+            early.saving()
+        );
         // Resuming an 80%-complete 150 MB download saves most of the rework.
         assert!(late.saving() > 0.35, "late saving {}", late.saving());
         assert!(late.resume_total < late.restart_total);

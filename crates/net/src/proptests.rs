@@ -12,10 +12,7 @@ use crate::link::LinkConfig;
 use crate::sim::MS;
 
 fn arb_device() -> impl Strategy<Value = DeviceProfile> {
-    prop_oneof![
-        Just(DeviceProfile::android()),
-        Just(DeviceProfile::ios()),
-    ]
+    prop_oneof![Just(DeviceProfile::android()), Just(DeviceProfile::ios()),]
 }
 
 proptest! {

@@ -74,7 +74,11 @@ impl<E> EventQueue<E> {
     /// Schedules `event` at absolute time `at`. Scheduling in the past is a
     /// logic error and panics (it would silently reorder causality).
     pub fn schedule(&mut self, at: Time, event: E) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.heap.push(Scheduled {
             at,
             seq: self.next_seq,

@@ -170,7 +170,12 @@ mod tests {
         let a = lognormal_sample(800, 2.0, 0.7, 13);
         let b = lognormal_sample(800, 2.0, 0.7, 14);
         let ci = median_ratio_ci(&a, &b, 400, 0.95, 15);
-        assert!(!ci.excludes(1.0), "CI [{}, {}] should cover 1", ci.lo, ci.hi);
+        assert!(
+            !ci.excludes(1.0),
+            "CI [{}, {}] should cover 1",
+            ci.lo,
+            ci.hi
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(e.median(), 2.5);
 /// assert_eq!(e.ccdf(3.0), 0.25);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }

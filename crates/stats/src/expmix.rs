@@ -91,7 +91,8 @@ impl ExponentialMixture {
 
         // Quantile pairs spanning progressively more of the tail; the
         // (0.5, ~max) start is what rescues heavy-α₁ mixtures.
-        const INIT_SPANS: [(f64, f64); 4] = [(0.10, 0.99), (0.50, 0.999), (0.25, 0.90), (0.50, 1.0)];
+        const INIT_SPANS: [(f64, f64); 4] =
+            [(0.10, 0.99), (0.50, 0.999), (0.25, 0.90), (0.50, 1.0)];
         let mut best: Option<Self> = None;
         for &(qlo, qhi) in &INIT_SPANS {
             let lo = crate::descriptive::quantile_sorted(&sorted, qlo).max(1e-9);

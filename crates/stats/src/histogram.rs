@@ -7,7 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Fixed-width linear-bin histogram over `[lo, hi)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -96,7 +96,7 @@ impl Histogram {
 ///
 /// This is the natural binning for quantities spanning many decades, like
 /// the paper's inter-operation times (10 ms … days, Fig. 3) and file sizes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogHistogram {
     log_lo: f64,
     log_hi: f64,

@@ -9,8 +9,8 @@
 //! Samplers are plain structs with a `sample(&self, rng)` method taking any
 //! [`rand::Rng`]; no global state, no wall clock.
 
-use rand::{Rng, RngExt};
 use rand::SeedableRng;
+use rand::{Rng, RngExt};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -18,8 +18,7 @@ use serde::{Deserialize, Serialize};
 /// the standard seed-sequencing construction. Stream `k` of seed `s` is
 /// stable across runs and platforms.
 pub fn split_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -405,7 +404,10 @@ mod tests {
         assert!((d.mean() - expected_mean).abs() < 1e-9);
         let n = 100_000;
         let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
-        assert!((mean - expected_mean).abs() / expected_mean < 0.05, "{mean}");
+        assert!(
+            (mean - expected_mean).abs() / expected_mean < 0.05,
+            "{mean}"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub const DAY_SECS: u64 = 86_400;
 
 /// A quantity accumulated into one-hour bins over a fixed horizon starting
 /// at time zero (trace-relative seconds).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HourlySeries {
     bins: Vec<f64>,
 }
@@ -37,6 +37,22 @@ impl HourlySeries {
         let idx = (t_secs / HOUR_SECS) as usize;
         if idx < self.bins.len() {
             self.bins[idx] += amount;
+        }
+    }
+
+    /// Adds another series bin-wise. Both series must cover the same
+    /// horizon. The pipeline's amounts are integer-valued (byte and file
+    /// counts well below 2⁵³), so per-bin sums are exact and merging
+    /// per-shard series in any grouping reproduces the sequential
+    /// accumulation bit for bit.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.bins.len(),
+            other.bins.len(),
+            "cannot merge hourly series with different horizons"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
         }
     }
 
@@ -177,6 +193,33 @@ mod tests {
         s.add(2 * HOUR_SECS + 1, 8.0);
         assert_eq!(s.bins(), &[3.0, 4.0, 8.0]);
         assert_eq!(s.total(), 15.0);
+    }
+
+    #[test]
+    fn merge_equals_single_series_accumulation() {
+        let mut whole = HourlySeries::new(3 * HOUR_SECS);
+        let mut left = HourlySeries::new(3 * HOUR_SECS);
+        let mut right = HourlySeries::new(3 * HOUR_SECS);
+        for (i, &(t, v)) in [(0, 1.0), (10, 2.0), (3700, 4.0), (7300, 8.0)]
+            .iter()
+            .enumerate()
+        {
+            whole.add(t, v);
+            if i % 2 == 0 {
+                left.add(t, v);
+            } else {
+                right.add(t, v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different horizons")]
+    fn merge_rejects_mismatched_horizons() {
+        let mut a = HourlySeries::new(HOUR_SECS);
+        a.merge(&HourlySeries::new(2 * HOUR_SECS));
     }
 
     #[test]

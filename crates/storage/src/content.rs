@@ -58,7 +58,10 @@ impl Content {
             Content::Inline(b) => {
                 let start = (index * CHUNK_SIZE) as usize;
                 let end = ((index + 1) * CHUNK_SIZE).min(b.len() as u64) as usize;
-                assert!(start < b.len() || (b.is_empty() && index == 0), "chunk index out of range");
+                assert!(
+                    start < b.len() || (b.is_empty() && index == 0),
+                    "chunk index out of range"
+                );
                 md5(&b[start.min(b.len())..end])
             }
             Content::Synthetic { seed, size } => {
@@ -196,7 +199,10 @@ mod tests {
 
     #[test]
     fn same_content_different_names_same_digest() {
-        let content = Content::Synthetic { seed: 4, size: 1000 };
+        let content = Content::Synthetic {
+            seed: 4,
+            size: 1000,
+        };
         let a = FileManifest::build("a.jpg", &content);
         let b = FileManifest::build("b.jpg", &content);
         assert_eq!(a.file_digest, b.file_digest);

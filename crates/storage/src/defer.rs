@@ -198,8 +198,7 @@ pub fn evaluate_deferral(
             // trough window rather than blasting it at the window start —
             // otherwise heavy-tailed upload batches simply rebuild the
             // peak a few hours later.
-            let window_start = run_at - (run_at % 86_400_000)
-                + policy.run_hour as u64 * 3_600_000;
+            let window_start = run_at - (run_at % 86_400_000) + policy.run_hour as u64 * 3_600_000;
             let window_start = if window_start > run_at {
                 window_start - 86_400_000
             } else {
@@ -207,8 +206,7 @@ pub fn evaluate_deferral(
             };
             let slices = policy.spread_hours.max(1) as u64;
             for j in 0..slices {
-                deferred[clamp(window_start + j * 3_600_000)] +=
-                    job.bytes as f64 / slices as f64;
+                deferred[clamp(window_start + j * 3_600_000)] += job.bytes as f64 / slices as f64;
             }
             if let Some(r) = job.first_retrieval_ms {
                 if r < run_at {

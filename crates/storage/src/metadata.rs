@@ -156,11 +156,7 @@ impl MetadataServer {
     ) -> Option<(FileManifest, usize)> {
         self.stats.retrieve_ops += 1;
         let _ = requester;
-        match self
-            .urls
-            .get(url)
-            .and_then(|d| self.known.get(d).cloned())
-        {
+        match self.urls.get(url).and_then(|d| self.known.get(d).cloned()) {
             Some((m, fe)) => Some((m, fe)),
             None => {
                 self.stats.retrieve_misses += 1;

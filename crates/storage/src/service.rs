@@ -305,9 +305,20 @@ mod proptests {
 
     #[derive(Debug, Clone)]
     enum Op {
-        Store { user: u64, name: u8, content_seed: u64, size: u32 },
-        Retrieve { user: u64, name: u8 },
-        Delete { user: u64, name: u8 },
+        Store {
+            user: u64,
+            name: u8,
+            content_seed: u64,
+            size: u32,
+        },
+        Retrieve {
+            user: u64,
+            name: u8,
+        },
+        Delete {
+            user: u64,
+            name: u8,
+        },
         Gc,
     }
 
@@ -321,8 +332,14 @@ mod proptests {
                     size,
                 }
             ),
-            (0u64..4, any::<u8>()).prop_map(|(user, name)| Op::Retrieve { user, name: name % 8 }),
-            (0u64..4, any::<u8>()).prop_map(|(user, name)| Op::Delete { user, name: name % 8 }),
+            (0u64..4, any::<u8>()).prop_map(|(user, name)| Op::Retrieve {
+                user,
+                name: name % 8
+            }),
+            (0u64..4, any::<u8>()).prop_map(|(user, name)| Op::Delete {
+                user,
+                name: name % 8
+            }),
             Just(Op::Gc),
         ]
     }

@@ -1,0 +1,138 @@
+//! Per-user record-block sources and shard partitioning.
+//!
+//! The analysis pipeline consumes a trace as a sequence of per-user record
+//! blocks. [`BlockSource`] abstracts over where those blocks come from — a
+//! live [`TraceGenerator`](crate::TraceGenerator) that materialises each
+//! user on demand, or blocks already resident in memory — and exposes them
+//! by index so parallel consumers can partition users into contiguous
+//! shards. Contiguity is what makes sharded processing deterministic:
+//! concatenating per-shard results in shard-index order reproduces the
+//! exact sequential block order for *any* shard count.
+
+use std::ops::Range;
+
+use crate::record::LogRecord;
+
+/// An indexable source of per-user record blocks.
+///
+/// Implementations must be cheap to share across threads (`Sync`) and
+/// `block(i)` must be a pure function of `i`: calling it in any order, from
+/// any thread, any number of times, yields the same records.
+pub trait BlockSource: Sync {
+    /// Number of user blocks.
+    fn len(&self) -> usize;
+
+    /// True when the source holds no blocks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `idx`-th user's records, time-ordered.
+    fn block(&self, idx: usize) -> Vec<LogRecord>;
+}
+
+impl BlockSource for [Vec<LogRecord>] {
+    fn len(&self) -> usize {
+        <[Vec<LogRecord>]>::len(self)
+    }
+
+    fn block(&self, idx: usize) -> Vec<LogRecord> {
+        self[idx].clone()
+    }
+}
+
+impl BlockSource for Vec<Vec<LogRecord>> {
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn block(&self, idx: usize) -> Vec<LogRecord> {
+        self[idx].clone()
+    }
+}
+
+impl<B: BlockSource + ?Sized> BlockSource for &B {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn block(&self, idx: usize) -> Vec<LogRecord> {
+        (**self).block(idx)
+    }
+}
+
+/// Resolves a `threads` knob: `0` means one worker per available core.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Splits `n` items into at most `shards` contiguous, near-equal ranges
+/// covering `0..n` in order. Fewer ranges come back when `n < shards`;
+/// zero shards are treated as one.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(n.max(1));
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_contiguous_and_cover_all_items() {
+        for n in [0usize, 1, 2, 7, 16, 100, 101] {
+            for shards in [1usize, 2, 3, 4, 7, 8, 64] {
+                let ranges = shard_ranges(n, shards);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "gap at n={n} shards={shards}");
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+                assert_eq!(expect, n, "coverage at n={n} shards={shards}");
+                assert!(ranges.len() <= shards);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced() {
+        let ranges = shard_ranges(10, 4);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn vec_source_round_trips() {
+        let blocks: Vec<Vec<LogRecord>> = vec![Vec::new(), Vec::new()];
+        assert_eq!(BlockSource::len(&blocks), 2);
+        assert!(BlockSource::block(&blocks, 1).is_empty());
+        let by_ref = &blocks;
+        assert_eq!(BlockSource::len(&by_ref), 2);
+        assert!(!BlockSource::is_empty(&by_ref));
+    }
+}

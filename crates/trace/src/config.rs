@@ -56,11 +56,7 @@ impl FileSizeModel {
     /// Table 2 store-only row: 0.91 @ 1.5 MB, 0.07 @ 13.1 MB, 0.02 @ 77.4 MB.
     pub fn paper_store() -> Self {
         Self {
-            components: vec![
-                (0.91, 1.5 * MB),
-                (0.07, 13.1 * MB),
-                (0.02, 77.4 * MB),
-            ],
+            components: vec![(0.91, 1.5 * MB), (0.07, 13.1 * MB), (0.02, 77.4 * MB)],
         }
     }
 
@@ -68,11 +64,7 @@ impl FileSizeModel {
     /// 0.28 @ 146.8 MB.
     pub fn paper_retrieve() -> Self {
         Self {
-            components: vec![
-                (0.46, 1.6 * MB),
-                (0.26, 29.8 * MB),
-                (0.28, 146.8 * MB),
-            ],
+            components: vec![(0.46, 1.6 * MB), (0.26, 29.8 * MB), (0.28, 146.8 * MB)],
         }
     }
 
@@ -329,6 +321,11 @@ pub struct TraceConfig {
     pub device_count_probs: [f64; 3],
     /// Trace horizon in days (paper: 7).
     pub horizon_days: u32,
+    /// Worker threads for parallel generation (`0` = one per available
+    /// core). Any value yields the identical trace — per-user RNG streams
+    /// make generation order-independent.
+    #[serde(default)]
+    pub threads: usize,
     /// Class mix for mobile-only users (Table 3, "mobile only").
     pub class_mix_mobile_only: ClassMix,
     /// Class mix for mobile+PC users (Table 3, "mobile & PC").
@@ -361,6 +358,7 @@ impl Default for TraceConfig {
             android_frac: 0.784,
             device_count_probs: [0.80, 0.15, 0.05],
             horizon_days: 7,
+            threads: 0,
             class_mix_mobile_only: ClassMix {
                 upload_only: 0.515,
                 download_only: 0.173,

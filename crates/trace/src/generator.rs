@@ -19,6 +19,7 @@ use rand_chacha::ChaCha8Rng;
 
 use mcs_stats::rng::{stream_rng, LogNormal};
 
+use crate::blocks::{effective_threads, shard_ranges, BlockSource};
 use crate::config::TraceConfig;
 use crate::netmodel::TimingSampler;
 use crate::population::{build_population, UserProfile};
@@ -105,12 +106,67 @@ impl TraceGenerator {
         self.users.iter().map(|u| self.user_records(u))
     }
 
+    /// All per-user record blocks, generated in parallel over
+    /// [`TraceConfig::threads`] workers. Each user draws from its own RNG
+    /// stream, so the result is identical to collecting
+    /// [`Self::iter_user_records`] regardless of the thread count.
+    pub fn par_user_records(&self) -> Vec<Vec<LogRecord>> {
+        let ranges = shard_ranges(self.users.len(), effective_threads(self.cfg.threads));
+        if ranges.len() <= 1 {
+            return self.iter_user_records().collect();
+        }
+        let mut shards: Vec<Vec<Vec<LogRecord>>> = Vec::with_capacity(ranges.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        self.users[range]
+                            .iter()
+                            .map(|u| self.user_records(u))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                shards.push(h.join().expect("generator worker panicked"));
+            }
+        });
+        shards.into_iter().flatten().collect()
+    }
+
     /// Generates everything and sorts globally by timestamp — convenient
-    /// for small configs and for writing trace files.
+    /// for small configs and for writing trace files. Generation and
+    /// sorting run on [`TraceConfig::threads`] workers over contiguous user
+    /// shards; the per-shard sorted runs are k-way merged, so the output is
+    /// bit-identical to the single-threaded sort for any thread count.
     pub fn generate_sorted(&self) -> Vec<LogRecord> {
-        let mut all: Vec<LogRecord> = self.iter_user_records().flatten().collect();
-        all.sort_by_key(|r| (r.timestamp_ms, r.user_id, r.device_id));
-        all
+        let ranges = shard_ranges(self.users.len(), effective_threads(self.cfg.threads));
+        if ranges.len() <= 1 {
+            let mut all: Vec<LogRecord> = self.iter_user_records().flatten().collect();
+            all.sort_by_key(sort_key);
+            return all;
+        }
+        let mut runs: Vec<Vec<LogRecord>> = Vec::with_capacity(ranges.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut run: Vec<LogRecord> = self.users[range]
+                            .iter()
+                            .flat_map(|u| self.user_records(u))
+                            .collect();
+                        run.sort_by_key(sort_key);
+                        run
+                    })
+                })
+                .collect();
+            for h in handles {
+                runs.push(h.join().expect("generator worker panicked"));
+            }
+        });
+        merge_sorted_runs(runs)
     }
 
     /// Emits the records of one session into `out`.
@@ -128,10 +184,8 @@ impl TraceGenerator {
             self.cfg.session.intra_op_gap_median_s * 1000.0,
             self.cfg.session.intra_op_gap_sigma,
         );
-        let straggler_gap = LogNormal::from_median(
-            self.cfg.session.straggler_gap_median_s * 1000.0,
-            0.8,
-        );
+        let straggler_gap =
+            LogNormal::from_median(self.cfg.session.straggler_gap_median_s * 1000.0, 0.8);
 
         // 1. File-operation burst at the session start (an occasional
         //    straggler op arrives while transfers already run).
@@ -198,13 +252,52 @@ impl TraceGenerator {
                 });
                 // Next chunk request leaves after this one completes plus
                 // the client's think time (the §4.2 idle-time source).
-                let clt = self
-                    .timing
-                    .clt_ms(rng, plan.device_type, file.direction);
+                let clt = self.timing.clt_ms(rng, plan.device_type, file.direction);
                 cursor += processing + clt;
             }
         }
     }
+}
+
+impl BlockSource for TraceGenerator {
+    fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    fn block(&self, idx: usize) -> Vec<LogRecord> {
+        self.user_records(&self.users[idx])
+    }
+}
+
+/// Global trace order: timestamp, then user, then device.
+fn sort_key(r: &LogRecord) -> (u64, u64, u64) {
+    (r.timestamp_ms, r.user_id, r.device_id)
+}
+
+/// K-way merges per-shard runs already sorted by [`sort_key`]. Ties prefer
+/// the lower shard, which — with shards being contiguous user ranges —
+/// reproduces exactly what a global stable sort over the concatenated runs
+/// would produce.
+fn merge_sorted_runs(runs: Vec<Vec<LogRecord>>) -> Vec<LogRecord> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut out = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+    let mut cursors = vec![0usize; runs.len()];
+    let mut heap = BinaryHeap::with_capacity(runs.len());
+    for (i, run) in runs.iter().enumerate() {
+        if let Some(r) = run.first() {
+            heap.push(Reverse((sort_key(r), i)));
+        }
+    }
+    while let Some(Reverse((_, i))) = heap.pop() {
+        out.push(runs[i][cursors[i]]);
+        cursors[i] += 1;
+        if let Some(next) = runs[i].get(cursors[i]) {
+            heap.push(Reverse((sort_key(next), i)));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -312,6 +405,40 @@ mod tests {
         for w in all.windows(2) {
             assert!(w[0].timestamp_ms <= w[1].timestamp_ms);
         }
+    }
+
+    #[test]
+    fn par_user_records_matches_sequential_for_any_thread_count() {
+        let sequential: Vec<Vec<LogRecord>> = generator(21).iter_user_records().collect();
+        for threads in [1usize, 2, 4, 7] {
+            let mut cfg = TraceConfig::small(21);
+            cfg.threads = threads;
+            let g = TraceGenerator::new(cfg).unwrap();
+            assert_eq!(g.par_user_records(), sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_generate_sorted_is_bit_identical() {
+        let mut cfg = TraceConfig::small(22);
+        cfg.mobile_users = 400;
+        cfg.pc_only_users = 100;
+        cfg.threads = 1;
+        let baseline = TraceGenerator::new(cfg.clone()).unwrap().generate_sorted();
+        assert!(!baseline.is_empty());
+        for threads in [2usize, 3, 8] {
+            cfg.threads = threads;
+            let g = TraceGenerator::new(cfg.clone()).unwrap();
+            assert_eq!(g.generate_sorted(), baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn block_source_indexes_users_in_order() {
+        let g = generator(23);
+        assert_eq!(BlockSource::len(&g), g.users().len());
+        let direct = g.user_records(&g.users()[5]);
+        assert_eq!(g.block(5), direct);
     }
 
     #[test]

@@ -10,7 +10,10 @@ use std::io::{self, BufRead, Write};
 use crate::record::{DeviceType, Direction, LogRecord, RequestType};
 
 /// Writes records as JSON lines (one serde-serialised record per line).
-pub fn write_jsonl<W: Write>(mut w: W, records: impl IntoIterator<Item = LogRecord>) -> io::Result<usize> {
+pub fn write_jsonl<W: Write>(
+    mut w: W,
+    records: impl IntoIterator<Item = LogRecord>,
+) -> io::Result<usize> {
     let mut n = 0;
     for r in records {
         serde_json::to_writer(&mut w, &r)?;
@@ -29,10 +32,7 @@ pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Vec<LogRecord>> {
             continue;
         }
         let rec: LogRecord = serde_json::from_str(&line).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: {e}", i + 1),
-            )
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
         })?;
         out.push(rec);
     }
@@ -81,7 +81,10 @@ fn parse_request(s: &str) -> Option<RequestType> {
 
 /// Writes records as CSV with [`CSV_HEADER`]. No field can contain commas,
 /// so no quoting is needed.
-pub fn write_csv<W: Write>(mut w: W, records: impl IntoIterator<Item = LogRecord>) -> io::Result<usize> {
+pub fn write_csv<W: Write>(
+    mut w: W,
+    records: impl IntoIterator<Item = LogRecord>,
+) -> io::Result<usize> {
     writeln!(w, "{CSV_HEADER}")?;
     let mut n = 0;
     for r in records {
@@ -287,8 +290,8 @@ mod tests {
 
     #[test]
     fn csv_rejects_missing_header() {
-        let err = read_csv(BufReader::new(&b"1,android,1,1,file_store,0,1,1,1,0\n"[..]))
-            .unwrap_err();
+        let err =
+            read_csv(BufReader::new(&b"1,android,1,1,file_store,0,1,1,1,0\n"[..])).unwrap_err();
         assert!(err.to_string().contains("header"));
     }
 
@@ -296,7 +299,9 @@ mod tests {
     fn csv_rejects_bad_field() {
         let mut buf = Vec::new();
         write_csv(&mut buf, sample_records()).unwrap();
-        let text = String::from_utf8(buf).unwrap().replace("android", "blackberry");
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("android", "blackberry");
         let err = read_csv(BufReader::new(text.as_bytes())).unwrap_err();
         assert!(err.to_string().contains("device type"));
     }
@@ -324,8 +329,7 @@ mod tests {
         assert!(n1 > 100);
         let back_jsonl =
             read_jsonl(BufReader::new(std::fs::File::open(&jsonl_path).unwrap())).unwrap();
-        let back_csv =
-            read_csv(BufReader::new(std::fs::File::open(&csv_path).unwrap())).unwrap();
+        let back_csv = read_csv(BufReader::new(std::fs::File::open(&csv_path).unwrap())).unwrap();
         assert_eq!(back_jsonl, back_csv);
         assert_eq!(back_jsonl.len() as u64, n1);
         let _ = std::fs::remove_file(jsonl_path);

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blocks;
 pub mod config;
 pub mod generator;
 pub mod io;
@@ -36,6 +37,7 @@ pub mod population;
 pub mod record;
 pub mod sessions;
 
+pub use blocks::{effective_threads, shard_ranges, BlockSource};
 pub use config::TraceConfig;
 pub use generator::TraceGenerator;
 pub use population::{ClientGroup, UserClass, UserProfile};

@@ -369,7 +369,10 @@ fn pick_device(user: &UserProfile, rng: &mut impl Rng) -> (u64, DeviceType) {
         .iter()
         .filter(|d| d.device_type.is_mobile())
         .collect();
-    let pc = user.devices.iter().find(|d| d.device_type == DeviceType::Pc);
+    let pc = user
+        .devices
+        .iter()
+        .find(|d| d.device_type == DeviceType::Pc);
     match (mobile.is_empty(), pc) {
         (true, Some(p)) => (p.id, p.device_type),
         (false, Some(p)) if rng.random::<f64>() < PC_SESSION_PROB => (p.id, p.device_type),
@@ -470,7 +473,10 @@ mod tests {
             .take(100)
         {
             let plans = plan_user_sessions(&cfg, &samplers, user, &mut rng);
-            let total: u64 = plans.iter().map(|p| p.store_bytes() + p.retrieve_bytes()).sum();
+            let total: u64 = plans
+                .iter()
+                .map(|p| p.store_bytes() + p.retrieve_bytes())
+                .sum();
             assert!(total < 1_000_000, "occasional user moved {total} bytes");
         }
     }

@@ -32,7 +32,11 @@ fn main() {
         .collect();
     let outcomes = svc.store_batch(1, &photos, 21 * 3_600_000);
     let uploaded: u64 = outcomes.iter().map(|o| o.bytes_uploaded).sum();
-    println!("user 1 backed up {} photos ({})", photos.len(), bytes(uploaded as f64));
+    println!(
+        "user 1 backed up {} photos ({})",
+        photos.len(),
+        bytes(uploaded as f64)
+    );
 
     // Their tablet syncs the same photos: every store deduplicates.
     let copies: Vec<(String, Content)> = photos
@@ -55,7 +59,8 @@ fn main() {
     svc.store(2, "clips/meme.mp4", &video, 23 * 3_600_000);
     let url = svc.publish_url(2, "clips/meme.mp4").expect("published");
     for viewer in 100..120 {
-        svc.retrieve_url(viewer, &url, 24 * 3_600_000).expect("served");
+        svc.retrieve_url(viewer, &url, 24 * 3_600_000)
+            .expect("served");
     }
     println!(
         "shared video served 20 times; cluster stores {} of unique data",

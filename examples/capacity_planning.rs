@@ -25,14 +25,20 @@ fn main() {
     let (svc, stats) = replay_trace(&gen, &ReplayConfig::default());
     println!("== raw demand over one week ==");
     println!("  files stored:        {}", stats.stores);
-    println!("  bytes uploaded:      {}", bytes(stats.bytes_uploaded as f64));
+    println!(
+        "  bytes uploaded:      {}",
+        bytes(stats.bytes_uploaded as f64)
+    );
     println!(
         "  dedup saved:         {} ({} of offered uploads)",
         bytes(stats.bytes_deduplicated as f64),
         pct(stats.bytes_deduplicated as f64
             / (stats.bytes_uploaded + stats.bytes_deduplicated).max(1) as f64),
     );
-    println!("  bytes downloaded:    {}", bytes(stats.bytes_downloaded as f64));
+    println!(
+        "  bytes downloaded:    {}",
+        bytes(stats.bytes_downloaded as f64)
+    );
 
     // --- 2. The §2.4 over-provisioning problem. --------------------------
     let worst = svc
@@ -42,7 +48,10 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("\n== §2.4: peak-driven provisioning ==");
     println!("  worst front-end peak-to-mean load: {worst:.1}x");
-    println!("  (capacity sized for the peak idles {:.0}% of the time)", (1.0 - 1.0 / worst) * 100.0);
+    println!(
+        "  (capacity sized for the peak idles {:.0}% of the time)",
+        (1.0 - 1.0 / worst) * 100.0
+    );
 
     // --- 3. Lever 1 — smart auto backup (§3.2.2 / A4). --------------------
     let jobs: Vec<UploadJob> = gen

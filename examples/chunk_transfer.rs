@@ -49,7 +49,12 @@ fn main() {
         }
         last_printed = at;
         let bar = "#".repeat((inflight / 4096) as usize);
-        println!("  t={:>4.1}s inflight {:>6} B {}", at as f64 / SEC as f64, inflight, bar);
+        println!(
+            "  t={:>4.1}s inflight {:>6} B {}",
+            at as f64 / SEC as f64,
+            inflight,
+            bar
+        );
     }
 
     println!("\nmitigations (§4.3), android upload:\n");

@@ -33,7 +33,10 @@ fn main() {
 
     // 3. Headline findings, as the paper reports them.
     println!("\n-- session structure (Fig. 3 / §3.1.1) --");
-    println!("derived session threshold tau = {}", secs(analysis.tau.tau_s));
+    println!(
+        "derived session threshold tau = {}",
+        secs(analysis.tau.tau_s)
+    );
     if let Some(g) = &analysis.tau.gmm {
         println!(
             "interval modes: within-session {} / between-session {}",
@@ -52,7 +55,11 @@ fn main() {
     if let Some(fit) = &analysis.filesize_store {
         if let Some(m) = &fit.mixture {
             for c in &m.components {
-                println!("store component: alpha {} at {:.1} MB", pct(c.weight), c.mean);
+                println!(
+                    "store component: alpha {} at {:.1} MB",
+                    pct(c.weight),
+                    c.mean
+                );
             }
         }
     }

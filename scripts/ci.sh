@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, formatting, lints. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
+echo "ci: all checks passed"

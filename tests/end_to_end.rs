@@ -44,7 +44,11 @@ fn analysis_recovers_paper_shapes_from_raw_logs() {
     // §3.1.1 — write-dominated sessions with a τ in the inter-mode gap.
     assert!(a.sessions.store_only_frac() > 0.5);
     assert!(a.sessions.mixed_frac() < 0.1);
-    assert!(a.tau.tau_s > 30.0 && a.tau.tau_s < 6.0 * 3600.0, "tau {}", a.tau.tau_s);
+    assert!(
+        a.tau.tau_s > 30.0 && a.tau.tau_s < 6.0 * 3600.0,
+        "tau {}",
+        a.tau.tau_s
+    );
 
     // §2.4 — retrieval dominates bytes, storage dominates file counts.
     assert!(a.workload.retrieve_to_store_volume_ratio() > 1.0);
@@ -56,7 +60,11 @@ fn analysis_recovers_paper_shapes_from_raw_logs() {
         .as_ref()
         .and_then(|f| f.mixture.as_ref())
         .expect("store mixture");
-    assert!((m.components[0].mean - 1.5).abs() < 1.0, "{:?}", m.components);
+    assert!(
+        (m.components[0].mean - 1.5).abs() < 1.0,
+        "{:?}",
+        m.components
+    );
 
     // §4.1 log side — Android uploads slower; swnd pinned near 64 KB.
     let ratio = a.perf.upload_median_ratio().expect("medians");
@@ -78,10 +86,7 @@ fn analysis_is_deterministic_across_runs() {
     assert_eq!(a1.total_records, a2.total_records);
     assert_eq!(a1.total_sessions, a2.total_sessions);
     assert_eq!(a1.tau.tau_s, a2.tau.tau_s);
-    assert_eq!(
-        a1.sessions.store_only_frac(),
-        a2.sessions.store_only_frac()
-    );
+    assert_eq!(a1.sessions.store_only_frac(), a2.sessions.store_only_frac());
     assert_eq!(a1.perf.swnd_mode_bytes(), a2.perf.swnd_mode_bytes());
 }
 

@@ -23,7 +23,11 @@ fn reports_are_deterministic() {
     let mut b = ExperimentSuite::new(ReproConfig::small(5));
     for id in ["f3", "t3", "f16"] {
         let id: ExperimentId = id.parse().unwrap();
-        assert_eq!(a.run(id).render(), b.run(id).render(), "{id} not deterministic");
+        assert_eq!(
+            a.run(id).render(),
+            b.run(id).render(),
+            "{id} not deterministic"
+        );
     }
 }
 
