@@ -348,6 +348,49 @@ mod tests {
     }
 
     #[test]
+    fn merge_law_return_histogram() {
+        let mut acc = ReturnHistogram {
+            cohort: 5,
+            returns: [1, 0, 2, 0, 0, 1],
+            never: 1,
+        };
+        let other = ReturnHistogram {
+            cohort: 3,
+            returns: [0, 1, 0, 0, 1, 0],
+            never: 1,
+        };
+        acc.merge(&other);
+        assert_eq!(acc.cohort, 8);
+        assert_eq!(acc.returns, [1, 1, 2, 0, 1, 1]);
+        assert_eq!(acc.never, 2);
+        // Merging an empty histogram is the identity.
+        let before = acc.clone();
+        acc.merge(&ReturnHistogram::default());
+        assert_eq!(acc, before);
+    }
+
+    #[test]
+    fn merge_law_retrieval_after_upload() {
+        let mut acc = RetrievalAfterUpload {
+            cohort: 4,
+            on_day: [2, 1, 0, 0, 1, 0, 0],
+            never: 2,
+        };
+        let other = RetrievalAfterUpload {
+            cohort: 2,
+            on_day: [0, 0, 1, 0, 0, 0, 1],
+            never: 1,
+        };
+        acc.merge(&other);
+        assert_eq!(acc.cohort, 6);
+        assert_eq!(acc.on_day, [2, 1, 1, 0, 1, 0, 1]);
+        assert_eq!(acc.never, 3);
+        let before = acc.clone();
+        acc.merge(&RetrievalAfterUpload::default());
+        assert_eq!(acc, before);
+    }
+
+    #[test]
     fn multidev_users_counted_in_both_overlapping_groups() {
         let mut c = EngagementCollector::new();
         c.push(&user(3, false, vec![0, 1], vec![0], vec![]));

@@ -18,6 +18,7 @@
 //! | [`pipeline`] | the two-pass orchestration of all of the above |
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod activity_model;

@@ -166,6 +166,7 @@ where
             .collect();
         handles
             .into_iter()
+            // mcs-lint: allow(panic, join only fails if a worker panicked; re-raise it)
             .map(|h| h.join().expect("pass-1 shard worker panicked"))
             .collect()
     });
@@ -195,6 +196,7 @@ where
             .collect();
         handles
             .into_iter()
+            // mcs-lint: allow(panic, join only fails if a worker panicked; re-raise it)
             .map(|h| h.join().expect("pass-2 shard worker panicked"))
             .collect()
     });
@@ -204,6 +206,7 @@ where
             acc.merge(shard);
             acc
         })
+        // mcs-lint: allow(panic, shard_ranges always yields >= 1 range)
         .expect("at least one shard");
     merged.finish(tau, cfg)
 }
@@ -320,6 +323,45 @@ mod tests {
         cfg.pc_only_users = users / 4;
         let gen = TraceGenerator::new(cfg).unwrap();
         analyze(|| gen.iter_user_records(), &PipelineConfig::default())
+    }
+
+    #[test]
+    fn merge_law_collectors_split_equals_whole() {
+        // The shard-reduce monoid at the Collectors level: pushing blocks
+        // into one collector must equal pushing a prefix/suffix split into
+        // two collectors and merging in shard order.
+        let mut tcfg = TraceConfig::small(77);
+        tcfg.mobile_users = 400;
+        tcfg.pc_only_users = 100;
+        let gen = TraceGenerator::new(tcfg).unwrap();
+        let blocks: Vec<Vec<mcs_trace::LogRecord>> = gen.iter_user_records().collect();
+        let cfg = PipelineConfig::default();
+
+        let mut mobile = Vec::new();
+        let mut intervals = Vec::new();
+        for b in &blocks {
+            gather_intervals(b, &mut mobile, &mut intervals);
+        }
+        let tau = derive_tau(&intervals, cfg.max_fit_points);
+        let tau_ms = tau.tau_ms();
+
+        let mut whole = Collectors::new(&cfg);
+        for b in &blocks {
+            whole.push_block(b, &mut mobile, tau_ms);
+        }
+
+        let split = blocks.len() / 3;
+        let mut left = Collectors::new(&cfg);
+        let mut right = Collectors::new(&cfg);
+        for b in &blocks[..split] {
+            left.push_block(b, &mut mobile, tau_ms);
+        }
+        for b in &blocks[split..] {
+            right.push_block(b, &mut mobile, tau_ms);
+        }
+        left.merge(right);
+
+        assert_eq!(left.finish(tau.clone(), &cfg), whole.finish(tau, &cfg));
     }
 
     #[test]

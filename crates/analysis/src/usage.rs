@@ -2,7 +2,7 @@
 //! Fig. 7 ratio distributions, and the Table 3 four-way user typology with
 //! volume shares.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
@@ -50,10 +50,12 @@ impl UserSummary {
             store_days: Vec::new(),
             retrieve_days: Vec::new(),
         };
-        let mut mobile_ids = HashSet::new();
-        let mut active = HashSet::new();
-        let mut store_d = HashSet::new();
-        let mut retrieve_d = HashSet::new();
+        // BTreeSets: the day/device aggregates feed `Vec` fields in the
+        // output, so iteration order must be structural, not hash order.
+        let mut mobile_ids = BTreeSet::new();
+        let mut active = BTreeSet::new();
+        let mut store_d = BTreeSet::new();
+        let mut retrieve_d = BTreeSet::new();
         for r in records {
             debug_assert_eq!(r.user_id, s.user_id, "mixed users in one block");
             if r.device_type.is_mobile() {
@@ -128,10 +130,8 @@ impl UserSummary {
     }
 }
 
-fn sorted(set: HashSet<u32>) -> Vec<u32> {
-    let mut v: Vec<u32> = set.into_iter().collect();
-    v.sort_unstable();
-    v
+fn sorted(set: BTreeSet<u32>) -> Vec<u32> {
+    set.into_iter().collect()
 }
 
 /// Client group as observed from the logs (vs the generator's plan).
@@ -512,6 +512,22 @@ mod tests {
         b.iter().for_each(|u| right.push(u));
         left.merge(right);
         assert_eq!(left.finish(), expected);
+    }
+
+    #[test]
+    fn merge_law_group_usage() {
+        let users: Vec<UserSummary> = (0..20u64)
+            .map(|i| summary(i * 900_000, (20 - i) * 800_000, 1, false))
+            .collect();
+        let mut whole = GroupUsage::default();
+        users.iter().for_each(|u| whole.push(u));
+        let (a, b) = users.split_at(7);
+        let mut left = GroupUsage::default();
+        let mut right = GroupUsage::default();
+        a.iter().for_each(|u| left.push(u));
+        b.iter().for_each(|u| right.push(u));
+        left.merge(&right);
+        assert_eq!(left, whole);
     }
 
     #[test]

@@ -16,6 +16,7 @@ impl ExperimentSuite {
             .users()
             .iter()
             .find(|u| u.store_files > 0)
+            // mcs-lint: allow(panic, default trace configs always contain storing users)
             .expect("some storing user");
         let records = gen.user_records(user);
         let rows: Vec<Vec<String>> = records

@@ -21,6 +21,7 @@
 //! * [`storage`] — the §2.1 service substrate and Table 4 optimisations.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub use mcs_analysis as analysis;

@@ -33,9 +33,11 @@ impl ExperimentSuite {
     pub fn generator(&mut self) -> &TraceGenerator {
         if self.generator.is_none() {
             let gen = TraceGenerator::new(self.cfg.trace.clone())
+                // mcs-lint: allow(panic, ReproConfig is validated at construction)
                 .expect("ReproConfig always yields a valid TraceConfig");
             self.generator = Some(gen);
         }
+        // mcs-lint: allow(panic, populated by the branch above)
         self.generator.as_ref().expect("just built")
     }
 
@@ -49,6 +51,7 @@ impl ExperimentSuite {
             let analysis = par_analyze(gen, &pipeline);
             self.analysis = Some(analysis);
         }
+        // mcs-lint: allow(panic, populated by the branch above)
         self.analysis.as_ref().expect("just built")
     }
 

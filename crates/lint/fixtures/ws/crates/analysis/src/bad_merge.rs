@@ -1,0 +1,11 @@
+//! Planted R4 violation: `ShardAcc::merge` has no merge-law test.
+
+pub struct ShardAcc {
+    pub total: u64,
+}
+
+impl ShardAcc {
+    pub fn merge(&mut self, other: &Self) {
+        self.total += other.total;
+    }
+}

@@ -1,0 +1,3 @@
+//! Planted R5 violation: crate root lacks `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

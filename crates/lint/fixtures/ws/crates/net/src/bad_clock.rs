@@ -1,0 +1,6 @@
+//! Planted R2 violation: wall-clock read outside crates/bench.
+
+pub fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

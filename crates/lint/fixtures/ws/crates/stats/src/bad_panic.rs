@@ -1,0 +1,5 @@
+//! Planted R3 violation: unwrap in non-test library code.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Planted R1 violation: unsorted HashMap key iteration escapes.
+
+use std::collections::HashMap;
+
+pub fn chunk_ids(index: &HashMap<u64, u64>) -> Vec<u64> {
+    index.keys().copied().collect()
+}

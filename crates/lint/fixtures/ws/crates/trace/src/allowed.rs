@@ -1,0 +1,35 @@
+//! Suppression fixtures: each site would violate a rule, but carries an
+//! allow-comment or lives in test code, so mcs-lint must stay silent.
+
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    // mcs-lint: allow(map-iter, order-free summation)
+    for v in m.values() {
+        acc += v;
+    }
+    acc
+}
+
+pub fn checked_head(xs: &[u32]) -> u32 {
+    // mcs-lint: allow(panic, fixture: caller guarantees non-empty)
+    xs.first().copied().unwrap()
+}
+
+pub fn order_free_terminal(m: &HashMap<u64, u64>) -> u64 {
+    m.values().copied().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn unwrap_and_map_iter_in_tests_are_fine() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        let ks: Vec<u64> = m.keys().copied().collect();
+        assert_eq!(*ks.first().unwrap(), 1);
+    }
+}

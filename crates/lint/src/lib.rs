@@ -1,0 +1,19 @@
+//! `mcs-lint`: the workspace determinism & robustness auditor.
+//!
+//! PR 2 made the analysis pipeline bit-identical across thread counts;
+//! this crate machine-checks the contract that guarantee rests on. It is
+//! a self-contained static-analysis pass (a hand-rolled, comment- and
+//! string-aware lexer — no external parser crates) that walks every
+//! `.rs` file in the library crates and enforces five rules clippy
+//! cannot express. See [`rules`] for the rule table and
+//! `DESIGN.md` § "Enforcing the determinism contract" for the rationale.
+//!
+//! Run it with `cargo run -p mcs-lint` (add `-- --json` for tooling).
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod rules;
+pub mod scanner;
+
+pub use rules::{run_lint, Diagnostic, LIB_CRATES};

@@ -1,0 +1,113 @@
+//! CLI for the workspace auditor.
+//!
+//! ```text
+//! mcs-lint [--json] [ROOT]
+//! ```
+//!
+//! `ROOT` defaults to the nearest ancestor of the current directory whose
+//! `Cargo.toml` declares `[workspace]`. Exit codes: 0 clean, 1 when
+//! violations were found, 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mcs_lint::run_lint;
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: mcs-lint [--json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("mcs-lint: unknown flag `{arg}` (usage: mcs-lint [--json] [ROOT])");
+                return ExitCode::from(2);
+            }
+            _ => root_arg = Some(PathBuf::from(arg)),
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => {
+            if !r.join("Cargo.toml").is_file() {
+                eprintln!(
+                    "mcs-lint: `{}` is not a workspace root (no Cargo.toml)",
+                    r.display()
+                );
+                return ExitCode::from(2);
+            }
+            r
+        }
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("mcs-lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("mcs-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diags = match run_lint(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mcs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        match serde_json::to_string_pretty(&diags) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("mcs-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+
+    if diags.is_empty() {
+        if !json {
+            println!("mcs-lint: workspace clean (rules R1-R5)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            eprintln!("mcs-lint: {} violation(s)", diags.len());
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,907 @@
+//! The five workspace rules.
+//!
+//! | Rule | Name | Contract |
+//! |---|---|---|
+//! | R1 | `map-iter` | No iteration over `HashMap`/`HashSet` in non-test library code unless the same statement canonicalises the order (an explicit `sort*`, a `BTree*`/`BinaryHeap` collect) or ends in an order-insensitive terminal (`count`, `sum`, `min_by_key`, …) |
+//! | R2 | `clock` | No wall-clock or entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`) anywhere outside `crates/bench` |
+//! | R3 | `panic` | No `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in non-test library code |
+//! | R4 | `merge-law` | Every type in `crates/analysis` defining `fn merge(` must be referenced by a test whose name contains `merge` or `shard` |
+//! | R5 | `unsafe` | Every library crate root must carry `#![forbid(unsafe_code)]` |
+//!
+//! Every rule except R5 honours a `// mcs-lint: allow(<name>, <reason>)`
+//! comment on the flagged line or up to two lines above it.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::scanner::{SourceFile, Tok, TokKind};
+
+/// The library crates the determinism contract covers.
+pub const LIB_CRATES: &[&str] = &["analysis", "core", "net", "stats", "storage", "trace"];
+
+/// One rule violation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Rule id (`R1`..`R5`).
+    pub rule: &'static str,
+    /// Rule name (doubles as the allow-comment key).
+    pub name: &'static str,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}/{}] {}",
+            self.file, self.line, self.rule, self.name, self.message
+        )
+    }
+}
+
+/// Methods that iterate a map/set in storage order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Calls that impose a canonical order on whatever they iterate.
+const SORTERS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Terminal operations whose result is independent of iteration order
+/// (up to key ties for the `*_by_key` family — the caller must guarantee
+/// distinct keys, which an allow-comment should state when non-obvious).
+const ORDER_FREE: &[&str] = &[
+    "count",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+    "all",
+    "any",
+    "contains",
+    "contains_key",
+];
+
+/// Collects that land in an ordered container, restoring determinism.
+const ORDERED_SINKS: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap"];
+
+/// A scanned file plus workspace-level context.
+struct Scanned {
+    rel: String,
+    file: SourceFile,
+    /// Whole file is test code (`#![cfg(test)]` or `#[cfg(test)] mod x;`
+    /// gating in the parent module file).
+    gated: bool,
+}
+
+impl Scanned {
+    fn is_test_line(&self, line: u32) -> bool {
+        self.gated || self.file.in_test(line)
+    }
+}
+
+/// Runs all rules over the workspace rooted at `root`.
+pub fn run_lint(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+
+    // Scan the six library crates.
+    let mut lib_files: Vec<Scanned> = Vec::new();
+    for krate in LIB_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        lib_files.extend(scan_tree(root, &src_dir)?);
+    }
+
+    for f in &lib_files {
+        rule_map_iter(f, &mut diags);
+        rule_panic(f, &mut diags);
+        rule_clock(f, &mut diags);
+    }
+
+    // R2 also covers the harness crate, integration tests, and examples
+    // (everything that feeds reproduction output). `crates/bench` is the
+    // one sanctioned home for wall-clock timing.
+    for dir in ["src", "tests", "examples"] {
+        for f in &scan_tree(root, &root.join(dir))? {
+            rule_clock(f, &mut diags);
+        }
+    }
+
+    rule_merge_law(&lib_files, &mut diags);
+
+    for krate in LIB_CRATES {
+        let rel = format!("crates/{krate}/src/lib.rs");
+        if let Some(f) = lib_files.iter().find(|f| f.rel == rel) {
+            rule_forbid_unsafe(f, &mut diags);
+        } else {
+            diags.push(Diagnostic {
+                rule: "R5",
+                name: "unsafe",
+                file: rel,
+                line: 1,
+                message: format!("library crate `{krate}` has no src/lib.rs"),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags.dedup_by(|a, b| (a.rule, &a.file, a.line) == (b.rule, &b.file, b.line));
+    Ok(diags)
+}
+
+/// Scans every `.rs` file under `dir` (sorted walk; missing dir → empty),
+/// then resolves `#[cfg(test)] mod x;` gating across sibling files.
+fn scan_tree(root: &Path, dir: &Path) -> io::Result<Vec<Scanned>> {
+    let mut paths = Vec::new();
+    walk(dir, &mut paths)?;
+    paths.sort();
+    let mut scanned = Vec::new();
+    let mut gated_paths: BTreeSet<PathBuf> = BTreeSet::new();
+    for path in &paths {
+        let src = std::fs::read_to_string(path)?;
+        let file = SourceFile::scan(&src);
+        for m in &file.cfg_test_mods {
+            let parent = path.parent().unwrap_or(Path::new(""));
+            gated_paths.insert(parent.join(format!("{m}.rs")));
+            gated_paths.insert(parent.join(m).join("mod.rs"));
+            if let Some(stem) = path.file_stem() {
+                gated_paths.insert(parent.join(stem).join(format!("{m}.rs")));
+            }
+        }
+        scanned.push((path.clone(), file));
+    }
+    Ok(scanned
+        .into_iter()
+        .map(|(path, file)| {
+            let gated = gated_paths.contains(&path) || file.all_test;
+            Scanned {
+                rel: relative(root, &path),
+                file,
+                gated,
+            }
+        })
+        .collect())
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != "fixtures" {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+// ---------------------------------------------------------------- R1
+
+/// R1: iteration over `HashMap`/`HashSet` must not leak storage order.
+fn rule_map_iter(f: &Scanned, diags: &mut Vec<Diagnostic>) {
+    if f.gated {
+        return;
+    }
+    let toks = &f.file.tokens;
+    let bindings = collect_map_bindings(f);
+    if bindings.is_empty() {
+        return;
+    }
+
+    // Method-call sites: `<binding>.iter()`, `self.<binding>.keys()`, ….
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !ITER_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if i == 0 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let Some(recv) = receiver_name(toks, i - 2) else {
+            continue;
+        };
+        if !bindings.contains(recv) {
+            continue;
+        }
+        if f.is_test_line(t.line) || f.file.allowed("map-iter", t.line) {
+            continue;
+        }
+        if statement_restores_order(toks, i + 1) || sorted_out_of_band(toks, i) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: "R1",
+            name: "map-iter",
+            file: f.rel.clone(),
+            line: t.line,
+            message: format!(
+                "`{recv}.{}()` iterates a HashMap/HashSet without sorting in the same \
+                 statement; sort the result, use a BTree container, or annotate \
+                 `// mcs-lint: allow(map-iter, <reason>)`",
+                t.text
+            ),
+        });
+    }
+
+    // `for` loops over a map binding.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("for") {
+            continue;
+        }
+        let Some((expr_start, expr_end)) = for_loop_expr(toks, i) else {
+            continue;
+        };
+        let line = toks[i].line;
+        if f.is_test_line(line) || f.file.allowed("map-iter", line) {
+            continue;
+        }
+        // Method sites inside the header were already checked above (and
+        // carry the sort/terminal escapes); a bare `for x in map`-style
+        // header has no in-statement escape, so it must be annotated.
+        if toks[expr_start..expr_end]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && ITER_METHODS.contains(&t.text.as_str()))
+        {
+            continue;
+        }
+        let hits_map = toks[expr_start..expr_end]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && bindings.contains(t.text.as_str()));
+        if hits_map {
+            diags.push(Diagnostic {
+                rule: "R1",
+                name: "map-iter",
+                file: f.rel.clone(),
+                line,
+                message: "`for` loop over a HashMap/HashSet binding leaks storage order; \
+                          iterate a sorted copy, use a BTree container, or annotate \
+                          `// mcs-lint: allow(map-iter, <reason>)`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet` in non-test code:
+/// `let` bindings, struct fields, and fn params (matched as `name: …Hash…`).
+/// Test-region bindings are skipped so a test-local `m: HashMap` cannot
+/// poison an unrelated `m` in library code.
+fn collect_map_bindings(f: &Scanned) -> BTreeSet<String> {
+    let toks = &f.file.tokens;
+    let mut out = BTreeSet::new();
+    let is_map = |t: &Tok| t.is_ident("HashMap") || t.is_ident("HashSet");
+
+    for i in 0..toks.len() {
+        if f.is_test_line(toks[i].line) {
+            continue;
+        }
+        // `name : <segment containing HashMap/HashSet>` — a struct field,
+        // fn param, or typed binding. Path separators (`::`) are excluded.
+        if toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && (i == 0 || !toks[i - 1].is_punct(':'))
+        {
+            let mut depth = 0i32;
+            for t in &toks[i + 2..] {
+                if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                    if t.is_punct(')') && depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth <= 0
+                    && (t.is_punct(',') || t.is_punct(';') || t.is_punct('{') || t.is_punct('}'))
+                {
+                    break;
+                } else if is_map(t) {
+                    out.insert(toks[i].text.clone());
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = <rhs containing HashMap/HashSet>;`
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            let mut depth = 0i32;
+            for t in &toks[j + 1..] {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if depth == 0 && t.is_punct(';') {
+                    break;
+                } else if is_map(t) {
+                    out.insert(name.text.clone());
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Resolves the receiver of a `.method()` call at the token *before* the
+/// dot: `map.iter()` → `map`; `self.field.iter()` → `field`. Returns
+/// `None` for receivers too complex to name (conservatively unflagged).
+fn receiver_name(toks: &[Tok], i: usize) -> Option<&str> {
+    let t = toks.get(i)?;
+    if t.kind == TokKind::Ident && t.text != "self" {
+        return Some(&t.text);
+    }
+    None
+}
+
+/// Scans from the iteration call's opening paren to the end of the
+/// statement; true when the chain sorts, ends order-insensitively, or
+/// collects into an ordered container.
+fn statement_restores_order(toks: &[Tok], open_paren: usize) -> bool {
+    let mut depth = 0i32;
+    for t in &toks[open_paren..] {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                return false;
+            }
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct(',') || t.is_punct('{')) {
+            return false;
+        } else if t.kind == TokKind::Ident
+            && (SORTERS.contains(&t.text.as_str())
+                || ORDER_FREE.contains(&t.text.as_str())
+                || ORDERED_SINKS.contains(&t.text.as_str()))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Escapes the forward scan cannot see: a `let s: BTreeSet<_> = …`
+/// annotation earlier in the same statement, or the canonical
+/// collect-then-sort idiom where the *next* statement sorts the binding
+/// this statement produced (`let mut v = m.keys().collect(); v.sort();`).
+fn sorted_out_of_band(toks: &[Tok], method_idx: usize) -> bool {
+    // Walk back to the statement start (bounded; closures make exact
+    // brace-depth bookkeeping overkill here — conservative either way).
+    let mut start = method_idx;
+    for k in (method_idx.saturating_sub(40)..method_idx).rev() {
+        if toks[k].is_punct(';') || toks[k].is_punct('{') || toks[k].is_punct('}') {
+            start = k + 1;
+            break;
+        }
+        start = k;
+    }
+    let head = &toks[start..method_idx];
+    if head
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && ORDERED_SINKS.contains(&t.text.as_str()))
+    {
+        return true;
+    }
+
+    // `let [mut] NAME = …` head → look for `NAME.sort*(` in the statement
+    // immediately after this one.
+    let target = match head {
+        [l, n, ..] if l.is_ident("let") && n.kind == TokKind::Ident && n.text != "mut" => &n.text,
+        [l, m, n, ..] if l.is_ident("let") && m.is_ident("mut") && n.kind == TokKind::Ident => {
+            &n.text
+        }
+        _ => return false,
+    };
+    // Skip to the `;` ending this statement.
+    let mut depth = 0i32;
+    let mut j = method_idx;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                return false;
+            }
+        } else if depth == 0 && t.is_punct('{') {
+            return false;
+        } else if depth == 0 && t.is_punct(';') {
+            break;
+        }
+        j += 1;
+    }
+    // Next statement: `target . sort* (` before the following `;`.
+    let next = &toks[j + 1..toks.len().min(j + 40)];
+    for w in 0..next.len() {
+        if next[w].is_punct(';') || next[w].is_punct('{') || next[w].is_punct('}') {
+            break;
+        }
+        if next[w].is_ident(target)
+            && next.get(w + 1).is_some_and(|t| t.is_punct('.'))
+            && next
+                .get(w + 2)
+                .is_some_and(|t| SORTERS.contains(&t.text.as_str()))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// For a `for` token at `i`, returns the token range of the iterated
+/// expression (`in` … `{`), or `None` when this is not a loop header
+/// (`impl Trait for Type`, `for<'a>`).
+fn for_loop_expr(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
+    // `impl … for Type` / higher-ranked `for<'a>`: not loops.
+    if toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut in_pos = None;
+    for (j, t) in toks.iter().enumerate().skip(i + 1).take(200) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('{') {
+            return in_pos.map(|p| (p + 1, j));
+        } else if depth == 0 && t.is_ident("in") && in_pos.is_none() {
+            in_pos = Some(j);
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('}')) {
+            return None;
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- R2
+
+/// R2: no wall-clock or entropy sources outside `crates/bench`.
+fn rule_clock(f: &Scanned, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "SystemTime" | "thread_rng" | "from_entropy" => Some(t.text.as_str()),
+            "Instant" => (toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("now")))
+            .then_some("Instant::now"),
+            _ => None,
+        };
+        let Some(source) = hit else { continue };
+        if f.file.allowed("clock", t.line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: "R2",
+            name: "clock",
+            file: f.rel.clone(),
+            line: t.line,
+            message: format!(
+                "`{source}` is a nondeterminism source; seed explicitly from config \
+                 (wall-clock timing belongs in crates/bench)"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------- R3
+
+/// R3: no panicking calls in non-test library code.
+fn rule_panic(f: &Scanned, diags: &mut Vec<Diagnostic>) {
+    if f.gated {
+        return;
+    }
+    let toks = &f.file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let site = match t.text.as_str() {
+            "unwrap" | "expect"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                Some(format!(".{}()", t.text))
+            }
+            "panic" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                Some(format!("{}!", t.text))
+            }
+            _ => None,
+        };
+        let Some(site) = site else { continue };
+        if f.is_test_line(t.line) || f.file.allowed("panic", t.line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: "R3",
+            name: "panic",
+            file: f.rel.clone(),
+            line: t.line,
+            message: format!(
+                "`{site}` can abort the pipeline mid-run; return a Result, handle the \
+                 case, or annotate `// mcs-lint: allow(panic, <reason>)`"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------- R4
+
+/// R4: every `fn merge(` type in `crates/analysis` needs a merge-law or
+/// shard-invariance test referencing it by name.
+fn rule_merge_law(files: &[Scanned], diags: &mut Vec<Diagnostic>) {
+    let analysis: Vec<&Scanned> = files
+        .iter()
+        .filter(|f| f.rel.starts_with("crates/analysis/"))
+        .collect();
+
+    // All identifiers referenced by test fns whose name mentions merge or
+    // shard, across the whole analysis crate.
+    let mut tested: BTreeSet<String> = BTreeSet::new();
+    for f in &analysis {
+        let toks = &f.file.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("fn") {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            if !(name.text.contains("merge") || name.text.contains("shard")) {
+                continue;
+            }
+            if !(f.gated || f.file.in_test(name.line)) {
+                continue;
+            }
+            // Collect idents through the fn body (first `{` … matching `}`).
+            let mut depth = 0i32;
+            let mut started = false;
+            for t in &toks[i + 2..] {
+                if t.is_punct('{') {
+                    depth += 1;
+                    started = true;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if started && depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokKind::Ident {
+                    tested.insert(t.text.clone());
+                }
+            }
+        }
+    }
+
+    for f in &analysis {
+        for (type_name, line) in merge_impls(&f.file) {
+            if f.gated || f.file.in_test(line) {
+                continue;
+            }
+            if tested.contains(&type_name) {
+                continue;
+            }
+            if f.file.allowed("merge-law", line) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                rule: "R4",
+                name: "merge-law",
+                file: f.rel.clone(),
+                line,
+                message: format!(
+                    "`{type_name}` defines `fn merge` but no test named *merge*/*shard* \
+                     references it; add a merge-law test so the shard-reduce monoid \
+                     stays total"
+                ),
+            });
+        }
+    }
+}
+
+/// `(type_name, line_of_fn_merge)` for every `fn merge` inside an `impl`
+/// block of this file.
+fn merge_impls(file: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip generic params.
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut d = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    d += 1;
+                } else if toks[j].is_punct('>') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        // Read the (possibly trait) path up to `for`/`where`/`{`; the
+        // implemented type is the last path segment before its generics.
+        let mut type_name = String::new();
+        let mut d = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('<') {
+                d += 1;
+            } else if t.is_punct('>') {
+                d -= 1;
+            } else if d == 0 && t.is_ident("for") {
+                type_name.clear(); // trait path — the type follows
+            } else if d == 0 && (t.is_punct('{') || t.is_ident("where")) {
+                break;
+            } else if d == 0 && t.kind == TokKind::Ident {
+                type_name = t.text.clone();
+            }
+            j += 1;
+        }
+        // Find the body opening brace, then scan it for `fn merge`.
+        while j < toks.len() && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("fn")
+                && toks.get(j + 1).is_some_and(|t| t.is_ident("merge"))
+                && !type_name.is_empty()
+            {
+                out.push((type_name.clone(), toks[j].line));
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------- R5
+
+/// R5: library crate roots must forbid unsafe code.
+fn rule_forbid_unsafe(f: &Scanned, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.file.tokens;
+    let has = (0..toks.len()).any(|i| {
+        toks[i].is_ident("forbid")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("unsafe_code"))
+    });
+    if !has {
+        diags.push(Diagnostic {
+            rule: "R5",
+            name: "unsafe",
+            file: f.rel.clone(),
+            line: 1,
+            message: "library crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::SourceFile;
+
+    fn scanned(rel: &str, src: &str) -> Scanned {
+        Scanned {
+            rel: rel.to_string(),
+            file: SourceFile::scan(src),
+            gated: false,
+        }
+    }
+
+    #[test]
+    fn map_iter_flags_unsorted_keys() {
+        let f = scanned(
+            "crates/x/src/a.rs",
+            "fn f(m: &HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }",
+        );
+        let mut d = Vec::new();
+        rule_map_iter(&f, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "R1");
+    }
+
+    #[test]
+    fn map_iter_accepts_sorted_and_order_free() {
+        let src = "fn f(m: &HashMap<u32, u32>) {\n\
+                   let a: Vec<u32> = m.keys().copied().collect();\n\
+                   let n = m.values().count();\n\
+                   let mut v: Vec<u32> = m.keys().copied().collect();\n\
+                   v.sort();\n\
+                   let s: BTreeSet<u32> = m.keys().copied().collect();\n\
+                   let t = m.keys().copied().collect::<BTreeSet<u32>>();\n\
+                   }";
+        let f = scanned("crates/x/src/a.rs", src);
+        let mut d = Vec::new();
+        rule_map_iter(&f, &mut d);
+        // Line 2 is never sorted → flagged. Line 3 is an order-free
+        // terminal, line 4 is sorted by the next statement, lines 6-7
+        // land in an ordered container (annotation / turbofish).
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn map_iter_for_loop_needs_allow() {
+        let bad = "fn f(m: &HashSet<u32>) { for x in m { use_it(x); } }";
+        let f = scanned("crates/x/src/a.rs", bad);
+        let mut d = Vec::new();
+        rule_map_iter(&f, &mut d);
+        assert_eq!(d.len(), 1);
+
+        let ok = "fn f(m: &HashSet<u32>) {\n\
+                  // mcs-lint: allow(map-iter, folded into an order-free sum)\n\
+                  for x in m { s += x; }\n}";
+        let f = scanned("crates/x/src/a.rs", ok);
+        let mut d = Vec::new();
+        rule_map_iter(&f, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn map_iter_ignores_btree_and_tests() {
+        let src = "fn f(m: &BTreeMap<u32, u32>) { for x in m.keys() { g(x); } }\n\
+                   #[cfg(test)]\nmod tests {\n\
+                   fn t(m: &HashMap<u32, u32>) { for x in m.keys() { g(x); } }\n}";
+        let f = scanned("crates/x/src/a.rs", src);
+        let mut d = Vec::new();
+        rule_map_iter(&f, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn panic_rule_flags_and_allows() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g() { panic!(\"boom\"); }\n\
+                   fn h(x: Option<u32>) -> u32 {\n\
+                   // mcs-lint: allow(panic, length checked above)\n\
+                   x.expect(\"checked\")\n}";
+        let f = scanned("crates/x/src/a.rs", src);
+        let mut d = Vec::new();
+        rule_panic(&f, &mut d);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+    }
+
+    #[test]
+    fn clock_rule() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let f = scanned("crates/x/src/a.rs", src);
+        let mut d = Vec::new();
+        rule_clock(&f, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "R2");
+        // `Instant` not followed by `::now` is fine (e.g. a type position).
+        let f = scanned("crates/x/src/a.rs", "fn f(t: Instant) {}");
+        let mut d = Vec::new();
+        rule_clock(&f, &mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn merge_law_matches_by_type_name() {
+        let src = "pub struct Acc { n: u64 }\n\
+                   impl Acc { pub fn merge(&mut self, o: &Self) { self.n += o.n; } }\n\
+                   #[cfg(test)]\nmod tests {\n\
+                   #[test]\nfn merge_law_acc() { let a = Acc { n: 0 }; }\n}";
+        let covered = scanned("crates/analysis/src/a.rs", src);
+        let mut d = Vec::new();
+        rule_merge_law(&[covered], &mut d);
+        assert!(d.is_empty(), "{d:?}");
+
+        let src = "pub struct Acc { n: u64 }\n\
+                   impl Acc { pub fn merge(&mut self, o: &Self) { self.n += o.n; } }";
+        let uncovered = scanned("crates/analysis/src/a.rs", src);
+        let mut d = Vec::new();
+        rule_merge_law(&[uncovered], &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "R4");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn merge_law_outside_analysis_is_ignored() {
+        let src = "pub struct Acc { n: u64 }\n\
+                   impl Acc { pub fn merge(&mut self, o: &Self) {} }";
+        let f = scanned("crates/stats/src/a.rs", src);
+        let mut d = Vec::new();
+        rule_merge_law(&[f], &mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        let f = scanned(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}",
+        );
+        let mut d = Vec::new();
+        rule_forbid_unsafe(&f, &mut d);
+        assert!(d.is_empty());
+        let f = scanned("crates/x/src/lib.rs", "pub fn f() {}");
+        let mut d = Vec::new();
+        rule_forbid_unsafe(&f, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "R5");
+    }
+}

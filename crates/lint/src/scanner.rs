@@ -1,0 +1,535 @@
+//! A minimal, lossy Rust lexer — just enough structure for the lint rules.
+//!
+//! Comments and literals never reach the rule matchers: string/char/byte
+//! literals collapse into opaque tokens and comments are dropped, except
+//! that `// mcs-lint: allow(<rule>, <reason>)` comments are recovered with
+//! their line numbers, and `#[cfg(test)]` / `#[test]` item spans are
+//! resolved by brace matching so rules can skip test code.
+//!
+//! This is deliberately not a full parser (the workspace bans new
+//! dependencies, so `syn` is out); the token stream plus line spans is
+//! sufficient for every rule in [`crate::rules`], and the fixture tests
+//! pin the behaviour the rules depend on.
+
+use std::fmt;
+
+/// Token class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String/char/byte literal (contents dropped).
+    Lit,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token text (empty for [`TokKind::Lit`]).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// An `// mcs-lint: allow(<rule>, <reason>)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule id the site opts out of (e.g. `map-iter`).
+    pub rule: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
+/// An inclusive 1-based line range lexed as test-only code.
+#[derive(Debug, Clone, Copy)]
+pub struct LineRange {
+    /// First line of the region.
+    pub start: u32,
+    /// Last line of the region.
+    pub end: u32,
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Code tokens (no comments; literals opaque).
+    pub tokens: Vec<Tok>,
+    /// `mcs-lint: allow(...)` annotations found in line comments.
+    pub allows: Vec<Allow>,
+    /// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<LineRange>,
+    /// Names from `#[cfg(test)] mod <name>;` declarations (the module body
+    /// lives in another file that is entirely test code).
+    pub cfg_test_mods: Vec<String>,
+    /// Whether the file opens with `#![cfg(test)]` (whole file is tests).
+    pub all_test: bool,
+}
+
+impl SourceFile {
+    /// Scans Rust source text.
+    pub fn scan(src: &str) -> Self {
+        let (tokens, allows) = lex(src);
+        let (test_ranges, cfg_test_mods, all_test) = find_test_regions(&tokens);
+        Self {
+            tokens,
+            allows,
+            test_ranges,
+            cfg_test_mods,
+            all_test,
+        }
+    }
+
+    /// Whether `line` falls inside test-only code.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.all_test
+            || self
+                .test_ranges
+                .iter()
+                .any(|r| line >= r.start && line <= r.end)
+    }
+
+    /// Whether an allow-comment for `rule` covers `line` (same line or one
+    /// of the two lines directly above, so annotations survive rustfmt
+    /// moving them onto their own line).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.line <= line && a.line + 2 >= line)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Lexes source into tokens and allow-annotations.
+fn lex(src: &str) -> (Vec<Tok>, Vec<Allow>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = b[start..i].iter().collect();
+                parse_allow(&comment, line, &mut allows);
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Nested block comment.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let l = line;
+                i = skip_string(&b, i, &mut line);
+                toks.push(Tok {
+                    text: String::new(),
+                    line: l,
+                    kind: TokKind::Lit,
+                });
+            }
+            '\'' => {
+                // Char literal vs lifetime.
+                let l = line;
+                if b.get(i + 1) == Some(&'\\') {
+                    // '\x41' / '\n' / '\u{..}'
+                    i += 2;
+                    while i < b.len() && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Tok {
+                        text: String::new(),
+                        line: l,
+                        kind: TokKind::Lit,
+                    });
+                } else if b.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                    toks.push(Tok {
+                        text: String::new(),
+                        line: l,
+                        kind: TokKind::Lit,
+                    });
+                } else {
+                    // Lifetime: 'ident
+                    i += 1;
+                    let start = i;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        text: b[start..i].iter().collect(),
+                        line: l,
+                        kind: TokKind::Lifetime,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let l = line;
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part — but never consume `..` (range syntax).
+                if i < b.len() && b[i] == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    text: b[start..i].iter().collect(),
+                    line: l,
+                    kind: TokKind::Num,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let l = line;
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br"..".
+                if matches!(text.as_str(), "r" | "b" | "br" | "rb")
+                    && matches!(b.get(i), Some(&'"') | Some(&'#'))
+                {
+                    let mut hashes = 0usize;
+                    while b.get(i + hashes) == Some(&'#') {
+                        hashes += 1;
+                    }
+                    if b.get(i + hashes) == Some(&'"') {
+                        if text.contains('r') {
+                            i = skip_raw_string(&b, i + hashes + 1, hashes, &mut line);
+                        } else {
+                            i = skip_string(&b, i + hashes, &mut line);
+                        }
+                        toks.push(Tok {
+                            text: String::new(),
+                            line: l,
+                            kind: TokKind::Lit,
+                        });
+                        continue;
+                    }
+                }
+                toks.push(Tok {
+                    text,
+                    line: l,
+                    kind: TokKind::Ident,
+                });
+            }
+            c => {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    line,
+                    kind: TokKind::Punct,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, allows)
+}
+
+/// Skips a normal (escaped) string starting at the opening quote; returns
+/// the index just past the closing quote.
+fn skip_string(b: &[char], open: usize, line: &mut u32) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string whose opening quote is at `open - 1` with `hashes`
+/// `#` marks; returns the index just past the closing delimiter.
+fn skip_raw_string(b: &[char], open: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut i = open;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' && (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#')) {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Recovers `mcs-lint: allow(<rule>, ...)` directives from a line comment.
+fn parse_allow(comment: &str, line: u32, out: &mut Vec<Allow>) {
+    let Some(pos) = comment.find("mcs-lint:") else {
+        return;
+    };
+    let rest = &comment[pos + "mcs-lint:".len()..];
+    let mut rest = rest.trim_start();
+    while let Some(open) = rest.find("allow(") {
+        let args = &rest[open + "allow(".len()..];
+        let end = args.find(')').unwrap_or(args.len());
+        let rule = args[..end].split(',').next().unwrap_or("").trim();
+        if !rule.is_empty() {
+            out.push(Allow {
+                rule: rule.to_string(),
+                line,
+            });
+        }
+        rest = &args[end..];
+    }
+}
+
+/// Finds `#[cfg(test)]` / `#[test]` item spans, gated `mod x;` names, and
+/// a file-level `#![cfg(test)]`.
+fn find_test_regions(toks: &[Tok]) -> (Vec<LineRange>, Vec<String>, bool) {
+    let mut ranges = Vec::new();
+    let mut gated_mods = Vec::new();
+    let mut all_test = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let inner = toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        let open = i + 1 + usize::from(inner);
+        if !toks.get(open).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Bracket-match the attribute body.
+        let mut depth = 0i32;
+        let mut j = open;
+        let mut is_test_attr = false;
+        let mut has_cfg = false;
+        let mut has_not = false;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("cfg") {
+                has_cfg = true;
+            } else if t.is_ident("not") {
+                has_not = true;
+            } else if t.is_ident("test") {
+                is_test_attr = true;
+            }
+            j += 1;
+        }
+        // `#[cfg(not(test))]` guards *non*-test code; skip it.
+        if !is_test_attr || (has_cfg && has_not) {
+            i = j + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the entire file is test code.
+            all_test = true;
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = j + 1;
+        while toks.get(k).is_some_and(|t| t.is_punct('#'))
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut d = 0i32;
+            while k < toks.len() {
+                if toks[k].is_punct('[') {
+                    d += 1;
+                } else if toks[k].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // The item: either `mod name;` (gated out-of-line module) or a
+        // braced item whose body we brace-match.
+        let item_start = k;
+        let mut mod_name: Option<&str> = None;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_ident("mod") && mod_name.is_none() {
+                mod_name = toks.get(k + 1).map(|n| n.text.as_str());
+            }
+            if t.is_punct(';') {
+                if let Some(name) = mod_name {
+                    gated_mods.push(name.to_string());
+                }
+                break;
+            }
+            if t.is_punct('{') {
+                let start_line = toks[item_start].line;
+                let mut d = 0i32;
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        d += 1;
+                    } else if toks[k].is_punct('}') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                let end_line = toks.get(k).map_or(u32::MAX, |t| t.line);
+                ranges.push(LineRange {
+                    start: start_line,
+                    end: end_line,
+                });
+                break;
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+    (ranges, gated_mods, all_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_tokenize() {
+        let f =
+            SourceFile::scan("fn a() { let s = \"Instant::now() // not code\"; /* unwrap() */ }");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(!f.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn raw_strings_skipped() {
+        let f = SourceFile::scan("let x = r#\"thread_rng \" quote\"#; let y = 1;");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(f.tokens.iter().any(|t| t.kind == TokKind::Lit));
+    }
+
+    #[test]
+    fn allow_comment_parsed_and_scoped() {
+        let src = "\n// mcs-lint: allow(map-iter, counts are order-free)\nlet x = 1;\n";
+        let f = SourceFile::scan(src);
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "map-iter");
+        assert_eq!(f.allows[0].line, 2);
+        assert!(f.allowed("map-iter", 3));
+        assert!(!f.allowed("map-iter", 1));
+        assert!(!f.allowed("panic", 3));
+    }
+
+    #[test]
+    fn cfg_test_region_resolved() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let f = SourceFile::scan(src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = SourceFile::scan("#[cfg(not(test))]\nmod real {\n fn f() {}\n}\n");
+        assert!(!f.in_test(3));
+    }
+
+    #[test]
+    fn gated_mod_declaration_recorded() {
+        let f = SourceFile::scan("#[cfg(test)]\nmod proptests;\npub mod real;\n");
+        assert_eq!(f.cfg_test_mods, vec!["proptests".to_string()]);
+    }
+
+    #[test]
+    fn file_level_cfg_test() {
+        let f = SourceFile::scan("#![cfg(test)]\nfn helper() { x.unwrap(); }\n");
+        assert!(f.all_test);
+        assert!(f.in_test(2));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let f = SourceFile::scan("for i in 0..10 { }");
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "10"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Fixture-tree and self-check integration tests for `mcs-lint`.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use mcs_lint::{run_lint, Diagnostic};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn fixture_diags() -> Vec<Diagnostic> {
+    run_lint(&fixture_root()).unwrap()
+}
+
+#[test]
+fn fixture_tree_trips_every_rule_exactly_once() {
+    let diags = fixture_diags();
+    let mut rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        vec!["R1", "R2", "R3", "R4", "R5"],
+        "expected exactly one diagnostic per planted violation, got: {diags:#?}"
+    );
+}
+
+#[test]
+fn fixture_diagnostics_point_at_the_planted_lines() {
+    let diags = fixture_diags();
+    let find = |rule: &str| diags.iter().find(|d| d.rule == rule).unwrap();
+
+    let r1 = find("R1");
+    assert_eq!(r1.file, "crates/storage/src/bad_iter.rs");
+    assert_eq!(r1.line, 6);
+
+    let r2 = find("R2");
+    assert_eq!(r2.file, "crates/net/src/bad_clock.rs");
+    assert_eq!(r2.line, 4);
+
+    let r3 = find("R3");
+    assert_eq!(r3.file, "crates/stats/src/bad_panic.rs");
+    assert_eq!(r3.line, 4);
+
+    let r4 = find("R4");
+    assert_eq!(r4.file, "crates/analysis/src/bad_merge.rs");
+    assert_eq!(r4.line, 8);
+    assert!(r4.message.contains("ShardAcc"));
+
+    let r5 = find("R5");
+    assert_eq!(r5.file, "crates/core/src/lib.rs");
+}
+
+#[test]
+fn allow_comments_and_test_code_suppress() {
+    // crates/trace in the fixture tree reproduces the R1/R3 patterns but
+    // under allow-comments, an order-free terminal, and #[cfg(test)];
+    // none may fire.
+    let diags = fixture_diags();
+    assert!(
+        !diags.iter().any(|d| d.file.starts_with("crates/trace/")),
+        "suppressed sites leaked diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn workspace_self_check_is_clean() {
+    let diags = run_lint(&workspace_root()).unwrap();
+    assert!(
+        diags.is_empty(),
+        "the workspace must pass its own determinism audit:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixtures_and_zero_on_workspace() {
+    let bin = env!("CARGO_BIN_EXE_mcs-lint");
+
+    let bad = Command::new(bin).arg(fixture_root()).output().unwrap();
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "fixture tree must fail the lint"
+    );
+    let stdout = String::from_utf8(bad.stdout).unwrap();
+    assert!(stdout.contains("[R1/map-iter]"), "{stdout}");
+    assert!(stdout.contains("[R5/unsafe]"), "{stdout}");
+
+    let good = Command::new(bin).arg(workspace_root()).output().unwrap();
+    assert_eq!(
+        good.status.code(),
+        Some(0),
+        "workspace must pass: {}",
+        String::from_utf8_lossy(&good.stdout)
+    );
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let bin = env!("CARGO_BIN_EXE_mcs-lint");
+    let out = Command::new(bin)
+        .arg("--json")
+        .arg(fixture_root())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('['), "{trimmed}");
+    assert!(trimmed.ends_with(']'), "{trimmed}");
+    // One object per planted violation, each carrying the full field set.
+    for key in [
+        "\"rule\"",
+        "\"name\"",
+        "\"file\"",
+        "\"line\"",
+        "\"message\"",
+    ] {
+        assert_eq!(trimmed.matches(key).count(), 5, "missing {key}: {trimmed}");
+    }
+    for rule in ["\"R1\"", "\"R2\"", "\"R3\"", "\"R4\"", "\"R5\""] {
+        assert_eq!(trimmed.matches(rule).count(), 1, "{rule}: {trimmed}");
+    }
+    // No human-facing summary may pollute the JSON stream.
+    assert!(!text.contains("violation(s)"));
+}

@@ -162,6 +162,7 @@ enum Ev {
 pub fn simulate_flow(cfg: &FlowConfig) -> FlowTrace {
     cfg.validate();
     let mut traces = Simulation::new(std::slice::from_ref(cfg), cfg.data_link).run();
+    // mcs-lint: allow(panic, Simulation::run returns one trace per input flow)
     let mut t = traces.pop().expect("one flow in, one trace out");
     // Single-flow runs own the link, so the global drop counters are theirs.
     t.duration = t.duration.max(1);
@@ -658,6 +659,7 @@ impl Simulation {
         if newly > 0 {
             let covered: Vec<u64> = fl.rtt_map.range(..=ack).map(|(&e, _)| e).collect();
             for e in covered {
+                // mcs-lint: allow(panic, keys come from the range query two lines up)
                 let (t, retx) = fl.rtt_map.remove(&e).expect("present");
                 if !retx {
                     sample = Some(now.saturating_sub(t));
@@ -735,6 +737,7 @@ impl Simulation {
             .boundaries
             .iter()
             .position(|&b| b == batch_end)
+            // mcs-lint: allow(panic, unlock events are only scheduled for recorded boundaries)
             .expect("unlock for known batch");
         // Sender has learned the batch completed end-to-end.
         fl.trace.chunk_records.push(ChunkRecord {

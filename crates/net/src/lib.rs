@@ -18,6 +18,7 @@
 //! Everything is deterministic in the flow seed; no wall clock, no threads.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod capture;

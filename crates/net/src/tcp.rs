@@ -290,6 +290,7 @@ impl TcpSender {
                 self.srtt = Some((1.0 - ALPHA) * srtt + ALPHA * r);
             }
         }
+        // mcs-lint: allow(panic, both match arms above set srtt)
         let srtt = self.srtt.expect("just set");
         let var_term = (4.0 * self.rttvar).max(200_000.0);
         self.rto = ((srtt + var_term) as Time).max(self.cfg.min_rto);

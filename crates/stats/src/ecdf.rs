@@ -73,6 +73,7 @@ impl Ecdf {
 
     /// Largest observation.
     pub fn max(&self) -> f64 {
+        // mcs-lint: allow(panic, Ecdf::new rejects empty samples)
         *self.sorted.last().expect("non-empty by construction")
     }
 

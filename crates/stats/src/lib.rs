@@ -24,6 +24,7 @@
 //! functions of their input slices.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod bootstrap;

@@ -142,6 +142,7 @@ impl Categorical {
             acc += w / total;
             cumulative.push(acc);
         }
+        // mcs-lint: allow(panic, loop above pushed >= 1 entry)
         *cumulative.last_mut().expect("non-empty") = 1.0;
         Self { cumulative }
     }
@@ -297,6 +298,7 @@ impl Zipf {
         for c in &mut cumulative {
             *c /= total;
         }
+        // mcs-lint: allow(panic, loop above pushed >= 1 entry)
         *cumulative.last_mut().expect("non-empty") = 1.0;
         Self { cumulative }
     }

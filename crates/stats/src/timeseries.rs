@@ -151,6 +151,7 @@ impl DiurnalProfile {
             .enumerate()
             .max_by(|a, b| f64::total_cmp(a.1, b.1))
             .map(|(h, _)| h)
+            // mcs-lint: allow(panic, hours is a fixed 24-slot array)
             .expect("24 hours")
     }
 
@@ -161,6 +162,7 @@ impl DiurnalProfile {
             .enumerate()
             .min_by(|a, b| f64::total_cmp(a.1, b.1))
             .map(|(h, _)| h)
+            // mcs-lint: allow(panic, hours is a fixed 24-slot array)
             .expect("24 hours")
     }
 

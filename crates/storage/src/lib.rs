@@ -18,6 +18,7 @@
 //!   implication of §3.1.4.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -7,7 +7,7 @@
 //! Otherwise it directs the client to the closest front-end. For retrieval
 //! it resolves a path or shared URL to the manifest and a front-end.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::content::FileManifest;
 use crate::md5::Digest;
@@ -17,7 +17,7 @@ pub type UserId = u64;
 
 /// A shared-URL token (the service lets users share files by URL, §2.1;
 /// downloads by URL are the §3.2.1 content-distribution usage pattern).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ShareUrl(pub String);
 
 /// One file entry in a user's namespace.
@@ -59,15 +59,20 @@ pub struct MetadataStats {
 }
 
 /// The metadata server.
+///
+/// All tables are B-tree maps: GC listings, namespace listings, and any
+/// future iteration come out in key order with no per-call sorting, which
+/// keeps every output structurally deterministic (the PR-2 contract that
+/// `mcs-lint` rule R1 enforces).
 #[derive(Debug, Default)]
 pub struct MetadataServer {
     /// Content known to exist on storage servers, with the front-end
     /// holding it.
-    known: HashMap<Digest, (FileManifest, usize)>,
+    known: BTreeMap<Digest, (FileManifest, usize)>,
     /// Per-user namespaces: path → entry.
-    namespaces: HashMap<UserId, HashMap<String, FileEntry>>,
+    namespaces: BTreeMap<UserId, BTreeMap<String, FileEntry>>,
     /// Published share URLs.
-    urls: HashMap<ShareUrl, Digest>,
+    urls: BTreeMap<ShareUrl, Digest>,
     /// Number of front-end servers to spread uploads over.
     frontends: usize,
     /// Counters.
@@ -188,20 +193,18 @@ impl MetadataServer {
     /// Contents with no remaining namespace links (eligible for GC),
     /// with the front-end holding each.
     pub fn orphans(&self) -> Vec<(Digest, usize)> {
-        let mut linked: std::collections::HashSet<Digest> = std::collections::HashSet::new();
+        let mut linked: BTreeSet<Digest> = BTreeSet::new();
         for ns in self.namespaces.values() {
             for e in ns.values() {
                 linked.insert(e.digest);
             }
         }
-        let mut v: Vec<(Digest, usize)> = self
-            .known
+        // `known` is a BTreeMap, so the result is already digest-sorted.
+        self.known
             .iter()
             .filter(|(d, _)| !linked.contains(d))
             .map(|(d, (_, fe))| (*d, *fe))
-            .collect();
-        v.sort();
-        v
+            .collect()
     }
 
     /// Forgets an orphaned content (after the front-end reclaimed it).
@@ -209,15 +212,13 @@ impl MetadataServer {
         self.known.remove(digest).is_some()
     }
 
-    /// Lists a user's namespace (path, entry) pairs, sorted by path.
+    /// Lists a user's namespace (path, entry) pairs, sorted by path
+    /// (namespaces are path-keyed B-trees, so iteration is the sort).
     pub fn list(&self, user: UserId) -> Vec<(String, FileEntry)> {
-        let mut v: Vec<(String, FileEntry)> = self
-            .namespaces
+        self.namespaces
             .get(&user)
             .map(|ns| ns.iter().map(|(k, e)| (k.clone(), e.clone())).collect())
-            .unwrap_or_default();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
-        v
+            .unwrap_or_default()
     }
 
     /// Manifest and front-end location of a known content.

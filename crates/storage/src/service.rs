@@ -148,6 +148,7 @@ impl StorageService {
                 let (m, _) = self
                     .metadata
                     .manifest_of(&digest)
+                    // mcs-lint: allow(panic, orphans() only lists digests present in `known`)
                     .expect("orphan listed by metadata");
                 m
             };

@@ -8,7 +8,7 @@
 //! service are never read back within a week, migrating them to the warm
 //! tier quickly saves a large share of raw storage.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -66,10 +66,14 @@ pub struct TierStats {
 }
 
 /// A tiered object store driven by access timestamps.
+///
+/// Objects live in a `BTreeMap` so bulk passes like
+/// [`demote_all_eligible`](Self::demote_all_eligible) visit them in id
+/// order — stat counters then accumulate identically run-to-run.
 #[derive(Debug)]
 pub struct TieredStore {
     policy: TierPolicy,
-    objects: HashMap<u64, Object>,
+    objects: BTreeMap<u64, Object>,
     /// Counters.
     pub stats: TierStats,
 }
@@ -79,7 +83,7 @@ impl TieredStore {
     pub fn new(policy: TierPolicy) -> Self {
         Self {
             policy,
-            objects: HashMap::new(),
+            objects: BTreeMap::new(),
             stats: TierStats::default(),
         }
     }

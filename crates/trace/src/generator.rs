@@ -129,6 +129,7 @@ impl TraceGenerator {
                 })
                 .collect();
             for h in handles {
+                // mcs-lint: allow(panic, join only fails if a worker panicked; re-raise it)
                 shards.push(h.join().expect("generator worker panicked"));
             }
         });
@@ -163,6 +164,7 @@ impl TraceGenerator {
                 })
                 .collect();
             for h in handles {
+                // mcs-lint: allow(panic, join only fails if a worker panicked; re-raise it)
                 runs.push(h.join().expect("generator worker panicked"));
             }
         });

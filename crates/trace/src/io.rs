@@ -5,9 +5,74 @@
 //! analysis pipeline can be pointed at stored traces, not only live
 //! generators. Both formats stream record-by-record.
 
+use std::fmt;
 use std::io::{self, BufRead, Write};
 
 use crate::record::{DeviceType, Direction, LogRecord, RequestType};
+
+/// Why reading a trace file failed. Every variant names the offending
+/// line, so malformed logs surface as actionable diagnostics instead of
+/// panics or stringly-typed `io::Error`s.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The CSV header line is missing or does not match [`CSV_HEADER`].
+    BadHeader,
+    /// A JSON line did not parse as a [`LogRecord`].
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// The serde error.
+        source: serde_json::Error,
+    },
+    /// A CSV line had the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found (10 expected).
+        got: usize,
+    },
+    /// A CSV field failed to parse.
+    Field {
+        /// 1-based line number.
+        line: usize,
+        /// Which field was malformed.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "read failed: {e}"),
+            ReadError::BadHeader => write!(f, "line 1: missing or wrong CSV header"),
+            ReadError::Json { line, source } => write!(f, "line {line}: {source}"),
+            ReadError::FieldCount { line, got } => {
+                write!(f, "line {line}: expected 10 fields, got {got}")
+            }
+            ReadError::Field { line, field } => {
+                write!(f, "line {line}: malformed {field} field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Json { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
 
 /// Writes records as JSON lines (one serde-serialised record per line).
 pub fn write_jsonl<W: Write>(
@@ -24,15 +89,16 @@ pub fn write_jsonl<W: Write>(
 }
 
 /// Reads JSON-lines records, failing on the first malformed line.
-pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Vec<LogRecord>> {
+pub fn read_jsonl<R: BufRead>(r: R) -> Result<Vec<LogRecord>, ReadError> {
     let mut out = Vec::new();
     for (i, line) in r.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let rec: LogRecord = serde_json::from_str(&line).map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
+        let rec: LogRecord = serde_json::from_str(&line).map_err(|source| ReadError::Json {
+            line: i + 1,
+            source,
         })?;
         out.push(rec);
     }
@@ -108,15 +174,13 @@ pub fn write_csv<W: Write>(
 }
 
 /// Reads CSV produced by [`write_csv`] (header required).
-pub fn read_csv<R: BufRead>(r: R) -> io::Result<Vec<LogRecord>> {
-    let bad = |line: usize, why: &str| {
-        io::Error::new(io::ErrorKind::InvalidData, format!("line {line}: {why}"))
-    };
+pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<LogRecord>, ReadError> {
+    let bad = |line: usize, field: &'static str| ReadError::Field { line, field };
     let mut lines = r.lines().enumerate();
     match lines.next() {
         Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
-        Some((_, Ok(_))) => return Err(bad(1, "missing or wrong CSV header")),
-        Some((_, Err(e))) => return Err(e),
+        Some((_, Ok(_))) => return Err(ReadError::BadHeader),
+        Some((_, Err(e))) => return Err(e.into()),
         None => return Ok(Vec::new()),
     }
     let mut out = Vec::new();
@@ -127,7 +191,10 @@ pub fn read_csv<R: BufRead>(r: R) -> io::Result<Vec<LogRecord>> {
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 10 {
-            return Err(bad(i + 1, "expected 10 fields"));
+            return Err(ReadError::FieldCount {
+                line: i + 1,
+                got: f.len(),
+            });
         }
         let rec = LogRecord {
             timestamp_ms: f[0].parse().map_err(|_| bad(i + 1, "timestamp"))?,
@@ -284,14 +351,22 @@ mod tests {
 
     #[test]
     fn jsonl_rejects_garbage() {
-        let err = read_jsonl(BufReader::new(&b"not json\n"[..])).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, sample_records()).unwrap();
+        buf.extend_from_slice(b"not json\n");
+        let err = read_jsonl(BufReader::new(&buf[..])).unwrap_err();
+        match err {
+            ReadError::Json { line, .. } => assert_eq!(line, 4),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+        assert!(err.to_string().starts_with("line 4:"));
     }
 
     #[test]
     fn csv_rejects_missing_header() {
         let err =
             read_csv(BufReader::new(&b"1,android,1,1,file_store,0,1,1,1,0\n"[..])).unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader));
         assert!(err.to_string().contains("header"));
     }
 
@@ -303,7 +378,40 @@ mod tests {
             .unwrap()
             .replace("android", "blackberry");
         let err = read_csv(BufReader::new(text.as_bytes())).unwrap_err();
+        match err {
+            ReadError::Field { line, field } => {
+                assert_eq!(line, 2);
+                assert_eq!(field, "device type");
+            }
+            other => panic!("expected Field error, got {other:?}"),
+        }
         assert!(err.to_string().contains("device type"));
+    }
+
+    #[test]
+    fn csv_rejects_wrong_field_count() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, sample_records()).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("1,2,3\n");
+        let err = read_csv(BufReader::new(text.as_bytes())).unwrap_err();
+        match err {
+            ReadError::FieldCount { line, got } => {
+                assert_eq!(line, 5);
+                assert_eq!(got, 3);
+            }
+            other => panic!("expected FieldCount error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_error_exposes_sources() {
+        let json_err = read_jsonl(BufReader::new(&b"{\n"[..])).unwrap_err();
+        assert!(std::error::Error::source(&json_err).is_some());
+        let io_err = ReadError::from(io::Error::other("disk on fire"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        assert!(io_err.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&ReadError::BadHeader).is_none());
     }
 
     #[test]

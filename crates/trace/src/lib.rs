@@ -26,6 +26,7 @@
 //! Generation is fully deterministic in [`config::TraceConfig::seed`].
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod blocks;

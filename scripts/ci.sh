@@ -6,5 +6,6 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo fmt --check
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+cargo run -p mcs-lint --release
 echo "ci: all checks passed"
