@@ -1,0 +1,152 @@
+//! Lenient trace-file ingestion for the analysis pipeline.
+//!
+//! The pipeline itself consumes per-user record blocks and never sees a
+//! file; this module is the seam where stored logs enter. Production log
+//! files are scuffed at the margins — truncated flushes, interleaved
+//! writers — and a pipeline that aborts on the first malformed line never
+//! analyses anything. Ingestion therefore rides the lossy readers of
+//! [`mcs_trace::io`]: malformed lines are quarantined (with per-line
+//! diagnostics) under an [`ErrorBudget`], and only a blown budget, an I/O
+//! failure or a wrong CSV header is fatal.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+use mcs_trace::io::{read_csv_lossy, read_jsonl_lossy, TraceFormat};
+use mcs_trace::{ErrorBudget, LogRecord, ReadError};
+
+use crate::pipeline::{analyze, FullAnalysis, PipelineConfig};
+
+/// What lenient ingestion let through and what it quarantined.
+#[derive(Debug, Default)]
+pub struct IngestReport {
+    /// Records that parsed cleanly and fed the pipeline.
+    pub records: u64,
+    /// One diagnostic per malformed line, in file order.
+    pub quarantined: Vec<ReadError>,
+}
+
+impl IngestReport {
+    /// Fraction of non-blank lines that were quarantined.
+    pub fn error_rate(&self) -> f64 {
+        let total = self.records + self.quarantined.len() as u64;
+        if total == 0 {
+            return 0.0;
+        }
+        self.quarantined.len() as f64 / total as f64
+    }
+}
+
+/// Runs the full analysis pipeline over a stored trace file, quarantining
+/// malformed lines instead of aborting.
+///
+/// Records are grouped into per-user blocks (stored traces are
+/// time-ordered per user, which grouping preserves) and handed to
+/// [`analyze`]. The [`IngestReport`] says how much input was skipped —
+/// callers deciding whether to trust the result should look at
+/// [`IngestReport::error_rate`].
+pub fn analyze_trace_file(
+    path: &Path,
+    format: TraceFormat,
+    budget: ErrorBudget,
+    cfg: &PipelineConfig,
+) -> Result<(FullAnalysis, IngestReport), ReadError> {
+    let file = BufReader::new(File::open(path)?);
+    let lossy = match format {
+        TraceFormat::Jsonl => read_jsonl_lossy(file, budget)?,
+        TraceFormat::Csv => read_csv_lossy(file, budget)?,
+    };
+    let report = IngestReport {
+        records: lossy.records.len() as u64,
+        quarantined: lossy.quarantined,
+    };
+    let mut by_user: BTreeMap<u64, Vec<LogRecord>> = BTreeMap::new();
+    for r in lossy.records {
+        by_user.entry(r.user_id).or_default().push(r);
+    }
+    let blocks: Vec<Vec<LogRecord>> = by_user.into_values().collect();
+    let analysis = analyze(|| blocks.iter().cloned(), cfg);
+    Ok((analysis, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_trace::io::{write_trace_file, CSV_HEADER};
+    use mcs_trace::{TraceConfig, TraceGenerator};
+
+    fn small_gen() -> TraceGenerator {
+        TraceGenerator::new(TraceConfig {
+            mobile_users: 40,
+            pc_only_users: 8,
+            ..TraceConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn corrupted_file_analyzes_same_as_clean_file() {
+        let gen = small_gen();
+        let dir = std::env::temp_dir();
+        let clean = dir.join("mcs-ingest-clean.csv");
+        let dirty = dir.join("mcs-ingest-dirty.csv");
+        let n = write_trace_file(&gen, &clean, TraceFormat::Csv).unwrap();
+
+        // Corrupt a copy: garbage lines sprinkled through the body.
+        let mut text = std::fs::read_to_string(&clean).unwrap();
+        assert!(text.starts_with(CSV_HEADER));
+        text.push_str("@@@ corrupt flush @@@\n1,2,3\n");
+        std::fs::write(&dirty, text).unwrap();
+
+        let cfg = PipelineConfig::default();
+        let (a_clean, r_clean) =
+            analyze_trace_file(&clean, TraceFormat::Csv, ErrorBudget::default(), &cfg).unwrap();
+        let (a_dirty, r_dirty) =
+            analyze_trace_file(&dirty, TraceFormat::Csv, ErrorBudget::default(), &cfg).unwrap();
+
+        assert!(r_clean.quarantined.is_empty());
+        assert_eq!(r_dirty.quarantined.len(), 2);
+        assert_eq!(r_dirty.records, n);
+        assert!(r_dirty.error_rate() > 0.0);
+        assert_eq!(
+            a_dirty, a_clean,
+            "quarantined lines must not perturb the analysis"
+        );
+        let _ = std::fs::remove_file(clean);
+        let _ = std::fs::remove_file(dirty);
+    }
+
+    #[test]
+    fn hopeless_file_blows_the_budget() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mcs-ingest-hopeless.csv");
+        let mut text = String::from(CSV_HEADER);
+        text.push('\n');
+        for _ in 0..10 {
+            text.push_str("complete nonsense\n");
+        }
+        std::fs::write(&path, text).unwrap();
+        let err = analyze_trace_file(
+            &path,
+            TraceFormat::Csv,
+            ErrorBudget { max_errors: 4 },
+            &PipelineConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ReadError::ErrorBudgetExceeded {
+                errors: 5,
+                budget: 4
+            }
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_report_has_zero_error_rate() {
+        assert_eq!(IngestReport::default().error_rate(), 0.0);
+    }
+}

@@ -25,6 +25,7 @@ pub mod activity_model;
 pub mod concentration;
 pub mod engagement;
 pub mod filesize_model;
+pub mod ingest;
 pub mod perf;
 pub mod pipeline;
 mod proptests;
@@ -33,6 +34,7 @@ pub mod sessionize;
 pub mod usage;
 pub mod workload;
 
+pub use ingest::{analyze_trace_file, IngestReport};
 pub use pipeline::{analyze, par_analyze, FullAnalysis, PipelineConfig};
 pub use sessionize::{Session, SessionKind, TauDerivation};
 pub use usage::{ObservedClass, ObservedGroup, UserSummary};

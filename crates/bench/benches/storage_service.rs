@@ -20,7 +20,7 @@ fn bench_md5(c: &mut Criterion) {
 
 fn bench_store_paths(c: &mut Criterion) {
     c.bench_function("storage/store_fresh_photo", |b| {
-        let mut svc = StorageService::new(8, 168);
+        let mut svc = StorageService::new(8, 168).unwrap();
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
@@ -32,7 +32,7 @@ fn bench_store_paths(c: &mut Criterion) {
         });
     });
     c.bench_function("storage/store_deduplicated", |b| {
-        let mut svc = StorageService::new(8, 168);
+        let mut svc = StorageService::new(8, 168).unwrap();
         let hot = Content::Synthetic {
             seed: 7,
             size: 1_500_000,
@@ -48,7 +48,7 @@ fn bench_store_paths(c: &mut Criterion) {
 
 fn bench_retrieve(c: &mut Criterion) {
     c.bench_function("storage/retrieve_photo", |b| {
-        let mut svc = StorageService::new(4, 168);
+        let mut svc = StorageService::new(4, 168).unwrap();
         let content = Content::Synthetic {
             seed: 9,
             size: 1_500_000,
@@ -63,7 +63,7 @@ fn bench_cache(c: &mut Criterion) {
         use mcs::stats::rng::{stream_rng, Zipf};
         let zipf = Zipf::new(10_000, 1.0);
         let mut rng = stream_rng(1, 0);
-        let mut cache = LruCache::new(500_000_000);
+        let mut cache = LruCache::new(500_000_000).unwrap();
         b.iter(|| {
             let id = zipf.sample(&mut rng) as u64;
             black_box(cache.request(id, 1_500_000))

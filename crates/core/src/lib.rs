@@ -12,19 +12,21 @@
 //! println!("{}", report.render());
 //! ```
 //!
-//! The five substrate crates are available as modules:
+//! The six substrate crates are available as modules:
 //!
 //! * [`stats`] — statistics (EM fits, ECDFs, SE rank models, GoF tests),
 //! * [`trace`] — Table 1 log schema + paper-calibrated workload generator,
 //! * [`analysis`] — the paper's analysis pipeline,
 //! * [`net`] — the discrete-event TCP / chunk-transfer simulator (§4),
-//! * [`storage`] — the §2.1 service substrate and Table 4 optimisations.
+//! * [`storage`] — the §2.1 service substrate and Table 4 optimisations,
+//! * [`faults`] — deterministic fault-injection plans and retry policies.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub use mcs_analysis as analysis;
+pub use mcs_faults as faults;
 pub use mcs_net as net;
 pub use mcs_stats as stats;
 pub use mcs_storage as storage;

@@ -1,0 +1,62 @@
+//! The shared invalid-configuration error.
+//!
+//! Fallible constructors across the workspace (`StorageService::new`,
+//! `MetadataServer::new`, `LruCache::new`, `Link::new`, fault-plan and
+//! retry-policy validation) return this instead of `assert!`ing, so a bad
+//! knob surfaces as a value the caller can handle — a CLI prints it, a
+//! harness skips the scenario — rather than a panic that kills a replay.
+
+use std::fmt;
+
+/// Why a configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A count that must be at least one was zero.
+    ZeroCount {
+        /// Which knob (e.g. `"front-ends"`).
+        what: &'static str,
+    },
+    /// A numeric parameter fell outside its valid range.
+    OutOfRange {
+        /// Which knob (e.g. `"link rate"`).
+        what: &'static str,
+        /// The requirement it violated (e.g. `"must be positive"`).
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCount { what } => {
+                write!(f, "invalid configuration: need at least one {what}")
+            }
+            ConfigError::OutOfRange { what, requirement } => {
+                write!(f, "invalid configuration: {what} {requirement}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_knob() {
+        let e = ConfigError::ZeroCount { what: "front-end" };
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: need at least one front-end"
+        );
+        let e = ConfigError::OutOfRange {
+            what: "loss probability",
+            requirement: "must lie in [0,1)",
+        };
+        assert!(e.to_string().contains("loss probability"));
+        assert!(e.to_string().contains("[0,1)"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

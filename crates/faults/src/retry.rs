@@ -1,0 +1,136 @@
+//! Budget-bounded retry with capped exponential backoff and seeded jitter.
+//!
+//! The policy is *pure*: [`RetryPolicy::backoff_ms`] maps an attempt index
+//! and a unit coin to a delay, so the caller decides where the coin comes
+//! from (in the replay layer it is a [`crate::unit_coin`] keyed by the
+//! operation number, keeping faulted replays order-free).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// How a fault-aware operation retries before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first (1..=32).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in ms.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff, in ms.
+    pub cap_backoff_ms: u64,
+    /// Jitter amplitude: the delay is scaled by a factor drawn uniformly
+    /// from `[1 - jitter_frac, 1 + jitter_frac]` (in `[0, 1]`).
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_ms: 200,
+            cap_backoff_ms: 10_000,
+            jitter_frac: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Checks the knobs (attempt budget in `1..=32`, jitter in `[0, 1]`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(1..=32).contains(&self.max_attempts) {
+            return Err(ConfigError::OutOfRange {
+                what: "max_attempts",
+                requirement: "must lie in 1..=32",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.jitter_frac) {
+            return Err(ConfigError::OutOfRange {
+                what: "jitter_frac",
+                requirement: "must lie in [0,1]",
+            });
+        }
+        Ok(())
+    }
+
+    /// The jittered delay before retry number `attempt` (1-based: attempt 1
+    /// is the first *retry*). `coin` must be uniform in `[0, 1)`.
+    ///
+    /// The un-jittered delay is `base * 2^(attempt-1)` capped at
+    /// `cap_backoff_ms`; jitter scales it by `1 ± jitter_frac`.
+    pub fn backoff_ms(&self, attempt: u32, coin: f64) -> u64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << exp.min(63))
+            .min(self.cap_backoff_ms);
+        let factor = 1.0 + self.jitter_frac * (2.0 * coin - 1.0);
+        (raw as f64 * factor).max(0.0) as u64
+    }
+
+    /// True when another attempt is allowed after `attempt` attempts have
+    /// already failed.
+    pub fn allows(&self, attempts_so_far: u32) -> bool {
+        attempts_so_far < self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_until_cap() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ms: 100,
+            cap_backoff_ms: 1000,
+            jitter_frac: 0.0,
+        };
+        assert_eq!(p.backoff_ms(1, 0.5), 100);
+        assert_eq!(p.backoff_ms(2, 0.5), 200);
+        assert_eq!(p.backoff_ms(3, 0.5), 400);
+        assert_eq!(p.backoff_ms(4, 0.5), 800);
+        assert_eq!(p.backoff_ms(5, 0.5), 1000); // capped
+        assert_eq!(p.backoff_ms(30, 0.5), 1000); // no overflow
+    }
+
+    #[test]
+    fn jitter_scales_within_band() {
+        let p = RetryPolicy {
+            jitter_frac: 0.5,
+            ..RetryPolicy::default()
+        };
+        let lo = p.backoff_ms(1, 0.0);
+        let hi = p.backoff_ms(1, 0.999_999);
+        assert!(lo < p.base_backoff_ms && hi > p.base_backoff_ms);
+        assert!(lo as f64 >= p.base_backoff_ms as f64 * 0.5 - 1.0);
+        assert!(hi as f64 <= p.base_backoff_ms as f64 * 1.5 + 1.0);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(p.allows(0));
+        assert!(p.allows(2));
+        assert!(!p.allows(3));
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        let mut p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        p.max_attempts = 33;
+        assert!(p.validate().is_err());
+        p.max_attempts = 4;
+        p.jitter_frac = 1.5;
+        assert!(p.validate().is_err());
+        p.jitter_frac = 0.5;
+        assert!(p.validate().is_ok());
+    }
+}

@@ -1,0 +1,144 @@
+//! Sorted, disjoint, half-open time windows.
+//!
+//! Every fault schedule in this crate — front-end outages, brownouts,
+//! metadata unavailability, link blackouts — is "a set of intervals during
+//! which something is wrong". [`Windows`] is that set, normalised once at
+//! construction (sorted, overlaps merged, empties dropped) so membership
+//! queries are a binary search and two schedules compare equal iff they
+//! cover the same instants.
+//!
+//! Units are deliberately unspecified: the storage layer uses milliseconds,
+//! the packet layer microseconds. [`Windows::scale`] converts between them.
+
+use serde::{Deserialize, Serialize};
+
+/// A normalised set of half-open `[start, end)` intervals.
+///
+/// Invariant: spans are sorted by start, pairwise disjoint (no two spans
+/// touch or overlap), and non-empty (`start < end`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Windows {
+    spans: Vec<(u64, u64)>,
+}
+
+impl Windows {
+    /// The empty set: `contains` is `false` everywhere.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a normalised window set from arbitrary `(start, end)` pairs.
+    ///
+    /// Pairs with `start >= end` are dropped; overlapping or adjacent pairs
+    /// are merged. The input order does not matter.
+    pub fn new(mut spans: Vec<(u64, u64)>) -> Self {
+        spans.retain(|&(s, e)| s < e);
+        spans.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        Self { spans: merged }
+    }
+
+    /// True when `t` falls inside some window.
+    pub fn contains(&self, t: u64) -> bool {
+        // Index of the first span starting after `t`; the candidate is the
+        // one before it.
+        let idx = self.spans.partition_point(|&(s, _)| s <= t);
+        idx > 0 && t < self.spans[idx - 1].1
+    }
+
+    /// The earliest instant `>= t` that is *not* covered by any window.
+    ///
+    /// Returns `t` itself when `t` is already clear. Because spans are
+    /// disjoint and non-adjacent, the end of the covering span is clear.
+    pub fn next_clear(&self, t: u64) -> u64 {
+        let idx = self.spans.partition_point(|&(s, _)| s <= t);
+        if idx > 0 && t < self.spans[idx - 1].1 {
+            self.spans[idx - 1].1
+        } else {
+            t
+        }
+    }
+
+    /// Total covered duration (sum of span lengths).
+    pub fn covered(&self) -> u64 {
+        self.spans.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// The normalised spans, sorted and disjoint.
+    pub fn spans(&self) -> &[(u64, u64)] {
+        &self.spans
+    }
+
+    /// True when no instants are covered.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Multiplies every boundary by `factor` (saturating), e.g. to convert
+    /// a millisecond schedule to the microsecond clock of the packet layer.
+    pub fn scale(&self, factor: u64) -> Self {
+        Self {
+            spans: self
+                .spans
+                .iter()
+                .map(|&(s, e)| (s.saturating_mul(factor), e.saturating_mul(factor)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_overlaps_and_order() {
+        let w = Windows::new(vec![(50, 60), (10, 20), (15, 30), (30, 35), (40, 40)]);
+        // (15,30) overlaps (10,20); (30,35) touches the merged (10,30);
+        // (40,40) is empty and dropped.
+        assert_eq!(w.spans(), &[(10, 35), (50, 60)]);
+        assert_eq!(w.covered(), 25 + 10);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let w = Windows::new(vec![(10, 20)]);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert!(!Windows::empty().contains(0));
+    }
+
+    #[test]
+    fn next_clear_skips_covering_span() {
+        let w = Windows::new(vec![(10, 20), (30, 40)]);
+        assert_eq!(w.next_clear(5), 5);
+        assert_eq!(w.next_clear(10), 20);
+        assert_eq!(w.next_clear(15), 20);
+        assert_eq!(w.next_clear(20), 20);
+        assert_eq!(w.next_clear(35), 40);
+        assert_eq!(w.next_clear(99), 99);
+    }
+
+    #[test]
+    fn scale_converts_units() {
+        let w = Windows::new(vec![(1, 2), (5, 7)]).scale(1000);
+        assert_eq!(w.spans(), &[(1000, 2000), (5000, 7000)]);
+        assert!(w.contains(1500));
+        assert!(!w.contains(2500));
+    }
+
+    #[test]
+    fn equal_coverage_compares_equal() {
+        let a = Windows::new(vec![(0, 10), (10, 20)]);
+        let b = Windows::new(vec![(0, 20)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,4 @@
+//! Clean fixture crate: nothing to flag.
+#![forbid(unsafe_code)]
+
+pub fn quiet() {}

@@ -21,7 +21,9 @@ use serde::Serialize;
 use crate::scanner::{SourceFile, Tok, TokKind};
 
 /// The library crates the determinism contract covers.
-pub const LIB_CRATES: &[&str] = &["analysis", "core", "net", "stats", "storage", "trace"];
+pub const LIB_CRATES: &[&str] = &[
+    "analysis", "core", "faults", "net", "stats", "storage", "trace",
+];
 
 /// One rule violation.
 #[derive(Debug, Clone, Serialize)]
@@ -112,7 +114,7 @@ impl Scanned {
 pub fn run_lint(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let mut diags = Vec::new();
 
-    // Scan the six library crates.
+    // Scan the seven library crates.
     let mut lib_files: Vec<Scanned> = Vec::new();
     for krate in LIB_CRATES {
         let src_dir = root.join("crates").join(krate).join("src");

@@ -83,6 +83,9 @@ pub struct FlowTrace {
     pub buffer_drops: u64,
     /// Data packets lost randomly.
     pub random_drops: u64,
+    /// Data packets dropped inside a scheduled link blackout window.
+    #[serde(default)]
+    pub blackout_drops: u64,
     /// Segments dropped before reaching the link (accounting only).
     pub data_drops: u64,
     /// True if the event budget tripped (diagnostic; never in sane runs).

@@ -13,6 +13,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
+use mcs_faults::Windows;
 use mcs_stats::rng::stream_rng;
 
 use crate::capture::{ChunkRecord, FlowTrace, IdleRecord};
@@ -104,6 +105,10 @@ impl FlowConfig {
         assert!(self.chunk_size > 0, "chunk size must be positive");
         assert!(self.total_bytes > 0, "flow must move at least one byte");
         assert!(self.batch_chunks >= 1, "batch must be at least one chunk");
+        if let Err(e) = self.data_link.validate() {
+            // mcs-lint: allow(panic, validate() is a documented precondition check)
+            panic!("invalid data link: {e}");
+        }
     }
 }
 
@@ -160,8 +165,17 @@ enum Ev {
 /// assert!(trace.goodput_bps() > 0.0);
 /// ```
 pub fn simulate_flow(cfg: &FlowConfig) -> FlowTrace {
+    simulate_flow_with_blackouts(cfg, &Windows::empty())
+}
+
+/// [`simulate_flow`] under scheduled link blackouts (µs windows on the
+/// simulation clock): every packet offered inside a window is dropped, so
+/// the flow rides out the outage on TCP's own loss recovery. Pair with
+/// `FaultPlan::link_blackouts_us()` from `mcs-faults` to drive the packet
+/// layer from the same seeded plan as the service layer.
+pub fn simulate_flow_with_blackouts(cfg: &FlowConfig, blackouts: &Windows) -> FlowTrace {
     cfg.validate();
-    let mut traces = Simulation::new(std::slice::from_ref(cfg), cfg.data_link).run();
+    let mut traces = Simulation::new(std::slice::from_ref(cfg), cfg.data_link, blackouts).run();
     // mcs-lint: allow(panic, Simulation::run returns one trace per input flow)
     let mut t = traces.pop().expect("one flow in, one trace out");
     // Single-flow runs own the link, so the global drop counters are theirs.
@@ -179,11 +193,26 @@ pub fn simulate_flow(cfg: &FlowConfig) -> FlowTrace {
 /// Each flow keeps its own device/server model and RNG stream; the
 /// per-flow `data_link` configs are ignored in favour of `shared_link`.
 pub fn simulate_shared(cfgs: &[FlowConfig], shared_link: LinkConfig) -> Vec<FlowTrace> {
+    simulate_shared_with_blackouts(cfgs, shared_link, &Windows::empty())
+}
+
+/// [`simulate_shared`] with blackout windows on the shared bottleneck:
+/// an outage hits every flow at once, the §4 contention story plus a
+/// correlated failure.
+pub fn simulate_shared_with_blackouts(
+    cfgs: &[FlowConfig],
+    shared_link: LinkConfig,
+    blackouts: &Windows,
+) -> Vec<FlowTrace> {
     assert!(!cfgs.is_empty(), "need at least one flow");
+    if let Err(e) = shared_link.validate() {
+        // mcs-lint: allow(panic, validate() is a documented precondition check)
+        panic!("invalid shared link: {e}");
+    }
     for c in cfgs {
         c.validate();
     }
-    Simulation::new(cfgs, shared_link).run()
+    Simulation::new(cfgs, shared_link, blackouts).run()
 }
 
 /// Per-flow runtime state.
@@ -356,10 +385,13 @@ struct Simulation {
 }
 
 impl Simulation {
-    fn new(cfgs: &[FlowConfig], link: LinkConfig) -> Self {
+    fn new(cfgs: &[FlowConfig], link: LinkConfig, blackouts: &Windows) -> Self {
+        // mcs-lint: allow(panic, link config validated by the simulate_* entry points)
+        let mut link = Link::new(link).expect("validated link config");
+        link.set_blackouts(blackouts.clone());
         Self {
             q: EventQueue::new(),
-            link: Link::new(link),
+            link,
             flows: cfgs
                 .iter()
                 .enumerate()
@@ -466,6 +498,7 @@ impl Simulation {
                 // `data_drops` counter instead.
                 fl.trace.buffer_drops = self.link.buffer_drops;
                 fl.trace.random_drops = self.link.random_drops;
+                fl.trace.blackout_drops = self.link.blackout_drops;
             }
         }
         self.flows.into_iter().map(|fl| fl.trace).collect()
@@ -863,6 +896,37 @@ mod tests {
             off.duration,
             on.duration
         );
+    }
+
+    #[test]
+    fn blackout_flow_recovers_and_completes() {
+        // A 300 ms mid-flow blackout: every packet offered inside the
+        // window is lost, TCP retransmits its way out, and the flow still
+        // delivers every byte — just later and with drops on the books.
+        let cfg = upload(DeviceProfile::ios(), 8 * 512 * 1024, 11);
+        let fair = simulate_flow(&cfg);
+        let out = Windows::new(vec![(2 * SEC, 2 * SEC + 300 * MS)]);
+        let dark = simulate_flow_with_blackouts(&cfg, &out);
+        assert!(!dark.aborted);
+        let delivered: u64 = dark.chunk_records.iter().map(|c| c.bytes).sum();
+        assert_eq!(delivered, 8 * 512 * 1024, "every byte still arrives");
+        assert!(dark.blackout_drops > 0, "the window must have hit traffic");
+        assert!(
+            dark.duration > fair.duration,
+            "blackout {} vs fair {}",
+            dark.duration,
+            fair.duration
+        );
+        assert_eq!(fair.blackout_drops, 0);
+    }
+
+    #[test]
+    fn blackout_runs_are_deterministic() {
+        let cfg = upload(DeviceProfile::android(), 4 * 512 * 1024, 23);
+        let out = Windows::new(vec![(SEC, SEC + 200 * MS), (3 * SEC, 3 * SEC + 100 * MS)]);
+        let a = simulate_flow_with_blackouts(&cfg, &out);
+        let b = simulate_flow_with_blackouts(&cfg, &out);
+        assert_eq!(a, b, "same seed + same plan must be bit-identical");
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod sim;
 pub mod tcp;
 
 pub use capture::{ChunkRecord, FlowTrace, IdleRecord};
-pub use chunkflow::{simulate_flow, simulate_shared, FlowConfig};
+pub use chunkflow::{
+    simulate_flow, simulate_flow_with_blackouts, simulate_shared, simulate_shared_with_blackouts,
+    FlowConfig,
+};
 pub use device::{DeviceProfile, Direction, ServerProfile};
 pub use link::{Link, LinkConfig};
 pub use sim::{EventQueue, Time, MS, SEC};

@@ -9,6 +9,8 @@
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
+use mcs_faults::{ConfigError, Windows};
+
 use crate::sim::{Time, SEC};
 
 /// Link configuration.
@@ -45,6 +47,25 @@ impl Default for LinkConfig {
     }
 }
 
+impl LinkConfig {
+    /// Checks the physical knobs ([`Link::new`] calls this first).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.rate_bps == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "link rate",
+                requirement: "must be positive",
+            });
+        }
+        if !(0.0..1.0).contains(&self.loss_prob) {
+            return Err(ConfigError::OutOfRange {
+                what: "loss probability",
+                requirement: "must lie in [0,1)",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Outcome of offering a packet to the link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Transmit {
@@ -60,29 +81,43 @@ pub struct Link {
     cfg: LinkConfig,
     /// Time the serializer frees up.
     busy_until: Time,
+    /// Scheduled blackout windows (µs): while one covers `now`, every
+    /// offered packet is dropped on the floor.
+    blackouts: Windows,
+    /// Packets offered to the link (delivered + every drop class).
+    pub offered: u64,
     /// Packets dropped by the buffer.
     pub buffer_drops: u64,
     /// Packets dropped by random loss.
     pub random_drops: u64,
+    /// Packets dropped inside a blackout window.
+    pub blackout_drops: u64,
     /// Packets delivered.
     pub delivered: u64,
 }
 
 impl Link {
-    /// Creates an idle link.
-    pub fn new(cfg: LinkConfig) -> Self {
-        assert!(cfg.rate_bps > 0, "link rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&cfg.loss_prob),
-            "loss probability must be in [0,1)"
-        );
-        Self {
+    /// Creates an idle link. Rejects a zero rate or an out-of-range loss
+    /// probability instead of panicking.
+    pub fn new(cfg: LinkConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self {
             cfg,
             busy_until: 0,
+            blackouts: Windows::empty(),
+            offered: 0,
             buffer_drops: 0,
             random_drops: 0,
+            blackout_drops: 0,
             delivered: 0,
-        }
+        })
+    }
+
+    /// Installs blackout windows (µs on the simulation clock). Packets
+    /// already serialized before a window opens still arrive — the window
+    /// kills what is *offered* during it, not what is in flight.
+    pub fn set_blackouts(&mut self, blackouts: Windows) {
+        self.blackouts = blackouts;
     }
 
     /// Configuration in force.
@@ -96,7 +131,19 @@ impl Link {
     }
 
     /// Offers a packet at `now`; returns when it arrives, or `Drop`.
+    ///
+    /// Conservation invariant: after any call sequence,
+    /// `delivered + buffer_drops + random_drops + blackout_drops == offered`.
     pub fn transmit(&mut self, now: Time, bytes: u64, rng: &mut impl Rng) -> Transmit {
+        self.offered += 1;
+        // A blacked-out link drops everything offered to it, before the
+        // buffer even sees the packet (the path is down, not congested).
+        // The serializer state is untouched: packets queued before the
+        // window opened keep draining and still deliver.
+        if self.blackouts.contains(now) {
+            self.blackout_drops += 1;
+            return Transmit::Drop;
+        }
         // Backlog = data already queued but not yet serialized.
         let backlog_time = self.busy_until.saturating_sub(now);
         let backlog_bytes = backlog_time.saturating_mul(self.cfg.rate_bps) / (8 * SEC);
@@ -138,6 +185,7 @@ mod tests {
             loss_prob: 0.0,
             jitter_mean: 0,
         })
+        .unwrap()
     }
 
     #[test]
@@ -206,7 +254,8 @@ mod tests {
             buffer_bytes: 1 << 30,
             loss_prob: 0.0,
             jitter_mean: 5_000,
-        });
+        })
+        .unwrap();
         let mut rng = stream_rng(11, 0);
         let n = 20_000u64;
         let mut extra_sum = 0f64;
@@ -236,7 +285,8 @@ mod tests {
             buffer_bytes: 1 << 30,
             loss_prob: 0.1,
             jitter_mean: 0,
-        });
+        })
+        .unwrap();
         let mut rng = stream_rng(5, 0);
         let n = 20_000;
         let mut drops = 0;
@@ -251,11 +301,71 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_rate_rejected() {
-        let _ = Link::new(LinkConfig {
+    fn bad_configs_rejected_not_panicked() {
+        assert!(Link::new(LinkConfig {
             rate_bps: 0,
             ..LinkConfig::default()
-        });
+        })
+        .is_err());
+        assert!(Link::new(LinkConfig {
+            loss_prob: 1.0,
+            ..LinkConfig::default()
+        })
+        .is_err());
+        assert!(Link::new(LinkConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn blackout_drops_offered_packets() {
+        let mut l = no_loss(8_000_000, 0, 1 << 20);
+        l.set_blackouts(Windows::new(vec![(1000, 2000)]));
+        let mut rng = stream_rng(6, 0);
+        assert!(matches!(l.transmit(0, 1000, &mut rng), Transmit::Arrive(_)));
+        assert!(matches!(l.transmit(1500, 1000, &mut rng), Transmit::Drop));
+        assert!(matches!(
+            l.transmit(2000, 1000, &mut rng),
+            Transmit::Arrive(_)
+        ));
+        assert_eq!(l.blackout_drops, 1);
+        assert_eq!(l.delivered, 2);
+        assert_eq!(l.offered, 3);
+    }
+
+    #[test]
+    fn blackout_leaves_serializer_state_intact() {
+        // A packet queued just before the window keeps its arrival time;
+        // the blackout drop does not consume serializer capacity.
+        let mut l = no_loss(8_000_000, 0, 1 << 20);
+        l.set_blackouts(Windows::new(vec![(500, 1500)]));
+        let mut rng = stream_rng(7, 0);
+        let t1 = match l.transmit(0, 1000, &mut rng) {
+            Transmit::Arrive(t) => t,
+            Transmit::Drop => panic!("pre-blackout packet must deliver"),
+        };
+        assert_eq!(t1, 1000);
+        assert!(matches!(l.transmit(600, 1000, &mut rng), Transmit::Drop));
+        // Right after the window, the queue drained as if the dropped
+        // packet never existed.
+        let t2 = match l.transmit(1500, 1000, &mut rng) {
+            Transmit::Arrive(t) => t,
+            Transmit::Drop => panic!("post-blackout packet must deliver"),
+        };
+        assert_eq!(t2, 2500);
+    }
+
+    #[test]
+    fn conservation_counters_add_up() {
+        let mut l = no_loss(8_000_000, 0, 3000);
+        l.set_blackouts(Windows::new(vec![(0, 500)]));
+        let mut rng = stream_rng(8, 0);
+        for i in 0..20u64 {
+            let _ = l.transmit(i * 100, 1000, &mut rng);
+        }
+        assert_eq!(
+            l.delivered + l.buffer_drops + l.random_drops + l.blackout_drops,
+            l.offered
+        );
+        assert!(l.blackout_drops > 0);
+        assert!(l.delivered > 0);
     }
 }

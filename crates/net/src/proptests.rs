@@ -6,9 +6,11 @@
 
 use proptest::prelude::*;
 
-use crate::chunkflow::{simulate_flow, FlowConfig};
+use mcs_faults::Windows;
+
+use crate::chunkflow::{simulate_flow, simulate_flow_with_blackouts, FlowConfig};
 use crate::device::DeviceProfile;
-use crate::link::LinkConfig;
+use crate::link::{Link, LinkConfig, Transmit};
 use crate::sim::MS;
 
 fn arb_device() -> impl Strategy<Value = DeviceProfile> {
@@ -87,6 +89,56 @@ proptest! {
         prop_assert_eq!(a.duration, b.duration);
         prop_assert_eq!(a.idle_records, b.idle_records);
         prop_assert_eq!(a.seq_samples, b.seq_samples);
+    }
+
+    #[test]
+    fn prop_link_conserves_packets_under_blackouts(
+        rate_mbps in 1u64..50,
+        buffer_kb in 1u64..64,
+        loss in 0.0f64..0.2,
+        n_packets in 1usize..200,
+        gap_us in 1u64..5_000,
+        windows in proptest::collection::vec((0u64..400_000, 1u64..200_000), 0..4),
+        seed in 0u64..1_000,
+    ) {
+        // Every offered packet must land in exactly one bucket, no matter
+        // how blackout windows overlap buffer occupancy or random loss.
+        let mut link = Link::new(LinkConfig {
+            rate_bps: rate_mbps * 1_000_000,
+            buffer_bytes: buffer_kb * 1024,
+            loss_prob: loss,
+            ..LinkConfig::default()
+        }).unwrap();
+        link.set_blackouts(Windows::new(
+            windows.into_iter().map(|(s, d)| (s, s + d)).collect(),
+        ));
+        let mut rng = mcs_stats::rng::stream_rng(seed, 0xB1AC);
+        let mut delivered = 0u64;
+        for i in 0..n_packets {
+            if let Transmit::Arrive(_) = link.transmit(i as u64 * gap_us, 1400, &mut rng) {
+                delivered += 1;
+            }
+        }
+        prop_assert_eq!(delivered, link.delivered);
+        prop_assert_eq!(
+            link.delivered + link.buffer_drops + link.random_drops + link.blackout_drops,
+            link.offered
+        );
+        prop_assert_eq!(link.offered, n_packets as u64);
+    }
+
+    #[test]
+    fn prop_blackout_flows_still_complete(
+        start_ms in 100u64..4_000,
+        len_ms in 50u64..500,
+        seed in 0u64..500,
+    ) {
+        let cfg = FlowConfig::upload(DeviceProfile::ios(), 1 << 20, seed);
+        let out = Windows::new(vec![(start_ms * MS, (start_ms + len_ms) * MS)]);
+        let t = simulate_flow_with_blackouts(&cfg, &out);
+        prop_assert!(!t.aborted, "blackout at {start_ms}ms/{len_ms}ms aborted");
+        let delivered: u64 = t.chunk_records.iter().map(|c| c.bytes).sum();
+        prop_assert_eq!(delivered, 1 << 20);
     }
 
     #[test]

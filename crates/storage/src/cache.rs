@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use mcs_faults::ConfigError;
+
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -58,16 +60,22 @@ pub struct LruCache {
 }
 
 impl LruCache {
-    /// Creates a cache holding at most `capacity_bytes`.
-    pub fn new(capacity_bytes: u64) -> Self {
-        assert!(capacity_bytes > 0, "cache capacity must be positive");
-        Self {
+    /// Creates a cache holding at most `capacity_bytes`. A zero-byte cache
+    /// is a configuration error, not a panic.
+    pub fn new(capacity_bytes: u64) -> Result<Self, ConfigError> {
+        if capacity_bytes == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "cache capacity",
+                requirement: "must be positive",
+            });
+        }
+        Ok(Self {
             capacity_bytes,
             used_bytes: 0,
             entries: HashMap::new(),
             clock: 0,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// Requests object `id` of `bytes`; returns true on a cache hit.
@@ -129,8 +137,13 @@ mod tests {
     use mcs_stats::rng::{stream_rng, Zipf};
 
     #[test]
+    fn zero_capacity_rejected_not_panicked() {
+        assert!(LruCache::new(0).is_err());
+    }
+
+    #[test]
     fn hit_after_insert() {
-        let mut c = LruCache::new(1000);
+        let mut c = LruCache::new(1000).unwrap();
         assert!(!c.request(1, 100));
         assert!(c.request(1, 100));
         assert_eq!(c.stats.hits, 1);
@@ -140,7 +153,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_order() {
-        let mut c = LruCache::new(300);
+        let mut c = LruCache::new(300).unwrap();
         c.request(1, 100);
         c.request(2, 100);
         c.request(3, 100);
@@ -154,7 +167,7 @@ mod tests {
 
     #[test]
     fn oversized_objects_bypass() {
-        let mut c = LruCache::new(100);
+        let mut c = LruCache::new(100).unwrap();
         assert!(!c.request(1, 500));
         assert!(!c.request(1, 500), "still a miss — never cached");
         assert_eq!(c.len(), 0);
@@ -162,7 +175,7 @@ mod tests {
 
     #[test]
     fn capacity_respected() {
-        let mut c = LruCache::new(1000);
+        let mut c = LruCache::new(1000).unwrap();
         for id in 0..50 {
             c.request(id, 90);
         }
@@ -177,7 +190,7 @@ mod tests {
         let mut rng = stream_rng(42, 0);
         let zipf = Zipf::new(1000, 1.0);
         let object_bytes = 150_000_000u64 / 100; // scaled-down 150 MB clips
-        let mut c = LruCache::new(100 * object_bytes); // caches 10 % of objects
+        let mut c = LruCache::new(100 * object_bytes).unwrap(); // caches 10 % of objects
         for _ in 0..10_000 {
             let id = zipf.sample(&mut rng) as u64;
             c.request(id, object_bytes);
@@ -190,7 +203,7 @@ mod tests {
     #[test]
     fn uniform_workload_gets_low_hit_ratio() {
         let mut rng = stream_rng(43, 0);
-        let mut c = LruCache::new(100_000);
+        let mut c = LruCache::new(100_000).unwrap();
         for i in 0..10_000u64 {
             use rand::RngExt;
             let id = (rng.random::<u64>() % 10_000).wrapping_add(i / 10_000);

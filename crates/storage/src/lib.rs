@@ -10,7 +10,10 @@
 //! * [`content`] — chunk manifests over real or synthetic content,
 //! * [`metadata`] — the metadata server: namespaces, dedup, share URLs,
 //! * [`frontend`] — front-end chunk stores with hourly load accounting,
-//! * [`service`] — the clustered façade used by examples and tests,
+//! * [`service`] — the clustered façade used by examples and tests, with
+//!   fault-aware `try_store`/`try_retrieve` paths (retry, failover,
+//!   degraded-mode telemetry) driven by an injected [`mcs_faults::FaultPlan`],
+//! * [`error`] — the [`ServiceError`] taxonomy those paths return,
 //! * [`defer`] — the "smart auto backup" deferred-upload scheduler
 //!   (§3.2.2 implication) with peak-load/QoE evaluation,
 //! * [`tier`] — f4-style hot/warm tiering and its cost model (Table 4),
@@ -24,6 +27,7 @@
 pub mod cache;
 pub mod content;
 pub mod defer;
+pub mod error;
 pub mod frontend;
 pub mod md5;
 pub mod metadata;
@@ -34,9 +38,10 @@ pub mod tier;
 pub use cache::LruCache;
 pub use content::{Content, FileManifest, CHUNK_SIZE};
 pub use defer::{evaluate_deferral, DeferPolicy, UploadJob};
+pub use error::ServiceError;
 pub use frontend::FrontEnd;
 pub use md5::{md5 as md5_digest, Digest, Md5};
 pub use metadata::{MetadataServer, ShareUrl, StoreDecision, UserId};
-pub use replay::{replay_trace, ReplayConfig, ReplayStats};
-pub use service::{RetrieveOutcome, StorageService, StoreOutcome};
+pub use replay::{replay_trace, replay_trace_faulted, ReplayConfig, ReplayStats};
+pub use service::{FaultTelemetry, RetrieveOutcome, StorageService, StoreOutcome};
 pub use tier::{Tier, TierPolicy, TieredStore};

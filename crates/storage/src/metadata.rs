@@ -9,6 +9,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use mcs_faults::ConfigError;
+
 use crate::content::FileManifest;
 use crate::md5::Digest;
 
@@ -81,12 +83,15 @@ pub struct MetadataServer {
 
 impl MetadataServer {
     /// Creates a metadata server fronting `frontends` front-end servers.
-    pub fn new(frontends: usize) -> Self {
-        assert!(frontends > 0, "need at least one front-end");
-        Self {
+    /// An empty fleet is a configuration error, not a panic.
+    pub fn new(frontends: usize) -> Result<Self, ConfigError> {
+        if frontends == 0 {
+            return Err(ConfigError::ZeroCount { what: "front-end" });
+        }
+        Ok(Self {
             frontends,
             ..Self::default()
-        }
+        })
     }
 
     /// Handles a file-storage operation request: dedup check + namespace
@@ -268,8 +273,13 @@ mod tests {
     }
 
     #[test]
+    fn zero_frontends_rejected_not_panicked() {
+        assert!(MetadataServer::new(0).is_err());
+    }
+
+    #[test]
     fn first_store_uploads_second_dedups() {
-        let mut md = MetadataServer::new(4);
+        let mut md = MetadataServer::new(4).unwrap();
         let m = manifest("a.jpg", 1, 1000);
         match md.begin_store(10, m.clone(), 0) {
             StoreDecision::Upload { frontend } => assert!(frontend < 4),
@@ -286,7 +296,7 @@ mod tests {
 
     #[test]
     fn dedup_requires_completed_upload() {
-        let mut md = MetadataServer::new(1);
+        let mut md = MetadataServer::new(1).unwrap();
         let m = manifest("a.jpg", 1, 1000);
         let _ = md.begin_store(10, m, 0);
         // Upload never completed; the same content must upload again.
@@ -299,7 +309,7 @@ mod tests {
 
     #[test]
     fn retrieve_by_path() {
-        let mut md = MetadataServer::new(2);
+        let mut md = MetadataServer::new(2).unwrap();
         let m = manifest("docs/x.pdf", 7, 5000);
         let _ = md.begin_store(1, m.clone(), 0);
         md.complete_upload(m.clone(), 0);
@@ -313,7 +323,7 @@ mod tests {
 
     #[test]
     fn share_urls() {
-        let mut md = MetadataServer::new(2);
+        let mut md = MetadataServer::new(2).unwrap();
         let m = manifest("video.mp4", 9, 150_000_000);
         let _ = md.begin_store(1, m.clone(), 0);
         md.complete_upload(m.clone(), 0);
@@ -331,7 +341,7 @@ mod tests {
 
     #[test]
     fn namespace_listing_sorted() {
-        let mut md = MetadataServer::new(1);
+        let mut md = MetadataServer::new(1).unwrap();
         for (name, seed) in [("b.jpg", 1u64), ("a.jpg", 2), ("c.jpg", 3)] {
             let m = manifest(name, seed, 100);
             let _ = md.begin_store(5, m.clone(), 0);
@@ -346,7 +356,7 @@ mod tests {
     #[test]
     fn overwriting_a_path_replaces_entry() {
         // §2.1 footnote: no delta updates; a changed file is a new upload.
-        let mut md = MetadataServer::new(1);
+        let mut md = MetadataServer::new(1).unwrap();
         let v1 = manifest("note.txt", 1, 100);
         let v2 = manifest("note.txt", 2, 120);
         let _ = md.begin_store(1, v1.clone(), 0);
@@ -360,7 +370,7 @@ mod tests {
 
     #[test]
     fn frontend_assignment_deterministic_and_spread() {
-        let md = MetadataServer::new(8);
+        let md = MetadataServer::new(8).unwrap();
         let mut seen = std::collections::HashSet::new();
         for user in 0..200u64 {
             let fe = md.closest_frontend(user);

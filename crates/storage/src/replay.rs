@@ -5,14 +5,23 @@
 //! deduplicate), every planned retrieval a real `retrieve()`. This is how
 //! the workload-level findings (§2.4 load, §3.2 usage) exercise the §2.1
 //! system end to end.
+//!
+//! [`replay_trace_faulted`] runs the same workload under an injected
+//! [`FaultPlan`]: operations retry, fail over and sometimes fail, and the
+//! [`ReplayStats`] grow degraded-mode accounting (failed ops, retries,
+//! failovers, retry-inflated bytes, availability). Both entry points share
+//! one loop, so a replay under [`FaultPlan::none`] is *bit-identical* to a
+//! fair-weather replay.
 
 use rand::RngExt;
 use serde::Serialize;
 
+use mcs_faults::{ConfigError, FaultPlan, RetryPolicy};
 use mcs_stats::rng::stream_rng;
 use mcs_trace::{Direction, TraceGenerator};
 
 use crate::content::Content;
+use crate::error::ServiceError;
 use crate::service::StorageService;
 
 /// Knobs for the replay.
@@ -41,11 +50,14 @@ impl Default for ReplayConfig {
 }
 
 /// Replay outcome summary.
+///
+/// The fault fields stay zero on fair-weather replays, so existing
+/// consumers see unchanged numbers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct ReplayStats {
-    /// Files stored.
+    /// Files stored successfully.
     pub stores: u64,
-    /// Files retrieved.
+    /// Files retrievals attempted.
     pub retrieves: u64,
     /// Bytes actually uploaded (after dedup).
     pub bytes_uploaded: u64,
@@ -53,8 +65,36 @@ pub struct ReplayStats {
     pub bytes_deduplicated: u64,
     /// Bytes served on retrievals.
     pub bytes_downloaded: u64,
-    /// Retrievals that failed to resolve (should be zero).
+    /// Retrievals that failed to resolve (should be zero fair-weather).
     pub retrieve_misses: u64,
+    /// Stores that exhausted their retry budget under faults.
+    pub failed_stores: u64,
+    /// Retrievals that exhausted their retry budget under faults.
+    pub failed_retrieves: u64,
+    /// Backoff-and-retry rounds the service issued.
+    pub retries: u64,
+    /// Uploads redirected past a down front-end.
+    pub failovers: u64,
+    /// Chunk transfers that timed out during brownouts.
+    pub chunk_timeouts: u64,
+    /// Bytes moved by attempts that did not complete (retry inflation).
+    pub retry_bytes: u64,
+}
+
+impl ReplayStats {
+    /// Fraction of workload operations that completed despite faults:
+    /// `ok / (stores + failed_stores + retrieves)` where `ok` counts
+    /// successful stores plus retrievals that were not fault-defeated
+    /// (a clean "not found" is not an availability event). `1.0` for an
+    /// empty replay.
+    pub fn availability(&self) -> f64 {
+        let total = self.stores + self.failed_stores + self.retrieves;
+        if total == 0 {
+            return 1.0;
+        }
+        let ok = self.stores + self.retrieves - self.failed_retrieves;
+        ok as f64 / total as f64
+    }
 }
 
 /// Deterministic size of a popular-pool object (photo- to clip-sized).
@@ -63,9 +103,43 @@ fn popular_size(seed: u64) -> u64 {
 }
 
 /// Replays every planned session of `gen` into a fresh service.
-pub fn replay_trace(gen: &TraceGenerator, cfg: &ReplayConfig) -> (StorageService, ReplayStats) {
+///
+/// Fails only on invalid configuration (zero front-ends); the replay
+/// itself cannot fault without a plan.
+pub fn replay_trace(
+    gen: &TraceGenerator,
+    cfg: &ReplayConfig,
+) -> Result<(StorageService, ReplayStats), ConfigError> {
+    replay_inner(gen, cfg, None)
+}
+
+/// Replays the same workload as [`replay_trace`] under an injected fault
+/// plan: the service backs off through metadata outages, fails uploads
+/// over past down front-ends, re-sends timed-out chunk transfers, and
+/// gives up (degrading, never panicking) when `retry` allows no more.
+///
+/// Deterministic in `(gen, cfg, plan, retry)` — per-operation fault coins
+/// are stateless hashes, so the stats are bit-identical across runs and
+/// thread counts.
+pub fn replay_trace_faulted(
+    gen: &TraceGenerator,
+    cfg: &ReplayConfig,
+    plan: &FaultPlan,
+    retry: RetryPolicy,
+) -> Result<(StorageService, ReplayStats), ConfigError> {
+    replay_inner(gen, cfg, Some((plan.clone(), retry)))
+}
+
+fn replay_inner(
+    gen: &TraceGenerator,
+    cfg: &ReplayConfig,
+    faults: Option<(FaultPlan, RetryPolicy)>,
+) -> Result<(StorageService, ReplayStats), ConfigError> {
     let horizon_hours = (gen.config().horizon_ms() / 3_600_000) as usize;
-    let mut svc = StorageService::new(cfg.frontends, horizon_hours);
+    let mut svc = StorageService::new(cfg.frontends, horizon_hours)?;
+    if let Some((plan, retry)) = faults {
+        svc.set_fault_plan(plan, retry)?;
+    }
     let mut stats = ReplayStats::default();
     let mut rng = stream_rng(cfg.seed, 0x5EB1A4);
     let mut file_seq: u64 = 0;
@@ -93,21 +167,28 @@ pub fn replay_trace(gen: &TraceGenerator, cfg: &ReplayConfig) -> (StorageService
                                 size: f.size.max(1),
                             }
                         };
-                        let out = svc.store(user.user_id, &name, &content, session.start_ms);
-                        stats.stores += 1;
-                        stats.bytes_uploaded += out.bytes_uploaded;
-                        if out.deduplicated {
-                            stats.bytes_deduplicated += content.size();
+                        match svc.try_store(user.user_id, &name, &content, session.start_ms) {
+                            Ok(out) => {
+                                stats.stores += 1;
+                                stats.bytes_uploaded += out.bytes_uploaded;
+                                if out.deduplicated {
+                                    stats.bytes_deduplicated += content.size();
+                                }
+                                owned.push(name);
+                            }
+                            // The budget ran out; the file never made it
+                            // into the namespace, so it is not `owned`.
+                            Err(_) => stats.failed_stores += 1,
                         }
-                        owned.push(name);
                     }
                     Direction::Retrieve => {
                         stats.retrieves += 1;
                         match owned.last() {
                             Some(name) => {
-                                match svc.retrieve(user.user_id, name, session.start_ms) {
-                                    Some(got) => stats.bytes_downloaded += got.bytes_downloaded,
-                                    None => stats.retrieve_misses += 1,
+                                match svc.try_retrieve(user.user_id, name, session.start_ms) {
+                                    Ok(got) => stats.bytes_downloaded += got.bytes_downloaded,
+                                    Err(ServiceError::NotFound) => stats.retrieve_misses += 1,
+                                    Err(_) => stats.failed_retrieves += 1,
                                 }
                             }
                             // Download-only users fetch shared content by
@@ -119,15 +200,31 @@ pub fn replay_trace(gen: &TraceGenerator, cfg: &ReplayConfig) -> (StorageService
                                     size: popular_size(seed),
                                 };
                                 // Ensure the shared object exists (first
-                                // toucher uploads it), then serve it.
+                                // toucher uploads it), then serve it. A
+                                // fault anywhere defeats the user-visible
+                                // *retrieve*, so that is what it charges.
                                 let name = format!("shared/{seed}");
                                 let owner = u64::MAX - seed;
-                                if svc.retrieve(owner, &name, session.start_ms).is_none() {
-                                    svc.store(owner, &name, &content, session.start_ms);
+                                match svc.try_retrieve(owner, &name, session.start_ms) {
+                                    Ok(_) => {} // exists; the counted retrieve follows
+                                    Err(ServiceError::NotFound) => {
+                                        if svc
+                                            .try_store(owner, &name, &content, session.start_ms)
+                                            .is_err()
+                                        {
+                                            stats.failed_retrieves += 1;
+                                            continue;
+                                        }
+                                    }
+                                    Err(_) => {
+                                        stats.failed_retrieves += 1;
+                                        continue;
+                                    }
                                 }
-                                match svc.retrieve(owner, &name, session.start_ms) {
-                                    Some(got) => stats.bytes_downloaded += got.bytes_downloaded,
-                                    None => stats.retrieve_misses += 1,
+                                match svc.try_retrieve(owner, &name, session.start_ms) {
+                                    Ok(got) => stats.bytes_downloaded += got.bytes_downloaded,
+                                    Err(ServiceError::NotFound) => stats.retrieve_misses += 1,
+                                    Err(_) => stats.failed_retrieves += 1,
                                 }
                             }
                         }
@@ -136,12 +233,18 @@ pub fn replay_trace(gen: &TraceGenerator, cfg: &ReplayConfig) -> (StorageService
             }
         }
     }
-    (svc, stats)
+    let t = svc.telemetry();
+    stats.retries = t.retries;
+    stats.failovers = t.failovers;
+    stats.chunk_timeouts = t.chunk_timeouts;
+    stats.retry_bytes = t.retry_bytes;
+    Ok((svc, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcs_faults::FaultPlanConfig;
     use mcs_trace::TraceConfig;
 
     fn small_gen(seed: u64) -> TraceGenerator {
@@ -157,7 +260,7 @@ mod tests {
     #[test]
     fn replay_preserves_service_invariants() {
         let gen = small_gen(41);
-        let (svc, stats) = replay_trace(&gen, &ReplayConfig::default());
+        let (svc, stats) = replay_trace(&gen, &ReplayConfig::default()).unwrap();
         assert!(stats.stores > 300, "stores {}", stats.stores);
         assert!(stats.retrieves > 30, "retrieves {}", stats.retrieves);
         assert_eq!(stats.retrieve_misses, 0);
@@ -166,13 +269,18 @@ mod tests {
         // Metadata sees every user store plus the first-touch uploads of
         // shared popular objects.
         assert!(svc.metadata().stats.store_ops >= stats.stores);
+        // Fair weather: no degraded-mode activity, full availability.
+        assert_eq!(stats.failed_stores, 0);
+        assert_eq!(stats.failed_retrieves, 0);
+        assert_eq!(stats.retries, 0);
+        assert!((stats.availability() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn replay_deterministic() {
         let gen = small_gen(43);
-        let (_, a) = replay_trace(&gen, &ReplayConfig::default());
-        let (_, b) = replay_trace(&gen, &ReplayConfig::default());
+        let (_, a) = replay_trace(&gen, &ReplayConfig::default()).unwrap();
+        let (_, b) = replay_trace(&gen, &ReplayConfig::default()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -186,6 +294,7 @@ mod tests {
                 ..ReplayConfig::default()
             },
         )
+        .unwrap()
         .1;
         let high = replay_trace(
             &gen,
@@ -194,6 +303,7 @@ mod tests {
                 ..ReplayConfig::default()
             },
         )
+        .unwrap()
         .1;
         assert!(
             high.bytes_deduplicated > low.bytes_deduplicated,
@@ -201,5 +311,82 @@ mod tests {
             high.bytes_deduplicated,
             low.bytes_deduplicated
         );
+    }
+
+    #[test]
+    fn zero_frontends_is_a_config_error() {
+        let gen = small_gen(48);
+        let cfg = ReplayConfig {
+            frontends: 0,
+            ..ReplayConfig::default()
+        };
+        assert!(replay_trace(&gen, &cfg).is_err());
+    }
+
+    #[test]
+    fn empty_replay_has_full_availability() {
+        // Zero operations must read as a fully available service, not 0/0.
+        let stats = ReplayStats::default();
+        assert_eq!(stats.availability(), 1.0);
+    }
+
+    #[test]
+    fn none_plan_replay_matches_fair_weather_bit_for_bit() {
+        let gen = small_gen(51);
+        let cfg = ReplayConfig::default();
+        let (_, clean) = replay_trace(&gen, &cfg).unwrap();
+        let plan = FaultPlan::none(cfg.frontends);
+        let (_, faulted) = replay_trace_faulted(&gen, &cfg, &plan, RetryPolicy::default()).unwrap();
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn faulted_replay_is_deterministic() {
+        let gen = small_gen(53);
+        let cfg = ReplayConfig::default();
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            seed: 9,
+            horizon_ms: gen.config().horizon_ms(),
+            n_frontends: cfg.frontends,
+            ..FaultPlanConfig::default()
+        })
+        .unwrap();
+        let retry = RetryPolicy::default();
+        let (_, a) = replay_trace_faulted(&gen, &cfg, &plan, retry).unwrap();
+        let (_, b) = replay_trace_faulted(&gen, &cfg, &plan, retry).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggressive_plan_degrades_gracefully() {
+        let gen = small_gen(57);
+        let cfg = ReplayConfig::default();
+        // Heavy, long outages: plenty of fault activity, no panics.
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            seed: 3,
+            horizon_ms: gen.config().horizon_ms(),
+            n_frontends: cfg.frontends,
+            frontend_outages_per_day: 24.0,
+            frontend_outage_mean_ms: 1_800_000.0,
+            frontend_brownouts_per_day: 24.0,
+            frontend_brownout_mean_ms: 3_600_000.0,
+            chunk_timeout_prob: 0.9,
+            metadata_outages_per_day: 12.0,
+            metadata_outage_mean_ms: 600_000.0,
+            ..FaultPlanConfig::default()
+        })
+        .unwrap();
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let (_, stats) = replay_trace_faulted(&gen, &cfg, &plan, retry).unwrap();
+        let avail = stats.availability();
+        assert!(avail < 1.0, "faults must cost availability: {avail}");
+        assert!(avail > 0.1, "service must not collapse entirely: {avail}");
+        assert!(stats.retries > 0);
+        assert!(stats.failed_stores + stats.failed_retrieves > 0);
+        assert!(stats.chunk_timeouts > 0);
+        assert!(stats.retry_bytes > 0, "timeouts inflate traffic");
     }
 }

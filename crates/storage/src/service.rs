@@ -1,10 +1,29 @@
 //! The clustered service façade: metadata server + front-end fleet,
 //! exposing the mobile app's operations (store a batch, retrieve by path or
 //! URL) end-to-end.
+//!
+//! Two parallel operation surfaces exist. The infallible `store`/`retrieve`
+//! pair is the fair-weather path every workload-level experiment uses. The
+//! `try_store`/`try_retrieve` pair consults an injected
+//! [`mcs_faults::FaultPlan`]: operations observe component outages on the
+//! caller's virtual clock, back off and retry under a [`RetryPolicy`], fail
+//! over between front-ends where the architecture permits it (uploads pick
+//! any live front-end; retrievals cannot — content has one home), and
+//! return a [`ServiceError`] when the budget runs out. Without a plan
+//! installed, `try_*` degrade to the infallible paths.
+
+use serde::Serialize;
+
+use mcs_faults::{unit_coin, ConfigError, FaultPlan, RetryPolicy};
 
 use crate::content::{Content, FileManifest};
+use crate::error::ServiceError;
 use crate::frontend::FrontEnd;
 use crate::metadata::{MetadataServer, ShareUrl, StoreDecision, UserId};
+
+/// Coin stream for retry-backoff jitter (disjoint from the fault plan's
+/// own streams; see `mcs_faults::plan::streams`).
+const STREAM_BACKOFF: u64 = 0xFB01;
 
 /// Outcome of one file store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,12 +45,28 @@ pub struct RetrieveOutcome {
     pub frontend: usize,
 }
 
+/// Degraded-mode counters accumulated by the fault-aware paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FaultTelemetry {
+    /// Backoff-and-retry rounds issued (all causes).
+    pub retries: u64,
+    /// Uploads redirected past a down front-end to a live one.
+    pub failovers: u64,
+    /// Chunk transfers that timed out on a browned-out front-end.
+    pub chunk_timeouts: u64,
+    /// Operations that exhausted their retry budget and failed.
+    pub failed_ops: u64,
+    /// Bytes moved (or re-moved) by attempts that did not complete —
+    /// the retry-inflated traffic a fair-weather model never sees.
+    pub retry_bytes: u64,
+}
+
 /// The whole service.
 ///
 /// ```
 /// use mcs_storage::{Content, StorageService};
 ///
-/// let mut svc = StorageService::new(4, 24);
+/// let mut svc = StorageService::new(4, 24).unwrap();
 /// let photo = Content::Synthetic { seed: 1, size: 1_500_000 };
 /// let first = svc.store(1, "a.jpg", &photo, 0);
 /// assert!(!first.deduplicated);
@@ -44,19 +79,48 @@ pub struct RetrieveOutcome {
 pub struct StorageService {
     metadata: MetadataServer,
     frontends: Vec<FrontEnd>,
+    /// Injected fault schedule + retry policy (None = fair weather).
+    faults: Option<(FaultPlan, RetryPolicy)>,
+    telemetry: FaultTelemetry,
+    /// Monotone operation counter keying per-op fault/jitter coins.
+    op_seq: u64,
 }
 
 impl StorageService {
     /// Builds a cluster of `n_frontends`, accounting load over
-    /// `horizon_hours`.
-    pub fn new(n_frontends: usize, horizon_hours: usize) -> Self {
-        assert!(n_frontends > 0, "need at least one front-end");
-        Self {
-            metadata: MetadataServer::new(n_frontends),
+    /// `horizon_hours`. Rejects an empty fleet.
+    pub fn new(n_frontends: usize, horizon_hours: usize) -> Result<Self, ConfigError> {
+        Ok(Self {
+            metadata: MetadataServer::new(n_frontends)?,
             frontends: (0..n_frontends)
                 .map(|id| FrontEnd::new(id, horizon_hours))
                 .collect(),
-        }
+            faults: None,
+            telemetry: FaultTelemetry::default(),
+            op_seq: 0,
+        })
+    }
+
+    /// Installs a fault plan + retry policy; `try_store`/`try_retrieve`
+    /// consult it from now on. Validates the policy first.
+    pub fn set_fault_plan(
+        &mut self,
+        plan: FaultPlan,
+        retry: RetryPolicy,
+    ) -> Result<(), ConfigError> {
+        retry.validate()?;
+        self.faults = Some((plan, retry));
+        Ok(())
+    }
+
+    /// Removes any installed fault plan (back to fair weather).
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// Degraded-mode counters accumulated so far.
+    pub fn telemetry(&self) -> FaultTelemetry {
+        self.telemetry
     }
 
     /// Stores one file: metadata round trip, dedup check, chunk uploads.
@@ -108,6 +172,185 @@ impl StorageService {
             bytes_downloaded: bytes,
             frontend: fe,
         })
+    }
+
+    /// Jitter coin for retry `attempt` of operation `op` — stateless, so
+    /// the backoff sequence does not depend on what other operations did.
+    fn backoff_coin(plan: &FaultPlan, op: u64, attempt: u32) -> f64 {
+        unit_coin(
+            plan.seed,
+            STREAM_BACKOFF,
+            op.wrapping_mul(64).wrapping_add(attempt as u64),
+        )
+    }
+
+    /// Waits out a metadata outage with backoff on the virtual clock.
+    /// Returns the time the metadata server answered, or an error when the
+    /// retry budget ran out first.
+    fn await_metadata(
+        telemetry: &mut FaultTelemetry,
+        plan: &FaultPlan,
+        retry: &RetryPolicy,
+        op: u64,
+        mut t: u64,
+    ) -> Result<u64, ServiceError> {
+        let mut attempts = 1u32;
+        while plan.metadata_down(t) {
+            if !retry.allows(attempts) {
+                telemetry.failed_ops += 1;
+                return Err(ServiceError::MetadataUnavailable { attempts });
+            }
+            telemetry.retries += 1;
+            t = t
+                .saturating_add(retry.backoff_ms(attempts, Self::backoff_coin(plan, op, attempts)));
+            attempts += 1;
+        }
+        Ok(t)
+    }
+
+    /// Fault-aware store. Without an installed plan this is exactly
+    /// [`Self::store`]. With one, the operation runs on the virtual clock
+    /// starting at `now_ms`: it waits out metadata outages, fails over past
+    /// down front-ends, re-sends chunk transfers that time out during
+    /// brownouts, and gives up with a [`ServiceError`] when the retry
+    /// budget is exhausted. Failed stores leave **no** namespace entry —
+    /// the metadata round trip only commits on success.
+    pub fn try_store(
+        &mut self,
+        user: UserId,
+        name: &str,
+        content: &Content,
+        now_ms: u64,
+    ) -> Result<StoreOutcome, ServiceError> {
+        let Some((plan, retry)) = self.faults.clone() else {
+            return Ok(self.store(user, name, content, now_ms));
+        };
+        self.op_seq += 1;
+        let op = self.op_seq;
+        let mut t = Self::await_metadata(&mut self.telemetry, &plan, &retry, op, now_ms)?;
+
+        let manifest = FileManifest::build(name, content);
+        // Dedup pre-check *before* mutating the namespace, so a store that
+        // later fails on the data path leaves no dangling link.
+        if self.metadata.knows(&manifest.file_digest) {
+            let decision = self.metadata.begin_store(user, manifest, t);
+            debug_assert_eq!(decision, StoreDecision::Deduplicated);
+            return Ok(StoreOutcome {
+                deduplicated: true,
+                bytes_uploaded: 0,
+                frontend: None,
+            });
+        }
+
+        // Upload path: start at the user's closest front-end, fail over
+        // past down ones, and re-send on brownout chunk timeouts.
+        let n = self.frontends.len();
+        let preferred = self.metadata.closest_frontend(user);
+        let mut attempts = 1u32;
+        loop {
+            let mut chosen = None;
+            for k in 0..n {
+                let fe = (preferred + k) % n;
+                if plan.frontend_down(fe, t) {
+                    continue;
+                }
+                if k > 0 {
+                    self.telemetry.failovers += 1;
+                }
+                chosen = Some(fe);
+                break;
+            }
+            let failure = match chosen {
+                None => ServiceError::AllFrontendsDown { attempts },
+                Some(fe) => {
+                    if plan.frontend_degraded(fe, t) && plan.chunk_timeout(op, attempts) {
+                        // The transfer moved (some of) the bytes and died.
+                        self.telemetry.chunk_timeouts += 1;
+                        self.telemetry.retry_bytes += manifest.size;
+                        ServiceError::ChunkTimeout {
+                            frontend: fe,
+                            attempts,
+                        }
+                    } else {
+                        let decision = self.metadata.begin_store(user, manifest.clone(), t);
+                        debug_assert!(matches!(decision, StoreDecision::Upload { .. }));
+                        self.frontends[fe].put_file(&manifest, t);
+                        let bytes = manifest.size;
+                        self.metadata.complete_upload(manifest, fe);
+                        return Ok(StoreOutcome {
+                            deduplicated: false,
+                            bytes_uploaded: bytes,
+                            frontend: Some(fe),
+                        });
+                    }
+                }
+            };
+            if !retry.allows(attempts) {
+                self.telemetry.failed_ops += 1;
+                return Err(failure);
+            }
+            self.telemetry.retries += 1;
+            t = t.saturating_add(
+                retry.backoff_ms(attempts, Self::backoff_coin(&plan, op, attempts)),
+            );
+            attempts += 1;
+        }
+    }
+
+    /// Fault-aware retrieve. Without an installed plan this is
+    /// [`Self::retrieve`] with `None` mapped to [`ServiceError::NotFound`].
+    /// With one, the operation waits out metadata outages, then waits (with
+    /// backoff) for the single front-end holding the content — retrievals
+    /// cannot fail over — and re-requests on brownout chunk timeouts.
+    pub fn try_retrieve(
+        &mut self,
+        user: UserId,
+        path: &str,
+        now_ms: u64,
+    ) -> Result<RetrieveOutcome, ServiceError> {
+        let Some((plan, retry)) = self.faults.clone() else {
+            return self
+                .retrieve(user, path, now_ms)
+                .ok_or(ServiceError::NotFound);
+        };
+        self.op_seq += 1;
+        let op = self.op_seq;
+        let mut t = Self::await_metadata(&mut self.telemetry, &plan, &retry, op, now_ms)?;
+
+        let Some((manifest, fe)) = self.metadata.begin_retrieve(user, path) else {
+            return Err(ServiceError::NotFound);
+        };
+        let mut attempts = 1u32;
+        loop {
+            let failure = if plan.frontend_down(fe, t) {
+                ServiceError::FrontendUnavailable {
+                    frontend: fe,
+                    attempts,
+                }
+            } else if plan.frontend_degraded(fe, t) && plan.chunk_timeout(op, attempts) {
+                self.telemetry.chunk_timeouts += 1;
+                self.telemetry.retry_bytes += manifest.size;
+                ServiceError::ChunkTimeout {
+                    frontend: fe,
+                    attempts,
+                }
+            } else {
+                let bytes = self.frontends[fe].get_file(&manifest, t);
+                return Ok(RetrieveOutcome {
+                    bytes_downloaded: bytes,
+                    frontend: fe,
+                });
+            };
+            if !retry.allows(attempts) {
+                self.telemetry.failed_ops += 1;
+                return Err(failure);
+            }
+            self.telemetry.retries += 1;
+            t = t.saturating_add(
+                retry.backoff_ms(attempts, Self::backoff_coin(&plan, op, attempts)),
+            );
+            attempts += 1;
+        }
     }
 
     /// Publishes a share URL.
@@ -187,7 +430,7 @@ mod tests {
 
     #[test]
     fn end_to_end_store_and_retrieve() {
-        let mut svc = StorageService::new(4, 24);
+        let mut svc = StorageService::new(4, 24).unwrap();
         let out = svc.store(1, "p/1.jpg", &photo(1), 0);
         assert!(!out.deduplicated);
         assert_eq!(out.bytes_uploaded, 1_500_000);
@@ -197,7 +440,7 @@ mod tests {
 
     #[test]
     fn cross_user_dedup_saves_upload() {
-        let mut svc = StorageService::new(4, 24);
+        let mut svc = StorageService::new(4, 24).unwrap();
         let a = svc.store(1, "x.jpg", &photo(7), 0);
         let b = svc.store(2, "y.jpg", &photo(7), 10);
         assert!(!a.deduplicated);
@@ -211,7 +454,7 @@ mod tests {
 
     #[test]
     fn batch_store() {
-        let mut svc = StorageService::new(2, 24);
+        let mut svc = StorageService::new(2, 24).unwrap();
         let files: Vec<(String, Content)> = (0..5)
             .map(|i| (format!("p/{i}.jpg"), photo(100 + i)))
             .collect();
@@ -223,7 +466,7 @@ mod tests {
 
     #[test]
     fn share_url_content_distribution() {
-        let mut svc = StorageService::new(4, 24);
+        let mut svc = StorageService::new(4, 24).unwrap();
         let video = Content::Synthetic {
             seed: 50,
             size: 150_000_000,
@@ -239,7 +482,7 @@ mod tests {
 
     #[test]
     fn delete_and_garbage_collection() {
-        let mut svc = StorageService::new(3, 24);
+        let mut svc = StorageService::new(3, 24).unwrap();
         svc.store(1, "a.jpg", &photo(1), 0);
         svc.store(2, "b.jpg", &photo(1), 1); // dedup link to same content
         assert_eq!(svc.stored_bytes(), 1_500_000);
@@ -264,7 +507,7 @@ mod tests {
 
     #[test]
     fn gc_only_touches_orphans() {
-        let mut svc = StorageService::new(2, 24);
+        let mut svc = StorageService::new(2, 24).unwrap();
         svc.store(1, "keep.jpg", &photo(5), 0);
         svc.store(1, "drop.jpg", &photo(6), 1);
         svc.delete(1, "drop.jpg");
@@ -279,14 +522,144 @@ mod tests {
 
     #[test]
     fn retrieval_of_missing_path_is_none() {
-        let mut svc = StorageService::new(1, 24);
+        let mut svc = StorageService::new(1, 24).unwrap();
         assert!(svc.retrieve(1, "ghost", 0).is_none());
+    }
+
+    #[test]
+    fn zero_frontends_rejected_not_panicked() {
+        let err = StorageService::new(0, 24).expect_err("must reject");
+        assert!(err.to_string().contains("front-end"));
+    }
+
+    #[test]
+    fn try_retrieve_of_never_stored_path_is_not_found() {
+        // Without a plan installed…
+        let mut svc = StorageService::new(2, 24).unwrap();
+        assert_eq!(
+            svc.try_retrieve(1, "never/stored", 0),
+            Err(ServiceError::NotFound)
+        );
+        // …and with one (NotFound is not a fault, so no failed_ops).
+        svc.set_fault_plan(FaultPlan::none(2), RetryPolicy::default())
+            .unwrap();
+        assert_eq!(
+            svc.try_retrieve(1, "never/stored", 0),
+            Err(ServiceError::NotFound)
+        );
+        assert_eq!(svc.telemetry().failed_ops, 0);
+    }
+
+    #[test]
+    fn zero_byte_file_stores_and_retrieves() {
+        let mut svc = StorageService::new(2, 24).unwrap();
+        let empty = Content::Synthetic { seed: 3, size: 0 };
+        let out = svc.store(1, "empty.txt", &empty, 0);
+        assert!(!out.deduplicated);
+        assert_eq!(out.bytes_uploaded, 0);
+        let got = svc.retrieve(1, "empty.txt", 5).expect("resolves");
+        assert_eq!(got.bytes_downloaded, 0);
+        // The fault-aware path agrees.
+        let got = svc.try_retrieve(1, "empty.txt", 6).expect("resolves");
+        assert_eq!(got.bytes_downloaded, 0);
+        assert!(svc.frontends().iter().all(|f| f.missing_gets == 0));
+    }
+
+    #[test]
+    fn try_paths_with_no_faults_match_infallible_paths() {
+        let mut plain = StorageService::new(4, 24).unwrap();
+        let mut faulted = StorageService::new(4, 24).unwrap();
+        faulted
+            .set_fault_plan(FaultPlan::none(4), RetryPolicy::default())
+            .unwrap();
+        for i in 0..20u64 {
+            let c = photo(i % 5);
+            let name = format!("f{i}");
+            let a = plain.store(i % 3, &name, &c, i * 100);
+            let b = faulted.try_store(i % 3, &name, &c, i * 100).unwrap();
+            assert_eq!(a, b);
+        }
+        for i in 0..20u64 {
+            let name = format!("f{i}");
+            let a = plain.retrieve(i % 3, &name, 10_000);
+            let b = faulted.try_retrieve(i % 3, &name, 10_000).ok();
+            assert_eq!(a, b);
+        }
+        assert_eq!(faulted.telemetry(), FaultTelemetry::default());
+    }
+
+    #[test]
+    fn upload_fails_over_past_down_frontend() {
+        let mut svc = StorageService::new(2, 24).unwrap();
+        let user = 1u64;
+        let home = svc.metadata().closest_frontend(user);
+        // The preferred front-end is down for the whole horizon.
+        let mut plan = FaultPlan::none(2);
+        plan.frontend_outages[home] = mcs_faults::Windows::new(vec![(0, u64::MAX)]);
+        svc.set_fault_plan(plan, RetryPolicy::default()).unwrap();
+        let out = svc.try_store(user, "a.jpg", &photo(1), 0).unwrap();
+        assert_eq!(out.frontend, Some(1 - home), "failed over to the peer");
+        assert_eq!(svc.telemetry().failovers, 1);
+        assert_eq!(svc.telemetry().failed_ops, 0);
+    }
+
+    #[test]
+    fn all_frontends_down_exhausts_budget() {
+        let mut svc = StorageService::new(2, 24).unwrap();
+        let mut plan = FaultPlan::none(2);
+        for w in &mut plan.frontend_outages {
+            *w = mcs_faults::Windows::new(vec![(0, u64::MAX)]);
+        }
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        svc.set_fault_plan(plan, retry).unwrap();
+        let err = svc.try_store(1, "a.jpg", &photo(1), 0).unwrap_err();
+        assert_eq!(err, ServiceError::AllFrontendsDown { attempts: 3 });
+        assert_eq!(svc.telemetry().failed_ops, 1);
+        assert_eq!(svc.telemetry().retries, 2);
+        // The failed store left no namespace entry behind.
+        assert!(svc.metadata().list(1).is_empty());
+        assert_eq!(svc.metadata().distinct_contents(), 0);
+    }
+
+    #[test]
+    fn metadata_outage_delays_then_succeeds() {
+        let mut svc = StorageService::new(2, 24).unwrap();
+        let mut plan = FaultPlan::none(2);
+        // Short outage: the first backoff (≥ 100 ms) clears it.
+        plan.metadata_outages = mcs_faults::Windows::new(vec![(0, 50)]);
+        svc.set_fault_plan(plan, RetryPolicy::default()).unwrap();
+        let out = svc.try_store(1, "a.jpg", &photo(1), 0).unwrap();
+        assert!(!out.deduplicated);
+        assert!(svc.telemetry().retries >= 1);
+        assert_eq!(svc.telemetry().failed_ops, 0);
+    }
+
+    #[test]
+    fn brownout_timeouts_inflate_retry_bytes() {
+        let mut svc = StorageService::new(1, 24).unwrap();
+        let mut plan = FaultPlan::none(1);
+        plan.frontend_brownouts[0] = mcs_faults::Windows::new(vec![(0, u64::MAX)]);
+        plan.chunk_timeout_prob = 1.0; // every transfer times out
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        svc.set_fault_plan(plan, retry).unwrap();
+        let err = svc.try_store(1, "a.jpg", &photo(1), 0).unwrap_err();
+        assert!(matches!(err, ServiceError::ChunkTimeout { .. }));
+        let t = svc.telemetry();
+        assert_eq!(t.chunk_timeouts, 2);
+        assert_eq!(t.retry_bytes, 2 * 1_500_000);
+        assert_eq!(t.failed_ops, 1);
     }
 
     #[test]
     fn dedup_retrieve_works_without_reupload() {
         // The §2.1 promise: a deduplicated store is still fully retrievable.
-        let mut svc = StorageService::new(3, 24);
+        let mut svc = StorageService::new(3, 24).unwrap();
         svc.store(1, "a", &photo(9), 0);
         let o = svc.store(2, "b", &photo(9), 1);
         assert!(o.deduplicated);
@@ -353,7 +726,7 @@ mod proptests {
         /// ever reports a missing chunk; GC never breaks a live link.
         #[test]
         fn prop_random_op_sequences_stay_consistent(ops in proptest::collection::vec(arb_op(), 1..60)) {
-            let mut svc = StorageService::new(4, 24);
+            let mut svc = StorageService::new(4, 24).unwrap();
             // Ground truth: (user, name) -> expected size if live.
             let mut live: std::collections::HashMap<(u64, String), u64> =
                 std::collections::HashMap::new();

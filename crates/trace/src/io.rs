@@ -40,6 +40,14 @@ pub enum ReadError {
         /// Which field was malformed.
         field: &'static str,
     },
+    /// A lossy reader quarantined more malformed lines than its
+    /// [`ErrorBudget`] allows; the file is junk, not merely scuffed.
+    ErrorBudgetExceeded {
+        /// Malformed lines seen when the reader gave up.
+        errors: usize,
+        /// The budget that was exceeded.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for ReadError {
@@ -53,6 +61,12 @@ impl fmt::Display for ReadError {
             }
             ReadError::Field { line, field } => {
                 write!(f, "line {line}: malformed {field} field")
+            }
+            ReadError::ErrorBudgetExceeded { errors, budget } => {
+                write!(
+                    f,
+                    "gave up after {errors} malformed lines (budget: {budget})"
+                )
             }
         }
     }
@@ -101,6 +115,79 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<Vec<LogRecord>, ReadError> {
             source,
         })?;
         out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Cap on malformed lines a lossy reader quarantines before declaring the
+/// whole file unusable.
+///
+/// Real service logs are scuffed at the margins — truncated flushes,
+/// interleaved writers, the odd corrupt block — and an analysis pipeline
+/// that aborts on the first bad line never gets off the ground. The lossy
+/// readers skip-and-quarantine instead, but a bounded budget keeps "a few
+/// bad lines" from silently swallowing a file that is wholesale garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorBudget {
+    /// Maximum number of malformed lines to tolerate.
+    pub max_errors: usize,
+}
+
+impl Default for ErrorBudget {
+    /// Tolerates up to 1 000 malformed lines.
+    fn default() -> Self {
+        Self { max_errors: 1000 }
+    }
+}
+
+/// Outcome of a lossy read: the records that parsed, plus a quarantine of
+/// per-line diagnostics for those that did not.
+#[derive(Debug, Default)]
+pub struct LossyRead {
+    /// Records that parsed cleanly, in file order.
+    pub records: Vec<LogRecord>,
+    /// One diagnostic per malformed line, in file order.
+    pub quarantined: Vec<ReadError>,
+}
+
+impl LossyRead {
+    /// Fraction of non-blank lines that were quarantined (0.0 for an empty
+    /// or fully clean file).
+    pub fn error_rate(&self) -> f64 {
+        let total = self.records.len() + self.quarantined.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.quarantined.len() as f64 / total as f64
+    }
+}
+
+/// Reads JSON-lines records, quarantining malformed lines instead of
+/// failing on the first one. I/O errors stay fatal (the reader itself is
+/// broken, not a line), and blowing the [`ErrorBudget`] returns
+/// [`ReadError::ErrorBudgetExceeded`].
+pub fn read_jsonl_lossy<R: BufRead>(r: R, budget: ErrorBudget) -> Result<LossyRead, ReadError> {
+    let mut out = LossyRead::default();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str(&line) {
+            Ok(rec) => out.records.push(rec),
+            Err(source) => {
+                out.quarantined.push(ReadError::Json {
+                    line: i + 1,
+                    source,
+                });
+                if out.quarantined.len() > budget.max_errors {
+                    return Err(ReadError::ErrorBudgetExceeded {
+                        errors: out.quarantined.len(),
+                        budget: budget.max_errors,
+                    });
+                }
+            }
+        }
     }
     Ok(out)
 }
@@ -173,9 +260,39 @@ pub fn write_csv<W: Write>(
     Ok(n)
 }
 
+/// Parses one CSV body line (`line_no` is 1-based, for diagnostics).
+fn parse_csv_record(line_no: usize, line: &str) -> Result<LogRecord, ReadError> {
+    let bad = |field: &'static str| ReadError::Field {
+        line: line_no,
+        field,
+    };
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() != 10 {
+        return Err(ReadError::FieldCount {
+            line: line_no,
+            got: f.len(),
+        });
+    }
+    Ok(LogRecord {
+        timestamp_ms: f[0].parse().map_err(|_| bad("timestamp"))?,
+        device_type: parse_device(f[1]).ok_or_else(|| bad("device type"))?,
+        device_id: f[2].parse().map_err(|_| bad("device id"))?,
+        user_id: f[3].parse().map_err(|_| bad("user id"))?,
+        request: parse_request(f[4]).ok_or_else(|| bad("request type"))?,
+        volume_bytes: f[5].parse().map_err(|_| bad("volume"))?,
+        processing_ms: f[6].parse().map_err(|_| bad("processing time"))?,
+        srv_ms: f[7].parse().map_err(|_| bad("srv time"))?,
+        rtt_ms: f[8].parse().map_err(|_| bad("rtt"))?,
+        proxied: match f[9] {
+            "0" => false,
+            "1" => true,
+            _ => return Err(bad("proxied flag")),
+        },
+    })
+}
+
 /// Reads CSV produced by [`write_csv`] (header required).
 pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<LogRecord>, ReadError> {
-    let bad = |line: usize, field: &'static str| ReadError::Field { line, field };
     let mut lines = r.lines().enumerate();
     match lines.next() {
         Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
@@ -189,30 +306,41 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<LogRecord>, ReadError> {
         if line.trim().is_empty() {
             continue;
         }
-        let f: Vec<&str> = line.split(',').collect();
-        if f.len() != 10 {
-            return Err(ReadError::FieldCount {
-                line: i + 1,
-                got: f.len(),
-            });
+        out.push(parse_csv_record(i + 1, &line)?);
+    }
+    Ok(out)
+}
+
+/// Reads CSV, quarantining malformed body lines instead of failing on the
+/// first one. A missing or wrong header is still fatal — that is the whole
+/// file misidentified, not a scuffed line — as are I/O errors. Blowing the
+/// [`ErrorBudget`] returns [`ReadError::ErrorBudgetExceeded`].
+pub fn read_csv_lossy<R: BufRead>(r: R, budget: ErrorBudget) -> Result<LossyRead, ReadError> {
+    let mut lines = r.lines().enumerate();
+    match lines.next() {
+        Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
+        Some((_, Ok(_))) => return Err(ReadError::BadHeader),
+        Some((_, Err(e))) => return Err(e.into()),
+        None => return Ok(LossyRead::default()),
+    }
+    let mut out = LossyRead::default();
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
         }
-        let rec = LogRecord {
-            timestamp_ms: f[0].parse().map_err(|_| bad(i + 1, "timestamp"))?,
-            device_type: parse_device(f[1]).ok_or_else(|| bad(i + 1, "device type"))?,
-            device_id: f[2].parse().map_err(|_| bad(i + 1, "device id"))?,
-            user_id: f[3].parse().map_err(|_| bad(i + 1, "user id"))?,
-            request: parse_request(f[4]).ok_or_else(|| bad(i + 1, "request type"))?,
-            volume_bytes: f[5].parse().map_err(|_| bad(i + 1, "volume"))?,
-            processing_ms: f[6].parse().map_err(|_| bad(i + 1, "processing time"))?,
-            srv_ms: f[7].parse().map_err(|_| bad(i + 1, "srv time"))?,
-            rtt_ms: f[8].parse().map_err(|_| bad(i + 1, "rtt"))?,
-            proxied: match f[9] {
-                "0" => false,
-                "1" => true,
-                _ => return Err(bad(i + 1, "proxied flag")),
-            },
-        };
-        out.push(rec);
+        match parse_csv_record(i + 1, &line) {
+            Ok(rec) => out.records.push(rec),
+            Err(e) => {
+                out.quarantined.push(e);
+                if out.quarantined.len() > budget.max_errors {
+                    return Err(ReadError::ErrorBudgetExceeded {
+                        errors: out.quarantined.len(),
+                        budget: budget.max_errors,
+                    });
+                }
+            }
+        }
     }
     Ok(out)
 }
@@ -417,6 +545,94 @@ mod tests {
     #[test]
     fn csv_empty_input_is_empty_vec() {
         assert!(read_csv(BufReader::new(&b""[..])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lossy_jsonl_quarantines_garbage_lines() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, recs.clone()).unwrap();
+        buf.extend_from_slice(b"not json\n{\"half\": \n");
+        write_jsonl(&mut buf, recs.clone()).unwrap();
+        let got = read_jsonl_lossy(BufReader::new(&buf[..]), ErrorBudget::default()).unwrap();
+        assert_eq!(got.records.len(), 6, "good lines survive the bad ones");
+        assert_eq!(got.quarantined.len(), 2);
+        assert!(matches!(
+            got.quarantined[0],
+            ReadError::Json { line: 4, .. }
+        ));
+        assert!((got.error_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_csv_quarantines_and_keeps_line_numbers() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, sample_records()).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("1,2,3\n"); // wrong field count → line 5
+        text.push_str("x,android,1,1,file_store,0,1,1,1,0\n"); // bad timestamp → line 6
+        let got = read_csv_lossy(BufReader::new(text.as_bytes()), ErrorBudget::default()).unwrap();
+        assert_eq!(got.records.len(), 3);
+        assert_eq!(got.quarantined.len(), 2);
+        assert!(matches!(
+            got.quarantined[0],
+            ReadError::FieldCount { line: 5, got: 3 }
+        ));
+        assert!(matches!(
+            got.quarantined[1],
+            ReadError::Field {
+                line: 6,
+                field: "timestamp"
+            }
+        ));
+    }
+
+    #[test]
+    fn lossy_csv_still_rejects_bad_header() {
+        let err = read_csv_lossy(
+            BufReader::new(&b"not,a,header\n"[..]),
+            ErrorBudget::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader));
+    }
+
+    #[test]
+    fn lossy_readers_enforce_the_error_budget() {
+        let mut text = String::from(CSV_HEADER);
+        text.push('\n');
+        for _ in 0..5 {
+            text.push_str("garbage line\n");
+        }
+        let err = read_csv_lossy(
+            BufReader::new(text.as_bytes()),
+            ErrorBudget { max_errors: 3 },
+        )
+        .unwrap_err();
+        match err {
+            ReadError::ErrorBudgetExceeded { errors, budget } => {
+                assert_eq!(errors, 4, "gives up as soon as the budget is blown");
+                assert_eq!(budget, 3);
+            }
+            other => panic!("expected ErrorBudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(
+            err.to_string(),
+            "gave up after 4 malformed lines (budget: 3)"
+        );
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn lossy_read_of_clean_input_matches_strict_read() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, sample_records()).unwrap();
+        let strict = read_csv(BufReader::new(&buf[..])).unwrap();
+        let lossy = read_csv_lossy(BufReader::new(&buf[..]), ErrorBudget::default()).unwrap();
+        assert_eq!(lossy.records, strict);
+        assert!(lossy.quarantined.is_empty());
+        assert_eq!(lossy.error_rate(), 0.0);
+        assert_eq!(LossyRead::default().error_rate(), 0.0);
     }
 
     #[test]

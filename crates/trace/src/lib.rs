@@ -41,6 +41,7 @@ pub mod sessions;
 pub use blocks::{effective_threads, shard_ranges, BlockSource};
 pub use config::TraceConfig;
 pub use generator::TraceGenerator;
+pub use io::{read_csv_lossy, read_jsonl_lossy, ErrorBudget, LossyRead, ReadError};
 pub use population::{ClientGroup, UserClass, UserProfile};
 pub use record::{DeviceType, Direction, LogRecord, RequestType, CHUNK_SIZE};
 pub use sessions::SessionPlan;

@@ -16,7 +16,7 @@ use mcs::storage::{
 
 fn main() {
     // --- The service itself: store, dedup, retrieve, share. -------------
-    let mut svc = StorageService::new(8, 7 * 24);
+    let mut svc = StorageService::new(8, 7 * 24).expect("valid config");
 
     // A user backs up an evening's photos.
     let photos: Vec<(String, Content)> = (0..12)
@@ -113,7 +113,7 @@ fn main() {
 
     // --- Download cache for popular shared content (§3.1.4). -------------
     let zipf = Zipf::new(2_000, 1.0);
-    let mut cache = LruCache::new(300 * 1_500_000);
+    let mut cache = LruCache::new(300 * 1_500_000).expect("valid config");
     let mut rng = stream_rng(43, 0);
     for _ in 0..20_000 {
         let id = zipf.sample(&mut rng) as u64;

@@ -22,7 +22,7 @@ fn main() {
     .expect("valid config");
 
     // --- 1. Replay through the service: raw demand. ----------------------
-    let (svc, stats) = replay_trace(&gen, &ReplayConfig::default());
+    let (svc, stats) = replay_trace(&gen, &ReplayConfig::default()).expect("valid config");
     println!("== raw demand over one week ==");
     println!("  files stored:        {}", stats.stores);
     println!(

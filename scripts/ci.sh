@@ -8,4 +8,7 @@ cargo test -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run -p mcs-lint --release
+# Chaos smoke test: corrupted-trace ingestion + seeded fault-plan replay
+# (bit-identical across runs, availability bounded, no panics).
+cargo run --release --example chaos_replay
 echo "ci: all checks passed"

@@ -1,0 +1,97 @@
+//! Chaos integration: faulted replays must be bit-identical across runs
+//! and trace-generation thread counts, degrade gracefully under an
+//! aggressive outage plan, and collapse to the fair-weather replay when
+//! the plan is empty. Never a panic.
+
+use mcs::faults::{FaultPlan, FaultPlanConfig, RetryPolicy};
+use mcs::storage::{replay_trace, replay_trace_faulted, ReplayConfig};
+use mcs::trace::{TraceConfig, TraceGenerator};
+
+fn gen_with_threads(threads: usize) -> TraceGenerator {
+    TraceGenerator::new(TraceConfig {
+        mobile_users: 250,
+        pc_only_users: 60,
+        threads,
+        ..TraceConfig::default()
+    })
+    .unwrap()
+}
+
+/// A rough week: repeated front-end outages and brownouts, flaky chunk
+/// transfers, periodic metadata unavailability.
+fn rough_plan(gen: &TraceGenerator) -> FaultPlan {
+    FaultPlan::generate(&FaultPlanConfig {
+        seed: 4242,
+        horizon_ms: gen.config().horizon_ms(),
+        frontend_outages_per_day: 24.0,
+        frontend_outage_mean_ms: 30.0 * 60_000.0,
+        frontend_brownouts_per_day: 24.0,
+        frontend_brownout_mean_ms: 60.0 * 60_000.0,
+        chunk_timeout_prob: 0.9,
+        metadata_outages_per_day: 12.0,
+        metadata_outage_mean_ms: 10.0 * 60_000.0,
+        ..FaultPlanConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn faulted_replay_is_bit_identical_across_runs_and_thread_counts() {
+    let g1 = gen_with_threads(1);
+    let g7 = gen_with_threads(7);
+    let plan = rough_plan(&g1);
+    let retry = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let cfg = ReplayConfig::default();
+    let (_, a) = replay_trace_faulted(&g1, &cfg, &plan, retry).unwrap();
+    let (_, b) = replay_trace_faulted(&g1, &cfg, &plan, retry).unwrap();
+    let (_, c) = replay_trace_faulted(&g7, &cfg, &plan, retry).unwrap();
+    assert_eq!(a, b, "same seed, same run → same stats");
+    assert_eq!(
+        a, c,
+        "trace-generation thread count must not leak into faulted replays"
+    );
+}
+
+#[test]
+fn outage_plan_degrades_gracefully_without_panicking() {
+    let gen = gen_with_threads(0);
+    let plan = rough_plan(&gen);
+    let retry = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let (_, s) = replay_trace_faulted(&gen, &ReplayConfig::default(), &plan, retry).unwrap();
+    let avail = s.availability();
+    assert!(
+        avail > 0.1 && avail < 1.0,
+        "availability should degrade, not vanish: {avail}"
+    );
+    assert!(s.retries > 0, "the service must have fought back");
+    assert!(s.failovers > 0, "outages must have redirected uploads");
+    assert!(s.chunk_timeouts > 0, "brownouts must have cost transfers");
+    assert!(
+        s.failed_stores + s.failed_retrieves > 0,
+        "a plan this rough must defeat some operations"
+    );
+    assert!(s.retry_bytes > 0, "failed attempts still moved bytes");
+}
+
+#[test]
+fn empty_plan_collapses_to_fair_weather_replay() {
+    let gen = gen_with_threads(0);
+    let cfg = ReplayConfig::default();
+    let (_, fair) = replay_trace(&gen, &cfg).unwrap();
+    let (_, none) = replay_trace_faulted(
+        &gen,
+        &cfg,
+        &FaultPlan::none(cfg.frontends),
+        RetryPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(fair, none, "no faults → bit-identical to the plain replay");
+    assert_eq!(fair.availability(), 1.0);
+    assert_eq!(fair.failed_stores + fair.failed_retrieves, 0);
+}

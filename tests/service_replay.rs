@@ -14,7 +14,7 @@ fn replay(seed: u64) -> (StorageService, u64, u64) {
     })
     .unwrap();
     let horizon_hours = (gen.config().horizon_ms() / 3_600_000) as usize;
-    let mut svc = StorageService::new(8, horizon_hours);
+    let mut svc = StorageService::new(8, horizon_hours).expect("valid config");
     let mut stored_files = 0u64;
     let mut retrieved_files = 0u64;
     let mut file_seq = 0u64;
