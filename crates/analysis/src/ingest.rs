@@ -14,10 +14,11 @@ use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
 
+use mcs_obs::{Obs, Registry};
 use mcs_trace::io::{read_csv_lossy, read_jsonl_lossy, TraceFormat};
 use mcs_trace::{ErrorBudget, LogRecord, ReadError};
 
-use crate::pipeline::{analyze, FullAnalysis, PipelineConfig};
+use crate::pipeline::{analyze_observed, FullAnalysis, PipelineConfig};
 
 /// What lenient ingestion let through and what it quarantined.
 #[derive(Debug, Default)]
@@ -37,6 +38,19 @@ impl IngestReport {
         }
         self.quarantined.len() as f64 / total as f64
     }
+
+    /// Records the ingest outcome into a metric registry: the
+    /// `ingest.records` / `ingest.quarantined` counters and the
+    /// quarantine rate in parts per million as `ingest.error_rate_ppm`
+    /// (a gauge, since a rate is not summable across ingests).
+    pub fn record_metrics(&self, metrics: &mut Registry) {
+        let c = metrics.counter("ingest.records");
+        metrics.add(c, self.records);
+        let c = metrics.counter("ingest.quarantined");
+        metrics.add(c, self.quarantined.len() as u64);
+        let g = metrics.gauge("ingest.error_rate_ppm");
+        metrics.set(g, (self.error_rate() * 1e6) as i64);
+    }
 }
 
 /// Runs the full analysis pipeline over a stored trace file, quarantining
@@ -44,7 +58,8 @@ impl IngestReport {
 ///
 /// Records are grouped into per-user blocks (stored traces are
 /// time-ordered per user, which grouping preserves) and handed to
-/// [`analyze`]. The [`IngestReport`] says how much input was skipped —
+/// [`analyze`](crate::analyze). The [`IngestReport`] says how much input
+/// was skipped —
 /// callers deciding whether to trust the result should look at
 /// [`IngestReport::error_rate`].
 pub fn analyze_trace_file(
@@ -52,6 +67,19 @@ pub fn analyze_trace_file(
     format: TraceFormat,
     budget: ErrorBudget,
     cfg: &PipelineConfig,
+) -> Result<(FullAnalysis, IngestReport), ReadError> {
+    analyze_trace_file_observed(path, format, budget, cfg, &mut Obs::new())
+}
+
+/// [`analyze_trace_file`] that also reports into `obs`: the `ingest.*`
+/// quarantine metrics ([`IngestReport::record_metrics`]) alongside the
+/// pipeline's own `pipeline.*` metrics.
+pub fn analyze_trace_file_observed(
+    path: &Path,
+    format: TraceFormat,
+    budget: ErrorBudget,
+    cfg: &PipelineConfig,
+    obs: &mut Obs,
 ) -> Result<(FullAnalysis, IngestReport), ReadError> {
     let file = BufReader::new(File::open(path)?);
     let lossy = match format {
@@ -62,12 +90,13 @@ pub fn analyze_trace_file(
         records: lossy.records.len() as u64,
         quarantined: lossy.quarantined,
     };
+    report.record_metrics(&mut obs.metrics);
     let mut by_user: BTreeMap<u64, Vec<LogRecord>> = BTreeMap::new();
     for r in lossy.records {
         by_user.entry(r.user_id).or_default().push(r);
     }
     let blocks: Vec<Vec<LogRecord>> = by_user.into_values().collect();
-    let analysis = analyze(|| blocks.iter().cloned(), cfg);
+    let analysis = analyze_observed(|| blocks.iter().cloned(), cfg, obs);
     Ok((analysis, report))
 }
 
@@ -116,6 +145,37 @@ mod tests {
         );
         let _ = std::fs::remove_file(clean);
         let _ = std::fs::remove_file(dirty);
+    }
+
+    #[test]
+    fn observed_ingest_merges_quarantine_and_pipeline_metrics() {
+        let gen = small_gen();
+        let dir = std::env::temp_dir();
+        let path = dir.join("mcs-ingest-observed.csv");
+        let n = write_trace_file(&gen, &path, TraceFormat::Csv).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("@@@ corrupt flush @@@\n");
+        std::fs::write(&path, text).unwrap();
+
+        let mut obs = Obs::new();
+        let (analysis, report) = analyze_trace_file_observed(
+            &path,
+            TraceFormat::Csv,
+            ErrorBudget::default(),
+            &PipelineConfig::default(),
+            &mut obs,
+        )
+        .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["ingest.records"], n);
+        assert_eq!(snap.counters["ingest.quarantined"], 1);
+        assert_eq!(
+            snap.gauges["ingest.error_rate_ppm"],
+            (report.error_rate() * 1e6) as i64
+        );
+        // The pipeline metrics ride in the same snapshot.
+        assert_eq!(snap.counters["pipeline.records"], analysis.total_records);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

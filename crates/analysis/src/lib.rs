@@ -34,7 +34,9 @@ pub mod sessionize;
 pub mod usage;
 pub mod workload;
 
-pub use ingest::{analyze_trace_file, IngestReport};
-pub use pipeline::{analyze, par_analyze, FullAnalysis, PipelineConfig};
+pub use ingest::{analyze_trace_file, analyze_trace_file_observed, IngestReport};
+pub use pipeline::{
+    analyze, analyze_observed, par_analyze, par_analyze_observed, FullAnalysis, PipelineConfig,
+};
 pub use sessionize::{Session, SessionKind, TauDerivation};
 pub use usage::{ObservedClass, ObservedGroup, UserSummary};

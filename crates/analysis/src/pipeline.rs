@@ -17,6 +17,7 @@ use std::thread;
 
 use serde::{Deserialize, Serialize};
 
+use mcs_obs::{CounterId, HistId, Obs, Registry};
 use mcs_trace::{effective_threads, shard_ranges, BlockSource, LogRecord};
 
 use crate::activity_model::{ActivityCollector, ActivityStats};
@@ -101,7 +102,21 @@ pub struct FullAnalysis {
 /// assert!(a.total_sessions > 100);
 /// assert!(a.sessions.store_only_frac() > 0.5); // write-dominated (§3.1.1)
 /// ```
-pub fn analyze<F, I>(mut blocks: F, cfg: &PipelineConfig) -> FullAnalysis
+pub fn analyze<F, I>(blocks: F, cfg: &PipelineConfig) -> FullAnalysis
+where
+    F: FnMut() -> I,
+    I: Iterator<Item = Vec<LogRecord>>,
+{
+    analyze_observed(blocks, cfg, &mut Obs::new())
+}
+
+/// [`analyze`] that also reports what it measured into `obs`: the
+/// `pipeline.*` counters/histogram (records, users, sessions, pass-1
+/// intervals, per-block record sizes), the derived τ as a gauge, and a
+/// merge-fan-in trace event. Every metric is derived from the *workload*,
+/// so [`par_analyze_observed`] produces a bit-identical metric snapshot at
+/// any thread count; only the trace differs (it describes the execution).
+pub fn analyze_observed<F, I>(mut blocks: F, cfg: &PipelineConfig, obs: &mut Obs) -> FullAnalysis
 where
     F: FnMut() -> I,
     I: Iterator<Item = Vec<LogRecord>>,
@@ -114,6 +129,7 @@ where
     for block in blocks() {
         gather_intervals(&block, &mut mobile, &mut intervals);
     }
+    let n_intervals = intervals.len() as u64;
     let tau = derive_tau(&intervals, cfg.max_fit_points);
     drop(intervals);
 
@@ -123,7 +139,12 @@ where
     for block in blocks() {
         collectors.push_block(&block, &mut mobile, tau_ms);
     }
-    collectors.finish(tau, cfg)
+    let (analysis, mut run) = collectors.finish(tau, cfg);
+    let c = run.metrics.counter("pipeline.intervals");
+    run.metrics.add(c, n_intervals);
+    run.trace.event(0, "pipeline.merge.fan_in", 1);
+    obs.merge(&run);
+    analysis
 }
 
 /// Runs the full pipeline sharded over `cfg.threads` workers, producing a
@@ -142,9 +163,24 @@ pub fn par_analyze<B>(blocks: &B, cfg: &PipelineConfig) -> FullAnalysis
 where
     B: BlockSource + ?Sized,
 {
+    par_analyze_observed(blocks, cfg, &mut Obs::new())
+}
+
+/// [`par_analyze`] that also reports into `obs` (see
+/// [`analyze_observed`]). Each shard worker fills a private metric set
+/// carried inside its collector state; the sets merge by name in ascending
+/// shard order, so the metric snapshot is bit-identical to the sequential
+/// run's at any thread count. The trace additionally records per-shard
+/// record counts and the merge fan-in — execution diagnostics that are
+/// deterministic for a fixed thread count but *not* comparable across
+/// thread counts.
+pub fn par_analyze_observed<B>(blocks: &B, cfg: &PipelineConfig, obs: &mut Obs) -> FullAnalysis
+where
+    B: BlockSource + ?Sized,
+{
     let ranges = shard_ranges(blocks.len(), effective_threads(cfg.threads));
     if ranges.len() <= 1 {
-        return analyze(|| (0..blocks.len()).map(|i| blocks.block(i)), cfg);
+        return analyze_observed(|| (0..blocks.len()).map(|i| blocks.block(i)), cfg, obs);
     }
 
     // Pass 1: shard-local interval gather, concatenated in shard order so
@@ -174,6 +210,7 @@ where
     for shard in shard_intervals {
         intervals.extend(shard);
     }
+    let n_intervals = intervals.len() as u64;
     let tau = derive_tau(&intervals, cfg.max_fit_points);
     drop(intervals);
 
@@ -200,6 +237,18 @@ where
             .map(|h| h.join().expect("pass-2 shard worker panicked"))
             .collect()
     });
+    // Execution diagnostics on logical time (shard index): how the work
+    // was split. These go in the trace, not the registry — they describe
+    // *this* thread count, not the workload.
+    let mut exec = mcs_obs::Tracer::new();
+    for (i, st) in shard_states.iter().enumerate() {
+        exec.event(i as u64, "pipeline.shard.records", st.total_records);
+    }
+    exec.event(
+        ranges.len() as u64,
+        "pipeline.merge.fan_in",
+        ranges.len() as u64,
+    );
     let merged = shard_states
         .into_iter()
         .reduce(|mut acc, shard| {
@@ -208,7 +257,12 @@ where
         })
         // mcs-lint: allow(panic, shard_ranges always yields >= 1 range)
         .expect("at least one shard");
-    merged.finish(tau, cfg)
+    let (analysis, mut run) = merged.finish(tau, cfg);
+    let c = run.metrics.counter("pipeline.intervals");
+    run.metrics.add(c, n_intervals);
+    run.trace.merge(&exec);
+    obs.merge(&run);
+    analysis
 }
 
 /// Refills `mobile` with the block's mobile-device records and appends
@@ -220,9 +274,30 @@ fn gather_intervals(block: &[LogRecord], mobile: &mut Vec<LogRecord>, intervals:
     intervals.extend(file_op_intervals_s(mobile));
 }
 
+/// Handles into a collector's metric registry.
+struct PipelineIds {
+    records: CounterId,
+    users: CounterId,
+    sessions: CounterId,
+    block_records: HistId,
+}
+
+impl PipelineIds {
+    fn register(metrics: &mut Registry) -> Self {
+        Self {
+            records: metrics.counter("pipeline.records"),
+            users: metrics.counter("pipeline.users"),
+            sessions: metrics.counter("pipeline.sessions"),
+            block_records: metrics.histogram("pipeline.block_records"),
+        }
+    }
+}
+
 /// The pass-2 collector set. Each instance is a monoid over per-user
 /// blocks: `a.push_block(..)` for a shard of blocks then `merge` in shard
-/// order equals pushing every block into one instance sequentially.
+/// order equals pushing every block into one instance sequentially. The
+/// embedded [`Obs`] bundle obeys the same law, which is what makes the
+/// observed entry points' metric snapshots thread-count invariant.
 struct Collectors {
     session_stats: SessionStatsCollector,
     filesize: FileSizeCollector,
@@ -231,6 +306,8 @@ struct Collectors {
     engagement: EngagementCollector,
     activity: ActivityCollector,
     perf: PerfCollector,
+    obs: Obs,
+    ids: PipelineIds,
     total_sessions: u64,
     total_records: u64,
     total_users: u64,
@@ -238,6 +315,8 @@ struct Collectors {
 
 impl Collectors {
     fn new(cfg: &PipelineConfig) -> Self {
+        let mut obs = Obs::new();
+        let ids = PipelineIds::register(&mut obs.metrics);
         Self {
             session_stats: SessionStatsCollector::new(),
             filesize: FileSizeCollector::new(),
@@ -246,6 +325,8 @@ impl Collectors {
             engagement: EngagementCollector::new(),
             activity: ActivityCollector::new(),
             perf: PerfCollector::new(),
+            obs,
+            ids,
             total_sessions: 0,
             total_records: 0,
             total_users: 0,
@@ -260,6 +341,11 @@ impl Collectors {
         }
         self.total_users += 1;
         self.total_records += block.len() as u64;
+        self.obs.metrics.inc(self.ids.users);
+        self.obs.metrics.add(self.ids.records, block.len() as u64);
+        self.obs
+            .metrics
+            .observe(self.ids.block_records, block.len() as u64);
         mobile.clear();
         mobile.extend(block.iter().copied().filter(|r| r.device_type.is_mobile()));
         for r in mobile.iter() {
@@ -268,6 +354,7 @@ impl Collectors {
         }
         for s in sessionize(mobile, tau_ms) {
             self.total_sessions += 1;
+            self.obs.metrics.inc(self.ids.sessions);
             self.session_stats.push(&s);
             self.filesize.push(&s);
         }
@@ -288,14 +375,18 @@ impl Collectors {
         self.engagement.merge(other.engagement);
         self.activity.merge(other.activity);
         self.perf.merge(other.perf);
+        self.obs.merge(&other.obs);
         self.total_sessions += other.total_sessions;
         self.total_records += other.total_records;
         self.total_users += other.total_users;
     }
 
-    fn finish(self, tau: TauDerivation, cfg: &PipelineConfig) -> FullAnalysis {
+    fn finish(mut self, tau: TauDerivation, cfg: &PipelineConfig) -> (FullAnalysis, Obs) {
+        let g = self.obs.metrics.gauge("pipeline.tau_ms");
+        self.obs.metrics.set(g, tau.tau_ms() as i64);
+        let obs = std::mem::take(&mut self.obs);
         let (filesize_store, filesize_retrieve) = self.filesize.finish(cfg.max_fit_points);
-        FullAnalysis {
+        let analysis = FullAnalysis {
             tau,
             total_sessions: self.total_sessions,
             sessions: self.session_stats.finish(cfg.max_volume_bin_files),
@@ -308,7 +399,8 @@ impl Collectors {
             perf: self.perf.finish(),
             total_records: self.total_records,
             total_users: self.total_users,
-        }
+        };
+        (analysis, obs)
     }
 }
 
@@ -361,6 +453,7 @@ mod tests {
         }
         left.merge(right);
 
+        // Analysis AND embedded metric/trace bundle agree exactly.
         assert_eq!(left.finish(tau.clone(), &cfg), whole.finish(tau, &cfg));
     }
 
@@ -473,6 +566,43 @@ mod tests {
             );
             assert_eq!(par.total_users, seq.total_users, "users, threads {threads}");
             assert_eq!(par, seq, "full analysis, threads {threads}");
+        }
+    }
+
+    #[test]
+    fn observed_metric_snapshots_shard_invariant_across_thread_counts() {
+        // The Registry half of Obs carries only workload-derived metrics,
+        // so per-shard registries merge to the same snapshot no matter how
+        // the blocks were sharded — byte-identical JSON at every thread
+        // count. (The Tracer half describes the execution and is NOT
+        // compared across thread counts.)
+        let mut tcfg = TraceConfig::small(19);
+        tcfg.mobile_users = 300;
+        tcfg.pc_only_users = 75;
+        let gen = TraceGenerator::new(tcfg).unwrap();
+        let cfg = PipelineConfig::default();
+        let mut seq_obs = Obs::new();
+        let seq = analyze_observed(|| gen.iter_user_records(), &cfg, &mut seq_obs);
+        let snap = seq_obs.snapshot();
+        assert_eq!(snap.counters["pipeline.records"], seq.total_records);
+        assert_eq!(snap.counters["pipeline.users"], seq.total_users);
+        assert_eq!(snap.counters["pipeline.sessions"], seq.total_sessions);
+        assert_eq!(snap.gauges["pipeline.tau_ms"], seq.tau.tau_ms() as i64);
+        assert_eq!(
+            snap.histograms["pipeline.block_records"].count,
+            seq.total_users
+        );
+        for threads in [1, 2, 4, 7] {
+            let mut par_obs = Obs::new();
+            let par = par_analyze_observed(&gen, &PipelineConfig { threads, ..cfg }, &mut par_obs);
+            assert_eq!(par, seq, "analysis, threads {threads}");
+            let par_snap = par_obs.snapshot();
+            assert_eq!(par_snap, snap, "metric snapshot, threads {threads}");
+            assert_eq!(
+                par_snap.to_json(),
+                snap.to_json(),
+                "exported bytes, threads {threads}"
+            );
         }
     }
 

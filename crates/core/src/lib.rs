@@ -12,14 +12,16 @@
 //! println!("{}", report.render());
 //! ```
 //!
-//! The six substrate crates are available as modules:
+//! The seven substrate crates are available as modules:
 //!
 //! * [`stats`] — statistics (EM fits, ECDFs, SE rank models, GoF tests),
 //! * [`trace`] — Table 1 log schema + paper-calibrated workload generator,
 //! * [`analysis`] — the paper's analysis pipeline,
 //! * [`net`] — the discrete-event TCP / chunk-transfer simulator (§4),
 //! * [`storage`] — the §2.1 service substrate and Table 4 optimisations,
-//! * [`faults`] — deterministic fault-injection plans and retry policies.
+//! * [`faults`] — deterministic fault-injection plans and retry policies,
+//! * [`obs`] — deterministic metrics/tracing (logical time, mergeable
+//!   registries, stable exporters).
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
@@ -28,6 +30,7 @@
 pub use mcs_analysis as analysis;
 pub use mcs_faults as faults;
 pub use mcs_net as net;
+pub use mcs_obs as obs;
 pub use mcs_stats as stats;
 pub use mcs_storage as storage;
 pub use mcs_trace as trace;

@@ -56,7 +56,9 @@ impl RetryPolicy {
     /// is the first *retry*). `coin` must be uniform in `[0, 1)`.
     ///
     /// The un-jittered delay is `base * 2^(attempt-1)` capped at
-    /// `cap_backoff_ms`; jitter scales it by `1 ± jitter_frac`.
+    /// `cap_backoff_ms`; jitter scales it by `1 ± jitter_frac`, and the
+    /// jittered result is clamped to the cap again so `cap_backoff_ms`
+    /// really is a ceiling on any single backoff.
     pub fn backoff_ms(&self, attempt: u32, coin: f64) -> u64 {
         let exp = attempt.saturating_sub(1).min(32);
         let raw = self
@@ -64,7 +66,7 @@ impl RetryPolicy {
             .saturating_mul(1u64 << exp.min(63))
             .min(self.cap_backoff_ms);
         let factor = 1.0 + self.jitter_frac * (2.0 * coin - 1.0);
-        (raw as f64 * factor).max(0.0) as u64
+        ((raw as f64 * factor).max(0.0) as u64).min(self.cap_backoff_ms)
     }
 
     /// True when another attempt is allowed after `attempt` attempts have
@@ -105,6 +107,11 @@ mod tests {
         assert!(lo < p.base_backoff_ms && hi > p.base_backoff_ms);
         assert!(lo as f64 >= p.base_backoff_ms as f64 * 0.5 - 1.0);
         assert!(hi as f64 <= p.base_backoff_ms as f64 * 1.5 + 1.0);
+        // cap_backoff_ms is a hard ceiling even under maximal upward
+        // jitter: a deep attempt whose raw delay hits the cap must not
+        // exceed it after jitter is applied.
+        assert_eq!(p.backoff_ms(10, 0.999_999), p.cap_backoff_ms);
+        assert_eq!(p.backoff_ms(10, 0.5), p.cap_backoff_ms);
     }
 
     #[test]

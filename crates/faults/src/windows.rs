@@ -82,14 +82,19 @@ impl Windows {
 
     /// Multiplies every boundary by `factor` (saturating), e.g. to convert
     /// a millisecond schedule to the microsecond clock of the packet layer.
+    ///
+    /// The result is re-normalised through [`Windows::new`]: saturation can
+    /// collapse a span to empty (`(MAX, MAX)`) or make previously separate
+    /// spans touch, and `factor == 0` collapses everything — all of which
+    /// would otherwise break the sorted/disjoint/non-empty invariant that
+    /// `contains`, `next_clear`, and `PartialEq` rely on.
     pub fn scale(&self, factor: u64) -> Self {
-        Self {
-            spans: self
-                .spans
+        Self::new(
+            self.spans
                 .iter()
                 .map(|&(s, e)| (s.saturating_mul(factor), e.saturating_mul(factor)))
                 .collect(),
-        }
+        )
     }
 }
 
@@ -140,5 +145,60 @@ mod tests {
         let a = Windows::new(vec![(0, 10), (10, 20)]);
         let b = Windows::new(vec![(0, 20)]);
         assert_eq!(a, b);
+    }
+
+    /// Checks the construction invariant directly: sorted by start,
+    /// pairwise disjoint and non-touching, every span non-empty.
+    fn assert_normalised(w: &Windows) {
+        for pair in w.spans().windows(2) {
+            assert!(pair[0].1 < pair[1].0, "overlap/touch in {:?}", w.spans());
+        }
+        for &(s, e) in w.spans() {
+            assert!(s < e, "empty span in {:?}", w.spans());
+        }
+    }
+
+    #[test]
+    fn scale_zero_collapses_to_empty() {
+        let w = Windows::new(vec![(1, 2), (5, 7)]).scale(0);
+        assert_eq!(w, Windows::empty());
+        assert!(!w.contains(0));
+    }
+
+    #[test]
+    fn scale_saturation_keeps_invariant() {
+        // Both boundaries of the second span saturate to u64::MAX — the
+        // degenerate (MAX, MAX) span must be dropped, not kept.
+        let w = Windows::new(vec![(1, 2), (5, 7)]).scale(u64::MAX / 2);
+        assert_normalised(&w);
+        assert_eq!(w.spans(), &[(u64::MAX / 2, u64::MAX - 1)]);
+        // Saturation can also make previously separate spans touch; the
+        // result must merge them so `next_clear` still lands in the clear.
+        let touching = Windows::new(vec![(1, 2), (3, 4)]).scale(u64::MAX / 3);
+        assert_normalised(&touching);
+        let t = touching.spans()[0].0;
+        assert!(!touching.contains(touching.next_clear(t)));
+    }
+
+    proptest::proptest! {
+        /// `scale` output always satisfies the sorted/disjoint/non-empty
+        /// invariant, including factors that force saturation or collapse.
+        #[test]
+        fn prop_scale_preserves_invariant(
+            raw in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..12),
+            factor in proptest::prop_oneof![
+                proptest::prelude::Just(0u64),
+                proptest::prelude::Just(1u64),
+                proptest::prelude::Just(1000u64),
+                proptest::prelude::Just(u64::MAX / 2),
+                proptest::prelude::Just(u64::MAX),
+                proptest::prelude::any::<u64>(),
+            ],
+        ) {
+            let w = Windows::new(raw).scale(factor);
+            assert_normalised(&w);
+            // A normalised set round-trips through its own spans.
+            proptest::prop_assert_eq!(&w, &Windows::new(w.spans().to_vec()));
+        }
     }
 }

@@ -1,0 +1,26 @@
+//! Fixture obs crate: clean. Its merge impl is vouched for by a
+//! same-crate merge-law test, so R4 stays quiet here.
+
+#![forbid(unsafe_code)]
+
+pub struct MetricAcc {
+    pub total: u64,
+}
+
+impl MetricAcc {
+    pub fn merge(&mut self, other: &Self) {
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MetricAcc;
+
+    #[test]
+    fn merge_law_metric_acc() {
+        let mut a = MetricAcc { total: 1 };
+        a.merge(&MetricAcc { total: 2 });
+        assert_eq!(a.total, 3);
+    }
+}

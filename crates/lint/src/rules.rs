@@ -5,7 +5,7 @@
 //! | R1 | `map-iter` | No iteration over `HashMap`/`HashSet` in non-test library code unless the same statement canonicalises the order (an explicit `sort*`, a `BTree*`/`BinaryHeap` collect) or ends in an order-insensitive terminal (`count`, `sum`, `min_by_key`, …) |
 //! | R2 | `clock` | No wall-clock or entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`) anywhere outside `crates/bench` |
 //! | R3 | `panic` | No `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in non-test library code |
-//! | R4 | `merge-law` | Every type in `crates/analysis` defining `fn merge(` must be referenced by a test whose name contains `merge` or `shard` |
+//! | R4 | `merge-law` | Every type in `crates/analysis` or `crates/obs` defining `fn merge(` must be referenced by a same-crate test whose name contains `merge` or `shard` |
 //! | R5 | `unsafe` | Every library crate root must carry `#![forbid(unsafe_code)]` |
 //!
 //! Every rule except R5 honours a `// mcs-lint: allow(<name>, <reason>)`
@@ -22,7 +22,7 @@ use crate::scanner::{SourceFile, Tok, TokKind};
 
 /// The library crates the determinism contract covers.
 pub const LIB_CRATES: &[&str] = &[
-    "analysis", "core", "faults", "net", "stats", "storage", "trace",
+    "analysis", "core", "faults", "net", "obs", "stats", "storage", "trace",
 ];
 
 /// One rule violation.
@@ -114,7 +114,7 @@ impl Scanned {
 pub fn run_lint(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let mut diags = Vec::new();
 
-    // Scan the seven library crates.
+    // Scan the eight library crates.
     let mut lib_files: Vec<Scanned> = Vec::new();
     for krate in LIB_CRATES {
         let src_dir = root.join("crates").join(krate).join("src");
@@ -591,16 +591,22 @@ fn rule_panic(f: &Scanned, diags: &mut Vec<Diagnostic>) {
 
 // ---------------------------------------------------------------- R4
 
-/// R4: every `fn merge(` type in `crates/analysis` needs a merge-law or
+/// R4: every `fn merge(` type in the shard-reduce crates
+/// (`crates/analysis`, `crates/obs`) needs a merge-law or
 /// shard-invariance test referencing it by name.
 fn rule_merge_law(files: &[Scanned], diags: &mut Vec<Diagnostic>) {
-    let analysis: Vec<&Scanned> = files
-        .iter()
-        .filter(|f| f.rel.starts_with("crates/analysis/"))
-        .collect();
+    for prefix in ["crates/analysis/", "crates/obs/"] {
+        merge_law_for_crate(files, prefix, diags);
+    }
+}
+
+/// Runs R4 over one crate's files; tests in one crate cannot vouch for
+/// merge impls in another.
+fn merge_law_for_crate(files: &[Scanned], prefix: &str, diags: &mut Vec<Diagnostic>) {
+    let analysis: Vec<&Scanned> = files.iter().filter(|f| f.rel.starts_with(prefix)).collect();
 
     // All identifiers referenced by test fns whose name mentions merge or
-    // shard, across the whole analysis crate.
+    // shard, across the whole crate.
     let mut tested: BTreeSet<String> = BTreeSet::new();
     for f in &analysis {
         let toks = &f.file.tokens;

@@ -4,6 +4,7 @@
 //! per-chunk completion times, the sequence-number and in-flight time
 //! series, and per-gap idle/RTO records.
 
+use mcs_obs::Registry;
 use serde::{Deserialize, Serialize};
 
 use crate::sim::{Time, SEC};
@@ -136,6 +137,29 @@ impl FlowTrace {
         let n = self.idle_records.iter().filter(|r| r.restarted).count();
         n as f64 / self.idle_records.len() as f64
     }
+
+    /// Books this flow's loss/stall accounting into a metric registry as
+    /// `net.*` counters: bytes moved, every drop class (blackout, buffer,
+    /// random, total data drops), window stalls (slow-start restarts after
+    /// idle), retransmission timeouts and fast retransmits. Counters sum,
+    /// so many flows booked into one registry give fleet totals — and the
+    /// result is independent of booking order.
+    pub fn record_metrics(&self, metrics: &mut Registry) {
+        for (name, value) in [
+            ("net.bytes", self.total_bytes),
+            ("net.chunks", self.chunk_records.len() as u64),
+            ("net.blackout_drops", self.blackout_drops),
+            ("net.buffer_drops", self.buffer_drops),
+            ("net.random_drops", self.random_drops),
+            ("net.data_drops", self.data_drops),
+            ("net.idle_restarts", self.idle_restarts),
+            ("net.timeouts", self.timeouts),
+            ("net.fast_retransmits", self.fast_retransmits),
+        ] {
+            let c = metrics.counter(name);
+            metrics.add(c, value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +208,37 @@ mod tests {
         assert!((t.frac_restarted() - 2.0 / 3.0).abs() < 1e-12);
         assert!((t.idle_records[0].idle_over_rto() - 400.0 / 300.0).abs() < 1e-12);
         assert!((t.idle_records[0].sender_idle_over_rto() - 400.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_metrics_merges_flow_totals_in_any_order() {
+        let a = FlowTrace {
+            total_bytes: 1000,
+            blackout_drops: 3,
+            idle_restarts: 2,
+            timeouts: 1,
+            ..FlowTrace::default()
+        };
+        let b = FlowTrace {
+            total_bytes: 500,
+            buffer_drops: 4,
+            fast_retransmits: 5,
+            ..FlowTrace::default()
+        };
+        let mut fwd = Registry::new();
+        a.record_metrics(&mut fwd);
+        b.record_metrics(&mut fwd);
+        let mut rev = Registry::new();
+        b.record_metrics(&mut rev);
+        a.record_metrics(&mut rev);
+        assert_eq!(fwd, rev, "counter totals are booking-order independent");
+        let snap = fwd.snapshot();
+        assert_eq!(snap.counters["net.bytes"], 1500);
+        assert_eq!(snap.counters["net.blackout_drops"], 3);
+        assert_eq!(snap.counters["net.buffer_drops"], 4);
+        assert_eq!(snap.counters["net.idle_restarts"], 2);
+        assert_eq!(snap.counters["net.timeouts"], 1);
+        assert_eq!(snap.counters["net.fast_retransmits"], 5);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Stable-ordered exporters: [`Snapshot`] plus JSON / plain-text
+//! rendering.
+//!
+//! Snapshots are `BTreeMap`-backed, so iteration — and therefore every
+//! rendered byte — is ordered by metric name. Two registries that compare
+//! equal render byte-identical JSON and tables, which is what lets the
+//! chaos tests assert snapshot equality across runs and thread counts by
+//! string comparison. The JSON writer is hand-rolled and infallible (no
+//! `Result`, no panics), keeping the export path clean under the
+//! workspace `unwrap_used` lint.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::HistogramSnapshot;
+
+/// Point-in-time export of a [`Registry`](crate::Registry).
+///
+/// Unset gauges are omitted; histograms carry only their non-empty
+/// buckets. All maps are `BTreeMap`s, so field order is stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name (set gauges only).
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Escapes a metric name for a JSON string literal. Names are plain
+/// dotted identifiers in practice, but the escape keeps the writer total.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_map<V, F: Fn(&mut String, &V)>(out: &mut String, map: &BTreeMap<String, V>, render: F) {
+    out.push('{');
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, name);
+        out.push(':');
+        render(out, v);
+    }
+    out.push('}');
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a single-line JSON object with keys in
+    /// metric-name order. Infallible; equal snapshots render identical
+    /// bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":");
+        push_map(&mut out, &self.counters, |o, v| {
+            let _ = write!(o, "{v}");
+        });
+        out.push_str(",\"gauges\":");
+        push_map(&mut out, &self.gauges, |o, v| {
+            let _ = write!(o, "{v}");
+        });
+        out.push_str(",\"histograms\":");
+        push_map(&mut out, &self.histograms, |o, h| {
+            let _ = write!(
+                o,
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.min, h.max
+            );
+            for (i, (b, c)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                let _ = write!(o, "[{b},{c}]");
+            }
+            o.push_str("]}");
+        });
+        out.push('}');
+        out
+    }
+
+    /// Renders the snapshot as an aligned plain-text table, one metric
+    /// per row in name order.
+    pub fn to_table(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<width$}  value", "metric");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<width$}  {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name:<width$}  {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<width$}  count={} sum={} min={} max={}",
+                h.count, h.sum, h.min, h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let mut r = Registry::new();
+        let c = r.counter("replay.retries");
+        r.add(c, 3);
+        let c = r.counter("gen.records");
+        r.add(c, 1000);
+        let g = r.gauge("pipeline.tau_ms");
+        r.set(g, -1);
+        let h = r.histogram("replay.store_bytes");
+        r.observe(h, 0);
+        r.observe(h, 700);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_is_stable_ordered_and_pinned() {
+        let s = sample();
+        let json = s.to_json();
+        // Byte-stable across calls, and every byte is pinned: names in
+        // lexicographic order, no whitespace, one line.
+        assert_eq!(json, sample().to_json());
+        assert_eq!(
+            json,
+            concat!(
+                "{\"counters\":{\"gen.records\":1000,\"replay.retries\":3},",
+                "\"gauges\":{\"pipeline.tau_ms\":-1},",
+                "\"histograms\":{\"replay.store_bytes\":",
+                "{\"count\":2,\"sum\":700,\"min\":0,\"max\":700,",
+                "\"buckets\":[[0,1],[10,1]]}}}"
+            )
+        );
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let mut r = Registry::new();
+        let c = r.counter("weird\"name\\with\ncontrol\u{1}");
+        r.inc(c);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"weird\\\"name\\\\with\\ncontrol\\u0001\":1"));
+    }
+
+    #[test]
+    fn table_lists_every_metric_once() {
+        let table = sample().to_table();
+        for name in [
+            "replay.retries",
+            "gen.records",
+            "pipeline.tau_ms",
+            "replay.store_bytes",
+        ] {
+            assert_eq!(table.matches(name).count(), 1, "{name}");
+        }
+        assert!(table.contains("count=2 sum=700 min=0 max=700"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let s = Snapshot::default();
+        assert_eq!(
+            s.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert!(s.to_table().starts_with("metric"));
+    }
+}

@@ -1,0 +1,347 @@
+//! The three metric monoids: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! Every type here obeys the shard-reduce merge law (DESIGN.md §6): for a
+//! workload split into contiguous shards, pushing each shard into its own
+//! instance and merging the instances in ascending shard order is
+//! bit-identical to pushing the whole workload into one instance. Counters
+//! and histograms are commutative monoids (any merge order works); the
+//! gauge is last-write-wins, so only ascending shard order reproduces the
+//! sequential value — the same rule the analysis collectors follow.
+
+use serde::Serialize;
+
+/// Monotone event counter. Merge law: addition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter (the monoid identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Absorbs another counter (commutative, associative).
+    pub fn merge(&mut self, other: &Counter) {
+        self.value += other.value;
+    }
+}
+
+/// Last-written value. Merge law: a set gauge overwrites, an unset gauge
+/// is the identity — so merging per-shard gauges in ascending shard order
+/// reproduces the sequential last write.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Gauge {
+    value: i64,
+    set: bool,
+}
+
+impl Gauge {
+    /// An unset gauge (the monoid identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a value.
+    pub fn set(&mut self, v: i64) {
+        self.value = v;
+        self.set = true;
+    }
+
+    /// The last value recorded, if any.
+    pub fn get(&self) -> Option<i64> {
+        self.set.then_some(self.value)
+    }
+
+    /// Absorbs a later shard's gauge: its write (if any) wins.
+    pub fn merge(&mut self, other: &Gauge) {
+        if other.set {
+            *self = *other;
+        }
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` counts values whose bit
+/// length is `i`, i.e. bucket 0 holds `0`, bucket `i` holds
+/// `[2^(i-1), 2^i)`. 64-bit values need 65 buckets.
+pub const N_BUCKETS: usize = 65;
+
+/// Mergeable log2-bucketed histogram over `u64` observations.
+///
+/// Bucket layout is static, so any two histograms merge exactly
+/// (bucket-wise addition); count/sum/min/max merge alongside. The merge is
+/// commutative and associative — a true monoid, stronger than the gauge's
+/// ordered law.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; N_BUCKETS],
+        }
+    }
+}
+
+/// Exported view of a [`Histogram`]: only the non-empty buckets, as
+/// `(bucket index, count)` pairs in ascending index order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (saturating).
+    pub sum: u64,
+    /// Smallest observation (`0` when empty).
+    pub min: u64,
+    /// Largest observation (`0` when empty).
+    pub max: u64,
+    /// `(log2 bucket index, count)` for every non-empty bucket.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl Histogram {
+    /// An empty histogram (the monoid identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index of a value: its bit length.
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The raw bucket counts (length [`N_BUCKETS`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Absorbs another histogram (commutative, associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Exported view with only the non-empty buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count > 0 { self.min } else { 0 },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (i as u32, c))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn merge_law_counter() {
+        // Split-push-merge equals whole-push, for every split point.
+        let values = [3u64, 0, 7, 1, 1, 40];
+        let mut whole = Counter::new();
+        for &v in &values {
+            whole.add(v);
+        }
+        for split in 0..=values.len() {
+            let mut left = Counter::new();
+            let mut right = Counter::new();
+            for &v in &values[..split] {
+                left.add(v);
+            }
+            for &v in &values[split..] {
+                right.add(v);
+            }
+            left.merge(&right);
+            assert_eq!(left, whole, "split {split}");
+        }
+        assert_eq!(whole.get(), 52);
+    }
+
+    #[test]
+    fn merge_law_gauge_last_write_wins_in_shard_order() {
+        let writes = [5i64, -3, 9];
+        let mut whole = Gauge::new();
+        for &v in &writes {
+            whole.set(v);
+        }
+        for split in 0..=writes.len() {
+            let mut left = Gauge::new();
+            let mut right = Gauge::new();
+            for &v in &writes[..split] {
+                left.set(v);
+            }
+            for &v in &writes[split..] {
+                right.set(v);
+            }
+            left.merge(&right);
+            assert_eq!(left, whole, "split {split}");
+        }
+        assert_eq!(whole.get(), Some(9));
+        // The identity merges as a no-op from either side.
+        let mut id = Gauge::new();
+        id.merge(&whole);
+        assert_eq!(id, whole);
+        let mut w2 = whole;
+        w2.merge(&Gauge::new());
+        assert_eq!(w2, whole);
+    }
+
+    #[test]
+    fn merge_law_histogram() {
+        let values = [0u64, 1, 2, 3, 512 * 1024, u64::MAX, 1_500_000];
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.observe(v);
+        }
+        for split in 0..=values.len() {
+            let mut left = Histogram::new();
+            let mut right = Histogram::new();
+            for &v in &values[..split] {
+                left.observe(v);
+            }
+            for &v in &values[split..] {
+                right.observe(v);
+            }
+            left.merge(&right);
+            assert_eq!(left, whole, "split {split}");
+        }
+        assert_eq!(whole.count(), 7);
+        assert_eq!(whole.min(), Some(0));
+        assert_eq!(whole.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_buckets_are_bit_length() {
+        let mut h = Histogram::new();
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 1
+        h.observe(2); // bucket 2: [2, 4)
+        h.observe(3); // bucket 2
+        h.observe(4); // bucket 3: [4, 8)
+        h.observe(u64::MAX); // bucket 64
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (64, 1)]);
+        // The sum saturates at u64::MAX, so the mean reflects that cap.
+        assert_eq!(h.mean().unwrap(), u64::MAX as f64 / 6.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_clean() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(Histogram::new().min(), None);
+        assert_eq!(Histogram::new().mean(), None);
+    }
+
+    proptest! {
+        /// Shard invariance: any 3-way split of any observation sequence
+        /// merges (in shard order) to the sequential histogram and counter.
+        #[test]
+        fn prop_shard_invariance_histogram_counter(
+            values in proptest::collection::vec(any::<u64>(), 0..64),
+            a in 0usize..64,
+            b in 0usize..64,
+        ) {
+            let (a, b) = (a.min(values.len()), b.min(values.len()));
+            let (lo, hi) = (a.min(b), a.max(b));
+            let mut whole_h = Histogram::new();
+            let mut whole_c = Counter::new();
+            for &v in &values {
+                whole_h.observe(v);
+                whole_c.inc();
+            }
+            let mut h = Histogram::new();
+            let mut c = Counter::new();
+            for shard in [&values[..lo], &values[lo..hi], &values[hi..]] {
+                let mut sh = Histogram::new();
+                let mut sc = Counter::new();
+                for &v in shard {
+                    sh.observe(v);
+                    sc.inc();
+                }
+                h.merge(&sh);
+                c.merge(&sc);
+            }
+            prop_assert_eq!(h, whole_h);
+            prop_assert_eq!(c, whole_c);
+        }
+    }
+}

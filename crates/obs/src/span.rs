@@ -1,0 +1,211 @@
+//! Logical-time tracing: [`Event`]s, [`Span`]s, and the [`Tracer`] log.
+//!
+//! All timestamps are *logical* — simulation-clock milliseconds, operation
+//! ordinals, record indices — never wall clock, so traces are bit-identical
+//! across runs (mcs-lint rule R2 holds with zero suppressions). Code that
+//! genuinely needs wall-clock phase timing (benchmarks) goes through the
+//! [`Clock`] trait; the only real-time implementation lives in
+//! `crates/bench`, the one crate R2 exempts.
+
+use serde::Serialize;
+
+/// A source of timestamps for span timing.
+///
+/// Library code takes `&mut dyn Clock` (or a generic) and never calls
+/// `std::time` directly; [`LogicalClock`] is the deterministic
+/// implementation, and `crates/bench` provides the wall-clock one.
+pub trait Clock {
+    /// The current time, in whatever unit the implementation defines
+    /// (logical ticks here, nanoseconds in the bench wall clock).
+    fn now(&mut self) -> u64;
+}
+
+/// A deterministic [`Clock`]: reports whatever time it was last told.
+///
+/// Simulated components drive it from their own virtual time
+/// (`advance`/`set`), so span durations are reproducible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogicalClock {
+    t: u64,
+}
+
+impl LogicalClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock forward by `dt` ticks (saturating).
+    pub fn advance(&mut self, dt: u64) {
+        self.t = self.t.saturating_add(dt);
+    }
+
+    /// Jumps the clock to an absolute time.
+    pub fn set(&mut self, t: u64) {
+        self.t = t;
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now(&mut self) -> u64 {
+        self.t
+    }
+}
+
+/// A point measurement: at logical time `t`, `name` observed `value`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Event {
+    /// Logical timestamp.
+    pub t: u64,
+    /// What was observed.
+    pub name: String,
+    /// The observed value.
+    pub value: u64,
+}
+
+/// An interval measurement: `name` ran over logical `[start, end]` and
+/// produced `value` (e.g. records processed by a shard).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Span {
+    /// What ran.
+    pub name: String,
+    /// Logical start time.
+    pub start: u64,
+    /// Logical end time.
+    pub end: u64,
+    /// Work attributed to the interval.
+    pub value: u64,
+}
+
+/// Append-only log of [`Event`]s and [`Span`]s.
+///
+/// Merging concatenates logs; merge per-shard tracers in ascending shard
+/// order and the combined log equals the canonical shard-major order.
+/// Trace contents are deterministic for a fixed thread count but — unlike
+/// [`Registry`](crate::Registry) metrics — describe the *execution*
+/// (records per shard, merge fan-in), so they legitimately differ across
+/// thread counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tracer {
+    events: Vec<Event>,
+    spans: Vec<Span>,
+}
+
+impl Tracer {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a point measurement.
+    pub fn event(&mut self, t: u64, name: &str, value: u64) {
+        self.events.push(Event {
+            t,
+            name: name.to_owned(),
+            value,
+        });
+    }
+
+    /// Records an interval measurement.
+    pub fn span(&mut self, name: &str, start: u64, end: u64, value: u64) {
+        self.spans.push(Span {
+            name: name.to_owned(),
+            start,
+            end,
+            value,
+        });
+    }
+
+    /// Runs `f`, recording a span from the clock's time before to after;
+    /// the span's value is whatever `f` reports as its work done.
+    pub fn scoped<C: Clock, F: FnOnce(&mut Self) -> u64>(
+        &mut self,
+        clock: &mut C,
+        name: &str,
+        f: F,
+    ) -> u64 {
+        let start = clock.now();
+        let value = f(self);
+        let end = clock.now();
+        self.span(name, start, end, value);
+        value
+    }
+
+    /// Recorded point measurements, in insertion order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Recorded interval measurements, in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Appends another log after this one. Merge in ascending shard order
+    /// for a canonical shard-major log.
+    pub fn merge(&mut self, other: &Tracer) {
+        self.events.extend(other.events.iter().cloned());
+        self.spans.extend(other.spans.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_law_tracer_concatenates_in_shard_order() {
+        let mut whole = Tracer::new();
+        whole.event(0, "gen.shard.records", 10);
+        whole.event(1, "gen.shard.records", 12);
+        whole.span("gen.shard", 0, 5, 10);
+        whole.span("gen.shard", 5, 9, 12);
+
+        let mut s0 = Tracer::new();
+        s0.event(0, "gen.shard.records", 10);
+        s0.span("gen.shard", 0, 5, 10);
+        let mut s1 = Tracer::new();
+        s1.event(1, "gen.shard.records", 12);
+        s1.span("gen.shard", 5, 9, 12);
+
+        let mut merged = Tracer::new();
+        merged.merge(&s0);
+        merged.merge(&s1);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn scoped_span_uses_logical_clock() {
+        let mut clock = LogicalClock::new();
+        clock.set(100);
+        let mut tr = Tracer::new();
+        let v = tr.scoped(&mut clock, "phase", |tr| {
+            tr.event(100, "inner", 1);
+            42
+        });
+        assert_eq!(v, 42);
+        // The clock did not move during f, so the span is instantaneous at
+        // logical time 100 — deterministic, unlike wall clock.
+        assert_eq!(
+            tr.spans(),
+            &[Span {
+                name: "phase".into(),
+                start: 100,
+                end: 100,
+                value: 42
+            }]
+        );
+        assert_eq!(tr.events().len(), 1);
+    }
+
+    #[test]
+    fn logical_clock_advances_and_saturates() {
+        let mut c = LogicalClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(7);
+        assert_eq!(c.now(), 7);
+        c.set(u64::MAX);
+        c.advance(10);
+        assert_eq!(c.now(), u64::MAX);
+    }
+}

@@ -42,6 +42,9 @@ pub use error::ServiceError;
 pub use frontend::FrontEnd;
 pub use md5::{md5 as md5_digest, Digest, Md5};
 pub use metadata::{MetadataServer, ShareUrl, StoreDecision, UserId};
-pub use replay::{replay_trace, replay_trace_faulted, ReplayConfig, ReplayStats};
+pub use replay::{
+    replay_trace, replay_trace_faulted, replay_trace_faulted_observed, replay_trace_observed,
+    ReplayConfig, ReplayStats,
+};
 pub use service::{FaultTelemetry, RetrieveOutcome, StorageService, StoreOutcome};
 pub use tier::{Tier, TierPolicy, TieredStore};

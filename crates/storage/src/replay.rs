@@ -17,6 +17,7 @@ use rand::RngExt;
 use serde::Serialize;
 
 use mcs_faults::{ConfigError, FaultPlan, RetryPolicy};
+use mcs_obs::{CounterId, HistId, Registry, Snapshot};
 use mcs_stats::rng::stream_rng;
 use mcs_trace::{Direction, TraceGenerator};
 
@@ -69,7 +70,11 @@ pub struct ReplayStats {
     pub retrieve_misses: u64,
     /// Stores that exhausted their retry budget under faults.
     pub failed_stores: u64,
-    /// Retrievals that exhausted their retry budget under faults.
+    /// Retrievals defeated by faults. This counts *user-visible* retrieve
+    /// defeats: when a shared-pool read must first seed the popular object
+    /// and that internal store fails, the defeat is charged here (the user
+    /// asked to retrieve), not to `failed_stores` (which counts only the
+    /// workload's own planned stores).
     pub failed_retrieves: u64,
     /// Backoff-and-retry rounds the service issued.
     pub retries: u64,
@@ -85,8 +90,10 @@ impl ReplayStats {
     /// Fraction of workload operations that completed despite faults:
     /// `ok / (stores + failed_stores + retrieves)` where `ok` counts
     /// successful stores plus retrievals that were not fault-defeated
-    /// (a clean "not found" is not an availability event). `1.0` for an
-    /// empty replay.
+    /// (a clean "not found" is not an availability event). Both sides
+    /// count *user-visible* operations — a shared-pool retrieve defeated
+    /// by its internal seeding store is one failed retrieve, never a
+    /// phantom store attempt. `1.0` for an empty replay.
     pub fn availability(&self) -> f64 {
         let total = self.stores + self.failed_stores + self.retrieves;
         if total == 0 {
@@ -110,6 +117,17 @@ pub fn replay_trace(
     gen: &TraceGenerator,
     cfg: &ReplayConfig,
 ) -> Result<(StorageService, ReplayStats), ConfigError> {
+    let (svc, stats, _) = replay_inner(gen, cfg, None)?;
+    Ok((svc, stats))
+}
+
+/// [`replay_trace`] plus a stable-ordered metric [`Snapshot`]: the
+/// `replay.*` counters and size histograms merged with the service's own
+/// `storage.*` degraded-mode counters.
+pub fn replay_trace_observed(
+    gen: &TraceGenerator,
+    cfg: &ReplayConfig,
+) -> Result<(StorageService, ReplayStats, Snapshot), ConfigError> {
     replay_inner(gen, cfg, None)
 }
 
@@ -127,20 +145,66 @@ pub fn replay_trace_faulted(
     plan: &FaultPlan,
     retry: RetryPolicy,
 ) -> Result<(StorageService, ReplayStats), ConfigError> {
+    let (svc, stats, _) = replay_inner(gen, cfg, Some((plan.clone(), retry)))?;
+    Ok((svc, stats))
+}
+
+/// [`replay_trace_faulted`] plus a stable-ordered metric [`Snapshot`]
+/// (see [`replay_trace_observed`]).
+pub fn replay_trace_faulted_observed(
+    gen: &TraceGenerator,
+    cfg: &ReplayConfig,
+    plan: &FaultPlan,
+    retry: RetryPolicy,
+) -> Result<(StorageService, ReplayStats, Snapshot), ConfigError> {
     replay_inner(gen, cfg, Some((plan.clone(), retry)))
+}
+
+/// Handles into the replay's metric registry. [`ReplayStats`] is
+/// materialised from these counters at the end of the run, so the struct
+/// consumers destructure and the exported snapshot can never disagree.
+struct ReplayIds {
+    stores: CounterId,
+    retrieves: CounterId,
+    bytes_uploaded: CounterId,
+    bytes_deduplicated: CounterId,
+    bytes_downloaded: CounterId,
+    retrieve_misses: CounterId,
+    failed_stores: CounterId,
+    failed_retrieves: CounterId,
+    store_bytes: HistId,
+    retrieve_bytes: HistId,
+}
+
+impl ReplayIds {
+    fn register(obs: &mut Registry) -> Self {
+        Self {
+            stores: obs.counter("replay.stores"),
+            retrieves: obs.counter("replay.retrieves"),
+            bytes_uploaded: obs.counter("replay.bytes_uploaded"),
+            bytes_deduplicated: obs.counter("replay.bytes_deduplicated"),
+            bytes_downloaded: obs.counter("replay.bytes_downloaded"),
+            retrieve_misses: obs.counter("replay.retrieve_misses"),
+            failed_stores: obs.counter("replay.failed_stores"),
+            failed_retrieves: obs.counter("replay.failed_retrieves"),
+            store_bytes: obs.histogram("replay.store_bytes"),
+            retrieve_bytes: obs.histogram("replay.retrieve_bytes"),
+        }
+    }
 }
 
 fn replay_inner(
     gen: &TraceGenerator,
     cfg: &ReplayConfig,
     faults: Option<(FaultPlan, RetryPolicy)>,
-) -> Result<(StorageService, ReplayStats), ConfigError> {
+) -> Result<(StorageService, ReplayStats, Snapshot), ConfigError> {
     let horizon_hours = (gen.config().horizon_ms() / 3_600_000) as usize;
     let mut svc = StorageService::new(cfg.frontends, horizon_hours)?;
     if let Some((plan, retry)) = faults {
         svc.set_fault_plan(plan, retry)?;
     }
-    let mut stats = ReplayStats::default();
+    let mut obs = Registry::new();
+    let ids = ReplayIds::register(&mut obs);
     let mut rng = stream_rng(cfg.seed, 0x5EB1A4);
     let mut file_seq: u64 = 0;
 
@@ -169,26 +233,30 @@ fn replay_inner(
                         };
                         match svc.try_store(user.user_id, &name, &content, session.start_ms) {
                             Ok(out) => {
-                                stats.stores += 1;
-                                stats.bytes_uploaded += out.bytes_uploaded;
+                                obs.inc(ids.stores);
+                                obs.add(ids.bytes_uploaded, out.bytes_uploaded);
+                                obs.observe(ids.store_bytes, content.size());
                                 if out.deduplicated {
-                                    stats.bytes_deduplicated += content.size();
+                                    obs.add(ids.bytes_deduplicated, content.size());
                                 }
                                 owned.push(name);
                             }
                             // The budget ran out; the file never made it
                             // into the namespace, so it is not `owned`.
-                            Err(_) => stats.failed_stores += 1,
+                            Err(_) => obs.inc(ids.failed_stores),
                         }
                     }
                     Direction::Retrieve => {
-                        stats.retrieves += 1;
+                        obs.inc(ids.retrieves);
                         match owned.last() {
                             Some(name) => {
                                 match svc.try_retrieve(user.user_id, name, session.start_ms) {
-                                    Ok(got) => stats.bytes_downloaded += got.bytes_downloaded,
-                                    Err(ServiceError::NotFound) => stats.retrieve_misses += 1,
-                                    Err(_) => stats.failed_retrieves += 1,
+                                    Ok(got) => {
+                                        obs.add(ids.bytes_downloaded, got.bytes_downloaded);
+                                        obs.observe(ids.retrieve_bytes, got.bytes_downloaded);
+                                    }
+                                    Err(ServiceError::NotFound) => obs.inc(ids.retrieve_misses),
+                                    Err(_) => obs.inc(ids.failed_retrieves),
                                 }
                             }
                             // Download-only users fetch shared content by
@@ -201,8 +269,10 @@ fn replay_inner(
                                 };
                                 // Ensure the shared object exists (first
                                 // toucher uploads it), then serve it. A
-                                // fault anywhere defeats the user-visible
-                                // *retrieve*, so that is what it charges.
+                                // fault anywhere — including the internal
+                                // seeding store — defeats the user-visible
+                                // *retrieve*, so that is what it charges
+                                // (see `ReplayStats::failed_retrieves`).
                                 let name = format!("shared/{seed}");
                                 let owner = u64::MAX - seed;
                                 match svc.try_retrieve(owner, &name, session.start_ms) {
@@ -212,19 +282,22 @@ fn replay_inner(
                                             .try_store(owner, &name, &content, session.start_ms)
                                             .is_err()
                                         {
-                                            stats.failed_retrieves += 1;
+                                            obs.inc(ids.failed_retrieves);
                                             continue;
                                         }
                                     }
                                     Err(_) => {
-                                        stats.failed_retrieves += 1;
+                                        obs.inc(ids.failed_retrieves);
                                         continue;
                                     }
                                 }
                                 match svc.try_retrieve(owner, &name, session.start_ms) {
-                                    Ok(got) => stats.bytes_downloaded += got.bytes_downloaded,
-                                    Err(ServiceError::NotFound) => stats.retrieve_misses += 1,
-                                    Err(_) => stats.failed_retrieves += 1,
+                                    Ok(got) => {
+                                        obs.add(ids.bytes_downloaded, got.bytes_downloaded);
+                                        obs.observe(ids.retrieve_bytes, got.bytes_downloaded);
+                                    }
+                                    Err(ServiceError::NotFound) => obs.inc(ids.retrieve_misses),
+                                    Err(_) => obs.inc(ids.failed_retrieves),
                                 }
                             }
                         }
@@ -234,11 +307,24 @@ fn replay_inner(
         }
     }
     let t = svc.telemetry();
-    stats.retries = t.retries;
-    stats.failovers = t.failovers;
-    stats.chunk_timeouts = t.chunk_timeouts;
-    stats.retry_bytes = t.retry_bytes;
-    Ok((svc, stats))
+    let stats = ReplayStats {
+        stores: obs.counter_value(ids.stores),
+        retrieves: obs.counter_value(ids.retrieves),
+        bytes_uploaded: obs.counter_value(ids.bytes_uploaded),
+        bytes_deduplicated: obs.counter_value(ids.bytes_deduplicated),
+        bytes_downloaded: obs.counter_value(ids.bytes_downloaded),
+        retrieve_misses: obs.counter_value(ids.retrieve_misses),
+        failed_stores: obs.counter_value(ids.failed_stores),
+        failed_retrieves: obs.counter_value(ids.failed_retrieves),
+        retries: t.retries,
+        failovers: t.failovers,
+        chunk_timeouts: t.chunk_timeouts,
+        retry_bytes: t.retry_bytes,
+    };
+    // One snapshot carries both layers: replay.* and storage.*.
+    obs.merge(svc.metrics());
+    let snapshot = obs.snapshot();
+    Ok((svc, stats, snapshot))
 }
 
 #[cfg(test)]
@@ -355,6 +441,54 @@ mod tests {
         let (_, a) = replay_trace_faulted(&gen, &cfg, &plan, retry).unwrap();
         let (_, b) = replay_trace_faulted(&gen, &cfg, &plan, retry).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_outage_charges_shared_pool_seeding_to_retrieves() {
+        // Every front-end is down for the whole horizon (metadata stays
+        // up). All workload stores fail; no user ever owns a file, so
+        // every retrieve goes down the shared-pool path, where the
+        // seeding store fails too. The accounting contract under test:
+        // each defeat is exactly one `failed_retrieves` (the user asked
+        // to retrieve), `failed_stores` counts only the workload's own
+        // planned stores, and no phantom store attempts appear anywhere —
+        // so availability reads exactly zero.
+        let gen = small_gen(61);
+        let cfg = ReplayConfig::default();
+        let mut plan = FaultPlan::none(cfg.frontends);
+        for w in &mut plan.frontend_outages {
+            *w = mcs_faults::Windows::new(vec![(0, u64::MAX)]);
+        }
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let (_, stats) = replay_trace_faulted(&gen, &cfg, &plan, retry).unwrap();
+        assert!(stats.failed_stores > 0);
+        assert!(stats.retrieves > 0);
+        assert_eq!(stats.stores, 0);
+        assert_eq!(stats.failed_retrieves, stats.retrieves);
+        assert_eq!(stats.retrieve_misses, 0);
+        assert_eq!(stats.bytes_downloaded, 0);
+        assert_eq!(stats.availability(), 0.0);
+    }
+
+    #[test]
+    fn observed_replay_matches_plain_and_snapshot_is_stable() {
+        let gen = small_gen(43);
+        let cfg = ReplayConfig::default();
+        let (_, plain) = replay_trace(&gen, &cfg).unwrap();
+        let (_, stats, snap) = replay_trace_observed(&gen, &cfg).unwrap();
+        // The observed run is the same replay, and the snapshot can never
+        // disagree with the struct it was materialised from.
+        assert_eq!(plain, stats);
+        assert_eq!(snap.counters["replay.stores"], stats.stores);
+        assert_eq!(snap.counters["replay.bytes_uploaded"], stats.bytes_uploaded);
+        assert_eq!(snap.counters["storage.retries"], stats.retries);
+        assert_eq!(snap.histograms["replay.store_bytes"].count, stats.stores);
+        // Byte-identical export across runs.
+        let (_, _, again) = replay_trace_observed(&gen, &cfg).unwrap();
+        assert_eq!(snap.to_json(), again.to_json());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use serde::Serialize;
 
 use mcs_faults::{unit_coin, ConfigError, FaultPlan, RetryPolicy};
+use mcs_obs::{CounterId, Registry};
 
 use crate::content::{Content, FileManifest};
 use crate::error::ServiceError;
@@ -46,6 +47,11 @@ pub struct RetrieveOutcome {
 }
 
 /// Degraded-mode counters accumulated by the fault-aware paths.
+///
+/// This is a *view*: the service keeps its counts in an `mcs-obs`
+/// [`Registry`] (see [`StorageService::metrics`]) and materialises this
+/// struct on demand, so the shape downstream consumers destructure is
+/// unchanged while every counter is also exportable by name.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct FaultTelemetry {
     /// Backoff-and-retry rounds issued (all causes).
@@ -81,22 +87,51 @@ pub struct StorageService {
     frontends: Vec<FrontEnd>,
     /// Injected fault schedule + retry policy (None = fair weather).
     faults: Option<(FaultPlan, RetryPolicy)>,
-    telemetry: FaultTelemetry,
+    /// Registry-backed degraded-mode counters ([`Self::metrics`]).
+    obs: Registry,
+    ids: TelemetryIds,
     /// Monotone operation counter keying per-op fault/jitter coins.
     op_seq: u64,
+}
+
+/// Handles into [`StorageService::obs`] for the hot-path counters.
+#[derive(Debug, Clone, Copy)]
+struct TelemetryIds {
+    retries: CounterId,
+    failovers: CounterId,
+    chunk_timeouts: CounterId,
+    failed_ops: CounterId,
+    retry_bytes: CounterId,
+    backoff_ms: CounterId,
+}
+
+impl TelemetryIds {
+    fn register(obs: &mut Registry) -> Self {
+        Self {
+            retries: obs.counter("storage.retries"),
+            failovers: obs.counter("storage.failovers"),
+            chunk_timeouts: obs.counter("storage.chunk_timeouts"),
+            failed_ops: obs.counter("storage.failed_ops"),
+            retry_bytes: obs.counter("storage.retry_bytes"),
+            backoff_ms: obs.counter("storage.backoff_ms"),
+        }
+    }
 }
 
 impl StorageService {
     /// Builds a cluster of `n_frontends`, accounting load over
     /// `horizon_hours`. Rejects an empty fleet.
     pub fn new(n_frontends: usize, horizon_hours: usize) -> Result<Self, ConfigError> {
+        let mut obs = Registry::new();
+        let ids = TelemetryIds::register(&mut obs);
         Ok(Self {
             metadata: MetadataServer::new(n_frontends)?,
             frontends: (0..n_frontends)
                 .map(|id| FrontEnd::new(id, horizon_hours))
                 .collect(),
             faults: None,
-            telemetry: FaultTelemetry::default(),
+            obs,
+            ids,
             op_seq: 0,
         })
     }
@@ -118,9 +153,23 @@ impl StorageService {
         self.faults = None;
     }
 
-    /// Degraded-mode counters accumulated so far.
+    /// Degraded-mode counters accumulated so far, materialised from the
+    /// metric registry.
     pub fn telemetry(&self) -> FaultTelemetry {
-        self.telemetry
+        FaultTelemetry {
+            retries: self.obs.counter_value(self.ids.retries),
+            failovers: self.obs.counter_value(self.ids.failovers),
+            chunk_timeouts: self.obs.counter_value(self.ids.chunk_timeouts),
+            failed_ops: self.obs.counter_value(self.ids.failed_ops),
+            retry_bytes: self.obs.counter_value(self.ids.retry_bytes),
+        }
+    }
+
+    /// The service's metric registry (`storage.*` counters, including the
+    /// total backoff milliseconds the virtual clock spent waiting —
+    /// `storage.backoff_ms` — which [`FaultTelemetry`] does not carry).
+    pub fn metrics(&self) -> &Registry {
+        &self.obs
     }
 
     /// Stores one file: metadata round trip, dedup check, chunk uploads.
@@ -188,7 +237,8 @@ impl StorageService {
     /// Returns the time the metadata server answered, or an error when the
     /// retry budget ran out first.
     fn await_metadata(
-        telemetry: &mut FaultTelemetry,
+        obs: &mut Registry,
+        ids: &TelemetryIds,
         plan: &FaultPlan,
         retry: &RetryPolicy,
         op: u64,
@@ -197,12 +247,13 @@ impl StorageService {
         let mut attempts = 1u32;
         while plan.metadata_down(t) {
             if !retry.allows(attempts) {
-                telemetry.failed_ops += 1;
+                obs.inc(ids.failed_ops);
                 return Err(ServiceError::MetadataUnavailable { attempts });
             }
-            telemetry.retries += 1;
-            t = t
-                .saturating_add(retry.backoff_ms(attempts, Self::backoff_coin(plan, op, attempts)));
+            obs.inc(ids.retries);
+            let delay = retry.backoff_ms(attempts, Self::backoff_coin(plan, op, attempts));
+            obs.add(ids.backoff_ms, delay);
+            t = t.saturating_add(delay);
             attempts += 1;
         }
         Ok(t)
@@ -227,7 +278,7 @@ impl StorageService {
         };
         self.op_seq += 1;
         let op = self.op_seq;
-        let mut t = Self::await_metadata(&mut self.telemetry, &plan, &retry, op, now_ms)?;
+        let mut t = Self::await_metadata(&mut self.obs, &self.ids, &plan, &retry, op, now_ms)?;
 
         let manifest = FileManifest::build(name, content);
         // Dedup pre-check *before* mutating the namespace, so a store that
@@ -255,7 +306,7 @@ impl StorageService {
                     continue;
                 }
                 if k > 0 {
-                    self.telemetry.failovers += 1;
+                    self.obs.inc(self.ids.failovers);
                 }
                 chosen = Some(fe);
                 break;
@@ -265,8 +316,8 @@ impl StorageService {
                 Some(fe) => {
                     if plan.frontend_degraded(fe, t) && plan.chunk_timeout(op, attempts) {
                         // The transfer moved (some of) the bytes and died.
-                        self.telemetry.chunk_timeouts += 1;
-                        self.telemetry.retry_bytes += manifest.size;
+                        self.obs.inc(self.ids.chunk_timeouts);
+                        self.obs.add(self.ids.retry_bytes, manifest.size);
                         ServiceError::ChunkTimeout {
                             frontend: fe,
                             attempts,
@@ -286,13 +337,13 @@ impl StorageService {
                 }
             };
             if !retry.allows(attempts) {
-                self.telemetry.failed_ops += 1;
+                self.obs.inc(self.ids.failed_ops);
                 return Err(failure);
             }
-            self.telemetry.retries += 1;
-            t = t.saturating_add(
-                retry.backoff_ms(attempts, Self::backoff_coin(&plan, op, attempts)),
-            );
+            self.obs.inc(self.ids.retries);
+            let delay = retry.backoff_ms(attempts, Self::backoff_coin(&plan, op, attempts));
+            self.obs.add(self.ids.backoff_ms, delay);
+            t = t.saturating_add(delay);
             attempts += 1;
         }
     }
@@ -315,7 +366,7 @@ impl StorageService {
         };
         self.op_seq += 1;
         let op = self.op_seq;
-        let mut t = Self::await_metadata(&mut self.telemetry, &plan, &retry, op, now_ms)?;
+        let mut t = Self::await_metadata(&mut self.obs, &self.ids, &plan, &retry, op, now_ms)?;
 
         let Some((manifest, fe)) = self.metadata.begin_retrieve(user, path) else {
             return Err(ServiceError::NotFound);
@@ -328,8 +379,8 @@ impl StorageService {
                     attempts,
                 }
             } else if plan.frontend_degraded(fe, t) && plan.chunk_timeout(op, attempts) {
-                self.telemetry.chunk_timeouts += 1;
-                self.telemetry.retry_bytes += manifest.size;
+                self.obs.inc(self.ids.chunk_timeouts);
+                self.obs.add(self.ids.retry_bytes, manifest.size);
                 ServiceError::ChunkTimeout {
                     frontend: fe,
                     attempts,
@@ -342,13 +393,13 @@ impl StorageService {
                 });
             };
             if !retry.allows(attempts) {
-                self.telemetry.failed_ops += 1;
+                self.obs.inc(self.ids.failed_ops);
                 return Err(failure);
             }
-            self.telemetry.retries += 1;
-            t = t.saturating_add(
-                retry.backoff_ms(attempts, Self::backoff_coin(&plan, op, attempts)),
-            );
+            self.obs.inc(self.ids.retries);
+            let delay = retry.backoff_ms(attempts, Self::backoff_coin(&plan, op, attempts));
+            self.obs.add(self.ids.backoff_ms, delay);
+            t = t.saturating_add(delay);
             attempts += 1;
         }
     }
@@ -654,6 +705,23 @@ mod tests {
         assert_eq!(t.chunk_timeouts, 2);
         assert_eq!(t.retry_bytes, 2 * 1_500_000);
         assert_eq!(t.failed_ops, 1);
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_telemetry() {
+        let mut svc = StorageService::new(2, 24).unwrap();
+        let mut plan = FaultPlan::none(2);
+        plan.metadata_outages = mcs_faults::Windows::new(vec![(0, 50)]);
+        svc.set_fault_plan(plan, RetryPolicy::default()).unwrap();
+        svc.try_store(1, "a.jpg", &photo(1), 0).unwrap();
+        let t = svc.telemetry();
+        let m = svc.metrics();
+        assert!(t.retries >= 1);
+        assert_eq!(m.counter_by_name("storage.retries"), Some(t.retries));
+        assert_eq!(m.counter_by_name("storage.failed_ops"), Some(t.failed_ops));
+        // The registry also carries what FaultTelemetry cannot: the total
+        // virtual-clock backoff spent waiting out the outage.
+        assert!(m.counter_by_name("storage.backoff_ms").unwrap() >= 50);
     }
 
     #[test]

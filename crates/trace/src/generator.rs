@@ -17,6 +17,7 @@
 use rand::{Rng, RngExt};
 use rand_chacha::ChaCha8Rng;
 
+use mcs_obs::{Obs, Registry};
 use mcs_stats::rng::{stream_rng, LogNormal};
 
 use crate::blocks::{effective_threads, shard_ranges, BlockSource};
@@ -111,20 +112,37 @@ impl TraceGenerator {
     /// stream, so the result is identical to collecting
     /// [`Self::iter_user_records`] regardless of the thread count.
     pub fn par_user_records(&self) -> Vec<Vec<LogRecord>> {
+        self.par_user_records_observed(&mut Obs::new())
+    }
+
+    /// [`Self::par_user_records`] that also reports into `obs`. Each
+    /// worker fills a *private* registry (`gen.users` / `gen.records`
+    /// counters, `gen.user_records` per-block histogram) which merge by
+    /// name in ascending shard order — so the metric snapshot is
+    /// bit-identical at any thread count. The trace records per-shard
+    /// record counts and the merge fan-in, which describe this particular
+    /// execution.
+    pub fn par_user_records_observed(&self, obs: &mut Obs) -> Vec<Vec<LogRecord>> {
         let ranges = shard_ranges(self.users.len(), effective_threads(self.cfg.threads));
         if ranges.len() <= 1 {
-            return self.iter_user_records().collect();
+            let blocks: Vec<Vec<LogRecord>> = self.iter_user_records().collect();
+            observe_blocks(&mut obs.metrics, &blocks);
+            obs.trace.event(1, "gen.merge.fan_in", 1);
+            return blocks;
         }
-        let mut shards: Vec<Vec<Vec<LogRecord>>> = Vec::with_capacity(ranges.len());
+        let mut shards: Vec<(Vec<Vec<LogRecord>>, Registry)> = Vec::with_capacity(ranges.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
                 .map(|range| {
                     scope.spawn(move || {
-                        self.users[range]
+                        let blocks: Vec<Vec<LogRecord>> = self.users[range]
                             .iter()
                             .map(|u| self.user_records(u))
-                            .collect::<Vec<_>>()
+                            .collect();
+                        let mut metrics = Registry::new();
+                        observe_blocks(&mut metrics, &blocks);
+                        (blocks, metrics)
                     })
                 })
                 .collect();
@@ -133,7 +151,14 @@ impl TraceGenerator {
                 shards.push(h.join().expect("generator worker panicked"));
             }
         });
-        shards.into_iter().flatten().collect()
+        let fan_in = shards.len() as u64;
+        for (i, (blocks, metrics)) in shards.iter().enumerate() {
+            let n: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+            obs.trace.event(i as u64, "gen.shard.records", n);
+            obs.metrics.merge(metrics);
+        }
+        obs.trace.event(fan_in, "gen.merge.fan_in", fan_in);
+        shards.into_iter().flat_map(|(blocks, _)| blocks).collect()
     }
 
     /// Generates everything and sorts globally by timestamp — convenient
@@ -142,32 +167,56 @@ impl TraceGenerator {
     /// shards; the per-shard sorted runs are k-way merged, so the output is
     /// bit-identical to the single-threaded sort for any thread count.
     pub fn generate_sorted(&self) -> Vec<LogRecord> {
+        self.generate_sorted_observed(&mut Obs::new())
+    }
+
+    /// [`Self::generate_sorted`] that also reports into `obs`, with the
+    /// same per-shard private registries merged in shard order as
+    /// [`Self::par_user_records_observed`] — metric snapshots are
+    /// identical at any thread count, while the trace records the
+    /// per-shard run sizes and k-way merge fan-in of this execution.
+    pub fn generate_sorted_observed(&self, obs: &mut Obs) -> Vec<LogRecord> {
         let ranges = shard_ranges(self.users.len(), effective_threads(self.cfg.threads));
         if ranges.len() <= 1 {
-            let mut all: Vec<LogRecord> = self.iter_user_records().flatten().collect();
+            let blocks: Vec<Vec<LogRecord>> = self.iter_user_records().collect();
+            observe_blocks(&mut obs.metrics, &blocks);
+            obs.trace.event(1, "gen.merge.fan_in", 1);
+            let mut all: Vec<LogRecord> = blocks.into_iter().flatten().collect();
             all.sort_by_key(sort_key);
             return all;
         }
-        let mut runs: Vec<Vec<LogRecord>> = Vec::with_capacity(ranges.len());
+        let mut shards: Vec<(Vec<LogRecord>, Registry)> = Vec::with_capacity(ranges.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
                 .map(|range| {
                     scope.spawn(move || {
-                        let mut run: Vec<LogRecord> = self.users[range]
+                        let blocks: Vec<Vec<LogRecord>> = self.users[range]
                             .iter()
-                            .flat_map(|u| self.user_records(u))
+                            .map(|u| self.user_records(u))
                             .collect();
+                        let mut metrics = Registry::new();
+                        observe_blocks(&mut metrics, &blocks);
+                        let mut run: Vec<LogRecord> = blocks.into_iter().flatten().collect();
                         run.sort_by_key(sort_key);
-                        run
+                        (run, metrics)
                     })
                 })
                 .collect();
             for h in handles {
                 // mcs-lint: allow(panic, join only fails if a worker panicked; re-raise it)
-                runs.push(h.join().expect("generator worker panicked"));
+                shards.push(h.join().expect("generator worker panicked"));
             }
         });
+        let fan_in = shards.len() as u64;
+        let mut runs: Vec<Vec<LogRecord>> = Vec::with_capacity(shards.len());
+        for (i, (run, metrics)) in shards.into_iter().enumerate() {
+            obs.trace
+                .event(i as u64, "gen.shard.records", run.len() as u64);
+            obs.metrics.merge(&metrics);
+            runs.push(run);
+        }
+        obs.trace.event(fan_in, "gen.merge.fan_in", fan_in);
         merge_sorted_runs(runs)
     }
 
@@ -274,6 +323,21 @@ impl BlockSource for TraceGenerator {
 /// Global trace order: timestamp, then user, then device.
 fn sort_key(r: &LogRecord) -> (u64, u64, u64) {
     (r.timestamp_ms, r.user_id, r.device_id)
+}
+
+/// Books one shard's per-user blocks into `metrics`: `gen.users` /
+/// `gen.records` counters plus the `gen.user_records` block-size
+/// histogram. Only workload-derived values go in — the registry must
+/// merge to the same snapshot regardless of how users were sharded.
+fn observe_blocks(metrics: &mut Registry, blocks: &[Vec<LogRecord>]) {
+    let users = metrics.counter("gen.users");
+    let records = metrics.counter("gen.records");
+    let per_user = metrics.histogram("gen.user_records");
+    for b in blocks {
+        metrics.inc(users);
+        metrics.add(records, b.len() as u64);
+        metrics.observe(per_user, b.len() as u64);
+    }
 }
 
 /// K-way merges per-shard runs already sorted by [`sort_key`]. Ties prefer
@@ -432,6 +496,43 @@ mod tests {
             cfg.threads = threads;
             let g = TraceGenerator::new(cfg.clone()).unwrap();
             assert_eq!(g.generate_sorted(), baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn observed_generation_metrics_shard_invariant_across_thread_counts() {
+        let mut cfg = TraceConfig::small(24);
+        cfg.mobile_users = 200;
+        cfg.pc_only_users = 50;
+        cfg.threads = 1;
+        let g1 = TraceGenerator::new(cfg.clone()).unwrap();
+        let mut base = Obs::new();
+        let blocks = g1.par_user_records_observed(&mut base);
+        let base_snap = base.snapshot();
+        let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+        assert_eq!(base_snap.counters["gen.users"], blocks.len() as u64);
+        assert_eq!(base_snap.counters["gen.records"], total);
+        assert_eq!(
+            base_snap.histograms["gen.user_records"].count,
+            blocks.len() as u64
+        );
+        for threads in [2usize, 3, 8] {
+            cfg.threads = threads;
+            let g = TraceGenerator::new(cfg.clone()).unwrap();
+            let mut obs = Obs::new();
+            assert_eq!(g.par_user_records_observed(&mut obs), blocks);
+            let snap = obs.snapshot();
+            assert_eq!(snap, base_snap, "threads = {threads}");
+            // The sorted path books the same workload metrics, and its
+            // trace names the merge fan-in of this execution.
+            let mut sorted_obs = Obs::new();
+            let _ = g.generate_sorted_observed(&mut sorted_obs);
+            assert_eq!(sorted_obs.snapshot(), base_snap, "threads = {threads}");
+            assert!(sorted_obs
+                .trace
+                .events()
+                .iter()
+                .any(|e| e.name == "gen.merge.fan_in"));
         }
     }
 

@@ -16,7 +16,7 @@ use std::fs::File;
 use std::io::BufReader;
 
 use mcs::faults::{FaultPlan, FaultPlanConfig, RetryPolicy};
-use mcs::storage::{replay_trace, replay_trace_faulted, ReplayConfig};
+use mcs::storage::{replay_trace, replay_trace_faulted_observed, ReplayConfig};
 use mcs::trace::io::read_csv_lossy;
 use mcs::trace::{ErrorBudget, TraceConfig, TraceGenerator};
 
@@ -66,9 +66,16 @@ fn main() {
         ..RetryPolicy::default()
     };
     let cfg = ReplayConfig::default();
-    let (_, run1) = replay_trace_faulted(&gen, &cfg, &plan, retry).expect("valid config");
-    let (_, run2) = replay_trace_faulted(&gen, &cfg, &plan, retry).expect("valid config");
+    let (_, run1, snap1) =
+        replay_trace_faulted_observed(&gen, &cfg, &plan, retry).expect("valid config");
+    let (_, run2, snap2) =
+        replay_trace_faulted_observed(&gen, &cfg, &plan, retry).expect("valid config");
     assert_eq!(run1, run2, "seeded chaos replay must be bit-identical");
+    assert_eq!(
+        snap1.to_json(),
+        snap2.to_json(),
+        "metric snapshots must be byte-identical across runs"
+    );
 
     // 3. Graceful degradation, bounded availability.
     let (_, fair) = replay_trace(&gen, &cfg).expect("valid config");
@@ -96,5 +103,12 @@ fn main() {
     );
     assert!(run1.retries > 0 && run1.failovers > 0);
     assert!(run1.failed_stores + run1.failed_retrieves > 0);
+
+    // 4. The registry-backed metric snapshot agrees with the stats struct
+    //    (they are materialised from the same counters) and exports a
+    //    stable-ordered table for the CI log.
+    assert_eq!(snap1.counters["replay.stores"], run1.stores);
+    assert_eq!(snap1.counters["storage.retries"], run1.retries);
+    println!("metric snapshot:\n{}", snap1.to_table());
     println!("chaos smoke test: all assertions held");
 }

@@ -7,8 +7,11 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo run -p mcs-lint --release
 # Chaos smoke test: corrupted-trace ingestion + seeded fault-plan replay
 # (bit-identical across runs, availability bounded, no panics).
 cargo run --release --example chaos_replay
+# Observability tour: metric snapshots byte-identical across thread counts.
+cargo run --release --example observability
 echo "ci: all checks passed"

@@ -4,7 +4,9 @@
 //! the plan is empty. Never a panic.
 
 use mcs::faults::{FaultPlan, FaultPlanConfig, RetryPolicy};
-use mcs::storage::{replay_trace, replay_trace_faulted, ReplayConfig};
+use mcs::storage::{
+    replay_trace, replay_trace_faulted, replay_trace_faulted_observed, ReplayConfig,
+};
 use mcs::trace::{TraceConfig, TraceGenerator};
 
 fn gen_with_threads(threads: usize) -> TraceGenerator {
@@ -53,6 +55,35 @@ fn faulted_replay_is_bit_identical_across_runs_and_thread_counts() {
         a, c,
         "trace-generation thread count must not leak into faulted replays"
     );
+}
+
+#[test]
+fn faulted_metric_snapshots_are_bit_identical_across_thread_counts() {
+    let plan = rough_plan(&gen_with_threads(1));
+    let retry = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let cfg = ReplayConfig::default();
+    let (_, base_stats, base_snap) =
+        replay_trace_faulted_observed(&gen_with_threads(1), &cfg, &plan, retry).unwrap();
+    let base_json = base_snap.to_json();
+    assert_eq!(base_snap.counters["replay.stores"], base_stats.stores);
+    assert_eq!(
+        base_snap.counters["storage.backoff_ms"] > 0,
+        base_stats.retries > 0,
+        "backed-off retries must book their delay"
+    );
+    for threads in [2usize, 7] {
+        let (_, stats, snap) =
+            replay_trace_faulted_observed(&gen_with_threads(threads), &cfg, &plan, retry).unwrap();
+        assert_eq!(stats, base_stats, "threads = {threads}");
+        assert_eq!(
+            snap.to_json(),
+            base_json,
+            "metric snapshot must be byte-identical at {threads} threads"
+        );
+    }
 }
 
 #[test]
