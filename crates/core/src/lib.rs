@@ -12,11 +12,13 @@
 //! println!("{}", report.render());
 //! ```
 //!
-//! The seven substrate crates are available as modules:
+//! The eight substrate crates are available as modules:
 //!
 //! * [`stats`] — statistics (EM fits, ECDFs, SE rank models, GoF tests),
 //! * [`trace`] — Table 1 log schema + paper-calibrated workload generator,
 //! * [`analysis`] — the paper's analysis pipeline,
+//! * [`sim`] — the seeded discrete-event scheduler: the one timeline the
+//!   net, storage and fault layers share (DESIGN.md §10),
 //! * [`net`] — the discrete-event TCP / chunk-transfer simulator (§4),
 //! * [`storage`] — the §2.1 service substrate and Table 4 optimisations,
 //! * [`faults`] — deterministic fault-injection plans and retry policies,
@@ -31,6 +33,7 @@ pub use mcs_analysis as analysis;
 pub use mcs_faults as faults;
 pub use mcs_net as net;
 pub use mcs_obs as obs;
+pub use mcs_sim as sim;
 pub use mcs_stats as stats;
 pub use mcs_storage as storage;
 pub use mcs_trace as trace;

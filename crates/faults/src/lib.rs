@@ -21,6 +21,13 @@
 //! because schedules are materialised once by a sequential pass and
 //! per-operation decisions are pure hashes of `(seed, stream, op, attempt)`
 //! rather than draws from shared mutable RNG state.
+//!
+//! Fault windows are authored in *milliseconds* (the service clock); the
+//! shared `mcs-sim` timeline runs in *microseconds*. The conversion lives
+//! in exactly two places — [`FaultPlan::link_blackouts_us`] for the packet
+//! layer and the `*_at` helpers ([`FaultPlan::frontend_down_at`] et al.)
+//! for components reading the simulation clock directly — so no caller
+//! ever divides or multiplies by 1 000 itself (DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]

@@ -262,6 +262,18 @@ impl FaultPlan {
         }
     }
 
+    /// Does this plan inject no faults at all? An empty plan cannot gate
+    /// anything on time, so replays under it keep the fair-weather
+    /// plan-order timeline and stay bit-identical to un-faulted replays
+    /// (DESIGN.md §10.4).
+    pub fn is_empty(&self) -> bool {
+        self.frontend_outages.iter().all(Windows::is_empty)
+            && self.frontend_brownouts.iter().all(Windows::is_empty)
+            && self.metadata_outages.is_empty()
+            && self.link_blackouts.is_empty()
+            && self.chunk_timeout_prob == 0.0
+    }
+
     /// Is front-end `fe` fully down at `now_ms`? Unknown front-ends
     /// (beyond the plan's schedule count) never fail.
     pub fn frontend_down(&self, fe: usize, now_ms: u64) -> bool {
@@ -286,6 +298,23 @@ impl FaultPlan {
     /// Link blackout windows on the microsecond clock of the packet layer.
     pub fn link_blackouts_us(&self) -> Windows {
         self.link_blackouts.scale(1000)
+    }
+
+    /// [`FaultPlan::frontend_down`] read directly off the shared `mcs-sim`
+    /// timeline (µs). Fault windows are authored in milliseconds; this is
+    /// the one conversion point between the two clocks (DESIGN.md §10).
+    pub fn frontend_down_at(&self, fe: usize, t: mcs_sim::Time) -> bool {
+        self.frontend_down(fe, t / mcs_sim::MS)
+    }
+
+    /// [`FaultPlan::frontend_degraded`] on the `mcs-sim` timeline (µs).
+    pub fn frontend_degraded_at(&self, fe: usize, t: mcs_sim::Time) -> bool {
+        self.frontend_degraded(fe, t / mcs_sim::MS)
+    }
+
+    /// [`FaultPlan::metadata_down`] on the `mcs-sim` timeline (µs).
+    pub fn metadata_down_at(&self, t: mcs_sim::Time) -> bool {
+        self.metadata_down(t / mcs_sim::MS)
     }
 
     /// Does attempt `attempt` of operation `op` on a browned-out front-end
@@ -383,6 +412,46 @@ mod tests {
         assert!(!plan.chunk_timeout(0, 0));
         // Out-of-range front-ends never fail either.
         assert!(!plan.frontend_down(99, 0));
+        // An all-quiet plan must report empty — the storage replay keys
+        // its timeline mode off this.
+        assert!(plan.is_empty());
+        assert!(!FaultPlan::generate(&FaultPlanConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn sim_time_helpers_agree_with_ms_predicates() {
+        // Windows are authored in ms; the `_at` helpers read them off the
+        // µs simulation clock. Probe window edges on both clocks,
+        // including the sub-millisecond remainder (t = 5_000_999 µs is
+        // still inside a window ending at ms 5_001).
+        let mut plan = FaultPlan::none(2);
+        plan.frontend_outages[1] = Windows::new(vec![(5_000, 5_001)]);
+        plan.frontend_brownouts[0] = Windows::new(vec![(10, 20)]);
+        plan.metadata_outages = Windows::new(vec![(0, 1)]);
+        for t_us in [
+            0u64, 999, 1_000, 9_999, 10_000, 5_000_000, 5_000_999, 5_001_000,
+        ] {
+            let t_ms = t_us / mcs_sim::MS;
+            for fe in 0..3 {
+                assert_eq!(
+                    plan.frontend_down_at(fe, t_us),
+                    plan.frontend_down(fe, t_ms)
+                );
+                assert_eq!(
+                    plan.frontend_degraded_at(fe, t_us),
+                    plan.frontend_degraded(fe, t_ms)
+                );
+            }
+            assert_eq!(plan.metadata_down_at(t_us), plan.metadata_down(t_ms));
+        }
+        assert!(plan.frontend_down_at(1, 5_000_999));
+        assert!(!plan.frontend_down_at(1, 5_001_000));
+        assert!(plan.frontend_degraded_at(0, 19_999));
+        assert!(!plan.frontend_degraded_at(0, 20_000));
+        assert!(plan.metadata_down_at(999));
+        assert!(!plan.metadata_down_at(1_000));
     }
 
     #[test]

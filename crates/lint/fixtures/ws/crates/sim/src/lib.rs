@@ -1,0 +1,15 @@
+//! Fixture sim crate: clean. A minimal event queue with no planted
+//! violations, so adding the crate to `LIB_CRATES` changes no per-rule
+//! diagnostic counts.
+
+#![forbid(unsafe_code)]
+
+pub struct EventQueue {
+    pub pending: Vec<u64>,
+}
+
+impl EventQueue {
+    pub fn schedule(&mut self, at: u64) {
+        self.pending.push(at);
+    }
+}

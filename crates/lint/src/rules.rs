@@ -22,7 +22,7 @@ use crate::scanner::{SourceFile, Tok, TokKind};
 
 /// The library crates the determinism contract covers.
 pub const LIB_CRATES: &[&str] = &[
-    "analysis", "core", "faults", "net", "obs", "stats", "storage", "trace",
+    "analysis", "core", "faults", "net", "obs", "sim", "stats", "storage", "trace",
 ];
 
 /// One rule violation.
@@ -114,7 +114,7 @@ impl Scanned {
 pub fn run_lint(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let mut diags = Vec::new();
 
-    // Scan the eight library crates.
+    // Scan the nine library crates.
     let mut lib_files: Vec<Scanned> = Vec::new();
     for krate in LIB_CRATES {
         let src_dir = root.join("crates").join(krate).join("src");

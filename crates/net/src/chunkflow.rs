@@ -14,12 +14,13 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 
 use mcs_faults::Windows;
+use mcs_sim::{CompId, Ctx, Handler, Simulation};
 use mcs_stats::rng::stream_rng;
 
 use crate::capture::{ChunkRecord, FlowTrace, IdleRecord};
 use crate::device::{DeviceProfile, Direction, ServerProfile};
 use crate::link::{Link, LinkConfig, Transmit};
-use crate::sim::{EventQueue, Time};
+use crate::sim::Time;
 use crate::tcp::{CwndEvent, TcpConfig, TcpSender};
 
 /// Flow configuration.
@@ -175,7 +176,7 @@ pub fn simulate_flow(cfg: &FlowConfig) -> FlowTrace {
 /// layer from the same seeded plan as the service layer.
 pub fn simulate_flow_with_blackouts(cfg: &FlowConfig, blackouts: &Windows) -> FlowTrace {
     cfg.validate();
-    let mut traces = Simulation::new(std::slice::from_ref(cfg), cfg.data_link, blackouts).run();
+    let mut traces = run_flows(std::slice::from_ref(cfg), cfg.data_link, blackouts);
     // mcs-lint: allow(panic, Simulation::run returns one trace per input flow)
     let mut t = traces.pop().expect("one flow in, one trace out");
     // Single-flow runs own the link, so the global drop counters are theirs.
@@ -212,7 +213,7 @@ pub fn simulate_shared_with_blackouts(
     for c in cfgs {
         c.validate();
     }
-    Simulation::new(cfgs, shared_link, blackouts).run()
+    run_flows(cfgs, shared_link, blackouts)
 }
 
 /// Per-flow runtime state.
@@ -376,138 +377,148 @@ impl FlowRt {
     }
 }
 
-/// The event-driven engine: any number of flows over one shared link.
-struct Simulation {
-    q: EventQueue<Ev>,
+/// The event handler: any number of flows over one shared link, driven by
+/// an `mcs-sim` timeline with one component per flow.
+struct Engine {
     link: Link,
     flows: Vec<FlowRt>,
+    comps: Vec<CompId>,
     done_count: usize,
+    /// Event budget guarding against pathological configurations; real
+    /// flows finish far below it.
+    budget: u64,
 }
 
-impl Simulation {
-    fn new(cfgs: &[FlowConfig], link: LinkConfig, blackouts: &Windows) -> Self {
-        // mcs-lint: allow(panic, link config validated by the simulate_* entry points)
-        let mut link = Link::new(link).expect("validated link config");
-        link.set_blackouts(blackouts.clone());
-        Self {
-            q: EventQueue::new(),
-            link,
-            flows: cfgs
-                .iter()
-                .enumerate()
-                .map(|(i, c)| FlowRt::new(c, i))
-                .collect(),
-            done_count: 0,
+/// Builds the shared timeline, seeds each flow's initial sends and runs
+/// the simulation until every flow finishes (or the budget trips).
+fn run_flows(cfgs: &[FlowConfig], link: LinkConfig, blackouts: &Windows) -> Vec<FlowTrace> {
+    // mcs-lint: allow(panic, link config validated by the simulate_* entry points)
+    let mut link = Link::new(link).expect("validated link config");
+    link.set_blackouts(blackouts.clone());
+    let mut sim: Simulation<Ev> = Simulation::new();
+    let comps: Vec<CompId> = (0..cfgs.len())
+        .map(|i| sim.add_component(format!("flow/{i}")))
+        .collect();
+    let mut eng = Engine {
+        link,
+        flows: cfgs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| FlowRt::new(c, i))
+            .collect(),
+        comps,
+        done_count: 0,
+        budget: 0,
+    };
+    let mut total_bytes = 0u64;
+    for f in 0..eng.flows.len() {
+        let fl = &mut eng.flows[f];
+        fl.trace.total_bytes = fl.cfg.total_bytes;
+        fl.trace.chunk_size = fl.cfg.chunk_size;
+        fl.trace.batches = fl.boundaries.len() as u32;
+        fl.pending_idle = Some(PendingIdle {
+            batch_index: 0,
+            unlock_time: 0,
+            app_idle: 0,
+            restarted: false,
+        });
+        total_bytes += fl.cfg.total_bytes;
+        let mut ctx = sim.ctx(eng.comps[f]);
+        eng.try_send(&mut ctx, f);
+    }
+    eng.budget = 400 * eng.flows.len() as u64 + 40 * (total_bytes / crate::tcp::MSS + 2) * 2;
+    sim.run(&mut eng);
+    let now = sim.now();
+    let single = eng.flows.len() == 1;
+    for fl in &mut eng.flows {
+        if fl.trace.duration == 0 {
+            fl.trace.duration = now.max(1);
+        }
+        fl.trace.idle_restarts = fl.tcp.idle_restarts();
+        if single {
+            // A lone flow owns the link, so the global drop counters
+            // are attributable to it; shared runs keep the per-flow
+            // `data_drops` counter instead.
+            fl.trace.buffer_drops = eng.link.buffer_drops;
+            fl.trace.random_drops = eng.link.random_drops;
+            fl.trace.blackout_drops = eng.link.blackout_drops;
         }
     }
+    eng.flows.into_iter().map(|fl| fl.trace).collect()
+}
 
-    fn run(mut self) -> Vec<FlowTrace> {
-        let mut total_bytes = 0u64;
-        for f in 0..self.flows.len() {
-            let fl = &mut self.flows[f];
-            fl.trace.total_bytes = fl.cfg.total_bytes;
-            fl.trace.chunk_size = fl.cfg.chunk_size;
-            fl.trace.batches = fl.boundaries.len() as u32;
-            fl.pending_idle = Some(PendingIdle {
-                batch_index: 0,
-                unlock_time: 0,
-                app_idle: 0,
-                restarted: false,
-            });
-            total_bytes += fl.cfg.total_bytes;
-            self.try_send(f);
+impl Handler<Ev> for Engine {
+    fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        if ctx.steps() > self.budget {
+            for fl in &mut self.flows {
+                if !fl.done {
+                    fl.trace.aborted = true;
+                }
+            }
+            ctx.halt();
+            return;
         }
-        // Event budget guards against pathological configurations; real
-        // flows finish far below it.
-        let budget = 400 * self.flows.len() as u64 + 40 * (total_bytes / crate::tcp::MSS + 2) * 2;
-        let mut steps: u64 = 0;
-        while let Some((now, ev)) = self.q.pop() {
-            steps += 1;
-            if steps > budget {
-                for fl in &mut self.flows {
-                    if !fl.done {
-                        fl.trace.aborted = true;
-                    }
-                }
-                break;
+        let now = ctx.now();
+        match ev {
+            Ev::DataArrive {
+                f,
+                seq_start,
+                seq_end,
+            } => self.on_data(ctx, f, now, seq_start, seq_end),
+            Ev::AckArrive {
+                f,
+                ack,
+                first_hole_end,
+                sacked,
+            } => self.on_ack(ctx, f, now, ack, first_hole_end, sacked),
+            Ev::CtrlArrive {
+                f,
+                batch_end,
+                delay_a,
+            } => {
+                let fl = &mut self.flows[f];
+                let delay_b = match fl.cfg.direction {
+                    Direction::Upload => fl.cfg.device.sample_clt(Direction::Upload, &mut fl.rng),
+                    Direction::Download => fl.cfg.server.sample_srv(&mut fl.rng),
+                };
+                ctx.schedule_in(
+                    delay_b,
+                    self.comps[f],
+                    Ev::Unlock {
+                        f,
+                        batch_end,
+                        app_idle: delay_a + delay_b,
+                    },
+                );
             }
-            match ev {
-                Ev::DataArrive {
-                    f,
-                    seq_start,
-                    seq_end,
-                } => self.on_data(f, now, seq_start, seq_end),
-                Ev::AckArrive {
-                    f,
-                    ack,
-                    first_hole_end,
-                    sacked,
-                } => self.on_ack(f, now, ack, first_hole_end, sacked),
-                Ev::CtrlArrive {
-                    f,
-                    batch_end,
-                    delay_a,
-                } => {
-                    let fl = &mut self.flows[f];
-                    let delay_b = match fl.cfg.direction {
-                        Direction::Upload => {
-                            fl.cfg.device.sample_clt(Direction::Upload, &mut fl.rng)
-                        }
-                        Direction::Download => fl.cfg.server.sample_srv(&mut fl.rng),
-                    };
-                    self.q.schedule_in(
-                        delay_b,
-                        Ev::Unlock {
-                            f,
-                            batch_end,
-                            app_idle: delay_a + delay_b,
-                        },
-                    );
-                }
-                Ev::Unlock {
-                    f,
-                    batch_end,
-                    app_idle,
-                } => self.on_unlock(f, now, batch_end, app_idle),
-                Ev::RtoFire { f, epoch } => self.on_rto(f, now, epoch),
-                Ev::PacedSend { f } => {
-                    self.flows[f].pace_armed = false;
-                    self.try_send(f);
-                }
-                Ev::DelackFire { f, epoch } => {
-                    let fl = &mut self.flows[f];
-                    if epoch == fl.delack_epoch && fl.delack_count > 0 {
-                        self.flush_ack(f, now);
-                    }
-                }
+            Ev::Unlock {
+                f,
+                batch_end,
+                app_idle,
+            } => self.on_unlock(ctx, f, now, batch_end, app_idle),
+            Ev::RtoFire { f, epoch } => self.on_rto(ctx, f, now, epoch),
+            Ev::PacedSend { f } => {
+                self.flows[f].pace_armed = false;
+                self.try_send(ctx, f);
             }
-            if self.done_count == self.flows.len() {
-                break;
+            Ev::DelackFire { f, epoch } => {
+                let fl = &mut self.flows[f];
+                if epoch == fl.delack_epoch && fl.delack_count > 0 {
+                    self.flush_ack(ctx, f, now);
+                }
             }
         }
-        let now = self.q.now();
-        let single = self.flows.len() == 1;
-        for fl in &mut self.flows {
-            if fl.trace.duration == 0 {
-                fl.trace.duration = now.max(1);
-            }
-            fl.trace.idle_restarts = fl.tcp.idle_restarts();
-            if single {
-                // A lone flow owns the link, so the global drop counters
-                // are attributable to it; shared runs keep the per-flow
-                // `data_drops` counter instead.
-                fl.trace.buffer_drops = self.link.buffer_drops;
-                fl.trace.random_drops = self.link.random_drops;
-                fl.trace.blackout_drops = self.link.blackout_drops;
-            }
+        if self.done_count == self.flows.len() {
+            ctx.halt();
         }
-        self.flows.into_iter().map(|fl| fl.trace).collect()
     }
+}
 
+impl Engine {
     /// Sends as much new data of flow `f` as windows (and pacing) allow.
-    fn try_send(&mut self, f: usize) {
+    fn try_send(&mut self, ctx: &mut Ctx<'_, Ev>, f: usize) {
         loop {
-            let now = self.q.now();
+            let now = ctx.now();
             let fl = &self.flows[f];
             if fl.snd_nxt >= fl.unlocked_end {
                 return;
@@ -524,7 +535,7 @@ impl Simulation {
             if earliest > now {
                 if !fl.pace_armed {
                     self.flows[f].pace_armed = true;
-                    self.q.schedule(earliest, Ev::PacedSend { f });
+                    ctx.schedule(earliest, self.comps[f], Ev::PacedSend { f });
                 }
                 return;
             }
@@ -533,7 +544,7 @@ impl Simulation {
                 .min(avail.max(1));
             let seq_start = fl.snd_nxt;
             let seq_end = seq_start + bytes;
-            self.send_segment(f, now, seq_start, seq_end, false);
+            self.send_segment(ctx, f, now, seq_start, seq_end, false);
             let fl = &mut self.flows[f];
             fl.snd_nxt = seq_end;
             if fl.pace_left > 0 {
@@ -547,6 +558,7 @@ impl Simulation {
     /// Puts one segment of flow `f` on the wire (fresh or retransmission).
     fn send_segment(
         &mut self,
+        ctx: &mut Ctx<'_, Ev>,
         f: usize,
         now: Time,
         seq_start: u64,
@@ -568,8 +580,9 @@ impl Simulation {
         let bytes = seq_end - seq_start;
         match self.link.transmit(now, bytes, &mut fl.rng) {
             Transmit::Arrive(at) => {
-                self.q.schedule(
+                ctx.schedule(
                     at.max(now),
+                    self.comps[f],
                     Ev::DataArrive {
                         f,
                         seq_start,
@@ -592,11 +605,18 @@ impl Simulation {
         if fl.snd_nxt > fl.snd_una || seq_end > fl.snd_una {
             let at = now.saturating_add(fl.tcp.rto());
             let epoch = fl.rto_epoch;
-            self.q.schedule(at, Ev::RtoFire { f, epoch });
+            ctx.schedule(at, self.comps[f], Ev::RtoFire { f, epoch });
         }
     }
 
-    fn on_data(&mut self, f: usize, now: Time, seq_start: u64, seq_end: u64) {
+    fn on_data(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        f: usize,
+        now: Time,
+        seq_start: u64,
+        seq_end: u64,
+    ) {
         let fl = &mut self.flows[f];
         // Reassembly.
         if seq_end > fl.rcv_nxt {
@@ -625,11 +645,12 @@ impl Simulation {
         let delayed = fl.cfg.delayed_acks;
         fl.delack_count += 1;
         if !delayed || fl.delack_count >= 2 || !fl.ooo.is_empty() {
-            self.flush_ack_at(f, processed_at);
+            self.flush_ack_at(ctx, f, processed_at);
         } else {
             let epoch = self.flows[f].delack_epoch;
-            self.q.schedule(
+            ctx.schedule(
                 processed_at + 40 * crate::sim::MS,
+                self.comps[f],
                 Ev::DelackFire { f, epoch },
             );
         }
@@ -646,8 +667,9 @@ impl Simulation {
                 Direction::Upload => fl.cfg.server.sample_srv(&mut fl.rng),
                 Direction::Download => fl.cfg.device.sample_clt(Direction::Download, &mut fl.rng),
             };
-            self.q.schedule(
+            ctx.schedule(
                 processed_at + delay_a + ack_delay,
+                self.comps[f],
                 Ev::CtrlArrive {
                     f,
                     batch_end,
@@ -658,13 +680,13 @@ impl Simulation {
     }
 
     /// Emits the receiver's current cumulative ACK (with SACK info) now.
-    fn flush_ack(&mut self, f: usize, now: Time) {
+    fn flush_ack(&mut self, ctx: &mut Ctx<'_, Ev>, f: usize, now: Time) {
         let processed_at = now.max(self.flows[f].rcv_busy);
-        self.flush_ack_at(f, processed_at);
+        self.flush_ack_at(ctx, f, processed_at);
     }
 
     /// Emits the ACK with a given receiver-processing completion time.
-    fn flush_ack_at(&mut self, f: usize, processed_at: Time) {
+    fn flush_ack_at(&mut self, ctx: &mut Ctx<'_, Ev>, f: usize, processed_at: Time) {
         let fl = &mut self.flows[f];
         fl.delack_count = 0;
         fl.delack_epoch += 1;
@@ -672,8 +694,9 @@ impl Simulation {
         let first_hole_end = fl.ooo.keys().next().copied().unwrap_or(u64::MAX);
         let sacked: u64 = fl.ooo.iter().map(|(&s, &e)| e - s).sum();
         let ack_delay = fl.cfg.ack_delay;
-        self.q.schedule(
+        ctx.schedule(
             processed_at + ack_delay,
+            self.comps[f],
             Ev::AckArrive {
                 f,
                 ack,
@@ -683,7 +706,15 @@ impl Simulation {
         );
     }
 
-    fn on_ack(&mut self, f: usize, now: Time, ack: u64, first_hole_end: u64, sacked: u64) {
+    fn on_ack(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        f: usize,
+        now: Time,
+        ack: u64,
+        first_hole_end: u64,
+        sacked: u64,
+    ) {
         let fl = &mut self.flows[f];
         let newly = ack.saturating_sub(fl.snd_una);
         // RTT sample per Karn: from the newest never-retransmitted segment
@@ -716,20 +747,20 @@ impl Simulation {
         if arm_fresh {
             let at = now.saturating_add(fl.tcp.rto());
             let epoch = fl.rto_epoch;
-            self.q.schedule(at, Ev::RtoFire { f, epoch });
+            ctx.schedule(at, self.comps[f], Ev::RtoFire { f, epoch });
         }
         // SACK-style hole repair: whenever the receiver reports a gap,
         // retransmit missing bytes up to the congestion budget. Without
         // this, a burst loss of N segments recovers one segment per
         // RTT/RTO (pre-SACK NewReno) and large-window flows starve.
         if first_hole_end != u64::MAX && first_hole_end > ack && self.flows[f].snd_nxt > ack {
-            self.retransmit_holes(f, now, ack, first_hole_end, sacked);
+            self.retransmit_holes(ctx, f, now, ack, first_hole_end, sacked);
         }
         let fl = &mut self.flows[f];
         fl.trace
             .inflight_samples
             .push((now, fl.snd_nxt - fl.snd_una));
-        self.try_send(f);
+        self.try_send(ctx, f);
     }
 
     /// Retransmits bytes of the hole `[ack, first_hole_end)` subject to the
@@ -737,6 +768,7 @@ impl Simulation {
     /// same bytes are not re-sent on every duplicate ACK.
     fn retransmit_holes(
         &mut self,
+        ctx: &mut Ctx<'_, Ev>,
         f: usize,
         now: Time,
         ack: u64,
@@ -757,14 +789,21 @@ impl Simulation {
         let hole_end = first_hole_end.min(fl.snd_nxt);
         while budget > 0 && cursor < hole_end {
             let end = (cursor + crate::tcp::MSS).min(hole_end);
-            self.send_segment(f, now, cursor, end, true);
+            self.send_segment(ctx, f, now, cursor, end, true);
             budget = budget.saturating_sub(end - cursor);
             cursor = end;
         }
         self.flows[f].rtx_cursor = cursor;
     }
 
-    fn on_unlock(&mut self, f: usize, now: Time, batch_end: u64, app_idle: Time) {
+    fn on_unlock(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        f: usize,
+        now: Time,
+        batch_end: u64,
+        app_idle: Time,
+    ) {
         let fl = &mut self.flows[f];
         let batch_index = fl
             .boundaries
@@ -796,10 +835,10 @@ impl Simulation {
             app_idle,
             restarted: false,
         });
-        self.try_send(f);
+        self.try_send(ctx, f);
     }
 
-    fn on_rto(&mut self, f: usize, now: Time, epoch: u64) {
+    fn on_rto(&mut self, ctx: &mut Ctx<'_, Ev>, f: usize, now: Time, epoch: u64) {
         let fl = &mut self.flows[f];
         if epoch != fl.rto_epoch || fl.snd_nxt <= fl.snd_una || fl.done {
             return; // stale timer
@@ -812,7 +851,7 @@ impl Simulation {
         // hole again from the cumulative ACK.
         let (una, nxt) = (fl.snd_una, fl.snd_nxt);
         let end = (una + crate::tcp::MSS).min(nxt);
-        self.send_segment(f, now, una, end, true);
+        self.send_segment(ctx, f, now, una, end, true);
         self.flows[f].rtx_cursor = end;
     }
 }

@@ -1,192 +1,10 @@
-//! Discrete-event simulation core.
+//! Discrete-event simulation core — re-exported from `mcs-sim`.
 //!
-//! A minimal, deterministic event queue over a microsecond clock — in the
-//! spirit of smoltcp's explicit event-driven design: no threads, no async
-//! runtime, every state transition happens at an explicit timestamp.
+//! The event queue and microsecond clock that used to live here were one
+//! of three uncoordinated time wheels in the repository (alongside the
+//! storage replay's `now_ms` loop and the fault plans' millisecond
+//! windows). They now live in the shared `mcs-sim` crate so every layer
+//! advances the same timeline (DESIGN.md §10); this module re-exports the
+//! names so existing `crate::sim::{...}` call sites compile unchanged.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// Simulation time in microseconds.
-pub type Time = u64;
-
-/// One microsecond per millisecond.
-pub const MS: Time = 1_000;
-/// Microseconds per second.
-pub const SEC: Time = 1_000_000;
-
-/// An event scheduled at a time; insertion order breaks ties so the queue
-/// is fully deterministic.
-#[derive(Debug, Clone)]
-struct Scheduled<E> {
-    at: Time,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on (time, insertion seq).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// Deterministic min-priority event queue.
-#[derive(Debug)]
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    next_seq: u64,
-    now: Time,
-}
-
-impl<E> Default for EventQueue<E> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<E> EventQueue<E> {
-    /// Creates an empty queue at time zero.
-    pub fn new() -> Self {
-        Self {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: 0,
-        }
-    }
-
-    /// Current simulation time (the timestamp of the last popped event).
-    pub fn now(&self) -> Time {
-        self.now
-    }
-
-    /// Schedules `event` at absolute time `at`. Scheduling in the past is a
-    /// logic error and panics (it would silently reorder causality).
-    pub fn schedule(&mut self, at: Time, event: E) {
-        assert!(
-            at >= self.now,
-            "scheduling into the past: {at} < {}",
-            self.now
-        );
-        self.heap.push(Scheduled {
-            at,
-            seq: self.next_seq,
-            event,
-        });
-        self.next_seq += 1;
-    }
-
-    /// Schedules `event` after a relative delay.
-    pub fn schedule_in(&mut self, delay: Time, event: E) {
-        self.schedule(self.now + delay, event);
-    }
-
-    /// Pops the earliest event, advancing the clock to it.
-    pub fn pop(&mut self) -> Option<(Time, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.at >= self.now, "time went backwards");
-        self.now = s.at;
-        Some((s.at, s.event))
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Whether the queue is drained.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(30, "c");
-        q.schedule(10, "a");
-        q.schedule(20, "b");
-        assert_eq!(q.pop(), Some((10, "a")));
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
-        assert_eq!(q.pop(), None);
-    }
-
-    #[test]
-    fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.schedule(5, 1);
-        q.schedule(5, 2);
-        q.schedule(5, 3);
-        assert_eq!(q.pop(), Some((5, 1)));
-        assert_eq!(q.pop(), Some((5, 2)));
-        assert_eq!(q.pop(), Some((5, 3)));
-    }
-
-    #[test]
-    fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule(100, ());
-        assert_eq!(q.now(), 0);
-        q.pop();
-        assert_eq!(q.now(), 100);
-        q.schedule_in(50, ());
-        assert_eq!(q.pop(), Some((150, ())));
-    }
-
-    #[test]
-    #[should_panic(expected = "past")]
-    fn scheduling_into_the_past_panics() {
-        let mut q = EventQueue::new();
-        q.schedule(100, ());
-        q.pop();
-        q.schedule(50, ());
-    }
-
-    #[test]
-    fn len_and_empty() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(q.is_empty());
-        q.schedule(1, 0);
-        q.schedule(2, 1);
-        assert_eq!(q.len(), 2);
-        q.pop();
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
-    }
-
-    #[test]
-    fn interleaved_schedule_pop_deterministic() {
-        let run = || {
-            let mut q = EventQueue::new();
-            let mut order = Vec::new();
-            q.schedule(10, 0u32);
-            q.schedule(5, 1);
-            while let Some((t, e)) = q.pop() {
-                order.push((t, e));
-                if e == 1 {
-                    q.schedule_in(3, 2);
-                    q.schedule_in(3, 3);
-                }
-            }
-            order
-        };
-        assert_eq!(run(), run());
-        assert_eq!(run(), vec![(5, 1), (8, 2), (8, 3), (10, 0)]);
-    }
-}
+pub use mcs_sim::{EventQueue, SimClock, Time, TimelineError, MS, SEC};

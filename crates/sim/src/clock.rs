@@ -1,0 +1,83 @@
+//! The logical simulation clock.
+//!
+//! A [`SimClock`] is the *only* notion of "now" in a simulation. It is
+//! monotone by construction: [`SimClock::advance_to`] refuses to move
+//! backwards with a typed [`TimelineError`] instead of silently reordering
+//! causality. The event queue owns one and advances it as events pop;
+//! components read it through their [`crate::engine::Ctx`] and never write
+//! it — see DESIGN.md §10 for the full contract.
+
+use crate::queue::{Time, TimelineError, MS};
+
+/// A monotone logical clock in microsecond [`Time`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now: Time,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self { now: 0 }
+    }
+
+    /// Current logical time, µs.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Current logical time on the service layer's millisecond clock.
+    pub fn now_ms(&self) -> u64 {
+        self.now / MS
+    }
+
+    /// Advances the clock to `at` and returns the new time. Moving
+    /// backwards is a causality violation and yields a typed error; the
+    /// clock is left unchanged.
+    pub fn advance_to(&mut self, at: Time) -> Result<Time, TimelineError> {
+        if at < self.now {
+            return Err(TimelineError::PastEvent { at, now: self.now });
+        }
+        self.now = at;
+        Ok(self.now)
+    }
+
+    /// Advances the clock by a relative delay (always legal) and returns
+    /// the new time.
+    pub fn advance_by(&mut self, delay: Time) -> Time {
+        self.now += delay;
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance_to(5 * MS), Ok(5 * MS));
+        assert_eq!(c.now(), 5 * MS);
+        assert_eq!(c.now_ms(), 5);
+        assert_eq!(c.advance_by(MS), 6 * MS);
+    }
+
+    #[test]
+    fn advancing_to_now_is_legal() {
+        let mut c = SimClock::new();
+        c.advance_to(100).unwrap();
+        assert_eq!(c.advance_to(100), Ok(100));
+    }
+
+    #[test]
+    fn moving_backwards_is_a_typed_error() {
+        let mut c = SimClock::new();
+        c.advance_to(100).unwrap();
+        let err = c.advance_to(99).unwrap_err();
+        assert_eq!(err, TimelineError::PastEvent { at: 99, now: 100 });
+        assert_eq!(c.now(), 100, "a rejected advance must not move time");
+        assert!(err.to_string().contains("past"));
+    }
+}

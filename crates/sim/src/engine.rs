@@ -1,0 +1,364 @@
+//! Component-handler engine over the shared event queue.
+//!
+//! The shape follows dslab-core's simulation/component split: a
+//! [`Simulation`] owns the timeline (queue + clock) and a roster of named
+//! components; user code implements [`Handler`] and receives each event
+//! with a [`Ctx`] through which it may read the clock and schedule
+//! follow-up events — never advance time directly. Per-component event
+//! counts accumulate as the run proceeds and can be flowed into an
+//! `mcs-obs` registry with [`Simulation::export_metrics`], giving every
+//! layer the same `sim.*` observability surface.
+
+use mcs_obs::Registry;
+
+use crate::queue::{EventQueue, Time, TimelineError};
+
+/// Identifier of a registered component (dense, assigned in registration
+/// order, so iterating components is deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompId(usize);
+
+impl CompId {
+    /// The dense index of this component (its registration ordinal).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The per-event view a [`Handler`] gets: read the clock, know which
+/// component the event addressed, schedule follow-ups, or halt the run.
+pub struct Ctx<'a, E> {
+    q: &'a mut EventQueue<(CompId, E)>,
+    comp: CompId,
+    steps: u64,
+    halt: bool,
+}
+
+impl<E> Ctx<'_, E> {
+    /// Current simulation time, µs.
+    pub fn now(&self) -> Time {
+        self.q.now()
+    }
+
+    /// Current simulation time on the millisecond service clock.
+    pub fn now_ms(&self) -> u64 {
+        self.q.now_ms()
+    }
+
+    /// The component the event being handled was addressed to.
+    pub fn component(&self) -> CompId {
+        self.comp
+    }
+
+    /// Events dispatched so far, including the one being handled.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Schedules `event` for `comp` at absolute time `at`; panics on past
+    /// timestamps (see [`EventQueue::schedule`]).
+    pub fn schedule(&mut self, at: Time, comp: CompId, event: E) {
+        self.q.schedule(at, (comp, event));
+    }
+
+    /// Fallible form of [`Ctx::schedule`].
+    pub fn try_schedule(&mut self, at: Time, comp: CompId, event: E) -> Result<(), TimelineError> {
+        self.q.try_schedule(at, (comp, event))
+    }
+
+    /// Schedules `event` for `comp` after a relative delay.
+    pub fn schedule_in(&mut self, delay: Time, comp: CompId, event: E) {
+        self.q.schedule_in(delay, (comp, event));
+    }
+
+    /// Stops the run after this event: remaining queued events are left
+    /// unprocessed (used by engines with an event budget).
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+}
+
+/// A component event handler. One implementor typically owns the state of
+/// *all* components (the dslab "simulation component" pattern flattened):
+/// `ctx.component()` or the event payload selects the per-component slice.
+pub trait Handler<E> {
+    /// Handles one event addressed to `ctx.component()` at `ctx.now()`.
+    fn handle(&mut self, ctx: &mut Ctx<'_, E>, event: E);
+}
+
+/// A discrete-event simulation: one timeline, named components, per-
+/// component event accounting.
+#[derive(Debug)]
+pub struct Simulation<E> {
+    q: EventQueue<(CompId, E)>,
+    names: Vec<String>,
+    counts: Vec<u64>,
+    steps: u64,
+    halted: bool,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// An empty simulation at time zero.
+    pub fn new() -> Self {
+        Self {
+            q: EventQueue::new(),
+            names: Vec::new(),
+            counts: Vec::new(),
+            steps: 0,
+            halted: false,
+        }
+    }
+
+    /// Registers a component and returns its id. Names become metric
+    /// labels (`sim.events.<name>`), so keep them stable and readable.
+    pub fn add_component(&mut self, name: impl Into<String>) -> CompId {
+        self.names.push(name.into());
+        self.counts.push(0);
+        CompId(self.names.len() - 1)
+    }
+
+    /// Number of registered components.
+    pub fn components(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The name `comp` was registered with.
+    pub fn component_name(&self, comp: CompId) -> &str {
+        &self.names[comp.0]
+    }
+
+    /// Events dispatched to `comp` so far.
+    pub fn event_count(&self, comp: CompId) -> u64 {
+        self.counts[comp.0]
+    }
+
+    /// Current simulation time, µs.
+    pub fn now(&self) -> Time {
+        self.q.now()
+    }
+
+    /// Current simulation time on the millisecond service clock.
+    pub fn now_ms(&self) -> u64 {
+        self.q.now_ms()
+    }
+
+    /// Total events dispatched so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether the last [`Simulation::run`] was stopped by [`Ctx::halt`].
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Schedules `event` for `comp` at absolute time `at` (setup-time
+    /// scheduling; handlers use their [`Ctx`]).
+    pub fn schedule(&mut self, at: Time, comp: CompId, event: E) {
+        self.q.schedule(at, (comp, event));
+    }
+
+    /// Schedules `event` for `comp` after a relative delay.
+    pub fn schedule_in(&mut self, delay: Time, comp: CompId, event: E) {
+        self.q.schedule_in(delay, (comp, event));
+    }
+
+    /// A scheduling context outside the run loop, e.g. for initial events
+    /// that reuse handler helper methods. `comp` is only what
+    /// [`Ctx::component`] reports; it does not constrain scheduling.
+    pub fn ctx(&mut self, comp: CompId) -> Ctx<'_, E> {
+        Ctx {
+            q: &mut self.q,
+            comp,
+            steps: self.steps,
+            halt: false,
+        }
+    }
+
+    /// Dispatches events in (time, insertion) order until the queue drains
+    /// or the handler halts. Each dispatch advances the clock to the
+    /// event's timestamp and charges the event to its component.
+    pub fn run(&mut self, handler: &mut impl Handler<E>) {
+        self.halted = false;
+        while let Some((_, (comp, event))) = self.q.pop() {
+            self.steps += 1;
+            self.counts[comp.0] += 1;
+            let mut ctx = Ctx {
+                q: &mut self.q,
+                comp,
+                steps: self.steps,
+                halt: false,
+            };
+            handler.handle(&mut ctx, event);
+            if ctx.halt {
+                self.halted = true;
+                break;
+            }
+        }
+    }
+
+    /// Per-component event counts in registration order.
+    pub fn event_counts(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Flows the run's accounting into an observability registry:
+    /// `sim.steps` (total dispatches) and one `sim.events.<component>`
+    /// counter per registered component. Deterministic: counters appear in
+    /// registration order and snapshots render them name-ordered.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        let steps = reg.counter("sim.steps");
+        reg.add(steps, self.steps);
+        for (name, count) in self.event_counts() {
+            let id = reg.counter(&format!("sim.events.{name}"));
+            reg.add(id, count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong: every event re-schedules for the *other* component a
+    /// fixed delay later, until a hop budget runs out.
+    struct PingPong {
+        comps: [CompId; 2],
+        hops_left: u32,
+        log: Vec<(Time, usize)>,
+    }
+
+    impl Handler<&'static str> for PingPong {
+        fn handle(&mut self, ctx: &mut Ctx<'_, &'static str>, _event: &'static str) {
+            self.log.push((ctx.now(), ctx.component().index()));
+            if self.hops_left == 0 {
+                return;
+            }
+            self.hops_left -= 1;
+            let next = self.comps[1 - ctx.component().index()];
+            ctx.schedule_in(10, next, "hop");
+        }
+    }
+
+    #[test]
+    fn components_alternate_and_counts_add_up() {
+        let mut sim = Simulation::new();
+        let a = sim.add_component("a");
+        let b = sim.add_component("b");
+        let mut h = PingPong {
+            comps: [a, b],
+            hops_left: 5,
+            log: Vec::new(),
+        };
+        sim.schedule(0, a, "start");
+        sim.run(&mut h);
+        assert_eq!(
+            h.log,
+            vec![(0, 0), (10, 1), (20, 0), (30, 1), (40, 0), (50, 1)]
+        );
+        assert_eq!(sim.steps(), 6);
+        assert_eq!(sim.event_count(a), 3);
+        assert_eq!(sim.event_count(b), 3);
+        assert_eq!(sim.now(), 50);
+        assert!(!sim.halted());
+        assert_eq!(sim.component_name(a), "a");
+    }
+
+    struct HaltAfter(u64);
+
+    impl Handler<u32> for HaltAfter {
+        fn handle(&mut self, ctx: &mut Ctx<'_, u32>, _event: u32) {
+            if ctx.steps() >= self.0 {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn halt_leaves_remaining_events_pending() {
+        let mut sim = Simulation::new();
+        let c = sim.add_component("only");
+        for i in 0..10 {
+            sim.schedule(i, c, i as u32);
+        }
+        sim.run(&mut HaltAfter(3));
+        assert!(sim.halted());
+        assert_eq!(sim.steps(), 3);
+        assert_eq!(sim.pending(), 7);
+        assert_eq!(sim.now(), 2, "clock stops at the halting event");
+    }
+
+    #[test]
+    fn ties_dispatch_in_schedule_order_across_components() {
+        struct Log(Vec<usize>);
+        impl Handler<()> for Log {
+            fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _event: ()) {
+                self.0.push(ctx.component().index());
+            }
+        }
+        let mut sim = Simulation::new();
+        let a = sim.add_component("a");
+        let b = sim.add_component("b");
+        sim.schedule(5, b, ());
+        sim.schedule(5, a, ());
+        sim.schedule(5, b, ());
+        let mut h = Log(Vec::new());
+        sim.run(&mut h);
+        assert_eq!(h.0, vec![b.index(), a.index(), b.index()]);
+    }
+
+    #[test]
+    fn export_metrics_flows_per_component_counts() {
+        let mut sim = Simulation::new();
+        let a = sim.add_component("frontend/0");
+        let b = sim.add_component("frontend/1");
+        sim.schedule(1, a, 0u32);
+        sim.schedule(2, b, 0);
+        sim.schedule(3, a, 0);
+        struct Nop;
+        impl Handler<u32> for Nop {
+            fn handle(&mut self, _ctx: &mut Ctx<'_, u32>, _event: u32) {}
+        }
+        sim.run(&mut Nop);
+        let mut reg = Registry::new();
+        sim.export_metrics(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.steps"], 3);
+        assert_eq!(snap.counters["sim.events.frontend/0"], 2);
+        assert_eq!(snap.counters["sim.events.frontend/1"], 1);
+    }
+
+    #[test]
+    fn setup_ctx_schedules_like_the_run_loop() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        let c = sim.add_component("c");
+        let mut ctx = sim.ctx(c);
+        assert_eq!(ctx.component(), c);
+        ctx.schedule(7, c, 1);
+        assert_eq!(ctx.try_schedule(4, c, 2), Ok(()));
+        assert_eq!(sim.pending(), 2);
+        struct Log(Vec<(Time, u8)>);
+        impl Handler<u8> for Log {
+            fn handle(&mut self, ctx: &mut Ctx<'_, u8>, event: u8) {
+                self.0.push((ctx.now(), event));
+            }
+        }
+        let mut h = Log(Vec::new());
+        sim.run(&mut h);
+        assert_eq!(h.0, vec![(4, 2), (7, 1)]);
+    }
+}

@@ -55,6 +55,11 @@ impl DeferPolicy {
     /// When an upload submitted at `now_ms` actually executes. Peak-hour
     /// submissions are deferred to the next `run_hour`, bounded by
     /// `max_defer_hours`; off-peak submissions run immediately.
+    ///
+    /// When the trough slot is out of reach of the cap, the job runs at
+    /// the earliest off-peak instant within the cap — or immediately if
+    /// even that cannot escape the peak window. A deferred job therefore
+    /// *never* executes inside the peak (the whole point of deferring).
     pub fn execute_at_ms(&self, now_ms: u64) -> u64 {
         let hour_of_day = ((now_ms / 3_600_000) % 24) as u32;
         if !self.is_peak_hour(hour_of_day) {
@@ -73,7 +78,28 @@ impl DeferPolicy {
             today_run + 86_400_000
         };
         let cap = now_ms + self.max_defer_hours as u64 * 3_600_000;
-        target.min(cap)
+        if target <= cap {
+            return target;
+        }
+        // The trough is unreachable. An earlier revision clamped `target`
+        // straight to `cap`, which can land *inside* the very peak the job
+        // was fleeing (peak 19-23, 2 h cap, 19:30 submission → "deferred"
+        // to 21:30). Walk to the first off-peak hour boundary instead.
+        let mut hour = now_ms / 3_600_000 + 1;
+        let peak_exit = loop {
+            if !self.is_peak_hour((hour % 24) as u32) {
+                break hour * 3_600_000;
+            }
+            hour += 1;
+            if hour > now_ms / 3_600_000 + 25 {
+                return now_ms; // every hour is peak: nothing to escape to
+            }
+        };
+        if peak_exit <= cap {
+            peak_exit
+        } else {
+            now_ms // deferring within the cap cannot leave the peak
+        }
     }
 }
 
@@ -204,9 +230,20 @@ pub fn evaluate_deferral(
             } else {
                 window_start
             };
-            let slices = policy.spread_hours.max(1) as u64;
-            for j in 0..slices {
-                deferred[clamp(window_start + j * 3_600_000)] += job.bytes as f64 / slices as f64;
+            let window_ms = policy.spread_hours.max(1) as u64 * 3_600_000;
+            if run_at < window_start + window_ms {
+                let slices = policy.spread_hours.max(1) as u64;
+                for j in 0..slices {
+                    deferred[clamp(window_start + j * 3_600_000)] +=
+                        job.bytes as f64 / slices as f64;
+                }
+            } else {
+                // Cap-bounded jobs run outside the trough window, as one
+                // batch at their scheduled hour. An earlier revision paced
+                // them from the *window start of run_at's day*, charging
+                // hours that precede the submission itself — load
+                // travelling backwards on the timeline.
+                deferred[clamp(run_at)] += job.bytes as f64;
             }
             if let Some(r) = job.first_retrieval_ms {
                 if r < run_at {
@@ -276,7 +313,64 @@ mod tests {
             ..DeferPolicy::default()
         };
         let t = 21 * H;
+        // Hour 24 is midnight — the peak exit, which here coincides with
+        // the cap.
         assert_eq!(p.execute_at_ms(t), t + 3 * H);
+    }
+
+    #[test]
+    fn capped_defer_never_lands_back_in_peak() {
+        // Regression (fails on the pre-fix code): with peak 19-23 and a
+        // 2 h cap, a 19:30 submission used to be "deferred" to 21:30 —
+        // deeper into the very peak it was fleeing, because the trough
+        // target was clamped straight to the cap. A submission that cannot
+        // escape its peak window within the cap is now not deferred at all.
+        let p = DeferPolicy {
+            max_defer_hours: 2,
+            ..DeferPolicy::default()
+        };
+        let t = 19 * H + H / 2;
+        assert_eq!(p.execute_at_ms(t), t);
+    }
+
+    #[test]
+    fn capped_defer_runs_at_peak_exit_not_at_cap() {
+        // Regression (fails on the pre-fix code): a 9 PM submission with a
+        // 4 h cap used to run at the cap (1 AM) even though the peak ends
+        // at midnight; the earliest off-peak instant inside the cap wins.
+        let p = DeferPolicy {
+            max_defer_hours: 4,
+            ..DeferPolicy::default()
+        };
+        let t = 21 * H;
+        assert_eq!(p.execute_at_ms(t), 24 * H);
+    }
+
+    #[test]
+    fn capped_jobs_never_charge_hours_before_submission() {
+        // Regression (fails on the pre-fix code): a cap-bounded job
+        // running at midnight was paced across [2 AM, 7 AM) *of the same
+        // day* — hours long past by the 9 PM submission. Deferred load
+        // must only ever land at or after the submission hour.
+        let jobs = vec![UploadJob {
+            submitted_ms: 21 * H,
+            bytes: 5_000_000,
+            first_retrieval_ms: None,
+        }];
+        let p = DeferPolicy {
+            max_defer_hours: 4,
+            ..DeferPolicy::default()
+        };
+        let report = evaluate_deferral(&jobs, &p, 48);
+        assert_eq!(report.deferred_jobs, 1);
+        for (hour, &load) in report.deferred_hourly.iter().enumerate() {
+            if load > 0.0 {
+                assert!(hour >= 21, "load {load} charged to hour {hour}");
+            }
+        }
+        // Volume conserved.
+        let total: f64 = report.deferred_hourly.iter().sum();
+        assert!((total - 5_000_000.0).abs() < 1e-6);
     }
 
     #[test]
@@ -332,5 +426,82 @@ mod tests {
         let report = evaluate_deferral(&jobs, &DeferPolicy::default(), 7 * 24);
         assert_eq!(report.qoe_violations, 1);
         assert!((report.qoe_violation_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const H: u64 = 3_600_000;
+
+    /// Policies whose trough window is disjoint from the peak: an evening
+    /// peak (possibly wrapping past midnight into 0-2) and an early-
+    /// morning trough inside [4, 13).
+    fn arb_policy() -> impl Strategy<Value = DeferPolicy> {
+        (19u32..24, 0u32..4, 4u32..9, 1u32..6, 1u32..25).prop_map(
+            |(peak_start, end_sel, run_hour, spread_hours, max_defer_hours)| DeferPolicy {
+                peak_start_hour: peak_start,
+                peak_end_hour: if end_sel == 3 { 23 } else { end_sel },
+                run_hour,
+                spread_hours,
+                max_defer_hours,
+            },
+        )
+    }
+
+    proptest! {
+        // The wrap-around branch of `is_peak_hour` against an independent
+        // model: membership in start..=end on a 24 h ring is
+        // `(h - start) mod 24 <= (end - start) mod 24`.
+        #[test]
+        fn peak_membership_matches_rotated_model(
+            start in 0u32..24,
+            end in 0u32..24,
+            hour in 0u32..48,
+        ) {
+            let p = DeferPolicy {
+                peak_start_hour: start,
+                peak_end_hour: end,
+                ..DeferPolicy::default()
+            };
+            let h = hour % 24;
+            let model = (h + 24 - start) % 24 <= (end + 24 - start) % 24;
+            prop_assert_eq!(p.is_peak_hour(hour), model);
+        }
+
+        // Off-peak submissions are the identity: no hash, no clamp, no
+        // drift.
+        #[test]
+        fn off_peak_submissions_run_immediately(
+            policy in arb_policy(),
+            t in 0u64..(14 * 24 * H),
+        ) {
+            let hour = ((t / H) % 24) as u32;
+            prop_assume!(!policy.is_peak_hour(hour));
+            prop_assert_eq!(policy.execute_at_ms(t), t);
+        }
+
+        // The scheduling contract: never early, never past the cap, and a
+        // *deferred* job never executes inside the peak window (this last
+        // clause is the regression the old cap-clamp violated).
+        #[test]
+        fn deferral_bounded_and_lands_off_peak(
+            policy in arb_policy(),
+            t in 0u64..(14 * 24 * H),
+        ) {
+            let run = policy.execute_at_ms(t);
+            let cap = t + policy.max_defer_hours as u64 * H;
+            prop_assert!(run >= t, "run {run} before submission {t}");
+            prop_assert!(run <= cap, "run {run} past cap {cap}");
+            if run > t {
+                let hour = ((run / H) % 24) as u32;
+                prop_assert!(
+                    !policy.is_peak_hour(hour),
+                    "deferred into peak hour {hour}"
+                );
+            }
+        }
     }
 }

@@ -12,12 +12,34 @@
 //! failovers, retry-inflated bytes, availability). Both entry points share
 //! one loop, so a replay under [`FaultPlan::none`] is *bit-identical* to a
 //! fair-weather replay.
+//!
+//! The replay runs on the shared `mcs-sim` timeline (DESIGN.md §10) in two
+//! phases: a *plan* phase walks the trace in its original per-user order
+//! (so every RNG draw replays the pre-timeline sequence bit for bit) and
+//! fixes each operation's content and fallbacks, then an *execute* phase
+//! dispatches the planned operations through a [`mcs_sim::Simulation`],
+//! one component per front-end, so the per-front-end `sim.events.*`
+//! counters land in the observed snapshot.
+//!
+//! The two modes put different things on the clock. The *faulted* timeline
+//! runs in global trace-time order (`at_ms * MS`) because fault windows are
+//! time-gated and every front-end must agree about "now" (an *empty* plan
+//! gates nothing and keeps the fair-weather timeline — that is how the
+//! [`FaultPlan::none`] promise above holds). The
+//! *fair-weather* timeline ticks once per planned operation, in plan order:
+//! nothing in fair weather is gated on cross-user time order, but dedup
+//! attribution (first store of a chunk uploads, later ones dedup) *is*
+//! order-dependent, so replaying the pre-timeline total order is exactly
+//! what keeps the output bit-identical to the old single loop.
+
+use std::collections::BTreeMap;
 
 use rand::RngExt;
 use serde::Serialize;
 
 use mcs_faults::{ConfigError, FaultPlan, RetryPolicy};
 use mcs_obs::{CounterId, HistId, Registry, Snapshot};
+use mcs_sim::{CompId, Ctx, Handler, Simulation, MS};
 use mcs_stats::rng::stream_rng;
 use mcs_trace::{Direction, TraceGenerator};
 
@@ -137,8 +159,9 @@ pub fn replay_trace_observed(
 /// gives up (degrading, never panicking) when `retry` allows no more.
 ///
 /// Deterministic in `(gen, cfg, plan, retry)` — per-operation fault coins
-/// are stateless hashes, so the stats are bit-identical across runs and
-/// thread counts.
+/// are stateless hashes and operations execute in global timeline order
+/// (not per-user plan order), so the stats are bit-identical across runs
+/// and thread counts.
 pub fn replay_trace_faulted(
     gen: &TraceGenerator,
     cfg: &ReplayConfig,
@@ -193,23 +216,38 @@ impl ReplayIds {
     }
 }
 
-fn replay_inner(
-    gen: &TraceGenerator,
-    cfg: &ReplayConfig,
-    faults: Option<(FaultPlan, RetryPolicy)>,
-) -> Result<(StorageService, ReplayStats, Snapshot), ConfigError> {
-    let horizon_hours = (gen.config().horizon_ms() / 3_600_000) as usize;
-    let mut svc = StorageService::new(cfg.frontends, horizon_hours)?;
-    if let Some((plan, retry)) = faults {
-        svc.set_fault_plan(plan, retry)?;
-    }
-    let mut obs = Registry::new();
-    let ids = ReplayIds::register(&mut obs);
-    let mut rng = stream_rng(cfg.seed, 0x5EB1A4);
-    let mut file_seq: u64 = 0;
+/// One planned service call. The plan fixes everything random *before*
+/// execution, so the faulted timeline may dispatch operations in global
+/// time order while every RNG draw replays the original per-user plan
+/// order.
+#[derive(Debug, Clone)]
+enum PlannedKind {
+    Store { name: String, content: Content },
+    Retrieve { fallback_seed: u64 },
+}
 
+#[derive(Debug, Clone)]
+struct PlannedOp {
+    user: u64,
+    at_ms: u64,
+    kind: PlannedKind,
+}
+
+/// Plan phase: walk the trace exactly like the pre-timeline replay loop
+/// did — user by user, sessions chronological within each user — and draw
+/// from the same RNG stream at the same points, so the planned workload is
+/// bit-identical to what the old single loop executed.
+fn plan_ops(gen: &TraceGenerator, cfg: &ReplayConfig) -> Vec<PlannedOp> {
+    let mut rng = stream_rng(cfg.seed, 0x5EB1A4);
+    // Disjoint stream for the shared-pool fallback of users who *do* own
+    // files. That branch is reachable only when their stores failed under
+    // faults; drawing it from stream A would shift every later fair-weather
+    // draw, so it gets its own stream.
+    let mut fallback_rng = stream_rng(cfg.seed, 0x5EB1A5);
+    let mut ops = Vec::new();
+    let mut file_seq: u64 = 0;
     for user in gen.users() {
-        let mut owned: Vec<String> = Vec::new();
+        let mut has_store = false;
         for session in gen.user_sessions(user) {
             for f in &session.files {
                 match f.direction {
@@ -231,81 +269,181 @@ fn replay_inner(
                                 size: f.size.max(1),
                             }
                         };
-                        match svc.try_store(user.user_id, &name, &content, session.start_ms) {
-                            Ok(out) => {
-                                obs.inc(ids.stores);
-                                obs.add(ids.bytes_uploaded, out.bytes_uploaded);
-                                obs.observe(ids.store_bytes, content.size());
-                                if out.deduplicated {
-                                    obs.add(ids.bytes_deduplicated, content.size());
-                                }
-                                owned.push(name);
-                            }
-                            // The budget ran out; the file never made it
-                            // into the namespace, so it is not `owned`.
-                            Err(_) => obs.inc(ids.failed_stores),
-                        }
+                        has_store = true;
+                        ops.push(PlannedOp {
+                            user: user.user_id,
+                            at_ms: session.start_ms,
+                            kind: PlannedKind::Store { name, content },
+                        });
                     }
                     Direction::Retrieve => {
-                        obs.inc(ids.retrieves);
-                        match owned.last() {
-                            Some(name) => {
-                                match svc.try_retrieve(user.user_id, name, session.start_ms) {
-                                    Ok(got) => {
-                                        obs.add(ids.bytes_downloaded, got.bytes_downloaded);
-                                        obs.observe(ids.retrieve_bytes, got.bytes_downloaded);
-                                    }
-                                    Err(ServiceError::NotFound) => obs.inc(ids.retrieve_misses),
-                                    Err(_) => obs.inc(ids.failed_retrieves),
+                        // Download-only users fetch shared content by URL
+                        // in reality; model as popular-pool reads. Fair
+                        // weather uses the fallback only when the user has
+                        // no planned store, which is exactly when the old
+                        // loop drew it from stream A.
+                        let fallback_seed = if has_store {
+                            fallback_rng.random_range(0..cfg.popular_pool)
+                        } else {
+                            rng.random_range(0..cfg.popular_pool)
+                        };
+                        ops.push(PlannedOp {
+                            user: user.user_id,
+                            at_ms: session.start_ms,
+                            kind: PlannedKind::Retrieve { fallback_seed },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Execute phase: a [`Handler`] dispatching planned operations into the
+/// service as their events pop off the shared timeline. The service never
+/// keeps its own clock: "now" is the operation's trace timestamp, which on
+/// the faulted timeline is exactly the simulation clock (events are
+/// scheduled at `at_ms * MS`) and on the fair-weather timeline rides on
+/// the op while the clock ticks in plan order.
+struct ReplayEngine {
+    svc: StorageService,
+    obs: Registry,
+    ids: ReplayIds,
+    ops: Vec<PlannedOp>,
+    /// Files each user successfully stored, in execution order (per-user
+    /// execution order equals plan order on both timelines: sessions are
+    /// chronologically sorted and the queue breaks time ties by insertion).
+    owned: BTreeMap<u64, Vec<String>>,
+}
+
+impl Handler<usize> for ReplayEngine {
+    fn handle(&mut self, _ctx: &mut Ctx<'_, usize>, op: usize) {
+        // On the faulted timeline this equals the simulation clock (events
+        // are scheduled at `at_ms * MS`); on the fair-weather timeline the
+        // clock counts plan ticks, so the trace timestamp travels with the
+        // op (module docs explain why).
+        let now_ms = self.ops[op].at_ms;
+        let user = self.ops[op].user;
+        match &self.ops[op].kind {
+            PlannedKind::Store { name, content } => {
+                match self.svc.try_store(user, name, content, now_ms) {
+                    Ok(out) => {
+                        self.obs.inc(self.ids.stores);
+                        self.obs.add(self.ids.bytes_uploaded, out.bytes_uploaded);
+                        self.obs.observe(self.ids.store_bytes, content.size());
+                        if out.deduplicated {
+                            self.obs.add(self.ids.bytes_deduplicated, content.size());
+                        }
+                        self.owned.entry(user).or_default().push(name.clone());
+                    }
+                    // The budget ran out; the file never made it into the
+                    // namespace, so it is not `owned`.
+                    Err(_) => self.obs.inc(self.ids.failed_stores),
+                }
+            }
+            PlannedKind::Retrieve { fallback_seed } => {
+                self.obs.inc(self.ids.retrieves);
+                let owned_name = self.owned.get(&user).and_then(|v| v.last()).cloned();
+                match owned_name {
+                    Some(name) => match self.svc.try_retrieve(user, &name, now_ms) {
+                        Ok(got) => {
+                            self.obs
+                                .add(self.ids.bytes_downloaded, got.bytes_downloaded);
+                            self.obs
+                                .observe(self.ids.retrieve_bytes, got.bytes_downloaded);
+                        }
+                        Err(ServiceError::NotFound) => self.obs.inc(self.ids.retrieve_misses),
+                        Err(_) => self.obs.inc(self.ids.failed_retrieves),
+                    },
+                    None => {
+                        let seed = *fallback_seed;
+                        let content = Content::Synthetic {
+                            seed,
+                            size: popular_size(seed),
+                        };
+                        // Ensure the shared object exists (first toucher
+                        // uploads it), then serve it. A fault anywhere —
+                        // including the internal seeding store — defeats
+                        // the user-visible *retrieve*, so that is what it
+                        // charges (see `ReplayStats::failed_retrieves`).
+                        let name = format!("shared/{seed}");
+                        let owner = u64::MAX - seed;
+                        match self.svc.try_retrieve(owner, &name, now_ms) {
+                            Ok(_) => {} // exists; the counted retrieve follows
+                            Err(ServiceError::NotFound) => {
+                                if self.svc.try_store(owner, &name, &content, now_ms).is_err() {
+                                    self.obs.inc(self.ids.failed_retrieves);
+                                    return;
                                 }
                             }
-                            // Download-only users fetch shared content by
-                            // URL in reality; model as popular-pool reads.
-                            None => {
-                                let seed = rng.random_range(0..cfg.popular_pool);
-                                let content = Content::Synthetic {
-                                    seed,
-                                    size: popular_size(seed),
-                                };
-                                // Ensure the shared object exists (first
-                                // toucher uploads it), then serve it. A
-                                // fault anywhere — including the internal
-                                // seeding store — defeats the user-visible
-                                // *retrieve*, so that is what it charges
-                                // (see `ReplayStats::failed_retrieves`).
-                                let name = format!("shared/{seed}");
-                                let owner = u64::MAX - seed;
-                                match svc.try_retrieve(owner, &name, session.start_ms) {
-                                    Ok(_) => {} // exists; the counted retrieve follows
-                                    Err(ServiceError::NotFound) => {
-                                        if svc
-                                            .try_store(owner, &name, &content, session.start_ms)
-                                            .is_err()
-                                        {
-                                            obs.inc(ids.failed_retrieves);
-                                            continue;
-                                        }
-                                    }
-                                    Err(_) => {
-                                        obs.inc(ids.failed_retrieves);
-                                        continue;
-                                    }
-                                }
-                                match svc.try_retrieve(owner, &name, session.start_ms) {
-                                    Ok(got) => {
-                                        obs.add(ids.bytes_downloaded, got.bytes_downloaded);
-                                        obs.observe(ids.retrieve_bytes, got.bytes_downloaded);
-                                    }
-                                    Err(ServiceError::NotFound) => obs.inc(ids.retrieve_misses),
-                                    Err(_) => obs.inc(ids.failed_retrieves),
-                                }
+                            Err(_) => {
+                                self.obs.inc(self.ids.failed_retrieves);
+                                return;
                             }
+                        }
+                        match self.svc.try_retrieve(owner, &name, now_ms) {
+                            Ok(got) => {
+                                self.obs
+                                    .add(self.ids.bytes_downloaded, got.bytes_downloaded);
+                                self.obs
+                                    .observe(self.ids.retrieve_bytes, got.bytes_downloaded);
+                            }
+                            Err(ServiceError::NotFound) => self.obs.inc(self.ids.retrieve_misses),
+                            Err(_) => self.obs.inc(self.ids.failed_retrieves),
                         }
                     }
                 }
             }
         }
     }
+}
+
+fn replay_inner(
+    gen: &TraceGenerator,
+    cfg: &ReplayConfig,
+    faults: Option<(FaultPlan, RetryPolicy)>,
+) -> Result<(StorageService, ReplayStats, Snapshot), ConfigError> {
+    let horizon_hours = (gen.config().horizon_ms() / 3_600_000) as usize;
+    let mut svc = StorageService::new(cfg.frontends, horizon_hours)?;
+    // Only a plan that can actually fire gates anything on time; an empty
+    // plan (including `FaultPlan::none`) keeps the plan-order timeline so
+    // its replay stays bit-identical to fair weather.
+    let time_gated = faults.as_ref().is_some_and(|(plan, _)| !plan.is_empty());
+    if let Some((plan, retry)) = faults {
+        svc.set_fault_plan(plan, retry)?;
+    }
+    let mut obs = Registry::new();
+    let ids = ReplayIds::register(&mut obs);
+
+    let mut sim: Simulation<usize> = Simulation::new();
+    let comps: Vec<CompId> = (0..cfg.frontends)
+        .map(|fe| sim.add_component(format!("frontend/{fe}")))
+        .collect();
+    let mut eng = ReplayEngine {
+        svc,
+        obs,
+        ids,
+        ops: plan_ops(gen, cfg),
+        owned: BTreeMap::new(),
+    };
+    // Each planned operation becomes one event on its front-end's
+    // component. The faulted timeline runs in global trace-time order
+    // (windows are time-gated; insertion order breaks same-millisecond
+    // ties, so each user's operations still execute chronologically). The
+    // fair-weather timeline ticks once per op in plan order — the
+    // pre-timeline total order — which is what keeps order-dependent dedup
+    // attribution bit-identical to the old loop (module docs).
+    for (i, op) in eng.ops.iter().enumerate() {
+        let fe = eng.svc.metadata().closest_frontend(op.user);
+        let at = if time_gated { op.at_ms * MS } else { i as u64 };
+        sim.schedule(at, comps[fe], i);
+    }
+    sim.run(&mut eng);
+
+    let ReplayEngine {
+        svc, mut obs, ids, ..
+    } = eng;
     let t = svc.telemetry();
     let stats = ReplayStats {
         stores: obs.counter_value(ids.stores),
@@ -321,8 +459,10 @@ fn replay_inner(
         chunk_timeouts: t.chunk_timeouts,
         retry_bytes: t.retry_bytes,
     };
-    // One snapshot carries both layers: replay.* and storage.*.
+    // One snapshot carries all three layers: replay.*, storage.* and the
+    // timeline's own sim.* per-component event counts.
     obs.merge(svc.metrics());
+    sim.export_metrics(&mut obs);
     let snapshot = obs.snapshot();
     Ok((svc, stats, snapshot))
 }
@@ -489,6 +629,29 @@ mod tests {
         // Byte-identical export across runs.
         let (_, _, again) = replay_trace_observed(&gen, &cfg).unwrap();
         assert_eq!(snap.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn snapshot_counts_one_sim_event_per_operation() {
+        // Every planned operation is exactly one event on its front-end's
+        // timeline component, so the sim.* counters must tie out against
+        // the replay's own operation counts.
+        let gen = small_gen(43);
+        let cfg = ReplayConfig::default();
+        let (_, stats, snap) = replay_trace_observed(&gen, &cfg).unwrap();
+        assert_eq!(
+            snap.counters["sim.steps"],
+            stats.stores + stats.failed_stores + stats.retrieves
+        );
+        let per_fe: u64 = (0..cfg.frontends)
+            .map(|fe| snap.counters[&format!("sim.events.frontend/{fe}")])
+            .sum();
+        assert_eq!(per_fe, snap.counters["sim.steps"]);
+        // More than one front-end actually sees traffic.
+        let busy = (0..cfg.frontends)
+            .filter(|fe| snap.counters[&format!("sim.events.frontend/{fe}")] > 0)
+            .count();
+        assert!(busy > 1, "only {busy} of {} front-ends busy", cfg.frontends);
     }
 
     #[test]

@@ -11,14 +11,18 @@ use mcs::net::device::DeviceProfile;
 use mcs::net::sim::SEC;
 use mcs::net::simulate_flow;
 use mcs::render::bytes;
+use mcs::stats::descriptive;
 
 fn show(label: &str, cfg: &FlowConfig) {
     let t = simulate_flow(cfg);
     let chunk_times = t.chunk_times_s();
-    let median = {
-        let mut v = chunk_times.clone();
-        v.sort_by(f64::total_cmp);
-        v.get(v.len() / 2).copied().unwrap_or(f64::NAN)
+    // The shared interpolating median: a hand-rolled `v[len / 2]` takes
+    // the *upper* element on even-length samples and prints NaN when a
+    // flow records no chunks.
+    let median = if chunk_times.is_empty() {
+        0.0
+    } else {
+        descriptive::median(&chunk_times)
     };
     println!(
         "{label:<34} {:>9}/s   median chunk {:>6.2}s   restarts {:>3}   idles>RTO {:>5.1}%",

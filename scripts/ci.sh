@@ -14,4 +14,8 @@ cargo run -p mcs-lint --release
 cargo run --release --example chaos_replay
 # Observability tour: metric snapshots byte-identical across thread counts.
 cargo run --release --example observability
+# Fleet replay on the shared mcs-sim timeline: fair-weather + faulted
+# snapshots (sim.* counters included) byte-identical across runs and
+# thread counts.
+cargo run --release --example fleet_replay
 echo "ci: all checks passed"

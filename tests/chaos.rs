@@ -69,6 +69,25 @@ fn faulted_metric_snapshots_are_bit_identical_across_thread_counts() {
         replay_trace_faulted_observed(&gen_with_threads(1), &cfg, &plan, retry).unwrap();
     let base_json = base_snap.to_json();
     assert_eq!(base_snap.counters["replay.stores"], base_stats.stores);
+    // The shared mcs-sim timeline now drives the replay: every planned
+    // operation dispatches exactly one event, and the per-front-end event
+    // counters partition the total.
+    let sim_steps = base_snap.counters["sim.steps"];
+    assert_eq!(
+        sim_steps,
+        base_stats.stores + base_stats.failed_stores + base_stats.retrieves,
+        "one sim event per planned operation"
+    );
+    let per_component: u64 = base_snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("sim.events."))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(
+        per_component, sim_steps,
+        "per-component event counts must partition sim.steps"
+    );
     assert_eq!(
         base_snap.counters["storage.backoff_ms"] > 0,
         base_stats.retries > 0,
