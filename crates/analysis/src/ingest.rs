@@ -4,39 +4,64 @@
 //! file; this module is the seam where stored logs enter. Production log
 //! files are scuffed at the margins — truncated flushes, interleaved
 //! writers — and a pipeline that aborts on the first malformed line never
-//! analyses anything. Ingestion therefore rides the lossy readers of
-//! [`mcs_trace::io`]: malformed lines are quarantined (with per-line
-//! diagnostics) under an [`ErrorBudget`], and only a blown budget, an I/O
-//! failure or a wrong CSV header is fatal.
+//! analyses anything. Ingestion therefore rides the lossy streaming
+//! readers of [`mcs_trace::io`]: malformed records are quarantined (with
+//! per-record diagnostics) under an [`ErrorBudget`], and only a blown
+//! budget, an I/O failure or corrupt file framing is fatal.
+//!
+//! Two ingestion shapes are offered:
+//!
+//! * [`analyze_trace_file`] — loads one file fully into memory and
+//!   regroups records per user. Order-agnostic, but memory scales with
+//!   the trace.
+//! * [`analyze_trace_stream`] / [`par_analyze_shards`] — stream one or
+//!   more shard files, holding at most one user's records (plus fixed
+//!   collector state) in memory per worker. These require the **shard
+//!   grouping contract**: each file holds whole users as contiguous,
+//!   per-user time-ordered record groups, in ascending user order across
+//!   the file sequence — exactly what
+//!   [`TraceGenerator::write_shards`](mcs_trace::TraceGenerator::write_shards)
+//!   produces. Under that contract the streamed result is bit-identical
+//!   to the in-memory path at any thread count.
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::BufReader;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::thread;
 
 use mcs_obs::{Obs, Registry};
-use mcs_trace::io::{read_csv_lossy, read_jsonl_lossy, TraceFormat};
-use mcs_trace::{ErrorBudget, LogRecord, ReadError};
+use mcs_trace::io::{collect_records_lossy, open_trace, TraceFormat};
+use mcs_trace::{effective_threads, shard_ranges, ErrorBudget, LogRecord, ReadError};
 
-use crate::pipeline::{analyze_observed, FullAnalysis, PipelineConfig};
+use crate::pipeline::{
+    analyze_observed, gather_intervals, Collectors, FullAnalysis, PipelineConfig,
+};
+use crate::sessionize::derive_tau;
 
 /// What lenient ingestion let through and what it quarantined.
 #[derive(Debug, Default)]
 pub struct IngestReport {
     /// Records that parsed cleanly and fed the pipeline.
     pub records: u64,
-    /// One diagnostic per malformed line, in file order.
+    /// One diagnostic per malformed record, in file order.
     pub quarantined: Vec<ReadError>,
 }
 
 impl IngestReport {
-    /// Fraction of non-blank lines that were quarantined.
+    /// Fraction of parsed-or-quarantined records that were quarantined.
     pub fn error_rate(&self) -> f64 {
         let total = self.records + self.quarantined.len() as u64;
         if total == 0 {
             return 0.0;
         }
         self.quarantined.len() as f64 / total as f64
+    }
+
+    /// Absorbs the next shard's report. Merging per-shard reports in
+    /// ascending shard order reproduces the sequential report exactly:
+    /// counts add and quarantine diagnostics concatenate in file order.
+    pub fn merge(&mut self, other: IngestReport) {
+        self.records += other.records;
+        self.quarantined.extend(other.quarantined);
     }
 
     /// Records the ingest outcome into a metric registry: the
@@ -54,14 +79,13 @@ impl IngestReport {
 }
 
 /// Runs the full analysis pipeline over a stored trace file, quarantining
-/// malformed lines instead of aborting.
+/// malformed records instead of aborting.
 ///
 /// Records are grouped into per-user blocks (stored traces are
 /// time-ordered per user, which grouping preserves) and handed to
 /// [`analyze`](crate::analyze). The [`IngestReport`] says how much input
-/// was skipped —
-/// callers deciding whether to trust the result should look at
-/// [`IngestReport::error_rate`].
+/// was skipped — callers deciding whether to trust the result should look
+/// at [`IngestReport::error_rate`].
 pub fn analyze_trace_file(
     path: &Path,
     format: TraceFormat,
@@ -81,11 +105,7 @@ pub fn analyze_trace_file_observed(
     cfg: &PipelineConfig,
     obs: &mut Obs,
 ) -> Result<(FullAnalysis, IngestReport), ReadError> {
-    let file = BufReader::new(File::open(path)?);
-    let lossy = match format {
-        TraceFormat::Jsonl => read_jsonl_lossy(file, budget)?,
-        TraceFormat::Csv => read_csv_lossy(file, budget)?,
-    };
+    let lossy = collect_records_lossy(open_trace(path, format)?, budget)?;
     let report = IngestReport {
         records: lossy.records.len() as u64,
         quarantined: lossy.quarantined,
@@ -97,6 +117,250 @@ pub fn analyze_trace_file_observed(
     }
     let blocks: Vec<Vec<LogRecord>> = by_user.into_values().collect();
     let analysis = analyze_observed(|| blocks.iter().cloned(), cfg, obs);
+    Ok((analysis, report))
+}
+
+/// Streams `paths` in order, regrouping consecutive same-user records
+/// into per-user blocks and feeding each completed block to `on_block`.
+/// One block buffer is carried across file boundaries, so a user whose
+/// records straddle two adjacent files still arrives as a single block.
+/// Record-level errors are quarantined into `report` under `budget`;
+/// fatal errors (I/O, corrupt framing, blown budget) abort the walk.
+fn stream_user_blocks<F>(
+    paths: &[PathBuf],
+    format: TraceFormat,
+    budget: ErrorBudget,
+    report: &mut IngestReport,
+    mut on_block: F,
+) -> Result<(), ReadError>
+where
+    F: FnMut(&[LogRecord]),
+{
+    let mut block: Vec<LogRecord> = Vec::new();
+    for path in paths {
+        for item in open_trace(path, format)? {
+            match item {
+                Ok(rec) => {
+                    if block.first().is_some_and(|f| f.user_id != rec.user_id) {
+                        on_block(&block);
+                        block.clear();
+                    }
+                    block.push(rec);
+                    report.records += 1;
+                }
+                Err(e) if e.is_record_level() => {
+                    report.quarantined.push(e);
+                    if report.quarantined.len() > budget.max_errors {
+                        return Err(ReadError::ErrorBudgetExceeded {
+                            errors: report.quarantined.len(),
+                            budget: budget.max_errors,
+                        });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    if !block.is_empty() {
+        on_block(&block);
+    }
+    Ok(())
+}
+
+/// Runs the full analysis pipeline over a sequence of shard files without
+/// ever materialising the trace: each of the two pipeline passes streams
+/// the shards, holding at most one user's records at a time.
+///
+/// Requires the shard grouping contract (see the module docs). Under it
+/// the result — analysis *and* observed metric snapshot — is bit-identical
+/// to [`analyze_trace_file`] over the concatenated trace, at a memory
+/// footprint independent of trace size.
+pub fn analyze_trace_stream(
+    paths: &[PathBuf],
+    format: TraceFormat,
+    budget: ErrorBudget,
+    cfg: &PipelineConfig,
+) -> Result<(FullAnalysis, IngestReport), ReadError> {
+    analyze_trace_stream_observed(paths, format, budget, cfg, &mut Obs::new())
+}
+
+/// [`analyze_trace_stream`] that also reports into `obs` (the same
+/// `ingest.*` + `pipeline.*` metric set as
+/// [`analyze_trace_file_observed`], byte-identical under the shard
+/// grouping contract).
+pub fn analyze_trace_stream_observed(
+    paths: &[PathBuf],
+    format: TraceFormat,
+    budget: ErrorBudget,
+    cfg: &PipelineConfig,
+    obs: &mut Obs,
+) -> Result<(FullAnalysis, IngestReport), ReadError> {
+    // Pass 1: τ derivation + ingest accounting.
+    let mut report = IngestReport::default();
+    let mut mobile = Vec::new();
+    let mut intervals = Vec::new();
+    stream_user_blocks(paths, format, budget, &mut report, |block| {
+        gather_intervals(block, &mut mobile, &mut intervals)
+    })?;
+    report.record_metrics(&mut obs.metrics);
+    let n_intervals = intervals.len() as u64;
+    let tau = derive_tau(&intervals, cfg.max_fit_points);
+    drop(intervals);
+
+    // Pass 2: everything else. The files are deterministic, so this pass
+    // sees the records (and quarantines) of pass 1 again; its report is
+    // redundant and discarded.
+    let tau_ms = tau.tau_ms();
+    let mut collectors = Collectors::new(cfg);
+    let mut rescan = IngestReport::default();
+    stream_user_blocks(paths, format, budget, &mut rescan, |block| {
+        collectors.push_block(block, &mut mobile, tau_ms)
+    })?;
+    let (analysis, mut run) = collectors.finish(tau, cfg);
+    let c = run.metrics.counter("pipeline.intervals");
+    run.metrics.add(c, n_intervals);
+    run.trace.event(0, "pipeline.merge.fan_in", 1);
+    obs.merge(&run);
+    Ok((analysis, report))
+}
+
+/// [`analyze_trace_stream`] sharded over `cfg.threads` workers, each
+/// streaming a contiguous range of `paths`.
+///
+/// Determinism contract: shard files are partitioned into contiguous
+/// ranges, every worker streams its range with a private collector set
+/// and ingest report, and worker states are reduced in ascending range
+/// order — the same merge-monoid reduction as
+/// [`par_analyze`](crate::par_analyze), so the analysis, the ingest
+/// report's `records`/`quarantined` sequence, and the observed metric
+/// snapshot are bit-identical to the sequential stream at any thread
+/// count. The success/failure boundary of the error budget is also
+/// thread-count invariant (the global quarantine count is checked after
+/// the merge), though a blown budget's `errors` payload may differ.
+///
+/// Each shard file must additionally hold *whole* users (the shard
+/// grouping contract), since blocks cannot straddle workers.
+pub fn par_analyze_shards(
+    paths: &[PathBuf],
+    format: TraceFormat,
+    budget: ErrorBudget,
+    cfg: &PipelineConfig,
+) -> Result<(FullAnalysis, IngestReport), ReadError> {
+    par_analyze_shards_observed(paths, format, budget, cfg, &mut Obs::new())
+}
+
+/// [`par_analyze_shards`] that also reports into `obs` (see
+/// [`analyze_trace_stream_observed`]). The registry metrics are
+/// workload-derived and thread-count invariant; the trace additionally
+/// records per-shard-range record counts and the merge fan-in, which
+/// describe *this* execution and are not comparable across thread counts.
+pub fn par_analyze_shards_observed(
+    paths: &[PathBuf],
+    format: TraceFormat,
+    budget: ErrorBudget,
+    cfg: &PipelineConfig,
+    obs: &mut Obs,
+) -> Result<(FullAnalysis, IngestReport), ReadError> {
+    let ranges = shard_ranges(paths.len(), effective_threads(cfg.threads));
+    if ranges.len() <= 1 {
+        return analyze_trace_stream_observed(paths, format, budget, cfg, obs);
+    }
+
+    // Pass 1: per-range interval gather + ingest accounting, concatenated
+    // in range order so `derive_tau` sees the exact sequential sequence.
+    type Pass1 = Result<(Vec<f64>, IngestReport), ReadError>;
+    let shard_results: Vec<Pass1> = thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|range| {
+                scope.spawn(move || -> Pass1 {
+                    let mut report = IngestReport::default();
+                    let mut mobile = Vec::new();
+                    let mut intervals = Vec::new();
+                    stream_user_blocks(&paths[range], format, budget, &mut report, |block| {
+                        gather_intervals(block, &mut mobile, &mut intervals)
+                    })?;
+                    Ok((intervals, report))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // mcs-lint: allow(panic, join only fails if a worker panicked; re-raise it)
+            .map(|h| h.join().expect("pass-1 ingest worker panicked"))
+            .collect()
+    });
+    let mut intervals = Vec::new();
+    let mut report = IngestReport::default();
+    for res in shard_results {
+        let (shard_intervals, shard_report) = res?;
+        intervals.extend(shard_intervals);
+        report.merge(shard_report);
+    }
+    // Workers run under the full budget individually; the sequential
+    // failure boundary (total quarantines > budget) is enforced here.
+    if report.quarantined.len() > budget.max_errors {
+        return Err(ReadError::ErrorBudgetExceeded {
+            errors: report.quarantined.len(),
+            budget: budget.max_errors,
+        });
+    }
+    report.record_metrics(&mut obs.metrics);
+    let n_intervals = intervals.len() as u64;
+    let tau = derive_tau(&intervals, cfg.max_fit_points);
+    drop(intervals);
+
+    // Pass 2: private collector set per range, merged in range order.
+    let tau_ms = tau.tau_ms();
+    type Pass2 = Result<(Collectors, IngestReport), ReadError>;
+    let shard_states: Vec<Pass2> = thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|range| {
+                scope.spawn(move || -> Pass2 {
+                    let mut collectors = Collectors::new(cfg);
+                    let mut mobile = Vec::new();
+                    let mut rescan = IngestReport::default();
+                    stream_user_blocks(&paths[range], format, budget, &mut rescan, |block| {
+                        collectors.push_block(block, &mut mobile, tau_ms)
+                    })?;
+                    Ok((collectors, rescan))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // mcs-lint: allow(panic, join only fails if a worker panicked; re-raise it)
+            .map(|h| h.join().expect("pass-2 ingest worker panicked"))
+            .collect()
+    });
+    let mut exec = mcs_obs::Tracer::new();
+    let mut merged: Option<Collectors> = None;
+    for (i, res) in shard_states.into_iter().enumerate() {
+        let (collectors, rescan) = res?;
+        exec.event(i as u64, "ingest.shard.records", rescan.records);
+        merged = Some(match merged {
+            None => collectors,
+            Some(mut acc) => {
+                acc.merge(collectors);
+                acc
+            }
+        });
+    }
+    exec.event(
+        ranges.len() as u64,
+        "pipeline.merge.fan_in",
+        ranges.len() as u64,
+    );
+    // mcs-lint: allow(panic, shard_ranges always yields >= 1 range)
+    let merged = merged.expect("at least one shard range");
+    let (analysis, mut run) = merged.finish(tau, cfg);
+    let c = run.metrics.counter("pipeline.intervals");
+    run.metrics.add(c, n_intervals);
+    run.trace.merge(&exec);
+    obs.merge(&run);
     Ok((analysis, report))
 }
 
@@ -208,5 +472,206 @@ mod tests {
     #[test]
     fn empty_report_has_zero_error_rate() {
         assert_eq!(IngestReport::default().error_rate(), 0.0);
+    }
+
+    #[test]
+    fn in_memory_path_reads_columnar_shards() {
+        let gen = small_gen();
+        let dir = std::env::temp_dir().join("mcs-ingest-columnar");
+        let sharded = gen.write_shards(&dir, TraceFormat::Columnar, 1).unwrap();
+        let cfg = PipelineConfig::default();
+        let (a, r) = analyze_trace_file(
+            &sharded.paths[0],
+            TraceFormat::Columnar,
+            ErrorBudget::default(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(r.records, sharded.records);
+        assert!(r.quarantined.is_empty());
+        let expected = crate::analyze(|| gen.iter_user_records(), &cfg);
+        assert_eq!(a, expected);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ingest_report_merge_concatenates_shard_reports() {
+        // The IngestReport merge law: merging per-shard reports in shard
+        // order must equal the sequential report over the whole input.
+        let mut whole = IngestReport {
+            records: 10,
+            ..IngestReport::default()
+        };
+        whole
+            .quarantined
+            .push(ReadError::FieldCount { line: 3, got: 2 });
+        whole
+            .quarantined
+            .push(ReadError::FieldCount { line: 1, got: 10 });
+
+        let mut left = IngestReport {
+            records: 7,
+            ..IngestReport::default()
+        };
+        left.quarantined
+            .push(ReadError::FieldCount { line: 3, got: 2 });
+        let mut right = IngestReport {
+            records: 3,
+            ..IngestReport::default()
+        };
+        right
+            .quarantined
+            .push(ReadError::FieldCount { line: 1, got: 10 });
+        left.merge(right);
+
+        assert_eq!(left.records, whole.records);
+        assert_eq!(left.quarantined.len(), whole.quarantined.len());
+        for (a, b) in left.quarantined.iter().zip(whole.quarantined.iter()) {
+            assert_eq!(a.to_string(), b.to_string());
+        }
+        assert_eq!(left.error_rate(), whole.error_rate());
+    }
+
+    #[test]
+    fn stream_matches_in_memory_bit_for_bit_at_any_thread_count() {
+        // The acceptance gate: streamed shards — sequential and sharded
+        // over ≥2 thread counts — reproduce the in-memory analysis AND
+        // the observed metric snapshot byte-for-byte, in every format.
+        let gen = small_gen();
+        let cfg = PipelineConfig::default();
+        for format in [TraceFormat::Jsonl, TraceFormat::Csv, TraceFormat::Columnar] {
+            let dir =
+                std::env::temp_dir().join(format!("mcs-ingest-stream-{}", format.extension()));
+            let sharded = gen.write_shards(&dir, format, 5).unwrap();
+
+            // In-memory reference over one concatenated-equivalent shard
+            // set read file-by-file isn't possible with analyze_trace_file
+            // (single path), so reference = the generator's own blocks.
+            let mut ref_obs = Obs::new();
+            let expected = analyze_observed(|| gen.iter_user_records(), &cfg, &mut ref_obs);
+
+            let mut seq_obs = Obs::new();
+            let (seq, seq_rep) = analyze_trace_stream_observed(
+                &sharded.paths,
+                format,
+                ErrorBudget::default(),
+                &cfg,
+                &mut seq_obs,
+            )
+            .unwrap();
+            assert_eq!(seq, expected, "{format:?} sequential stream");
+            assert_eq!(seq_rep.records, sharded.records);
+            assert!(seq_rep.quarantined.is_empty());
+            let seq_snap = seq_obs.snapshot();
+
+            for threads in [2, 3, 8] {
+                let mut par_obs = Obs::new();
+                let (par, par_rep) = par_analyze_shards_observed(
+                    &sharded.paths,
+                    format,
+                    ErrorBudget::default(),
+                    &PipelineConfig { threads, ..cfg },
+                    &mut par_obs,
+                )
+                .unwrap();
+                assert_eq!(par, seq, "{format:?} threads {threads}");
+                assert_eq!(par_rep.records, seq_rep.records);
+                assert_eq!(par_rep.quarantined.len(), seq_rep.quarantined.len());
+                let par_snap = par_obs.snapshot();
+                assert_eq!(par_snap, seq_snap, "{format:?} snapshot, threads {threads}");
+                assert_eq!(
+                    par_snap.to_json(),
+                    seq_snap.to_json(),
+                    "{format:?} snapshot bytes, threads {threads}"
+                );
+            }
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn stream_carries_a_user_across_file_boundaries() {
+        // Hand-build two shard files where user 7's records straddle the
+        // boundary mid-user: the stream must still see one block, which
+        // the sessioniser can tell apart from two (total_users differs
+        // under the in-memory regroup if the split leaked).
+        let gen = small_gen();
+        let records: Vec<LogRecord> = gen
+            .iter_user_records()
+            .flat_map(|b| b.into_iter())
+            .collect();
+        let split = records.len() / 2;
+        let dir = std::env::temp_dir().join("mcs-ingest-straddle");
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = vec![dir.join("a.jsonl"), dir.join("b.jsonl")];
+        let mut f = std::fs::File::create(&paths[0]).unwrap();
+        mcs_trace::io::write_jsonl(&mut f, records[..split].iter().copied()).unwrap();
+        let mut f = std::fs::File::create(&paths[1]).unwrap();
+        mcs_trace::io::write_jsonl(&mut f, records[split..].iter().copied()).unwrap();
+        // The split lands mid-user (the generator emits multi-record users).
+        assert_eq!(
+            records[split - 1].user_id,
+            records[split].user_id,
+            "test premise: the boundary must split a user"
+        );
+
+        let cfg = PipelineConfig::default();
+        let (streamed, rep) =
+            analyze_trace_stream(&paths, TraceFormat::Jsonl, ErrorBudget::default(), &cfg).unwrap();
+        let expected = crate::analyze(|| gen.iter_user_records(), &cfg);
+        assert_eq!(rep.records as usize, records.len());
+        assert_eq!(streamed.total_users, expected.total_users);
+        assert_eq!(streamed, expected);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn streamed_budget_boundary_is_thread_count_invariant() {
+        // Sprinkle garbage across several shards so no single worker
+        // range blows the budget alone but the global count does.
+        let gen = small_gen();
+        let dir = std::env::temp_dir().join("mcs-ingest-budget");
+        let sharded = gen.write_shards(&dir, TraceFormat::Jsonl, 4).unwrap();
+        for p in &sharded.paths {
+            let mut text = std::fs::read_to_string(p).unwrap();
+            text.push_str("not json\n");
+            std::fs::write(p, text).unwrap();
+        }
+        let cfg = PipelineConfig::default();
+        // 4 bad lines, budget 3: every path must fail…
+        for threads in [1, 2, 4] {
+            let err = par_analyze_shards(
+                &sharded.paths,
+                TraceFormat::Jsonl,
+                ErrorBudget { max_errors: 3 },
+                &PipelineConfig { threads, ..cfg },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ReadError::ErrorBudgetExceeded { .. }),
+                "threads {threads}: {err}"
+            );
+        }
+        // …and with budget 4 every path must succeed, identically.
+        let (seq, rep) = analyze_trace_stream(
+            &sharded.paths,
+            TraceFormat::Jsonl,
+            ErrorBudget { max_errors: 4 },
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(rep.quarantined.len(), 4);
+        for threads in [2, 4] {
+            let (par, par_rep) = par_analyze_shards(
+                &sharded.paths,
+                TraceFormat::Jsonl,
+                ErrorBudget { max_errors: 4 },
+                &PipelineConfig { threads, ..cfg },
+            )
+            .unwrap();
+            assert_eq!(par, seq, "threads {threads}");
+            assert_eq!(par_rep.quarantined.len(), 4);
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -34,7 +34,10 @@ pub mod sessionize;
 pub mod usage;
 pub mod workload;
 
-pub use ingest::{analyze_trace_file, analyze_trace_file_observed, IngestReport};
+pub use ingest::{
+    analyze_trace_file, analyze_trace_file_observed, analyze_trace_stream,
+    analyze_trace_stream_observed, par_analyze_shards, par_analyze_shards_observed, IngestReport,
+};
 pub use pipeline::{
     analyze, analyze_observed, par_analyze, par_analyze_observed, FullAnalysis, PipelineConfig,
 };

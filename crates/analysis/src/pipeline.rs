@@ -268,7 +268,11 @@ where
 /// Refills `mobile` with the block's mobile-device records and appends
 /// their inter-file-operation intervals (pass 1's per-block step). The
 /// scratch buffer avoids one allocation per block.
-fn gather_intervals(block: &[LogRecord], mobile: &mut Vec<LogRecord>, intervals: &mut Vec<f64>) {
+pub(crate) fn gather_intervals(
+    block: &[LogRecord],
+    mobile: &mut Vec<LogRecord>,
+    intervals: &mut Vec<f64>,
+) {
     mobile.clear();
     mobile.extend(block.iter().copied().filter(|r| r.device_type.is_mobile()));
     intervals.extend(file_op_intervals_s(mobile));
@@ -298,7 +302,7 @@ impl PipelineIds {
 /// order equals pushing every block into one instance sequentially. The
 /// embedded [`Obs`] bundle obeys the same law, which is what makes the
 /// observed entry points' metric snapshots thread-count invariant.
-struct Collectors {
+pub(crate) struct Collectors {
     session_stats: SessionStatsCollector,
     filesize: FileSizeCollector,
     workload: WorkloadSeries,
@@ -314,7 +318,7 @@ struct Collectors {
 }
 
 impl Collectors {
-    fn new(cfg: &PipelineConfig) -> Self {
+    pub(crate) fn new(cfg: &PipelineConfig) -> Self {
         let mut obs = Obs::new();
         let ids = PipelineIds::register(&mut obs.metrics);
         Self {
@@ -335,7 +339,12 @@ impl Collectors {
 
     /// Feeds one user's records through every collector. `mobile` is a
     /// reusable scratch buffer for the mobile-filtered view.
-    fn push_block(&mut self, block: &[LogRecord], mobile: &mut Vec<LogRecord>, tau_ms: u64) {
+    pub(crate) fn push_block(
+        &mut self,
+        block: &[LogRecord],
+        mobile: &mut Vec<LogRecord>,
+        tau_ms: u64,
+    ) {
         if block.is_empty() {
             return;
         }
@@ -367,7 +376,7 @@ impl Collectors {
 
     /// Absorbs the next shard's state (shards must be merged in ascending
     /// shard order for exact equality with the sequential pass).
-    fn merge(&mut self, other: Self) {
+    pub(crate) fn merge(&mut self, other: Self) {
         self.session_stats.merge(other.session_stats);
         self.filesize.merge(other.filesize);
         self.workload.merge(&other.workload);
@@ -381,7 +390,11 @@ impl Collectors {
         self.total_users += other.total_users;
     }
 
-    fn finish(mut self, tau: TauDerivation, cfg: &PipelineConfig) -> (FullAnalysis, Obs) {
+    pub(crate) fn finish(
+        mut self,
+        tau: TauDerivation,
+        cfg: &PipelineConfig,
+    ) -> (FullAnalysis, Obs) {
         let g = self.obs.metrics.gauge("pipeline.tau_ms");
         self.obs.metrics.set(g, tau.tau_ms() as i64);
         let obs = std::mem::take(&mut self.obs);

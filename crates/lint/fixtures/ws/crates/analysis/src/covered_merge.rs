@@ -1,0 +1,24 @@
+//! R4 counter-example: `CoveredAcc::merge` HAS a merge-law test and must
+//! not fire. Mirrors the ingest-report shard reduce in the real workspace.
+
+pub struct CoveredAcc {
+    pub records: u64,
+}
+
+impl CoveredAcc {
+    pub fn merge(&mut self, other: Self) {
+        self.records += other.records;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CoveredAcc;
+
+    #[test]
+    fn covered_acc_merge_law_shards_add() {
+        let mut left = CoveredAcc { records: 2 };
+        left.merge(CoveredAcc { records: 3 });
+        assert_eq!(left.records, 5);
+    }
+}

@@ -1,2 +1,3 @@
 #![forbid(unsafe_code)]
 pub mod bad_merge;
+pub mod covered_merge;

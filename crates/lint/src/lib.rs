@@ -16,4 +16,4 @@
 pub mod rules;
 pub mod scanner;
 
-pub use rules::{run_lint, Diagnostic, LIB_CRATES};
+pub use rules::{diagnostics_to_json, run_lint, Diagnostic, LIB_CRATES};

@@ -86,13 +86,7 @@ fn main() -> ExitCode {
     };
 
     if json {
-        match serde_json::to_string_pretty(&diags) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("mcs-lint: {e}");
-                return ExitCode::from(2);
-            }
-        }
+        println!("{}", mcs_lint::diagnostics_to_json(&diags));
     } else {
         for d in &diags {
             println!("{d}");

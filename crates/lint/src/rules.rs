@@ -50,6 +50,52 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a pretty-printed JSON array (one object per
+/// diagnostic, stable field order) for `mcs-lint --json` consumers.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"rule\": \"{}\",\n", json_escape(d.rule)));
+        out.push_str(&format!("    \"name\": \"{}\",\n", json_escape(d.name)));
+        out.push_str(&format!("    \"file\": \"{}\",\n", json_escape(&d.file)));
+        out.push_str(&format!("    \"line\": {},\n", d.line));
+        out.push_str(&format!(
+            "    \"message\": \"{}\"\n",
+            json_escape(&d.message)
+        ));
+        out.push_str(if i + 1 < diags.len() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
+    }
+    out.push(']');
+    out
+}
+
 /// Methods that iterate a map/set in storage order.
 const ITER_METHODS: &[&str] = &[
     "iter",

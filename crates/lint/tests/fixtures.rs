@@ -73,6 +73,24 @@ fn allow_comments_and_test_code_suppress() {
 }
 
 #[test]
+fn covered_merge_impl_does_not_fire_r4() {
+    // crates/analysis/src/covered_merge.rs defines a merge impl WITH a
+    // same-crate merge-law test; R4 must stay quiet about it while still
+    // flagging the uncovered ShardAcc next door.
+    let diags = fixture_diags();
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.file == "crates/analysis/src/covered_merge.rs"),
+        "covered merge impl leaked a diagnostic: {diags:#?}"
+    );
+    assert!(
+        !diags.iter().any(|d| d.message.contains("CoveredAcc")),
+        "CoveredAcc must be vouched for by its test: {diags:#?}"
+    );
+}
+
+#[test]
 fn workspace_self_check_is_clean() {
     let diags = run_lint(&workspace_root()).unwrap();
     assert!(

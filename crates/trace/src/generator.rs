@@ -321,7 +321,7 @@ impl BlockSource for TraceGenerator {
 }
 
 /// Global trace order: timestamp, then user, then device.
-fn sort_key(r: &LogRecord) -> (u64, u64, u64) {
+pub(crate) fn sort_key(r: &LogRecord) -> (u64, u64, u64) {
     (r.timestamp_ms, r.user_id, r.device_id)
 }
 

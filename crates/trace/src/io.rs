@@ -1,18 +1,26 @@
-//! Trace serialisation: JSON-lines and a compact CSV form.
+//! Trace serialisation: JSON-lines, a compact CSV form, and the binary
+//! columnar `.mct` shard format (see [`crate::columnar`]).
 //!
 //! The public dataset the paper released was a flat log file; these
 //! readers/writers let generated traces round-trip through files so the
 //! analysis pipeline can be pointed at stored traces, not only live
-//! generators. Both formats stream record-by-record.
+//! generators. Every format streams record-by-record in both directions:
+//! the readers are thin adapters over iterator cores
+//! ([`JsonlRecords`]/[`CsvRecords`]/[`crate::columnar::ColumnarRecords`],
+//! unified under [`RecordStream`]) that never hold the full trace, and the
+//! writers are push-style ([`TraceWriter`]) so a shard can be produced
+//! without materialising it.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
+use crate::columnar::{ColumnarRecords, ColumnarWriter};
 use crate::record::{DeviceType, Direction, LogRecord, RequestType};
 
-/// Why reading a trace file failed. Every variant names the offending
-/// line, so malformed logs surface as actionable diagnostics instead of
-/// panics or stringly-typed `io::Error`s.
+/// Why reading a trace file failed. Every variant carries a location —
+/// line number for the text formats, block/record coordinates for the
+/// columnar format — so malformed logs surface as actionable diagnostics
+/// instead of panics or stringly-typed `io::Error`s.
 #[derive(Debug)]
 pub enum ReadError {
     /// The underlying reader failed.
@@ -23,8 +31,8 @@ pub enum ReadError {
     Json {
         /// 1-based line number.
         line: usize,
-        /// The serde error.
-        source: serde_json::Error,
+        /// The parse error.
+        source: JsonError,
     },
     /// A CSV line had the wrong number of fields.
     FieldCount {
@@ -40,14 +48,81 @@ pub enum ReadError {
         /// Which field was malformed.
         field: &'static str,
     },
-    /// A lossy reader quarantined more malformed lines than its
+    /// The file does not start with the `.mct` magic bytes.
+    BadMagic,
+    /// The `.mct` header declares a format version this reader does not
+    /// speak.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The `.mct` header failed its checksum — the header bytes are
+    /// damaged, so nothing after them can be trusted.
+    HeaderChecksum {
+        /// Checksum recomputed from the header fields.
+        expected: u64,
+        /// Checksum stored in the file.
+        found: u64,
+    },
+    /// A `.mct` file ended in the middle of a header or block.
+    Truncated {
+        /// Byte offset where the structure was cut short.
+        offset: u64,
+    },
+    /// A `.mct` block's framing is internally inconsistent (lengths and
+    /// counts disagree, or exceed the format's sanity caps).
+    CorruptBlock {
+        /// 0-based block index within the shard.
+        block: u64,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A `.mct` record referenced a dictionary entry that does not exist
+    /// yet — one damaged record, not a damaged shard.
+    DictIndex {
+        /// 0-based block index within the shard.
+        block: u64,
+        /// 0-based record index within the block.
+        record: u32,
+        /// The out-of-range index.
+        index: u32,
+        /// Dictionary length at that point in the stream.
+        len: u32,
+    },
+    /// A `.mct` record carried an op-code byte outside the valid range.
+    OpCode {
+        /// 0-based block index within the shard.
+        block: u64,
+        /// 0-based record index within the block.
+        record: u32,
+        /// The invalid byte.
+        code: u8,
+    },
+    /// A lossy reader quarantined more malformed records than its
     /// [`ErrorBudget`] allows; the file is junk, not merely scuffed.
     ErrorBudgetExceeded {
-        /// Malformed lines seen when the reader gave up.
+        /// Malformed records seen when the reader gave up.
         errors: usize,
         /// The budget that was exceeded.
         budget: usize,
     },
+}
+
+impl ReadError {
+    /// `true` for damage confined to a single record — the kind a lossy
+    /// reader quarantines and reads past. Structural damage (I/O failure,
+    /// bad header, truncation, inconsistent block framing) is fatal: the
+    /// stream cannot be trusted beyond it.
+    pub fn is_record_level(&self) -> bool {
+        matches!(
+            self,
+            ReadError::Json { .. }
+                | ReadError::FieldCount { .. }
+                | ReadError::Field { .. }
+                | ReadError::DictIndex { .. }
+                | ReadError::OpCode { .. }
+        )
+    }
 }
 
 impl fmt::Display for ReadError {
@@ -62,6 +137,40 @@ impl fmt::Display for ReadError {
             ReadError::Field { line, field } => {
                 write!(f, "line {line}: malformed {field} field")
             }
+            ReadError::BadMagic => write!(f, "not a .mct trace shard (bad magic bytes)"),
+            ReadError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported .mct version {found} (this reader speaks version {})",
+                    crate::columnar::VERSION
+                )
+            }
+            ReadError::HeaderChecksum { expected, found } => {
+                write!(
+                    f,
+                    "header checksum mismatch (expected {expected:#018x}, found {found:#018x})"
+                )
+            }
+            ReadError::Truncated { offset } => {
+                write!(f, "unexpected end of file at byte {offset}")
+            }
+            ReadError::CorruptBlock { block, reason } => {
+                write!(f, "block {block}: {reason}")
+            }
+            ReadError::DictIndex {
+                block,
+                record,
+                index,
+                len,
+            } => write!(
+                f,
+                "block {block} record {record}: dictionary index {index} out of range (len {len})"
+            ),
+            ReadError::OpCode {
+                block,
+                record,
+                code,
+            } => write!(f, "block {block} record {record}: invalid op code {code}"),
             ReadError::ErrorBudgetExceeded { errors, budget } => {
                 write!(
                     f,
@@ -88,6 +197,485 @@ impl From<io::Error> for ReadError {
     }
 }
 
+/// Why one JSON line failed to parse as a [`LogRecord`].
+///
+/// The JSONL codec is hand-rolled against the fixed Table 1 schema (the
+/// derived-serde encoding: struct fields in declaration order, enum
+/// variants as `"Android"` / `{"Chunk":"Store"}`), so trace files need no
+/// external JSON machinery on the hot ingest path.
+#[derive(Debug)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Minimal JSON cursor for [`parse_json_record`] — supports exactly the
+/// value shapes the Table 1 schema emits, plus generic skipping so lines
+/// with extra fields still parse (mirroring serde's ignore-unknown
+/// default).
+struct JsonParser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    /// Parses a string with no escape sequences (none of the schema's
+    /// strings contain any).
+    fn string(&mut self) -> Result<&'a str, JsonError> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        while let Some(&c) = self.b.get(self.pos) {
+            match c {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.b[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => return Err(self.err("escape sequences unsupported")),
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number_slice(&mut self) -> Result<&'a str, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&c) = self.b.get(self.pos) {
+            match c {
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' => self.pos += 1,
+                _ => break,
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected number"));
+        }
+        std::str::from_utf8(&self.b[start..self.pos]).map_err(|_| self.err("invalid number"))
+    }
+
+    fn u64(&mut self) -> Result<u64, JsonError> {
+        let s = self.number_slice()?;
+        s.parse()
+            .map_err(|_| self.err(&format!("invalid u64 `{s}`")))
+    }
+
+    fn f64(&mut self) -> Result<f64, JsonError> {
+        let s = self.number_slice()?;
+        s.parse()
+            .map_err(|_| self.err(&format!("invalid f64 `{s}`")))
+    }
+
+    fn bool(&mut self) -> Result<bool, JsonError> {
+        match self.peek() {
+            Some(b't') => self.eat_lit("true").map(|()| true),
+            Some(b'f') => self.eat_lit("false").map(|()| false),
+            _ => Err(self.err("expected bool")),
+        }
+    }
+
+    /// Skips one value of any shape (for unknown fields).
+    fn skip_value(&mut self) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.eat_lit("true"),
+            Some(b'f') => self.eat_lit("false"),
+            Some(b'n') => self.eat_lit("null"),
+            Some(b'{') => {
+                self.eat(b'{')?;
+                if self.peek() == Some(b'}') {
+                    return self.eat(b'}');
+                }
+                loop {
+                    self.string()?;
+                    self.eat(b':')?;
+                    self.skip_value()?;
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => return self.eat(b'}'),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                if self.peek() == Some(b']') {
+                    return self.eat(b']');
+                }
+                loop {
+                    self.skip_value()?;
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => return self.eat(b']'),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number_slice().map(|_| ()),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+}
+
+/// Parses one JSON line in the derived-serde [`LogRecord`] encoding.
+/// Unknown fields are skipped; missing fields are errors.
+pub(crate) fn parse_json_record(line: &str) -> Result<LogRecord, JsonError> {
+    let mut p = JsonParser {
+        b: line.as_bytes(),
+        pos: 0,
+    };
+    let mut timestamp_ms = None;
+    let mut device_type = None;
+    let mut device_id = None;
+    let mut user_id = None;
+    let mut request = None;
+    let mut volume_bytes = None;
+    let mut processing_ms = None;
+    let mut srv_ms = None;
+    let mut rtt_ms = None;
+    let mut proxied = None;
+
+    let direction = |p: &mut JsonParser<'_>| -> Result<Direction, JsonError> {
+        match p.string()? {
+            "Store" => Ok(Direction::Store),
+            "Retrieve" => Ok(Direction::Retrieve),
+            other => Err(JsonError::new(format!("unknown direction `{other}`"))),
+        }
+    };
+
+    p.eat(b'{')?;
+    if p.peek() == Some(b'}') {
+        p.eat(b'}')?;
+    } else {
+        loop {
+            let key = p.string()?;
+            p.eat(b':')?;
+            match key {
+                "timestamp_ms" => timestamp_ms = Some(p.u64()?),
+                "device_id" => device_id = Some(p.u64()?),
+                "user_id" => user_id = Some(p.u64()?),
+                "volume_bytes" => volume_bytes = Some(p.u64()?),
+                "processing_ms" => processing_ms = Some(p.f64()?),
+                "srv_ms" => srv_ms = Some(p.f64()?),
+                "rtt_ms" => rtt_ms = Some(p.f64()?),
+                "proxied" => proxied = Some(p.bool()?),
+                "device_type" => {
+                    device_type = Some(match p.string()? {
+                        "Android" => DeviceType::Android,
+                        "Ios" => DeviceType::Ios,
+                        "Pc" => DeviceType::Pc,
+                        other => {
+                            return Err(JsonError::new(format!("unknown device_type `{other}`")))
+                        }
+                    })
+                }
+                "request" => {
+                    p.eat(b'{')?;
+                    let variant = p.string()?;
+                    p.eat(b':')?;
+                    let dir = direction(&mut p)?;
+                    request = Some(match variant {
+                        "FileOp" => RequestType::FileOp(dir),
+                        "Chunk" => RequestType::Chunk(dir),
+                        other => return Err(JsonError::new(format!("unknown request `{other}`"))),
+                    });
+                    p.eat(b'}')?;
+                }
+                _ => p.skip_value()?,
+            }
+            match p.peek() {
+                Some(b',') => p.eat(b',')?,
+                Some(b'}') => {
+                    p.eat(b'}')?;
+                    break;
+                }
+                _ => return Err(p.err("expected ',' or '}'")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(p.err("trailing characters"));
+    }
+
+    let missing = |name: &str| JsonError::new(format!("missing field `{name}`"));
+    Ok(LogRecord {
+        timestamp_ms: timestamp_ms.ok_or_else(|| missing("timestamp_ms"))?,
+        device_type: device_type.ok_or_else(|| missing("device_type"))?,
+        device_id: device_id.ok_or_else(|| missing("device_id"))?,
+        user_id: user_id.ok_or_else(|| missing("user_id"))?,
+        request: request.ok_or_else(|| missing("request"))?,
+        volume_bytes: volume_bytes.ok_or_else(|| missing("volume_bytes"))?,
+        processing_ms: processing_ms.ok_or_else(|| missing("processing_ms"))?,
+        srv_ms: srv_ms.ok_or_else(|| missing("srv_ms"))?,
+        rtt_ms: rtt_ms.ok_or_else(|| missing("rtt_ms"))?,
+        proxied: proxied.ok_or_else(|| missing("proxied"))?,
+    })
+}
+
+// ------------------------------------------------------- streaming cores
+
+/// Streaming JSON-lines reader: an iterator of
+/// `Result<LogRecord, ReadError>`. Blank lines are skipped; line numbers
+/// in diagnostics are 1-based and count every physical line. An I/O error
+/// is fatal and ends the stream; a malformed line is yielded as a
+/// record-level `Err` and the stream continues.
+pub struct JsonlRecords<R: BufRead> {
+    lines: io::Lines<R>,
+    line_no: usize,
+    done: bool,
+}
+
+impl<R: BufRead> JsonlRecords<R> {
+    /// Wraps a reader positioned at the start of a JSON-lines trace.
+    pub fn new(r: R) -> Self {
+        Self {
+            lines: r.lines(),
+            line_no: 0,
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for JsonlRecords<R> {
+    type Item = Result<LogRecord, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let line = match self.lines.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Some(Ok(line)) => line,
+            };
+            self.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(parse_json_record(&line).map_err(|source| ReadError::Json {
+                line: self.line_no,
+                source,
+            }));
+        }
+    }
+}
+
+/// Streaming CSV reader: an iterator of `Result<LogRecord, ReadError>`.
+/// The header is checked on the first pull — empty input is an empty
+/// trace, a wrong header is a fatal [`ReadError::BadHeader`]. Blank body
+/// lines are skipped; line numbers count every physical line including
+/// the header. Malformed body lines are record-level errors; I/O errors
+/// are fatal.
+pub struct CsvRecords<R: BufRead> {
+    lines: io::Lines<R>,
+    line_no: usize,
+    header_checked: bool,
+    done: bool,
+}
+
+impl<R: BufRead> CsvRecords<R> {
+    /// Wraps a reader positioned at the start of a CSV trace (header
+    /// line included).
+    pub fn new(r: R) -> Self {
+        Self {
+            lines: r.lines(),
+            line_no: 0,
+            header_checked: false,
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for CsvRecords<R> {
+    type Item = Result<LogRecord, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if !self.header_checked {
+            self.header_checked = true;
+            match self.lines.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Some(Ok(h)) => {
+                    self.line_no += 1;
+                    if h.trim() != CSV_HEADER {
+                        self.done = true;
+                        return Some(Err(ReadError::BadHeader));
+                    }
+                }
+            }
+        }
+        loop {
+            let line = match self.lines.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Some(Ok(line)) => line,
+            };
+            self.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(parse_csv_record(self.line_no, &line));
+        }
+    }
+}
+
+/// A streaming reader over any [`TraceFormat`], yielding
+/// `Result<LogRecord, ReadError>` without ever holding the full trace.
+///
+/// Record-level errors (see [`ReadError::is_record_level`]) leave the
+/// stream usable; fatal errors end it. [`collect_records`] and
+/// [`collect_records_lossy`] are the strict/quarantining terminal
+/// adapters every `read_*` function in this module is built from.
+pub enum RecordStream<R: BufRead> {
+    /// JSON lines.
+    Jsonl(JsonlRecords<R>),
+    /// CSV with [`CSV_HEADER`].
+    Csv(CsvRecords<R>),
+    /// Binary columnar `.mct` shard.
+    Columnar(ColumnarRecords<R>),
+}
+
+impl<R: BufRead> RecordStream<R> {
+    /// Wraps a reader positioned at the start of a trace in `format`.
+    pub fn new(r: R, format: TraceFormat) -> Self {
+        match format {
+            TraceFormat::Jsonl => RecordStream::Jsonl(JsonlRecords::new(r)),
+            TraceFormat::Csv => RecordStream::Csv(CsvRecords::new(r)),
+            TraceFormat::Columnar => RecordStream::Columnar(ColumnarRecords::new(r)),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for RecordStream<R> {
+    type Item = Result<LogRecord, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RecordStream::Jsonl(s) => s.next(),
+            RecordStream::Csv(s) => s.next(),
+            RecordStream::Columnar(s) => s.next(),
+        }
+    }
+}
+
+/// Opens `path` as a buffered [`RecordStream`] in `format`.
+pub fn open_trace(
+    path: &std::path::Path,
+    format: TraceFormat,
+) -> io::Result<RecordStream<io::BufReader<std::fs::File>>> {
+    let file = std::fs::File::open(path)?;
+    Ok(RecordStream::new(io::BufReader::new(file), format))
+}
+
+/// Strict terminal adapter: collects a record stream into a `Vec`,
+/// failing on the first error of any kind.
+pub fn collect_records(
+    stream: impl Iterator<Item = Result<LogRecord, ReadError>>,
+) -> Result<Vec<LogRecord>, ReadError> {
+    let mut out = Vec::new();
+    for item in stream {
+        out.push(item?);
+    }
+    Ok(out)
+}
+
+/// Lossy terminal adapter: collects a record stream, quarantining
+/// record-level errors under `budget`. Fatal errors (I/O, bad header,
+/// truncation, corrupt framing) still fail the whole read, as does
+/// blowing the budget ([`ReadError::ErrorBudgetExceeded`]).
+pub fn collect_records_lossy(
+    stream: impl Iterator<Item = Result<LogRecord, ReadError>>,
+    budget: ErrorBudget,
+) -> Result<LossyRead, ReadError> {
+    let mut out = LossyRead::default();
+    for item in stream {
+        match item {
+            Ok(rec) => out.records.push(rec),
+            Err(e) if e.is_record_level() => {
+                out.quarantined.push(e);
+                if out.quarantined.len() > budget.max_errors {
+                    return Err(ReadError::ErrorBudgetExceeded {
+                        errors: out.quarantined.len(),
+                        budget: budget.max_errors,
+                    });
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------- adapters
+
 /// Writes records as JSON lines (one serde-serialised record per line).
 pub fn write_jsonl<W: Write>(
     mut w: W,
@@ -95,8 +683,7 @@ pub fn write_jsonl<W: Write>(
 ) -> io::Result<usize> {
     let mut n = 0;
     for r in records {
-        serde_json::to_writer(&mut w, &r)?;
-        w.write_all(b"\n")?;
+        write_jsonl_record(&mut w, &r)?;
         n += 1;
     }
     Ok(n)
@@ -104,19 +691,7 @@ pub fn write_jsonl<W: Write>(
 
 /// Reads JSON-lines records, failing on the first malformed line.
 pub fn read_jsonl<R: BufRead>(r: R) -> Result<Vec<LogRecord>, ReadError> {
-    let mut out = Vec::new();
-    for (i, line) in r.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let rec: LogRecord = serde_json::from_str(&line).map_err(|source| ReadError::Json {
-            line: i + 1,
-            source,
-        })?;
-        out.push(rec);
-    }
-    Ok(out)
+    collect_records(JsonlRecords::new(r))
 }
 
 /// Cap on malformed lines a lossy reader quarantines before declaring the
@@ -167,29 +742,7 @@ impl LossyRead {
 /// broken, not a line), and blowing the [`ErrorBudget`] returns
 /// [`ReadError::ErrorBudgetExceeded`].
 pub fn read_jsonl_lossy<R: BufRead>(r: R, budget: ErrorBudget) -> Result<LossyRead, ReadError> {
-    let mut out = LossyRead::default();
-    for (i, line) in r.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str(&line) {
-            Ok(rec) => out.records.push(rec),
-            Err(source) => {
-                out.quarantined.push(ReadError::Json {
-                    line: i + 1,
-                    source,
-                });
-                if out.quarantined.len() > budget.max_errors {
-                    return Err(ReadError::ErrorBudgetExceeded {
-                        errors: out.quarantined.len(),
-                        budget: budget.max_errors,
-                    });
-                }
-            }
-        }
-    }
-    Ok(out)
+    collect_records_lossy(JsonlRecords::new(r), budget)
 }
 
 /// CSV header used by [`write_csv`].
@@ -232,6 +785,73 @@ fn parse_request(s: &str) -> Option<RequestType> {
     }
 }
 
+/// Formats an `f64` as JSON: shortest round-trip decimal for finite
+/// values, `null` for non-finite ones (matching serde_json).
+struct JsonF64(f64);
+
+impl fmt::Display for JsonF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_finite() {
+            write!(f, "{:?}", self.0)
+        } else {
+            f.write_str("null")
+        }
+    }
+}
+
+/// Serialises one record as a JSON line in the derived-serde encoding
+/// ([`parse_json_record`] is the inverse).
+pub(crate) fn write_jsonl_record<W: Write>(mut w: W, r: &LogRecord) -> io::Result<()> {
+    let device_type = match r.device_type {
+        DeviceType::Android => "Android",
+        DeviceType::Ios => "Ios",
+        DeviceType::Pc => "Pc",
+    };
+    let (req_variant, dir) = match r.request {
+        RequestType::FileOp(d) => ("FileOp", d),
+        RequestType::Chunk(d) => ("Chunk", d),
+    };
+    let direction = match dir {
+        Direction::Store => "Store",
+        Direction::Retrieve => "Retrieve",
+    };
+    writeln!(
+        w,
+        "{{\"timestamp_ms\":{},\"device_type\":\"{}\",\"device_id\":{},\"user_id\":{},\
+         \"request\":{{\"{}\":\"{}\"}},\"volume_bytes\":{},\"processing_ms\":{},\
+         \"srv_ms\":{},\"rtt_ms\":{},\"proxied\":{}}}",
+        r.timestamp_ms,
+        device_type,
+        r.device_id,
+        r.user_id,
+        req_variant,
+        direction,
+        r.volume_bytes,
+        JsonF64(r.processing_ms),
+        JsonF64(r.srv_ms),
+        JsonF64(r.rtt_ms),
+        r.proxied,
+    )
+}
+
+/// Serialises one record as a CSV body line.
+fn write_csv_record<W: Write>(mut w: W, r: &LogRecord) -> io::Result<()> {
+    writeln!(
+        w,
+        "{},{},{},{},{},{},{},{},{},{}",
+        r.timestamp_ms,
+        device_str(r.device_type),
+        r.device_id,
+        r.user_id,
+        request_str(r.request),
+        r.volume_bytes,
+        r.processing_ms,
+        r.srv_ms,
+        r.rtt_ms,
+        r.proxied as u8,
+    )
+}
+
 /// Writes records as CSV with [`CSV_HEADER`]. No field can contain commas,
 /// so no quoting is needed.
 pub fn write_csv<W: Write>(
@@ -241,20 +861,7 @@ pub fn write_csv<W: Write>(
     writeln!(w, "{CSV_HEADER}")?;
     let mut n = 0;
     for r in records {
-        writeln!(
-            w,
-            "{},{},{},{},{},{},{},{},{},{}",
-            r.timestamp_ms,
-            device_str(r.device_type),
-            r.device_id,
-            r.user_id,
-            request_str(r.request),
-            r.volume_bytes,
-            r.processing_ms,
-            r.srv_ms,
-            r.rtt_ms,
-            r.proxied as u8,
-        )?;
+        write_csv_record(&mut w, &r)?;
         n += 1;
     }
     Ok(n)
@@ -293,22 +900,7 @@ fn parse_csv_record(line_no: usize, line: &str) -> Result<LogRecord, ReadError> 
 
 /// Reads CSV produced by [`write_csv`] (header required).
 pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<LogRecord>, ReadError> {
-    let mut lines = r.lines().enumerate();
-    match lines.next() {
-        Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
-        Some((_, Ok(_))) => return Err(ReadError::BadHeader),
-        Some((_, Err(e))) => return Err(e.into()),
-        None => return Ok(Vec::new()),
-    }
-    let mut out = Vec::new();
-    for (i, line) in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        out.push(parse_csv_record(i + 1, &line)?);
-    }
-    Ok(out)
+    collect_records(CsvRecords::new(r))
 }
 
 /// Reads CSV, quarantining malformed body lines instead of failing on the
@@ -316,33 +908,7 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<LogRecord>, ReadError> {
 /// file misidentified, not a scuffed line — as are I/O errors. Blowing the
 /// [`ErrorBudget`] returns [`ReadError::ErrorBudgetExceeded`].
 pub fn read_csv_lossy<R: BufRead>(r: R, budget: ErrorBudget) -> Result<LossyRead, ReadError> {
-    let mut lines = r.lines().enumerate();
-    match lines.next() {
-        Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
-        Some((_, Ok(_))) => return Err(ReadError::BadHeader),
-        Some((_, Err(e))) => return Err(e.into()),
-        None => return Ok(LossyRead::default()),
-    }
-    let mut out = LossyRead::default();
-    for (i, line) in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match parse_csv_record(i + 1, &line) {
-            Ok(rec) => out.records.push(rec),
-            Err(e) => {
-                out.quarantined.push(e);
-                if out.quarantined.len() > budget.max_errors {
-                    return Err(ReadError::ErrorBudgetExceeded {
-                        errors: out.quarantined.len(),
-                        budget: budget.max_errors,
-                    });
-                }
-            }
-        }
-    }
-    Ok(out)
+    collect_records_lossy(CsvRecords::new(r), budget)
 }
 
 /// Trace file format.
@@ -352,51 +918,116 @@ pub enum TraceFormat {
     Jsonl,
     /// Compact CSV with [`CSV_HEADER`].
     Csv,
+    /// Binary columnar `.mct` shard (see [`crate::columnar`]): ~4× denser
+    /// than the text formats and decoded without per-record parsing.
+    Columnar,
+}
+
+impl TraceFormat {
+    /// Conventional file extension for this format.
+    pub fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Csv => "csv",
+            TraceFormat::Columnar => "mct",
+        }
+    }
+}
+
+/// Push-style streaming writer over any [`TraceFormat`]: create, [`push`]
+/// records one at a time, [`finish`]. Headers are written on creation;
+/// peak memory is one columnar block at most, never the trace.
+///
+/// [`push`]: TraceWriter::push
+/// [`finish`]: TraceWriter::finish
+pub enum TraceWriter<W: Write> {
+    /// JSON lines.
+    Jsonl {
+        /// Underlying writer.
+        w: W,
+        /// Records written so far.
+        written: u64,
+    },
+    /// CSV ([`CSV_HEADER`] already written).
+    Csv {
+        /// Underlying writer.
+        w: W,
+        /// Records written so far.
+        written: u64,
+    },
+    /// Binary columnar `.mct` shard (header already written).
+    Columnar(ColumnarWriter<W>),
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace in `format`, writing any header immediately.
+    pub fn new(mut w: W, format: TraceFormat) -> io::Result<Self> {
+        Ok(match format {
+            TraceFormat::Jsonl => TraceWriter::Jsonl { w, written: 0 },
+            TraceFormat::Csv => {
+                writeln!(w, "{CSV_HEADER}")?;
+                TraceWriter::Csv { w, written: 0 }
+            }
+            TraceFormat::Columnar => TraceWriter::Columnar(ColumnarWriter::new(w)?),
+        })
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, r: &LogRecord) -> io::Result<()> {
+        match self {
+            TraceWriter::Jsonl { w, written } => {
+                write_jsonl_record(&mut *w, r)?;
+                *written += 1;
+                Ok(())
+            }
+            TraceWriter::Csv { w, written } => {
+                write_csv_record(&mut *w, r)?;
+                *written += 1;
+                Ok(())
+            }
+            TraceWriter::Columnar(cw) => cw.push(r),
+        }
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        match self {
+            TraceWriter::Jsonl { written, .. } | TraceWriter::Csv { written, .. } => *written,
+            TraceWriter::Columnar(cw) => cw.records_written(),
+        }
+    }
+
+    /// Flushes any buffered tail (the trailing columnar block) and the
+    /// underlying writer, returning it with the total record count.
+    pub fn finish(self) -> io::Result<(W, u64)> {
+        match self {
+            TraceWriter::Jsonl { mut w, written } | TraceWriter::Csv { mut w, written } => {
+                w.flush()?;
+                Ok((w, written))
+            }
+            TraceWriter::Columnar(cw) => cw.finish(),
+        }
+    }
 }
 
 /// Writes a full generated trace to `path`, streaming user blocks in
 /// generation order (records are time-ordered *per user*; use
-/// [`crate::TraceGenerator::generate_sorted`] first if a globally sorted
-/// file is required).
+/// [`crate::TraceGenerator::generate_sorted`] or
+/// [`crate::TraceGenerator::write_sorted_trace_file`] if a globally
+/// sorted file is required).
 pub fn write_trace_file(
     gen: &crate::TraceGenerator,
     path: &std::path::Path,
     format: TraceFormat,
 ) -> io::Result<u64> {
     let file = std::fs::File::create(path)?;
-    let mut w = std::io::BufWriter::new(file);
-    let mut written = 0u64;
-    match format {
-        TraceFormat::Jsonl => {
-            for block in gen.iter_user_records() {
-                written += write_jsonl(&mut w, block)? as u64;
-            }
-        }
-        TraceFormat::Csv => {
-            writeln!(w, "{CSV_HEADER}")?;
-            for block in gen.iter_user_records() {
-                for r in block {
-                    writeln!(
-                        w,
-                        "{},{},{},{},{},{},{},{},{},{}",
-                        r.timestamp_ms,
-                        device_str(r.device_type),
-                        r.device_id,
-                        r.user_id,
-                        request_str(r.request),
-                        r.volume_bytes,
-                        r.processing_ms,
-                        r.srv_ms,
-                        r.rtt_ms,
-                        r.proxied as u8,
-                    )?;
-                    written += 1;
-                }
-            }
+    let mut w = TraceWriter::new(std::io::BufWriter::new(file), format)?;
+    for block in gen.iter_user_records() {
+        for r in block {
+            w.push(&r)?;
         }
     }
-    use std::io::Write as _;
-    w.flush()?;
+    let (_, written) = w.finish()?;
     Ok(written)
 }
 
@@ -548,6 +1179,45 @@ mod tests {
     }
 
     #[test]
+    fn record_level_classification() {
+        assert!(ReadError::Json {
+            line: 1,
+            source: parse_json_record("{").unwrap_err(),
+        }
+        .is_record_level());
+        assert!(ReadError::FieldCount { line: 1, got: 3 }.is_record_level());
+        assert!(ReadError::DictIndex {
+            block: 0,
+            record: 0,
+            index: 1,
+            len: 0
+        }
+        .is_record_level());
+        assert!(ReadError::OpCode {
+            block: 0,
+            record: 0,
+            code: 255
+        }
+        .is_record_level());
+        assert!(!ReadError::BadHeader.is_record_level());
+        assert!(!ReadError::BadMagic.is_record_level());
+        assert!(!ReadError::Truncated { offset: 7 }.is_record_level());
+        assert!(!ReadError::Io(io::Error::other("x")).is_record_level());
+    }
+
+    #[test]
+    fn streaming_iterator_continues_past_record_errors() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, sample_records()).unwrap();
+        buf.extend_from_slice(b"not json\n");
+        write_jsonl(&mut buf, sample_records()).unwrap();
+        let items: Vec<_> = JsonlRecords::new(BufReader::new(&buf[..])).collect();
+        assert_eq!(items.len(), 7);
+        assert!(items[3].is_err());
+        assert_eq!(items.iter().filter(|i| i.is_ok()).count(), 6);
+    }
+
+    #[test]
     fn lossy_jsonl_quarantines_garbage_lines() {
         let recs = sample_records();
         let mut buf = Vec::new();
@@ -636,6 +1306,46 @@ mod tests {
     }
 
     #[test]
+    fn trace_writer_matches_batch_writers_per_format() {
+        let recs = sample_records();
+        for format in [TraceFormat::Jsonl, TraceFormat::Csv, TraceFormat::Columnar] {
+            let mut streamed = Vec::new();
+            let mut w = TraceWriter::new(&mut streamed, format).unwrap();
+            for r in &recs {
+                w.push(r).unwrap();
+            }
+            assert_eq!(w.records_written(), 3);
+            let (_, n) = w.finish().unwrap();
+            assert_eq!(n, 3);
+
+            let mut batch = Vec::new();
+            match format {
+                TraceFormat::Jsonl => {
+                    write_jsonl(&mut batch, recs.clone()).unwrap();
+                }
+                TraceFormat::Csv => {
+                    write_csv(&mut batch, recs.clone()).unwrap();
+                }
+                TraceFormat::Columnar => {
+                    crate::columnar::write_columnar(&mut batch, recs.clone()).unwrap();
+                }
+            }
+            assert_eq!(streamed, batch, "{format:?}");
+
+            let back =
+                collect_records(RecordStream::new(BufReader::new(&streamed[..]), format)).unwrap();
+            assert_eq!(back, recs, "{format:?}");
+        }
+    }
+
+    #[test]
+    fn format_extensions() {
+        assert_eq!(TraceFormat::Jsonl.extension(), "jsonl");
+        assert_eq!(TraceFormat::Csv.extension(), "csv");
+        assert_eq!(TraceFormat::Columnar.extension(), "mct");
+    }
+
+    #[test]
     fn trace_file_round_trip() {
         use crate::{TraceConfig, TraceGenerator};
         let gen = TraceGenerator::new(TraceConfig {
@@ -647,16 +1357,29 @@ mod tests {
         let dir = std::env::temp_dir();
         let jsonl_path = dir.join("mcs-io-test.jsonl");
         let csv_path = dir.join("mcs-io-test.csv");
+        let mct_path = dir.join("mcs-io-test.mct");
         let n1 = write_trace_file(&gen, &jsonl_path, TraceFormat::Jsonl).unwrap();
         let n2 = write_trace_file(&gen, &csv_path, TraceFormat::Csv).unwrap();
+        let n3 = write_trace_file(&gen, &mct_path, TraceFormat::Columnar).unwrap();
         assert_eq!(n1, n2);
+        assert_eq!(n1, n3);
         assert!(n1 > 100);
         let back_jsonl =
             read_jsonl(BufReader::new(std::fs::File::open(&jsonl_path).unwrap())).unwrap();
         let back_csv = read_csv(BufReader::new(std::fs::File::open(&csv_path).unwrap())).unwrap();
+        let back_mct =
+            crate::columnar::read_columnar(BufReader::new(std::fs::File::open(&mct_path).unwrap()))
+                .unwrap();
         assert_eq!(back_jsonl, back_csv);
+        assert_eq!(back_jsonl, back_mct);
         assert_eq!(back_jsonl.len() as u64, n1);
+        assert!(
+            std::fs::metadata(&mct_path).unwrap().len()
+                < std::fs::metadata(&jsonl_path).unwrap().len() / 3,
+            "columnar shard should be far denser than JSONL"
+        );
         let _ = std::fs::remove_file(jsonl_path);
         let _ = std::fs::remove_file(csv_path);
+        let _ = std::fs::remove_file(mct_path);
     }
 }

@@ -30,18 +30,26 @@
 #![warn(missing_docs)]
 
 pub mod blocks;
+pub mod columnar;
 pub mod config;
 pub mod generator;
 pub mod io;
 pub mod netmodel;
 pub mod population;
+mod proptests;
 pub mod record;
 pub mod sessions;
+pub mod shard;
 
 pub use blocks::{effective_threads, shard_ranges, BlockSource};
+pub use columnar::{read_columnar, read_columnar_lossy, write_columnar, ColumnarWriter};
 pub use config::TraceConfig;
 pub use generator::TraceGenerator;
-pub use io::{read_csv_lossy, read_jsonl_lossy, ErrorBudget, LossyRead, ReadError};
+pub use io::{
+    open_trace, read_csv_lossy, read_jsonl_lossy, ErrorBudget, LossyRead, ReadError, RecordStream,
+    TraceFormat, TraceWriter,
+};
 pub use population::{ClientGroup, UserClass, UserProfile};
 pub use record::{DeviceType, Direction, LogRecord, RequestType, CHUNK_SIZE};
 pub use sessions::SessionPlan;
+pub use shard::ShardedTrace;

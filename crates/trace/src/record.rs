@@ -258,11 +258,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let r = sample_record();
-        let json = serde_json::to_string(&r).unwrap();
-        let back: LogRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(r, back);
+        let mut buf = Vec::new();
+        crate::io::write_jsonl(&mut buf, [r]).unwrap();
+        let back = crate::io::read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, vec![r]);
     }
 
     proptest! {

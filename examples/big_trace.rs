@@ -1,0 +1,108 @@
+//! Out-of-core trace tour: the generator streams a sharded trace straight
+//! to disk (JSONL and columnar `.mct`), and the streaming two-pass
+//! analysis reads it back without ever materialising the records — at any
+//! thread count, bit-identical to the in-memory pipeline.
+//!
+//! This is the 349 M-record workflow of the paper at example scale: the
+//! only thing that grows with the real trace is the disk files, not this
+//! process. `cargo run -p mcs-bench --bin trace_ingest` runs the same
+//! pipeline at the hundred-million-record scale and records the numbers
+//! in `BENCH_trace_ingest.json`.
+//!
+//! Run with `cargo run --release --example big_trace`.
+
+use mcs::analysis::{
+    analyze_observed, analyze_trace_stream_observed, par_analyze_shards_observed, PipelineConfig,
+};
+use mcs::obs::Obs;
+use mcs::trace::{ErrorBudget, TraceConfig, TraceFormat, TraceGenerator};
+
+fn main() {
+    let cfg = TraceConfig {
+        seed: 11,
+        mobile_users: 500,
+        pc_only_users: 120,
+        ..TraceConfig::default()
+    };
+    let gen = TraceGenerator::new(cfg).expect("valid trace config");
+
+    // Reference: the classic in-memory pipeline over generator blocks.
+    let pcfg = PipelineConfig::default();
+    let mut ref_obs = Obs::new();
+    let reference = analyze_observed(|| gen.iter_user_records(), &pcfg, &mut ref_obs);
+    println!(
+        "in-memory reference: {} records / {} users -> {} sessions, tau = {:.0} s",
+        reference.total_records,
+        reference.total_users,
+        reference.total_sessions,
+        reference.tau.tau_s
+    );
+
+    let dir = std::env::temp_dir().join("mcs-big-trace");
+    for format in [TraceFormat::Jsonl, TraceFormat::Columnar] {
+        // 1. Stream the trace to disk as shards: whole users per shard,
+        //    ascending user order — the grouping contract the streaming
+        //    readers rely on. Writing is itself out-of-core: each user's
+        //    records go straight to the file.
+        let sub = dir.join(format.extension());
+        let sharded = gen
+            .write_shards(&sub, format, 6)
+            .expect("shard write failed");
+        println!(
+            "{:>5}: {} shards, {} records, {} bytes ({:.1} B/record)",
+            format.extension(),
+            sharded.paths.len(),
+            sharded.records,
+            sharded.bytes,
+            sharded.bytes as f64 / sharded.records as f64
+        );
+
+        // 2. Stream it back: two passes over the shard files, holding at
+        //    most one user's records in memory.
+        let mut seq_obs = Obs::new();
+        let (streamed, report) = analyze_trace_stream_observed(
+            &sharded.paths,
+            format,
+            ErrorBudget::default(),
+            &pcfg,
+            &mut seq_obs,
+        )
+        .expect("streamed analysis failed");
+        assert_eq!(report.records, sharded.records);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(
+            streamed, reference,
+            "streamed analysis must be bit-identical to in-memory"
+        );
+
+        // 3. Shard-parallel ingest at several thread counts: same merge
+        //    monoid as par_analyze, so analysis AND metric snapshot stay
+        //    byte-identical.
+        let seq_snap = seq_obs.snapshot();
+        for threads in [1, 4] {
+            let mut par_obs = Obs::new();
+            let (par, par_report) = par_analyze_shards_observed(
+                &sharded.paths,
+                format,
+                ErrorBudget::default(),
+                &PipelineConfig { threads, ..pcfg },
+                &mut par_obs,
+            )
+            .expect("parallel streamed analysis failed");
+            assert_eq!(par, reference, "threads {threads}");
+            assert_eq!(par_report.records, report.records);
+            assert_eq!(
+                par_obs.snapshot().to_json(),
+                seq_snap.to_json(),
+                "metric snapshot must be byte-identical at {threads} threads"
+            );
+        }
+        println!(
+            "{:>5}: streamed == in-memory at 1, 4 threads; snapshot bytes identical",
+            format.extension()
+        );
+        let _ = std::fs::remove_dir_all(&sub);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("big_trace: out-of-core ingest verified in both formats");
+}

@@ -18,4 +18,10 @@ cargo run --release --example observability
 # snapshots (sim.* counters included) byte-identical across runs and
 # thread counts.
 cargo run --release --example fleet_replay
+# Out-of-core ingest: sharded JSONL + columnar traces streamed back
+# bit-identical to the in-memory pipeline at several thread counts.
+cargo run --release --example big_trace
+# Same pipeline across all three formats at smoke scale, plus the
+# columnar density floor.
+cargo run --release -p mcs-bench --bin trace_ingest -- --smoke
 echo "ci: all checks passed"
