@@ -157,16 +157,16 @@ fn draw_windows(seed: u64, stream: u64, horizon_ms: u64, per_day: f64, mean_ms: 
     let gap = Exponential::new(DAY_MS / per_day);
     let dur = Exponential::new(mean_ms);
     let mut spans = Vec::new();
-    let mut t = 0.0f64;
+    let mut cursor = 0.0f64;
     loop {
-        t += gap.sample(&mut rng);
-        if t >= horizon_ms as f64 {
+        cursor += gap.sample(&mut rng);
+        if cursor >= horizon_ms as f64 {
             break;
         }
-        let start = t as u64;
-        let end = (t + dur.sample(&mut rng).max(1.0)).min(horizon_ms as f64) as u64;
+        let start = cursor as u64;
+        let end = (cursor + dur.sample(&mut rng).max(1.0)).min(horizon_ms as f64) as u64;
         spans.push((start, end));
-        t = end as f64;
+        cursor = end as f64;
     }
     Windows::new(spans)
 }

@@ -1,0 +1,54 @@
+//! Planted R9 violation: float accumulation inside a shard `merge`,
+//! next to an integer counter-example and an allowed exact-sum
+//! look-alike. All three types share one merge-law test so R4 stays
+//! quiet and R9's verdict is isolated.
+
+/// VIOLATION (R9) host: f64 sums are merge-order-sensitive.
+pub struct FloatAcc {
+    pub jitter_f: f64,
+}
+
+impl FloatAcc {
+    pub fn merge(&mut self, other: &Self) {
+        self.jitter_f += other.jitter_f;
+    }
+}
+
+/// Counter-example: integer accumulation is exact in any merge order.
+pub struct SumAcc {
+    pub merged_rows: u64,
+}
+
+impl SumAcc {
+    pub fn merge(&mut self, other: &Self) {
+        self.merged_rows += other.merged_rows;
+    }
+}
+
+/// Suppression look-alike: exactness argued in the allow.
+pub struct ExactAcc {
+    pub exact_units: f64,
+}
+
+impl ExactAcc {
+    pub fn merge(&mut self, other: &Self) {
+        // mcs-lint: allow(float-merge, fixture: integer-valued f64 below 2^53 so sums are exact)
+        self.exact_units += other.exact_units;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{ExactAcc, FloatAcc, SumAcc};
+
+    #[test]
+    fn fixture_merge_law_shards_add() {
+        let mut f = FloatAcc { jitter_f: 1.5 };
+        f.merge(&FloatAcc { jitter_f: 2.5 });
+        let mut s = SumAcc { merged_rows: 2 };
+        s.merge(&SumAcc { merged_rows: 3 });
+        let mut e = ExactAcc { exact_units: 4.0 };
+        e.merge(&ExactAcc { exact_units: 5.0 });
+        assert_eq!((f.jitter_f, s.merged_rows, e.exact_units), (4.0, 5, 9.0));
+    }
+}

@@ -1,3 +1,4 @@
 #![forbid(unsafe_code)]
+pub mod bad_float_merge;
 pub mod bad_merge;
 pub mod covered_merge;

@@ -1,3 +1,9 @@
 //! Planted R5 violation: crate root lacks `#![forbid(unsafe_code)]`.
+//! Also hosts the planted R10 violation — a stale allow — and its
+//! look-alike: prose that merely mentions allow(panic, ...) without the
+//! marker prefix is not an annotation and must register nothing.
 
+/// VIOLATION (R10): this allow once suppressed an `unwrap` that has
+/// since been rewritten away; the annotation outlived the hazard.
+// mcs-lint: allow(panic, fixture: caller guarantees non-empty)
 pub fn noop() {}

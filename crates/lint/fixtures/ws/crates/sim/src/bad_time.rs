@@ -1,0 +1,20 @@
+//! Planted R6 violation: bare time arithmetic, next to a saturating
+//! counter-example and an allowed modular-wheel look-alike.
+
+pub type Time = u64;
+
+/// VIOLATION (R6): a wrapped deadline silently reorders the event queue.
+pub fn deadline(now: Time, delay: Time) -> Time {
+    now + delay
+}
+
+/// Counter-example: clamping to the far future is explicit semantics.
+pub fn deadline_clamped(now: Time, delay: Time) -> Time {
+    now.saturating_add(delay)
+}
+
+/// Suppression look-alike: the same shape under an allow with a reason.
+// mcs-lint: allow(time-arith, fixture: wheel slot index wraps by design)
+pub fn wheel_slot(now: Time, step: Time) -> Time {
+    now + step
+}

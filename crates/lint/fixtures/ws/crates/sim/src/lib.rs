@@ -1,8 +1,9 @@
-//! Fixture sim crate: clean. A minimal event queue with no planted
-//! violations, so adding the crate to `LIB_CRATES` changes no per-rule
-//! diagnostic counts.
+//! Fixture sim crate: hosts the planted R6 violation (`bad_time`)
+//! alongside a clean minimal event queue.
 
 #![forbid(unsafe_code)]
+
+pub mod bad_time;
 
 pub struct EventQueue {
     pub pending: Vec<u64>,

@@ -1,2 +1,3 @@
 #![forbid(unsafe_code)]
 pub mod bad_iter;
+pub mod metrics_site;

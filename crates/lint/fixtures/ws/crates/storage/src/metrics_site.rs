@@ -1,0 +1,33 @@
+//! Planted R8 violation: `fixture.unlisted` is registered but absent
+//! from METRICS.md, next to a listed counter-example and an allowed
+//! dynamic-name look-alike.
+
+/// A stand-in for the obs registry (the fixture tree has no deps).
+pub struct Registry;
+
+impl Registry {
+    pub fn counter(&mut self, _name: &str) -> usize {
+        0
+    }
+}
+
+/// VIOLATION (R8): not in the fixture manifest.
+pub fn wire_unlisted(reg: &mut Registry) -> usize {
+    reg.counter("fixture.unlisted")
+}
+
+/// Counter-example: `fixture.listed` has a manifest row.
+pub fn wire_listed(reg: &mut Registry) -> usize {
+    reg.counter("fixture.listed")
+}
+
+/// A formatted family name; covered by the `fixture.family.*` row.
+pub fn family_name(kind: &str) -> String {
+    format!("fixture.family.{kind}")
+}
+
+/// Suppression look-alike: runtime-computed name under an allow.
+// mcs-lint: allow(metric-manifest, fixture: caller passes family_name output)
+pub fn wire_dynamic(reg: &mut Registry, name: &str) -> usize {
+    reg.counter(name)
+}

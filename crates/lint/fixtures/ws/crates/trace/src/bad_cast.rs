@@ -1,0 +1,18 @@
+//! Planted R7 violation: a silently narrowing cast, next to a visibly
+//! bounded counter-example and an allowed look-alike.
+
+/// VIOLATION (R7): truncates user ids above 2^32.
+pub fn shard_of(user_id: u64) -> u32 {
+    user_id as u32
+}
+
+/// Counter-example: the `% 24` bound is visible at the cast site.
+pub fn hour_of(ms: u64) -> u8 {
+    ((ms / 3_600_000) % 24) as u8
+}
+
+/// Suppression look-alike: bound proven out-of-band, allowed.
+// mcs-lint: allow(cast-truncate, fixture: plan caps indices below 2^16)
+pub fn slot_of(index: usize) -> u16 {
+    index as u16
+}

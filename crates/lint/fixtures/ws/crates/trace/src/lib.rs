@@ -1,2 +1,3 @@
 #![forbid(unsafe_code)]
 pub mod allowed;
+pub mod bad_cast;

@@ -1,0 +1,423 @@
+//! Span-aware expression utilities shared by the rule modules.
+//!
+//! The scanner produces a flat token stream; the rules need just enough
+//! expression structure to answer three questions without a full parser:
+//!
+//! 1. **What is this operand?** [`left_operand`] / [`right_operand`]
+//!    resolve the operand on either side of a binary operator to the
+//!    *chain tail* — the identifier that names the value: `fl.emit_interval`
+//!    resolves to `emit_interval`, `self.now()` to the call `now`, `(x)` to
+//!    opaque. Balanced `(...)`/`[...]` groups are skipped, so method-call
+//!    receivers and index expressions resolve too.
+//! 2. **What type does this name have?** [`collect_bindings`] walks
+//!    declarations (struct fields, fn params, typed `let`s, and `let`
+//!    initializers) and returns every identifier whose declared type — or
+//!    initializer — matches a caller-supplied predicate. R1 instantiates
+//!    it for `HashMap`/`HashSet`, R6 for `Time`, R9 for `f32`/`f64`.
+//! 3. **Where does this item's body start and end?** [`body_range`]
+//!    brace-matches from an item header so rules can scope matching to a
+//!    single `fn` body.
+//!
+//! All helpers are conservative: when an expression is too complex to
+//! resolve they report [`Operand::Opaque`], and rules treat opaque
+//! operands as unclassified (never flagged). The fixture tests pin the
+//! resolution behaviour the rules depend on.
+
+use std::collections::BTreeSet;
+
+use crate::scanner::{SourceFile, Tok, TokKind};
+
+/// A resolved operand of a binary operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A named value: plain identifier, field-chain tail, or the method
+    /// name of a trailing call (`a.b.c()` → `c`).
+    Name(String),
+    /// A numeric literal (token text preserved, e.g. `1_000` or `2.5`).
+    Num(String),
+    /// A string/char/byte literal.
+    Lit,
+    /// Anything the resolver cannot name (parenthesised subexpression,
+    /// closure, macro, missing operand).
+    Opaque,
+}
+
+impl Operand {
+    /// Whether this operand is a numeric literal or a `SCREAMING_CASE`
+    /// constant — a value fixed at compile time, where the compiler's own
+    /// const-eval overflow checks already apply.
+    pub fn is_const(&self) -> bool {
+        match self {
+            Operand::Num(_) => true,
+            Operand::Name(n) => {
+                !n.is_empty()
+                    && n.chars()
+                        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Resolves the operand that *ends* at token `op - 1` (the left side of a
+/// binary operator at index `op`).
+pub fn left_operand(toks: &[Tok], op: usize) -> Operand {
+    let mut i = match op.checked_sub(1) {
+        Some(i) => i,
+        None => return Operand::Opaque,
+    };
+    // Skip one trailing balanced group: a call's argument list or an index.
+    let mut call = false;
+    if toks[i].is_punct(')') || toks[i].is_punct(']') {
+        let close = if toks[i].is_punct(')') { ')' } else { ']' };
+        let open = if close == ')' { '(' } else { '[' };
+        let mut depth = 0i32;
+        loop {
+            if toks[i].is_punct(close) {
+                depth += 1;
+            } else if toks[i].is_punct(open) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if i == 0 {
+                return Operand::Opaque;
+            }
+            i -= 1;
+        }
+        if i == 0 {
+            return Operand::Opaque;
+        }
+        i -= 1;
+        call = true;
+    }
+    match toks[i].kind {
+        TokKind::Ident => Operand::Name(toks[i].text.clone()),
+        TokKind::Num if !call => Operand::Num(toks[i].text.clone()),
+        TokKind::Lit if !call => Operand::Lit,
+        _ => Operand::Opaque,
+    }
+}
+
+/// Resolves the operand that *starts* at token `op + 1` (the right side of
+/// a binary operator at index `op`), following `a.b.c` chains to the tail
+/// identifier.
+pub fn right_operand(toks: &[Tok], op: usize) -> Operand {
+    let mut i = op + 1;
+    // Skip leading borrows and derefs: `&`, `&mut`, `*`.
+    while toks
+        .get(i)
+        .is_some_and(|t| t.is_punct('&') || t.is_punct('*'))
+    {
+        i += 1;
+        if toks.get(i).is_some_and(|t| t.is_ident("mut")) {
+            i += 1;
+        }
+    }
+    match toks.get(i).map(|t| t.kind) {
+        Some(TokKind::Num) => return Operand::Num(toks[i].text.clone()),
+        Some(TokKind::Lit) => return Operand::Lit,
+        Some(TokKind::Ident) => {}
+        _ => return Operand::Opaque,
+    }
+    // Follow `ident ( . ident | :: ident )*` to the chain tail.
+    let mut tail = i;
+    let mut j = i + 1;
+    loop {
+        if toks.get(j).is_some_and(|t| t.is_punct('.'))
+            && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            tail = j + 1;
+            j += 2;
+        } else if toks.get(j).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            tail = j + 2;
+            j += 3;
+        } else {
+            break;
+        }
+    }
+    Operand::Name(toks[tail].text.clone())
+}
+
+/// Identifiers bound to a type matching `type_pred` in non-test code:
+/// struct fields and fn params (`name: <type…>`), typed `let` bindings,
+/// and `let name = <rhs>` initializers whose right-hand side contains a
+/// token matching `rhs_pred`.
+///
+/// `skip_line` filters declaration sites (rules pass their test-region
+/// check so a test-local binding cannot poison library code).
+pub fn collect_bindings(
+    file: &SourceFile,
+    mut skip_line: impl FnMut(u32) -> bool,
+    type_pred: impl Fn(&Tok) -> bool,
+    rhs_pred: impl Fn(&Tok) -> bool,
+) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut out = BTreeSet::new();
+
+    for i in 0..toks.len() {
+        if skip_line(toks[i].line) {
+            continue;
+        }
+        // `name : <segment matching type_pred>` — a struct field, fn
+        // param, or typed binding. Path separators (`::`) are excluded.
+        if toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && (i == 0 || !toks[i - 1].is_punct(':'))
+        {
+            let mut depth = 0i32;
+            for t in &toks[i + 2..] {
+                if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                    if t.is_punct(')') && depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth <= 0
+                    && (t.is_punct(',') || t.is_punct(';') || t.is_punct('{') || t.is_punct('}'))
+                {
+                    break;
+                } else if type_pred(t) {
+                    out.insert(toks[i].text.clone());
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = <rhs matching rhs_pred>;`
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            let mut depth = 0i32;
+            for t in &toks[j + 1..] {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if depth == 0 && t.is_punct(';') {
+                    break;
+                } else if rhs_pred(t) {
+                    out.insert(name.text.clone());
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Brace-matched body of the item whose header starts at `start`: returns
+/// `(open, close)` token indices of the outermost `{ … }`, or `None` when
+/// the item ends without a body (e.g. a trait method signature).
+pub fn body_range(toks: &[Tok], start: usize) -> Option<(usize, usize)> {
+    let mut i = start;
+    // Find the opening brace, bailing at a `;` that ends a body-less item.
+    let mut depth = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if depth <= 0 && t.is_punct('{') {
+            break;
+        } else if depth <= 0 && t.is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let open = i;
+    let mut d = 0i32;
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            d += 1;
+        } else if toks[i].is_punct('}') {
+            d -= 1;
+            if d == 0 {
+                return Some((open, i));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// For a `for` token at `i`, returns the token range of the iterated
+/// expression (`in` … `{`), or `None` when this is not a loop header
+/// (`impl Trait for Type`, `for<'a>`).
+pub fn for_loop_expr(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
+    // `impl … for Type` / higher-ranked `for<'a>`: not loops.
+    if toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut in_pos = None;
+    for (j, t) in toks.iter().enumerate().skip(i + 1).take(200) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('{') {
+            return in_pos.map(|p| (p + 1, j));
+        } else if depth == 0 && t.is_ident("in") && in_pos.is_none() {
+            in_pos = Some(j);
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('}')) {
+            return None;
+        }
+    }
+    None
+}
+
+/// Whether the token at `op` is a *binary* occurrence of `+`/`-`/`*` (or
+/// the first char of `+=`/`-=`/`*=`): the previous token must end an
+/// operand. Skips unary minus, deref `*`, `->`, and `&*` patterns.
+pub fn is_binary_op(toks: &[Tok], op: usize) -> bool {
+    let Some(prev) = op.checked_sub(1).and_then(|i| toks.get(i)) else {
+        return false;
+    };
+    // `->` return-type arrow.
+    if toks[op].is_punct('-') && toks.get(op + 1).is_some_and(|t| t.is_punct('>')) {
+        return false;
+    }
+    matches!(prev.kind, TokKind::Ident | TokKind::Num | TokKind::Lit)
+        && !prev.is_ident("return")
+        && !prev.is_ident("in")
+        && !prev.is_ident("if")
+        && !prev.is_ident("while")
+        && !prev.is_ident("match")
+        || prev.is_punct(')')
+        || prev.is_punct(']')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::SourceFile;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        SourceFile::scan(src).tokens
+    }
+
+    fn op_index(toks: &[Tok], c: char) -> usize {
+        toks.iter().position(|t| t.is_punct(c)).unwrap()
+    }
+
+    #[test]
+    fn left_operand_resolves_chains_calls_and_literals() {
+        let t = toks("a + b");
+        assert_eq!(
+            left_operand(&t, op_index(&t, '+')),
+            Operand::Name("a".into())
+        );
+
+        let t = toks("fl.emit_interval + x");
+        assert_eq!(
+            left_operand(&t, op_index(&t, '+')),
+            Operand::Name("emit_interval".into())
+        );
+
+        let t = toks("self.now() + delay");
+        assert_eq!(
+            left_operand(&t, op_index(&t, '+')),
+            Operand::Name("now".into())
+        );
+
+        let t = toks("3 * SEC");
+        assert_eq!(
+            left_operand(&t, op_index(&t, '*')),
+            Operand::Num("3".into())
+        );
+
+        let t = toks("(a + b) * c");
+        assert_eq!(left_operand(&t, 5), Operand::Opaque);
+    }
+
+    #[test]
+    fn right_operand_follows_field_chains() {
+        let t = toks("now + fl.emit_interval");
+        assert_eq!(
+            right_operand(&t, op_index(&t, '+')),
+            Operand::Name("emit_interval".into())
+        );
+
+        let t = toks("x * 1_000");
+        assert_eq!(
+            right_operand(&t, op_index(&t, '*')),
+            Operand::Num("1_000".into())
+        );
+
+        let t = toks("now + self.cfg.delay_us");
+        assert_eq!(
+            right_operand(&t, op_index(&t, '+')),
+            Operand::Name("delay_us".into())
+        );
+    }
+
+    #[test]
+    fn const_operands_are_recognised() {
+        assert!(Operand::Num("1_000".into()).is_const());
+        assert!(Operand::Name("SEC".into()).is_const());
+        assert!(Operand::Name("DAY_MS".into()).is_const());
+        assert!(!Operand::Name("delay_us".into()).is_const());
+        assert!(!Operand::Opaque.is_const());
+    }
+
+    #[test]
+    fn collect_bindings_matches_fields_params_and_lets() {
+        let f = SourceFile::scan(
+            "struct S { next_emit: Time, count: u64 }\n\
+             fn f(delay: Time, n: usize) {\n\
+               let deadline = q.now() + delay;\n\
+               let other = n + 1;\n\
+             }",
+        );
+        let set = collect_bindings(&f, |_| false, |t| t.is_ident("Time"), |t| t.is_ident("now"));
+        assert!(set.contains("next_emit"));
+        assert!(set.contains("delay"));
+        assert!(set.contains("deadline"));
+        assert!(!set.contains("count"));
+        assert!(!set.contains("n"));
+        assert!(!set.contains("other"));
+    }
+
+    #[test]
+    fn body_range_matches_braces_and_skips_signatures() {
+        let t = toks("fn f(a: u32) -> u32 { if a > 0 { a } else { 0 } }");
+        let (open, close) = body_range(&t, 0).unwrap();
+        assert!(t[open].is_punct('{'));
+        assert_eq!(close, t.len() - 1);
+
+        let t = toks("fn sig(a: u32) -> u32;");
+        assert!(body_range(&t, 0).is_none());
+    }
+
+    #[test]
+    fn binary_op_detection_skips_unary_and_arrows() {
+        let t = toks("a - b");
+        assert!(is_binary_op(&t, op_index(&t, '-')));
+        let t = toks("f(-x)");
+        assert!(!is_binary_op(&t, op_index(&t, '-')));
+        let t = toks("fn f() -> u64 {}");
+        assert!(!is_binary_op(&t, op_index(&t, '-')));
+        let t = toks("let p = *x;");
+        assert!(!is_binary_op(&t, op_index(&t, '*')));
+        let t = toks("self.now() * 2");
+        assert!(is_binary_op(&t, op_index(&t, '*')));
+    }
+}

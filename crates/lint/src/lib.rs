@@ -2,18 +2,24 @@
 //!
 //! PR 2 made the analysis pipeline bit-identical across thread counts;
 //! this crate machine-checks the contract that guarantee rests on. It is
-//! a self-contained static-analysis pass (a hand-rolled, comment- and
-//! string-aware lexer — no external parser crates) that walks every
-//! `.rs` file in the library crates and enforces five rules clippy
-//! cannot express. See [`rules`] for the rule table and
-//! `DESIGN.md` § "Enforcing the determinism contract" for the rationale.
+//! a self-contained static-analysis pass (a hand-rolled, span-aware,
+//! comment- and string-tracking lexer plus brace/expression helpers — no
+//! external parser crates) that walks every `.rs` file in the library
+//! crates and enforces ten rules clippy cannot express. See [`rules`]
+//! for the rule table, `DESIGN.md` § "Enforcing the determinism
+//! contract" and § "Span-aware lint rules" for the rationale, and
+//! `METRICS.md` for the metric manifest R8 checks against.
 //!
-//! Run it with `cargo run -p mcs-lint` (add `-- --json` for tooling).
+//! Run it with `cargo run -p mcs-lint` (add `-- --json` for tooling,
+//! `-- --debt` for the suppression ledger).
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod expr;
 pub mod rules;
 pub mod scanner;
 
-pub use rules::{diagnostics_to_json, run_lint, Diagnostic, LIB_CRATES};
+pub use rules::{
+    diagnostics_to_json, run_lint, run_lint_report, Diagnostic, LintReport, LIB_CRATES, RULE_NAMES,
+};

@@ -1,19 +1,22 @@
 //! CLI for the workspace auditor.
 //!
 //! ```text
-//! mcs-lint [--json] [ROOT]
+//! mcs-lint [--json] [--debt] [ROOT]
 //! ```
 //!
 //! `ROOT` defaults to the nearest ancestor of the current directory whose
-//! `Cargo.toml` declares `[workspace]`. Exit codes: 0 clean, 1 when
-//! violations were found, 2 on usage or I/O errors.
+//! `Cargo.toml` declares `[workspace]`. `--debt` appends the suppression
+//! ledger (live `allow(…)` annotations per rule) to stderr so CI logs
+//! track how much of the contract is held by hand-written proofs. Exit
+//! codes: 0 clean, 1 when violations were found, 2 on usage or I/O
+//! errors.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use mcs_lint::run_lint;
+use mcs_lint::run_lint_report;
 
 fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     let mut dir = start.to_path_buf();
@@ -32,16 +35,20 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut debt = false;
     let mut root_arg: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--debt" => debt = true,
             "--help" | "-h" => {
-                println!("usage: mcs-lint [--json] [ROOT]");
+                println!("usage: mcs-lint [--json] [--debt] [ROOT]");
                 return ExitCode::SUCCESS;
             }
             _ if arg.starts_with('-') => {
-                eprintln!("mcs-lint: unknown flag `{arg}` (usage: mcs-lint [--json] [ROOT])");
+                eprintln!(
+                    "mcs-lint: unknown flag `{arg}` (usage: mcs-lint [--json] [--debt] [ROOT])"
+                );
                 return ExitCode::from(2);
             }
             _ => root_arg = Some(PathBuf::from(arg)),
@@ -77,25 +84,30 @@ fn main() -> ExitCode {
         }
     };
 
-    let diags = match run_lint(&root) {
-        Ok(d) => d,
+    let report = match run_lint_report(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("mcs-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let diags = &report.diags;
 
     if json {
-        println!("{}", mcs_lint::diagnostics_to_json(&diags));
+        println!("{}", mcs_lint::diagnostics_to_json(diags));
     } else {
-        for d in &diags {
+        for d in diags {
             println!("{d}");
         }
     }
 
+    if debt {
+        eprint!("{}", report.debt_table());
+    }
+
     if diags.is_empty() {
         if !json {
-            println!("mcs-lint: workspace clean (rules R1-R5)");
+            println!("mcs-lint: workspace clean (rules R1-R10)");
         }
         ExitCode::SUCCESS
     } else {

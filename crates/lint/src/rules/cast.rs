@@ -1,0 +1,198 @@
+//! R7 `cast-truncate`: narrowing integer `as` casts in the data-plane
+//! crates must prove they fit.
+//!
+//! `as` silently truncates: `(ms * 1000) as u32` wraps after ~71 minutes
+//! of microseconds and the record that carried it replays differently on
+//! every shard that disagrees about the high bits. In `sim`/`trace`/
+//! `storage`/`net` library code, a cast to a narrower integer type must be
+//! replaced with `try_from`/`From` (making the failure observable), be
+//! *visibly bounded* at the cast site (`(x % N) as u32` / `(x & MASK) as
+//! u32` where the bound fits the target), or carry an
+//! `allow(cast-truncate, <reason>)` stating the out-of-band bound.
+
+use crate::scanner::TokKind;
+
+use super::{Diagnostic, RuleCtx, Scanned};
+
+/// Crates whose library code moves record/time payloads through casts.
+const SCOPE: &[&str] = &[
+    "crates/sim/",
+    "crates/trace/",
+    "crates/storage/",
+    "crates/net/",
+];
+
+/// Narrow integer targets with their value ranges.
+const TARGETS: &[(&str, i128, i128)] = &[
+    ("u8", 0, u8::MAX as i128),
+    ("u16", 0, u16::MAX as i128),
+    ("u32", 0, u32::MAX as i128),
+    ("i8", i8::MIN as i128, i8::MAX as i128),
+    ("i16", i16::MIN as i128, i16::MAX as i128),
+    ("i32", i32::MIN as i128, i32::MAX as i128),
+];
+
+fn in_scope(rel: &str) -> bool {
+    SCOPE.iter().any(|p| rel.starts_with(p))
+}
+
+/// Parses an integer literal token (underscores, `0x`/`0o`/`0b` prefixes,
+/// type suffixes). `None` for floats or malformed text.
+fn literal_value(text: &str) -> Option<i128> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(h) = clean.strip_prefix("0x") {
+        (h, 16)
+    } else if let Some(o) = clean.strip_prefix("0o") {
+        (o, 8)
+    } else if let Some(b) = clean.strip_prefix("0b") {
+        (b, 2)
+    } else {
+        (clean.as_str(), 10)
+    };
+    // Strip a trailing type suffix (`24u64`, `0xffu8`).
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    i128::from_str_radix(&digits[..end], radix).ok()
+}
+
+pub(crate) fn check(f: &Scanned, ctx: &mut RuleCtx) {
+    if f.gated || !in_scope(&f.rel) {
+        return;
+    }
+    let toks = &f.file.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        let Some(&(ty, lo, hi)) = TARGETS.iter().find(|(n, _, _)| target.is_ident(n)) else {
+            continue;
+        };
+        // `LITERAL as u32` — const, compiler checks the fold.
+        if i > 0 && toks[i - 1].kind == TokKind::Num {
+            continue;
+        }
+        // Visible bound: `… % LIT) as T` / `… & LIT) as T` (with or without
+        // the closing paren) where the bound fits the target range.
+        let mut j = i;
+        if j > 0 && toks[j - 1].is_punct(')') {
+            j -= 1;
+        }
+        if j >= 2 && toks[j - 1].kind == TokKind::Num {
+            let bound = literal_value(&toks[j - 1].text);
+            let op = &toks[j - 2];
+            let fits = match bound {
+                Some(b) if op.is_punct('%') => b - 1 <= hi && lo <= 0,
+                Some(b) if op.is_punct('&') => b <= hi && lo <= 0,
+                _ => false,
+            };
+            if fits {
+                continue;
+            }
+        }
+        let line = toks[i].line;
+        if f.is_test_line(line) || ctx.allowed(f, "cast-truncate", line) {
+            continue;
+        }
+        ctx.push(Diagnostic {
+            rule: "R7",
+            name: "cast-truncate",
+            file: f.rel.clone(),
+            line,
+            message: format!(
+                "narrowing `as {ty}` cast truncates silently; use {ty}::try_from / \
+                 From, bound the value at the cast site (`% N` / `& MASK`), or \
+                 annotate `// mcs-lint: allow(cast-truncate, <reason>)`"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::scanned;
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = scanned(rel, src);
+        let mut ctx = RuleCtx::new();
+        check(&f, &mut ctx);
+        ctx.diags
+    }
+
+    #[test]
+    fn literal_values_parse() {
+        assert_eq!(literal_value("24"), Some(24));
+        assert_eq!(literal_value("3_600_000"), Some(3_600_000));
+        assert_eq!(literal_value("0xff"), Some(255));
+        assert_eq!(literal_value("0b1010"), Some(10));
+        assert_eq!(literal_value("24u64"), Some(24));
+    }
+
+    #[test]
+    fn flags_bare_narrowing_casts() {
+        let d = run(
+            "crates/trace/src/a.rs",
+            "pub fn f(x: u64) -> u32 { x as u32 }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "R7");
+
+        let d = run(
+            "crates/sim/src/a.rs",
+            "pub fn f(x: usize) -> u16 { x as u16 }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn widening_and_const_casts_pass() {
+        let d = run(
+            "crates/trace/src/a.rs",
+            "pub fn f(x: u32) -> u64 { x as u64 }\n\
+             pub fn g() -> u32 { 7 as u32 }\n\
+             pub fn h(x: f64) -> f64 { x as f64 }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn bounded_sources_pass() {
+        let d = run(
+            "crates/storage/src/a.rs",
+            "pub fn hour(ms: u64) -> u32 { ((ms / 3_600_000) % 24) as u32 }\n\
+             pub fn lo(x: u64) -> u16 { (x & 0xffff) as u16 }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn oversized_bound_still_flags() {
+        let d = run(
+            "crates/storage/src/a.rs",
+            "pub fn f(x: u64) -> u16 { (x % 100_000) as u16 }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn allow_test_and_scope_escapes() {
+        let d = run(
+            "crates/net/src/a.rs",
+            "// mcs-lint: allow(cast-truncate, ids fit u16 by construction)\n\
+             pub fn f(x: u64) -> u16 { x as u16 }\n\
+             #[cfg(test)]\nmod tests {\n\
+             fn t(x: u64) -> u8 { x as u8 }\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+
+        let d = run(
+            "crates/stats/src/a.rs",
+            "pub fn f(x: u64) -> u32 { x as u32 }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,100 +1,14 @@
-//! The five workspace rules.
+//! R1–R5: the original determinism contract rules.
 //!
-//! | Rule | Name | Contract |
-//! |---|---|---|
-//! | R1 | `map-iter` | No iteration over `HashMap`/`HashSet` in non-test library code unless the same statement canonicalises the order (an explicit `sort*`, a `BTree*`/`BinaryHeap` collect) or ends in an order-insensitive terminal (`count`, `sum`, `min_by_key`, …) |
-//! | R2 | `clock` | No wall-clock or entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`) anywhere outside `crates/bench` |
-//! | R3 | `panic` | No `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in non-test library code |
-//! | R4 | `merge-law` | Every type in `crates/analysis` or `crates/obs` defining `fn merge(` must be referenced by a same-crate test whose name contains `merge` or `shard` |
-//! | R5 | `unsafe` | Every library crate root must carry `#![forbid(unsafe_code)]` |
-//!
-//! Every rule except R5 honours a `// mcs-lint: allow(<name>, <reason>)`
-//! comment on the flagged line or up to two lines above it.
+//! R1 `map-iter`, R2 `clock`, R3 `panic`, R4 `merge-law`, R5 `unsafe`.
+//! See the module table in [`super`] for the contract each enforces.
 
 use std::collections::BTreeSet;
-use std::fmt;
-use std::io;
-use std::path::{Path, PathBuf};
 
-use serde::Serialize;
-
+use crate::expr;
 use crate::scanner::{SourceFile, Tok, TokKind};
 
-/// The library crates the determinism contract covers.
-pub const LIB_CRATES: &[&str] = &[
-    "analysis", "core", "faults", "net", "obs", "sim", "stats", "storage", "trace",
-];
-
-/// One rule violation.
-#[derive(Debug, Clone, Serialize)]
-pub struct Diagnostic {
-    /// Rule id (`R1`..`R5`).
-    pub rule: &'static str,
-    /// Rule name (doubles as the allow-comment key).
-    pub name: &'static str,
-    /// Path relative to the workspace root, `/`-separated.
-    pub file: String,
-    /// 1-based line.
-    pub line: u32,
-    /// Human-readable description of the violation.
-    pub message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}/{}] {}",
-            self.file, self.line, self.rule, self.name, self.message
-        )
-    }
-}
-
-/// Escapes `s` for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders diagnostics as a pretty-printed JSON array (one object per
-/// diagnostic, stable field order) for `mcs-lint --json` consumers.
-pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
-    if diags.is_empty() {
-        return "[]".to_string();
-    }
-    let mut out = String::from("[\n");
-    for (i, d) in diags.iter().enumerate() {
-        out.push_str("  {\n");
-        out.push_str(&format!("    \"rule\": \"{}\",\n", json_escape(d.rule)));
-        out.push_str(&format!("    \"name\": \"{}\",\n", json_escape(d.name)));
-        out.push_str(&format!("    \"file\": \"{}\",\n", json_escape(&d.file)));
-        out.push_str(&format!("    \"line\": {},\n", d.line));
-        out.push_str(&format!(
-            "    \"message\": \"{}\"\n",
-            json_escape(&d.message)
-        ));
-        out.push_str(if i + 1 < diags.len() {
-            "  },\n"
-        } else {
-            "  }\n"
-        });
-    }
-    out.push(']');
-    out
-}
+use super::{Diagnostic, RuleCtx, Scanned};
 
 /// Methods that iterate a map/set in storage order.
 const ITER_METHODS: &[&str] = &[
@@ -141,138 +55,16 @@ const ORDER_FREE: &[&str] = &[
 /// Collects that land in an ordered container, restoring determinism.
 const ORDERED_SINKS: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap"];
 
-/// A scanned file plus workspace-level context.
-struct Scanned {
-    rel: String,
-    file: SourceFile,
-    /// Whole file is test code (`#![cfg(test)]` or `#[cfg(test)] mod x;`
-    /// gating in the parent module file).
-    gated: bool,
-}
-
-impl Scanned {
-    fn is_test_line(&self, line: u32) -> bool {
-        self.gated || self.file.in_test(line)
-    }
-}
-
-/// Runs all rules over the workspace rooted at `root`.
-pub fn run_lint(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
-
-    // Scan the nine library crates.
-    let mut lib_files: Vec<Scanned> = Vec::new();
-    for krate in LIB_CRATES {
-        let src_dir = root.join("crates").join(krate).join("src");
-        lib_files.extend(scan_tree(root, &src_dir)?);
-    }
-
-    for f in &lib_files {
-        rule_map_iter(f, &mut diags);
-        rule_panic(f, &mut diags);
-        rule_clock(f, &mut diags);
-    }
-
-    // R2 also covers the harness crate, integration tests, and examples
-    // (everything that feeds reproduction output). `crates/bench` is the
-    // one sanctioned home for wall-clock timing.
-    for dir in ["src", "tests", "examples"] {
-        for f in &scan_tree(root, &root.join(dir))? {
-            rule_clock(f, &mut diags);
-        }
-    }
-
-    rule_merge_law(&lib_files, &mut diags);
-
-    for krate in LIB_CRATES {
-        let rel = format!("crates/{krate}/src/lib.rs");
-        if let Some(f) = lib_files.iter().find(|f| f.rel == rel) {
-            rule_forbid_unsafe(f, &mut diags);
-        } else {
-            diags.push(Diagnostic {
-                rule: "R5",
-                name: "unsafe",
-                file: rel,
-                line: 1,
-                message: format!("library crate `{krate}` has no src/lib.rs"),
-            });
-        }
-    }
-
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    diags.dedup_by(|a, b| (a.rule, &a.file, a.line) == (b.rule, &b.file, b.line));
-    Ok(diags)
-}
-
-/// Scans every `.rs` file under `dir` (sorted walk; missing dir → empty),
-/// then resolves `#[cfg(test)] mod x;` gating across sibling files.
-fn scan_tree(root: &Path, dir: &Path) -> io::Result<Vec<Scanned>> {
-    let mut paths = Vec::new();
-    walk(dir, &mut paths)?;
-    paths.sort();
-    let mut scanned = Vec::new();
-    let mut gated_paths: BTreeSet<PathBuf> = BTreeSet::new();
-    for path in &paths {
-        let src = std::fs::read_to_string(path)?;
-        let file = SourceFile::scan(&src);
-        for m in &file.cfg_test_mods {
-            let parent = path.parent().unwrap_or(Path::new(""));
-            gated_paths.insert(parent.join(format!("{m}.rs")));
-            gated_paths.insert(parent.join(m).join("mod.rs"));
-            if let Some(stem) = path.file_stem() {
-                gated_paths.insert(parent.join(stem).join(format!("{m}.rs")));
-            }
-        }
-        scanned.push((path.clone(), file));
-    }
-    Ok(scanned
-        .into_iter()
-        .map(|(path, file)| {
-            let gated = gated_paths.contains(&path) || file.all_test;
-            Scanned {
-                rel: relative(root, &path),
-                file,
-                gated,
-            }
-        })
-        .collect())
-}
-
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    if !dir.is_dir() {
-        return Ok(());
-    }
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-        if path.is_dir() {
-            if name != "target" && name != "fixtures" {
-                walk(&path, out)?;
-            }
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-fn relative(root: &Path, path: &Path) -> String {
-    let rel = path.strip_prefix(root).unwrap_or(path);
-    rel.components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/")
-}
-
 // ---------------------------------------------------------------- R1
 
 /// R1: iteration over `HashMap`/`HashSet` must not leak storage order.
-fn rule_map_iter(f: &Scanned, diags: &mut Vec<Diagnostic>) {
+pub(crate) fn rule_map_iter(f: &Scanned, ctx: &mut RuleCtx) {
     if f.gated {
         return;
     }
     let toks = &f.file.tokens;
-    let bindings = collect_map_bindings(f);
+    let is_map = |t: &Tok| t.is_ident("HashMap") || t.is_ident("HashSet");
+    let bindings = expr::collect_bindings(&f.file, |l| f.is_test_line(l), is_map, is_map);
     if bindings.is_empty() {
         return;
     }
@@ -295,13 +87,13 @@ fn rule_map_iter(f: &Scanned, diags: &mut Vec<Diagnostic>) {
         if !bindings.contains(recv) {
             continue;
         }
-        if f.is_test_line(t.line) || f.file.allowed("map-iter", t.line) {
+        if f.is_test_line(t.line) || ctx.allowed(f, "map-iter", t.line) {
             continue;
         }
         if statement_restores_order(toks, i + 1) || sorted_out_of_band(toks, i) {
             continue;
         }
-        diags.push(Diagnostic {
+        ctx.push(Diagnostic {
             rule: "R1",
             name: "map-iter",
             file: f.rel.clone(),
@@ -320,11 +112,11 @@ fn rule_map_iter(f: &Scanned, diags: &mut Vec<Diagnostic>) {
         if !toks[i].is_ident("for") {
             continue;
         }
-        let Some((expr_start, expr_end)) = for_loop_expr(toks, i) else {
+        let Some((expr_start, expr_end)) = expr::for_loop_expr(toks, i) else {
             continue;
         };
         let line = toks[i].line;
-        if f.is_test_line(line) || f.file.allowed("map-iter", line) {
+        if f.is_test_line(line) || ctx.allowed(f, "map-iter", line) {
             continue;
         }
         // Method sites inside the header were already checked above (and
@@ -340,7 +132,7 @@ fn rule_map_iter(f: &Scanned, diags: &mut Vec<Diagnostic>) {
             .iter()
             .any(|t| t.kind == TokKind::Ident && bindings.contains(t.text.as_str()));
         if hits_map {
-            diags.push(Diagnostic {
+            ctx.push(Diagnostic {
                 rule: "R1",
                 name: "map-iter",
                 file: f.rel.clone(),
@@ -352,75 +144,6 @@ fn rule_map_iter(f: &Scanned, diags: &mut Vec<Diagnostic>) {
             });
         }
     }
-}
-
-/// Identifiers bound to a `HashMap`/`HashSet` in non-test code:
-/// `let` bindings, struct fields, and fn params (matched as `name: …Hash…`).
-/// Test-region bindings are skipped so a test-local `m: HashMap` cannot
-/// poison an unrelated `m` in library code.
-fn collect_map_bindings(f: &Scanned) -> BTreeSet<String> {
-    let toks = &f.file.tokens;
-    let mut out = BTreeSet::new();
-    let is_map = |t: &Tok| t.is_ident("HashMap") || t.is_ident("HashSet");
-
-    for i in 0..toks.len() {
-        if f.is_test_line(toks[i].line) {
-            continue;
-        }
-        // `name : <segment containing HashMap/HashSet>` — a struct field,
-        // fn param, or typed binding. Path separators (`::`) are excluded.
-        if toks[i].kind == TokKind::Ident
-            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
-            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
-            && (i == 0 || !toks[i - 1].is_punct(':'))
-        {
-            let mut depth = 0i32;
-            for t in &toks[i + 2..] {
-                if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
-                    depth += 1;
-                } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
-                    if t.is_punct(')') && depth == 0 {
-                        break;
-                    }
-                    depth -= 1;
-                } else if depth <= 0
-                    && (t.is_punct(',') || t.is_punct(';') || t.is_punct('{') || t.is_punct('}'))
-                {
-                    break;
-                } else if is_map(t) {
-                    out.insert(toks[i].text.clone());
-                    break;
-                }
-            }
-        }
-        // `let [mut] name = <rhs containing HashMap/HashSet>;`
-        if toks[i].is_ident("let") {
-            let mut j = i + 1;
-            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
-                j += 1;
-            }
-            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
-                continue;
-            };
-            let mut depth = 0i32;
-            for t in &toks[j + 1..] {
-                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
-                    depth += 1;
-                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
-                    depth -= 1;
-                    if depth < 0 {
-                        break;
-                    }
-                } else if depth == 0 && t.is_punct(';') {
-                    break;
-                } else if is_map(t) {
-                    out.insert(name.text.clone());
-                    break;
-                }
-            }
-        }
-    }
-    out
 }
 
 /// Resolves the receiver of a `.method()` call at the token *before* the
@@ -529,36 +252,10 @@ fn sorted_out_of_band(toks: &[Tok], method_idx: usize) -> bool {
     false
 }
 
-/// For a `for` token at `i`, returns the token range of the iterated
-/// expression (`in` … `{`), or `None` when this is not a loop header
-/// (`impl Trait for Type`, `for<'a>`).
-fn for_loop_expr(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
-    // `impl … for Type` / higher-ranked `for<'a>`: not loops.
-    if toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
-        return None;
-    }
-    let mut depth = 0i32;
-    let mut in_pos = None;
-    for (j, t) in toks.iter().enumerate().skip(i + 1).take(200) {
-        if t.is_punct('(') || t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(')') || t.is_punct(']') {
-            depth -= 1;
-        } else if depth == 0 && t.is_punct('{') {
-            return in_pos.map(|p| (p + 1, j));
-        } else if depth == 0 && t.is_ident("in") && in_pos.is_none() {
-            in_pos = Some(j);
-        } else if depth == 0 && (t.is_punct(';') || t.is_punct('}')) {
-            return None;
-        }
-    }
-    None
-}
-
 // ---------------------------------------------------------------- R2
 
 /// R2: no wall-clock or entropy sources outside `crates/bench`.
-fn rule_clock(f: &Scanned, diags: &mut Vec<Diagnostic>) {
+pub(crate) fn rule_clock(f: &Scanned, ctx: &mut RuleCtx) {
     let toks = &f.file.tokens;
     for i in 0..toks.len() {
         let t = &toks[i];
@@ -574,10 +271,10 @@ fn rule_clock(f: &Scanned, diags: &mut Vec<Diagnostic>) {
             _ => None,
         };
         let Some(source) = hit else { continue };
-        if f.file.allowed("clock", t.line) {
+        if ctx.allowed(f, "clock", t.line) {
             continue;
         }
-        diags.push(Diagnostic {
+        ctx.push(Diagnostic {
             rule: "R2",
             name: "clock",
             file: f.rel.clone(),
@@ -593,7 +290,7 @@ fn rule_clock(f: &Scanned, diags: &mut Vec<Diagnostic>) {
 // ---------------------------------------------------------------- R3
 
 /// R3: no panicking calls in non-test library code.
-fn rule_panic(f: &Scanned, diags: &mut Vec<Diagnostic>) {
+pub(crate) fn rule_panic(f: &Scanned, ctx: &mut RuleCtx) {
     if f.gated {
         return;
     }
@@ -619,10 +316,10 @@ fn rule_panic(f: &Scanned, diags: &mut Vec<Diagnostic>) {
             _ => None,
         };
         let Some(site) = site else { continue };
-        if f.is_test_line(t.line) || f.file.allowed("panic", t.line) {
+        if f.is_test_line(t.line) || ctx.allowed(f, "panic", t.line) {
             continue;
         }
-        diags.push(Diagnostic {
+        ctx.push(Diagnostic {
             rule: "R3",
             name: "panic",
             file: f.rel.clone(),
@@ -640,15 +337,15 @@ fn rule_panic(f: &Scanned, diags: &mut Vec<Diagnostic>) {
 /// R4: every `fn merge(` type in the shard-reduce crates
 /// (`crates/analysis`, `crates/obs`) needs a merge-law or
 /// shard-invariance test referencing it by name.
-fn rule_merge_law(files: &[Scanned], diags: &mut Vec<Diagnostic>) {
+pub(crate) fn rule_merge_law(files: &[Scanned], ctx: &mut RuleCtx) {
     for prefix in ["crates/analysis/", "crates/obs/"] {
-        merge_law_for_crate(files, prefix, diags);
+        merge_law_for_crate(files, prefix, ctx);
     }
 }
 
 /// Runs R4 over one crate's files; tests in one crate cannot vouch for
 /// merge impls in another.
-fn merge_law_for_crate(files: &[Scanned], prefix: &str, diags: &mut Vec<Diagnostic>) {
+fn merge_law_for_crate(files: &[Scanned], prefix: &str, ctx: &mut RuleCtx) {
     let analysis: Vec<&Scanned> = files.iter().filter(|f| f.rel.starts_with(prefix)).collect();
 
     // All identifiers referenced by test fns whose name mentions merge or
@@ -696,10 +393,10 @@ fn merge_law_for_crate(files: &[Scanned], prefix: &str, diags: &mut Vec<Diagnost
             if tested.contains(&type_name) {
                 continue;
             }
-            if f.file.allowed("merge-law", line) {
+            if ctx.allowed(f, "merge-law", line) {
                 continue;
             }
-            diags.push(Diagnostic {
+            ctx.push(Diagnostic {
                 rule: "R4",
                 name: "merge-law",
                 file: f.rel.clone(),
@@ -791,7 +488,7 @@ fn merge_impls(file: &SourceFile) -> Vec<(String, u32)> {
 // ---------------------------------------------------------------- R5
 
 /// R5: library crate roots must forbid unsafe code.
-fn rule_forbid_unsafe(f: &Scanned, diags: &mut Vec<Diagnostic>) {
+pub(crate) fn rule_forbid_unsafe(f: &Scanned, ctx: &mut RuleCtx) {
     let toks = &f.file.tokens;
     let has = (0..toks.len()).any(|i| {
         toks[i].is_ident("forbid")
@@ -799,7 +496,7 @@ fn rule_forbid_unsafe(f: &Scanned, diags: &mut Vec<Diagnostic>) {
             && toks.get(i + 2).is_some_and(|t| t.is_ident("unsafe_code"))
     });
     if !has {
-        diags.push(Diagnostic {
+        ctx.push(Diagnostic {
             rule: "R5",
             name: "unsafe",
             file: f.rel.clone(),
@@ -811,16 +508,8 @@ fn rule_forbid_unsafe(f: &Scanned, diags: &mut Vec<Diagnostic>) {
 
 #[cfg(test)]
 mod tests {
+    use super::super::testutil::scanned;
     use super::*;
-    use crate::scanner::SourceFile;
-
-    fn scanned(rel: &str, src: &str) -> Scanned {
-        Scanned {
-            rel: rel.to_string(),
-            file: SourceFile::scan(src),
-            gated: false,
-        }
-    }
 
     #[test]
     fn map_iter_flags_unsorted_keys() {
@@ -828,10 +517,10 @@ mod tests {
             "crates/x/src/a.rs",
             "fn f(m: &HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }",
         );
-        let mut d = Vec::new();
-        rule_map_iter(&f, &mut d);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "R1");
+        let mut ctx = RuleCtx::new();
+        rule_map_iter(&f, &mut ctx);
+        assert_eq!(ctx.diags.len(), 1);
+        assert_eq!(ctx.diags[0].rule, "R1");
     }
 
     #[test]
@@ -845,30 +534,30 @@ mod tests {
                    let t = m.keys().copied().collect::<BTreeSet<u32>>();\n\
                    }";
         let f = scanned("crates/x/src/a.rs", src);
-        let mut d = Vec::new();
-        rule_map_iter(&f, &mut d);
+        let mut ctx = RuleCtx::new();
+        rule_map_iter(&f, &mut ctx);
         // Line 2 is never sorted → flagged. Line 3 is an order-free
         // terminal, line 4 is sorted by the next statement, lines 6-7
         // land in an ordered container (annotation / turbofish).
-        assert_eq!(d.len(), 1, "{d:?}");
-        assert_eq!(d[0].line, 2);
+        assert_eq!(ctx.diags.len(), 1, "{:?}", ctx.diags);
+        assert_eq!(ctx.diags[0].line, 2);
     }
 
     #[test]
     fn map_iter_for_loop_needs_allow() {
         let bad = "fn f(m: &HashSet<u32>) { for x in m { use_it(x); } }";
         let f = scanned("crates/x/src/a.rs", bad);
-        let mut d = Vec::new();
-        rule_map_iter(&f, &mut d);
-        assert_eq!(d.len(), 1);
+        let mut ctx = RuleCtx::new();
+        rule_map_iter(&f, &mut ctx);
+        assert_eq!(ctx.diags.len(), 1);
 
         let ok = "fn f(m: &HashSet<u32>) {\n\
                   // mcs-lint: allow(map-iter, folded into an order-free sum)\n\
                   for x in m { s += x; }\n}";
         let f = scanned("crates/x/src/a.rs", ok);
-        let mut d = Vec::new();
-        rule_map_iter(&f, &mut d);
-        assert!(d.is_empty(), "{d:?}");
+        let mut ctx = RuleCtx::new();
+        rule_map_iter(&f, &mut ctx);
+        assert!(ctx.diags.is_empty(), "{:?}", ctx.diags);
     }
 
     #[test]
@@ -877,9 +566,9 @@ mod tests {
                    #[cfg(test)]\nmod tests {\n\
                    fn t(m: &HashMap<u32, u32>) { for x in m.keys() { g(x); } }\n}";
         let f = scanned("crates/x/src/a.rs", src);
-        let mut d = Vec::new();
-        rule_map_iter(&f, &mut d);
-        assert!(d.is_empty(), "{d:?}");
+        let mut ctx = RuleCtx::new();
+        rule_map_iter(&f, &mut ctx);
+        assert!(ctx.diags.is_empty(), "{:?}", ctx.diags);
     }
 
     #[test]
@@ -890,26 +579,26 @@ mod tests {
                    // mcs-lint: allow(panic, length checked above)\n\
                    x.expect(\"checked\")\n}";
         let f = scanned("crates/x/src/a.rs", src);
-        let mut d = Vec::new();
-        rule_panic(&f, &mut d);
-        assert_eq!(d.len(), 2, "{d:?}");
-        assert_eq!(d[0].line, 1);
-        assert_eq!(d[1].line, 2);
+        let mut ctx = RuleCtx::new();
+        rule_panic(&f, &mut ctx);
+        assert_eq!(ctx.diags.len(), 2, "{:?}", ctx.diags);
+        assert_eq!(ctx.diags[0].line, 1);
+        assert_eq!(ctx.diags[1].line, 2);
     }
 
     #[test]
     fn clock_rule() {
         let src = "fn f() { let t = Instant::now(); }";
         let f = scanned("crates/x/src/a.rs", src);
-        let mut d = Vec::new();
-        rule_clock(&f, &mut d);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "R2");
+        let mut ctx = RuleCtx::new();
+        rule_clock(&f, &mut ctx);
+        assert_eq!(ctx.diags.len(), 1);
+        assert_eq!(ctx.diags[0].rule, "R2");
         // `Instant` not followed by `::now` is fine (e.g. a type position).
         let f = scanned("crates/x/src/a.rs", "fn f(t: Instant) {}");
-        let mut d = Vec::new();
-        rule_clock(&f, &mut d);
-        assert!(d.is_empty());
+        let mut ctx = RuleCtx::new();
+        rule_clock(&f, &mut ctx);
+        assert!(ctx.diags.is_empty());
     }
 
     #[test]
@@ -919,28 +608,28 @@ mod tests {
                    #[cfg(test)]\nmod tests {\n\
                    #[test]\nfn merge_law_acc() { let a = Acc { n: 0 }; }\n}";
         let covered = scanned("crates/analysis/src/a.rs", src);
-        let mut d = Vec::new();
-        rule_merge_law(&[covered], &mut d);
-        assert!(d.is_empty(), "{d:?}");
+        let mut ctx = RuleCtx::new();
+        rule_merge_law(&[covered], &mut ctx);
+        assert!(ctx.diags.is_empty(), "{:?}", ctx.diags);
 
         let src = "pub struct Acc { n: u64 }\n\
                    impl Acc { pub fn merge(&mut self, o: &Self) { self.n += o.n; } }";
         let uncovered = scanned("crates/analysis/src/a.rs", src);
-        let mut d = Vec::new();
-        rule_merge_law(&[uncovered], &mut d);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "R4");
-        assert_eq!(d[0].line, 2);
+        let mut ctx = RuleCtx::new();
+        rule_merge_law(&[uncovered], &mut ctx);
+        assert_eq!(ctx.diags.len(), 1);
+        assert_eq!(ctx.diags[0].rule, "R4");
+        assert_eq!(ctx.diags[0].line, 2);
     }
 
     #[test]
-    fn merge_law_outside_analysis_is_ignored() {
+    fn merge_law_outside_shard_crates_is_ignored() {
         let src = "pub struct Acc { n: u64 }\n\
                    impl Acc { pub fn merge(&mut self, o: &Self) {} }";
-        let f = scanned("crates/stats/src/a.rs", src);
-        let mut d = Vec::new();
-        rule_merge_law(&[f], &mut d);
-        assert!(d.is_empty());
+        let f = scanned("crates/sim/src/a.rs", src);
+        let mut ctx = RuleCtx::new();
+        rule_merge_law(&[f], &mut ctx);
+        assert!(ctx.diags.is_empty());
     }
 
     #[test]
@@ -949,13 +638,13 @@ mod tests {
             "crates/x/src/lib.rs",
             "#![forbid(unsafe_code)]\npub fn f() {}",
         );
-        let mut d = Vec::new();
-        rule_forbid_unsafe(&f, &mut d);
-        assert!(d.is_empty());
+        let mut ctx = RuleCtx::new();
+        rule_forbid_unsafe(&f, &mut ctx);
+        assert!(ctx.diags.is_empty());
         let f = scanned("crates/x/src/lib.rs", "pub fn f() {}");
-        let mut d = Vec::new();
-        rule_forbid_unsafe(&f, &mut d);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "R5");
+        let mut ctx = RuleCtx::new();
+        rule_forbid_unsafe(&f, &mut ctx);
+        assert_eq!(ctx.diags.len(), 1);
+        assert_eq!(ctx.diags[0].rule, "R5");
     }
 }

@@ -1,0 +1,195 @@
+//! R9 `float-merge`: floating-point accumulation inside shard `merge`
+//! bodies is order-sensitive.
+//!
+//! The workspace's headline guarantee is bit-identical analysis output at
+//! any shard count. Float addition is not associative, so `a + (b + c)`
+//! and `(a + b) + c` differ in the last ulp — and a `fn merge` that sums
+//! `f64` state produces different bits depending on merge order. R4
+//! guarantees every merge has a law test; R9 guards the arithmetic
+//! itself: in `analysis`/`obs`/`stats` library code, any `+`/`-`/`*`
+//! (or compound form) on a float-typed operand inside a `fn merge` body
+//! must either be restructured into an order-insensitive representation
+//! (integer counts, exact fixed-point sums) or carry an
+//! `allow(float-merge, <reason>)` documenting the fixed merge order or
+//! why the result is exact (e.g. integer-valued f64 below 2^53).
+
+use std::collections::BTreeSet;
+
+use crate::expr::{self, Operand};
+use crate::scanner::TokKind;
+
+use super::{Diagnostic, RuleCtx, Scanned};
+
+/// Crates whose merge impls feed the shard-reduce determinism guarantee.
+const SCOPE: &[&str] = &["crates/analysis/", "crates/obs/", "crates/stats/"];
+
+fn in_scope(rel: &str) -> bool {
+    SCOPE.iter().any(|p| rel.starts_with(p))
+}
+
+fn is_float_ty(t: &crate::scanner::Tok) -> bool {
+    t.is_ident("f32") || t.is_ident("f64")
+}
+
+pub(crate) fn check(f: &Scanned, ctx: &mut RuleCtx) {
+    if f.gated || !in_scope(&f.rel) {
+        return;
+    }
+    let toks = &f.file.tokens;
+    // Float-typed names: `x: f64` fields/params (incl. `Vec<f64>` elements
+    // via iteration below), plus `let y = … as f64 …` initialisers.
+    let floats = expr::collect_bindings(&f.file, |l| f.is_test_line(l), is_float_ty, is_float_ty);
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.is_ident("merge"))) {
+            i += 1;
+            continue;
+        }
+        let Some((open, close)) = expr::body_range(toks, i + 2) else {
+            i += 2;
+            continue;
+        };
+        // Loop patterns over float collections propagate: in
+        // `for (a, b) in self.bins.iter_mut().zip(&other.bins)` where
+        // `bins` is float-typed, `a` and `b` are float too.
+        let mut local: BTreeSet<String> = BTreeSet::new();
+        for j in open..close {
+            if !toks[j].is_ident("for") {
+                continue;
+            }
+            let Some((es, ee)) = expr::for_loop_expr(toks, j) else {
+                continue;
+            };
+            let iterates_float = toks[es..ee]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && floats.contains(t.text.as_str()));
+            if !iterates_float {
+                continue;
+            }
+            // `in` sits right before the expression range.
+            for t in &toks[j + 1..es.saturating_sub(1)] {
+                if t.kind == TokKind::Ident && !t.is_ident("mut") && !t.is_ident("ref") {
+                    local.insert(t.text.clone());
+                }
+            }
+        }
+        let is_float = |op: &Operand| match op {
+            Operand::Name(n) => floats.contains(n) || local.contains(n),
+            Operand::Num(n) => n.contains('.'),
+            _ => false,
+        };
+
+        let mut flagged: BTreeSet<u32> = BTreeSet::new();
+        for j in open + 1..close {
+            let t = &toks[j];
+            if !(t.is_punct('+') || t.is_punct('-') || t.is_punct('*')) {
+                continue;
+            }
+            let compound = toks.get(j + 1).is_some_and(|n| n.is_punct('='));
+            if !expr::is_binary_op(toks, j) {
+                continue;
+            }
+            let left = expr::left_operand(toks, j);
+            let right = expr::right_operand(toks, if compound { j + 1 } else { j });
+            if !(is_float(&left) || is_float(&right)) {
+                continue;
+            }
+            if f.is_test_line(t.line)
+                || ctx.allowed(f, "float-merge", t.line)
+                || !flagged.insert(t.line)
+            {
+                continue;
+            }
+            ctx.push(Diagnostic {
+                rule: "R9",
+                name: "float-merge",
+                file: f.rel.clone(),
+                line: t.line,
+                message: "floating-point accumulation inside `fn merge` is \
+                          merge-order-sensitive and breaks bit-identical shard \
+                          reduction; use an order-insensitive representation or \
+                          annotate `// mcs-lint: allow(float-merge, <reason>)` \
+                          documenting the fixed order or exactness argument"
+                    .to_string(),
+            });
+        }
+        i = close + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::scanned;
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = scanned(rel, src);
+        let mut ctx = RuleCtx::new();
+        check(&f, &mut ctx);
+        ctx.diags
+    }
+
+    #[test]
+    fn flags_float_field_accumulation() {
+        let d = run(
+            "crates/analysis/src/a.rs",
+            "pub struct Acc { total: f64 }\n\
+             impl Acc {\n\
+             pub fn merge(&mut self, o: &Self) { self.total += o.total; }\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "R9");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn flags_zip_loop_over_float_bins() {
+        let d = run(
+            "crates/stats/src/a.rs",
+            "pub struct S { bins: Vec<f64> }\n\
+             impl S {\n\
+             pub fn merge(&mut self, o: &Self) {\n\
+             for (a, b) in self.bins.iter_mut().zip(&o.bins) {\n\
+             *a += *b;\n\
+             }\n}\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn integer_merges_and_non_merge_float_math_pass() {
+        let d = run(
+            "crates/analysis/src/a.rs",
+            "pub struct Acc { n: u64, mean: f64 }\n\
+             impl Acc {\n\
+             pub fn merge(&mut self, o: &Self) { self.n += o.n; }\n\
+             pub fn rate(&self) -> f64 { self.mean * 2.0 }\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_and_scope_escapes() {
+        let d = run(
+            "crates/stats/src/a.rs",
+            "pub struct S { m2: f64 }\n\
+             impl S {\n\
+             pub fn merge(&mut self, o: &Self) {\n\
+             // mcs-lint: allow(float-merge, shards merged in fixed rank order)\n\
+             self.m2 += o.m2;\n\
+             }\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+
+        let d = run(
+            "crates/net/src/a.rs",
+            "pub struct S { m2: f64 }\n\
+             impl S { pub fn merge(&mut self, o: &Self) { self.m2 += o.m2; } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

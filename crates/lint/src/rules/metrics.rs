@@ -1,0 +1,320 @@
+//! R8 `metric-manifest`: the metric namespace is declared in one place.
+//!
+//! Every metric name passed to a `.counter(` / `.gauge(` / `.histogram(`
+//! registration in library code must appear in the workspace `METRICS.md`
+//! manifest, and every manifest entry must appear somewhere in code —
+//! drift in *either* direction is a diagnostic. Names built with
+//! `format!` are normalised by replacing each `{…}` hole with `*`, and a
+//! manifest entry ending in `.*` covers the whole family
+//! (`sim.events.*` covers `sim.events.store`). Call sites whose name is
+//! a runtime variable (no string literal in the argument list) cannot be
+//! checked statically and must carry an `allow(metric-manifest, <reason>)`.
+//!
+//! `crates/obs` itself is out of scope: the registry's internals shuttle
+//! names it did not choose (merge, snapshot, export), and holding the
+//! plumbing to the manifest would force an allow on every loop.
+//!
+//! The manifest format is a Markdown table; any row whose first cell is a
+//! backtick-quoted name is an entry:
+//!
+//! ```text
+//! | `sim.steps` | counter | Events executed by the engine loop. |
+//! ```
+
+use std::io;
+use std::path::Path;
+
+use crate::scanner::TokKind;
+
+use super::{Diagnostic, RuleCtx, Scanned};
+
+/// Registration methods whose first argument names a metric.
+const REGISTER_METHODS: &[&str] = &["counter", "gauge", "histogram"];
+
+/// One parsed manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Normalised metric name (may end in `.*` for a family).
+    pub name: String,
+    /// 1-based line in METRICS.md.
+    pub line: u32,
+}
+
+/// Parses `METRICS.md` text: every table row whose first cell is
+/// backtick-quoted becomes an entry. Header/separator rows have no
+/// backticks and fall out naturally.
+pub fn parse_manifest(text: &str) -> Vec<ManifestEntry> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = trimmed.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim();
+        if let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            if !name.is_empty() {
+                out.push(ManifestEntry {
+                    name: name.to_string(),
+                    line: (idx + 1) as u32,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Replaces every `{…}` format hole with `*`: `"sim.events.{name}"` →
+/// `"sim.events.*"`.
+pub fn normalize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c == '{' {
+            for c2 in chars.by_ref() {
+                if c2 == '}' {
+                    break;
+                }
+            }
+            out.push('*');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Whether manifest entry `entry` covers the (normalised) name `name`.
+fn entry_covers(entry: &str, name: &str) -> bool {
+    if entry == name {
+        return true;
+    }
+    if let Some(prefix) = entry.strip_suffix('*') {
+        return name.starts_with(prefix);
+    }
+    false
+}
+
+pub(crate) fn check(root: &Path, lib_files: &[Scanned], ctx: &mut RuleCtx) -> io::Result<()> {
+    let manifest_path = root.join("METRICS.md");
+    let entries = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => parse_manifest(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+
+    // Forward direction: every registration site resolves to a manifest
+    // entry (or is explicitly allowed for runtime-computed names).
+    for f in lib_files {
+        if f.gated || f.rel.starts_with("crates/obs/") {
+            continue;
+        }
+        let toks = &f.file.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !REGISTER_METHODS.contains(&t.text.as_str()) {
+                continue;
+            }
+            if i == 0 || !toks[i - 1].is_punct('.') {
+                continue;
+            }
+            if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            if f.is_test_line(t.line) {
+                continue;
+            }
+            // First string literal inside the balanced argument list is the
+            // metric name (covers both `"lit"` and `&format!("lit{x}")`).
+            let mut depth = 0i32;
+            let mut name: Option<String> = None;
+            for a in &toks[i + 1..] {
+                if a.is_punct('(') {
+                    depth += 1;
+                } else if a.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.kind == TokKind::Lit && name.is_none() {
+                    name = Some(normalize_name(&a.text));
+                }
+            }
+            match name {
+                Some(n) => {
+                    if entries.iter().any(|e| entry_covers(&e.name, &n)) {
+                        continue;
+                    }
+                    if ctx.allowed(f, "metric-manifest", t.line) {
+                        continue;
+                    }
+                    ctx.push(Diagnostic {
+                        rule: "R8",
+                        name: "metric-manifest",
+                        file: f.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "metric `{n}` is registered here but missing from METRICS.md; \
+                             add a manifest row (or a `family.*` entry) so the metric \
+                             namespace stays reviewable"
+                        ),
+                    });
+                }
+                None => {
+                    if ctx.allowed(f, "metric-manifest", t.line) {
+                        continue;
+                    }
+                    ctx.push(Diagnostic {
+                        rule: "R8",
+                        name: "metric-manifest",
+                        file: f.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`.{}()` registers a runtime-computed metric name the \
+                             manifest check cannot see; name it statically or annotate \
+                             `// mcs-lint: allow(metric-manifest, <reason>)` and list \
+                             the family in METRICS.md",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Reverse direction: every manifest entry appears as a string literal
+    // somewhere in library code (all lib crates, tests included — a
+    // manifest row nothing references is dead documentation).
+    for e in &entries {
+        let found = lib_files.iter().any(|f| {
+            f.file
+                .tokens
+                .iter()
+                .any(|t| t.kind == TokKind::Lit && entry_covers(&e.name, &normalize_name(&t.text)))
+        });
+        if !found {
+            ctx.push(Diagnostic {
+                rule: "R8",
+                name: "metric-manifest",
+                file: "METRICS.md".to_string(),
+                line: e.line,
+                message: format!(
+                    "manifest entry `{}` matches no string literal in library code; \
+                     remove the row or wire the metric up",
+                    e.name
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::scanned;
+    use super::*;
+
+    const MANIFEST: &str = "# Metrics\n\
+        \n\
+        | Metric | Kind | Meaning |\n\
+        |---|---|---|\n\
+        | `sim.steps` | counter | Engine loop steps. |\n\
+        | `sim.events.*` | counter | Per-event-kind executions. |\n";
+
+    #[test]
+    fn manifest_parses_backticked_rows_only() {
+        let entries = parse_manifest(MANIFEST);
+        assert_eq!(entries.len(), 2, "{entries:?}");
+        assert_eq!(entries[0].name, "sim.steps");
+        assert_eq!(entries[0].line, 5);
+        assert_eq!(entries[1].name, "sim.events.*");
+    }
+
+    #[test]
+    fn normalisation_and_family_cover() {
+        assert_eq!(normalize_name("sim.events.{name}"), "sim.events.*");
+        assert_eq!(normalize_name("plain"), "plain");
+        assert!(entry_covers("sim.events.*", "sim.events.store"));
+        assert!(entry_covers("sim.events.*", "sim.events.*"));
+        assert!(!entry_covers("sim.events.*", "sim.steps"));
+        assert!(entry_covers("sim.steps", "sim.steps"));
+    }
+
+    fn run(manifest: &str, files: Vec<super::super::Scanned>) -> Vec<Diagnostic> {
+        let dir = std::env::temp_dir().join(format!(
+            "mcs-lint-metrics-{}-{:p}",
+            std::process::id(),
+            &files
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("METRICS.md"), manifest).unwrap();
+        let mut ctx = RuleCtx::new();
+        check(&dir, &files, &mut ctx).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        ctx.diags
+    }
+
+    #[test]
+    fn listed_wildcard_and_allowed_sites_pass() {
+        let f = scanned(
+            "crates/sim/src/a.rs",
+            "fn wire(reg: &mut Registry) {\n\
+             reg.counter(\"sim.steps\");\n\
+             reg.counter(&format!(\"sim.events.{kind}\"));\n\
+             // mcs-lint: allow(metric-manifest, names forwarded from config)\n\
+             reg.gauge(name);\n\
+             }",
+        );
+        let d = run(MANIFEST, vec![f]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unlisted_and_dynamic_sites_flag() {
+        let f = scanned(
+            "crates/sim/src/a.rs",
+            "fn wire(reg: &mut Registry) {\n\
+             reg.counter(\"sim.steps\");\n\
+             reg.counter(\"sim.events.{kind}\");\n\
+             reg.counter(\"sim.unlisted\");\n\
+             reg.histogram(name);\n\
+             }",
+        );
+        let d = run(MANIFEST, vec![f]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 4);
+        assert!(d[0].message.contains("sim.unlisted"));
+        assert_eq!(d[1].line, 5);
+        assert!(d[1].message.contains("runtime-computed"));
+    }
+
+    #[test]
+    fn orphan_manifest_entries_flag() {
+        let f = scanned(
+            "crates/sim/src/a.rs",
+            "fn wire(reg: &mut Registry) { reg.counter(\"sim.steps\"); }",
+        );
+        let d = run(MANIFEST, vec![f]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "METRICS.md");
+        assert_eq!(d[0].line, 6);
+        assert!(d[0].message.contains("sim.events.*"));
+    }
+
+    #[test]
+    fn obs_internals_and_tests_are_out_of_scope() {
+        let obs = scanned(
+            "crates/obs/src/registry.rs",
+            "fn merge(&mut self) { self.inner.counter(name); }",
+        );
+        let test = scanned(
+            "crates/sim/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n fn t(r: &mut Registry) { r.counter(\"x.y\"); }\n}",
+        );
+        let d = run(MANIFEST, vec![obs, test]);
+        // Only the orphan entries fire (nothing registers sim.steps here).
+        assert!(d.iter().all(|d| d.file == "METRICS.md"), "{d:?}");
+    }
+}

@@ -1,0 +1,75 @@
+//! R10 `stale-allow`: the allow escape hatch must stay honest.
+//!
+//! An `// mcs-lint: allow(<rule>, <reason>)` annotation is suppression
+//! debt: it asserts a human re-proved an invariant the linter cannot.
+//! When the flagged code is later fixed or deleted, the annotation keeps
+//! asserting — about nothing. A stale allow is worse than none: the next
+//! reader assumes the hazard is still there, and a *misspelled* rule name
+//! silently suppresses nothing while looking load-bearing. R10 runs after
+//! every other rule and flags each annotation that suppressed no
+//! diagnostic this run. It has no allow escape of its own — the fix is
+//! always to delete the annotation (or fix its rule name).
+
+use super::{Diagnostic, RuleCtx, Scanned, RULE_NAMES};
+
+pub(crate) fn check<'a>(files: impl Iterator<Item = &'a Scanned>, ctx: &mut RuleCtx) {
+    for f in files {
+        for a in &f.file.allows {
+            if ctx.was_used(&f.rel, a.line, &a.rule) {
+                continue;
+            }
+            let hint = if RULE_NAMES.contains(&a.rule.as_str()) {
+                "the annotated hazard is gone — delete the annotation"
+            } else {
+                "not a known rule name — fix the spelling or delete the annotation"
+            };
+            ctx.push(Diagnostic {
+                rule: "R10",
+                name: "stale-allow",
+                file: f.rel.clone(),
+                line: a.line,
+                message: format!("`allow({})` suppresses no diagnostic; {hint}", a.rule),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::scanned;
+    use super::super::{determinism, RuleCtx};
+    use super::*;
+
+    #[test]
+    fn live_allows_pass_and_stale_allows_flag() {
+        let f = scanned(
+            "crates/x/src/a.rs",
+            "fn f(x: Option<u32>) -> u32 {\n\
+             // mcs-lint: allow(panic, invariant: x is Some past the guard)\n\
+             x.unwrap()\n\
+             }\n\
+             // mcs-lint: allow(panic, nothing panics here any more)\n\
+             fn g() -> u32 { 1 }\n",
+        );
+        let mut ctx = RuleCtx::new();
+        determinism::rule_panic(&f, &mut ctx);
+        assert!(ctx.diags.is_empty(), "{:?}", ctx.diags);
+        check(std::iter::once(&f), &mut ctx);
+        assert_eq!(ctx.diags.len(), 1, "{:?}", ctx.diags);
+        assert_eq!(ctx.diags[0].rule, "R10");
+        assert_eq!(ctx.diags[0].line, 5);
+        assert!(ctx.diags[0].message.contains("hazard is gone"));
+    }
+
+    #[test]
+    fn misspelled_rule_names_get_a_spelling_hint() {
+        let f = scanned(
+            "crates/x/src/a.rs",
+            "// mcs-lint: allow(painc, typo)\nfn f() -> u32 { 1 }\n",
+        );
+        let mut ctx = RuleCtx::new();
+        check(std::iter::once(&f), &mut ctx);
+        assert_eq!(ctx.diags.len(), 1);
+        assert!(ctx.diags[0].message.contains("spelling"), "{:?}", ctx.diags);
+    }
+}

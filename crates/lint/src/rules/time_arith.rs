@@ -1,0 +1,201 @@
+//! R6 `time-arith`: no bare `+`/`-`/`*` (or `+=`/`-=`/`*=`) on time-typed
+//! quantities in the crates that do event-time math.
+//!
+//! The simulator clock is a `u64` microsecond counter; a wrapped add in a
+//! release build silently breaks the monotone-clock invariant the whole
+//! replay contract rests on (debug builds panic instead — equally fatal,
+//! differently timed). Every arithmetic step on a time quantity must
+//! therefore be explicit about overflow: `checked_*` where the caller can
+//! reject, `saturating_*` where clamping to the far future is the
+//! documented semantics, or an `allow(time-arith, <reason>)` when the
+//! bound is proven out-of-band.
+//!
+//! A quantity is *time-typed* when any of:
+//! - its name ends in `_us` or `_ms` (the workspace unit-suffix convention),
+//! - its name is `now`, `now_ms`, or `now_us` (clock reads),
+//! - it is bound with a `Time` type annotation, or initialised from an
+//!   expression containing a clock read (`let deadline = q.now() + d;`).
+//!
+//! Expressions whose operands are *all* compile-time constants
+//! (numeric literals, `SCREAMING_CASE` consts) are exempt: `3 * SEC`
+//! is folded and overflow-checked by the compiler itself.
+
+use crate::expr::{self, Operand};
+use crate::scanner::TokKind;
+
+use super::{Diagnostic, RuleCtx, Scanned};
+
+/// Crates whose library code does event-time arithmetic.
+const SCOPE: &[&str] = &[
+    "crates/sim/",
+    "crates/net/",
+    "crates/faults/",
+    "crates/storage/",
+];
+
+/// Clock-read names that are time-typed wherever they appear.
+const CLOCK_NAMES: &[&str] = &["now", "now_ms", "now_us"];
+
+fn in_scope(rel: &str) -> bool {
+    SCOPE.iter().any(|p| rel.starts_with(p))
+}
+
+/// Whether `name` denotes a time quantity by suffix or clock convention.
+fn time_named(name: &str) -> bool {
+    CLOCK_NAMES.contains(&name)
+        || (name.len() > 3 && (name.ends_with("_us") || name.ends_with("_ms")))
+}
+
+pub(crate) fn check(f: &Scanned, ctx: &mut RuleCtx) {
+    if f.gated || !in_scope(&f.rel) {
+        return;
+    }
+    let toks = &f.file.tokens;
+    let bindings = expr::collect_bindings(
+        &f.file,
+        |l| f.is_test_line(l),
+        |t| t.is_ident("Time"),
+        |t| CLOCK_NAMES.contains(&t.text.as_str()),
+    );
+
+    let is_time = |op: &Operand| match op {
+        Operand::Name(n) => time_named(n) || bindings.contains(n),
+        _ => false,
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Punct || !(t.is_punct('+') || t.is_punct('-') || t.is_punct('*')) {
+            continue;
+        }
+        let compound = toks.get(i + 1).is_some_and(|n| n.is_punct('='));
+        if !expr::is_binary_op(toks, i) {
+            continue;
+        }
+        let left = expr::left_operand(toks, i);
+        let right = expr::right_operand(toks, if compound { i + 1 } else { i });
+        if !(is_time(&left) || is_time(&right)) {
+            continue;
+        }
+        if left.is_const() && right.is_const() {
+            continue;
+        }
+        if f.is_test_line(t.line) || ctx.allowed(f, "time-arith", t.line) {
+            continue;
+        }
+        let op_text = if compound {
+            format!("{}=", t.text)
+        } else {
+            t.text.clone()
+        };
+        let subject = [&left, &right]
+            .into_iter()
+            .find_map(|o| match o {
+                Operand::Name(n) if is_time(o) => Some(n.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| "time value".to_string());
+        ctx.push(Diagnostic {
+            rule: "R6",
+            name: "time-arith",
+            file: f.rel.clone(),
+            line: t.line,
+            message: format!(
+                "bare `{op_text}` on time-typed `{subject}` can wrap the simulation \
+                 clock; use checked_*/saturating_* arithmetic or annotate \
+                 `// mcs-lint: allow(time-arith, <reason>)`"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::scanned;
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = scanned(rel, src);
+        let mut ctx = RuleCtx::new();
+        check(&f, &mut ctx);
+        ctx.diags
+    }
+
+    #[test]
+    fn flags_bare_add_on_time_params() {
+        let d = run(
+            "crates/sim/src/a.rs",
+            "pub fn at(now: Time, delay: Time) -> Time { now + delay }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "R6");
+        assert!(d[0].message.contains('+'), "{}", d[0].message);
+    }
+
+    #[test]
+    fn flags_suffix_named_quantities_and_compound_ops() {
+        let d = run(
+            "crates/net/src/a.rs",
+            "pub fn f(deadline_ms: u64, step_ms: u64) -> u64 {\n\
+             let mut t_ms = deadline_ms;\n\
+             t_ms += step_ms;\n\
+             t_ms }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("+="), "{}", d[0].message);
+    }
+
+    #[test]
+    fn flags_clock_read_initialisers() {
+        let d = run(
+            "crates/sim/src/a.rs",
+            "pub fn f(&self, d: u64) -> Time {\n\
+             let base = self.now();\n\
+             base * d }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn const_expressions_and_checked_math_pass() {
+        let d = run(
+            "crates/sim/src/a.rs",
+            "pub const STEP: Time = 3 * SEC;\n\
+             pub fn at(now: Time, delay: Time) -> Time { now.saturating_add(delay) }\n\
+             pub fn cap(now: Time) -> Option<Time> { now.checked_mul(2) }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_and_test_code_suppress() {
+        let d = run(
+            "crates/sim/src/a.rs",
+            "// mcs-lint: allow(time-arith, wrap is modular by design)\n\
+             pub fn at(now: Time, delay: Time) -> Time { now + delay }\n\
+             #[cfg(test)]\nmod tests {\n\
+             fn t(now: Time) -> Time { now + 1 }\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let d = run(
+            "crates/analysis/src/a.rs",
+            "pub fn at(now: Time, delay: Time) -> Time { now + delay }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn non_time_arithmetic_passes() {
+        let d = run(
+            "crates/sim/src/a.rs",
+            "pub fn f(a: u64, b: u64) -> u64 { a + b * 2 }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,13 +1,21 @@
-//! A minimal, lossy Rust lexer — just enough structure for the lint rules.
+//! A minimal, span-aware Rust lexer — just enough structure for the lint
+//! rules.
 //!
-//! Comments and literals never reach the rule matchers: string/char/byte
-//! literals collapse into opaque tokens and comments are dropped, except
-//! that `// mcs-lint: allow(<rule>, <reason>)` comments are recovered with
-//! their line numbers, and `#[cfg(test)]` / `#[test]` item spans are
-//! resolved by brace matching so rules can skip test code.
+//! Comments never reach the rule matchers and `// mcs-lint: allow(<rule>,
+//! <reason>)` comments are recovered with their line numbers. String, char
+//! and byte literals lex as opaque [`TokKind::Lit`] tokens whose `text`
+//! carries the *inner* literal content (needed by the metric-manifest
+//! rule); `#[cfg(test)]` / `#[test]` item spans are resolved by brace
+//! matching so rules can skip test code.
+//!
+//! Every token carries a [`Span`] (char-index range into the scanned
+//! source) in addition to its 1-based line, so rules can reason about
+//! expressions, and the scanner property tests can assert that spans
+//! round-trip: re-slicing the source by a token's span reproduces the
+//! token (see `tests/scanner_prop.rs`).
 //!
 //! This is deliberately not a full parser (the workspace bans new
-//! dependencies, so `syn` is out); the token stream plus line spans is
+//! dependencies, so `syn` is out); the token stream plus spans is
 //! sufficient for every rule in [`crate::rules`], and the fixture tests
 //! pin the behaviour the rules depend on.
 
@@ -20,7 +28,9 @@ pub enum TokKind {
     Ident,
     /// Numeric literal.
     Num,
-    /// String/char/byte literal (contents dropped).
+    /// String/char/byte literal; `text` holds the raw inner content
+    /// (escapes unprocessed, delimiters stripped). Char literals and
+    /// escaped chars keep their raw spelling.
     Lit,
     /// Lifetime (`'a`).
     Lifetime,
@@ -28,15 +38,27 @@ pub enum TokKind {
     Punct,
 }
 
-/// One lexed token with its 1-based source line.
+/// A half-open char-index range `[start, end)` into the scanned source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First char index of the token.
+    pub start: usize,
+    /// One past the last char index of the token.
+    pub end: usize,
+}
+
+/// One lexed token with its 1-based source line and char span.
 #[derive(Debug, Clone)]
 pub struct Tok {
-    /// Token text (empty for [`TokKind::Lit`]).
+    /// Token text (inner content for [`TokKind::Lit`]).
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
     /// Token class.
     pub kind: TokKind,
+    /// Char-index range of the whole token (delimiters included for
+    /// literals).
+    pub span: Span,
 }
 
 impl Tok {
@@ -72,7 +94,7 @@ pub struct LineRange {
 /// A scanned source file.
 #[derive(Debug)]
 pub struct SourceFile {
-    /// Code tokens (no comments; literals opaque).
+    /// Code tokens (no comments; literal delimiters stripped).
     pub tokens: Vec<Tok>,
     /// `mcs-lint: allow(...)` annotations found in line comments.
     pub allows: Vec<Allow>,
@@ -111,11 +133,17 @@ impl SourceFile {
     /// Whether an allow-comment for `rule` covers `line` (same line or one
     /// of the two lines directly above, so annotations survive rustfmt
     /// moving them onto their own line).
+    ///
+    /// Rules should prefer `RuleCtx::allowed`, which also records the
+    /// suppression for the stale-allow audit (R10).
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows
-            .iter()
-            .any(|a| a.rule == rule && a.line <= line && a.line + 2 >= line)
+        self.allows.iter().any(|a| covers(a, rule, line))
     }
+}
+
+/// Whether allow-annotation `a` suppresses `rule` at `line`.
+pub fn covers(a: &Allow, rule: &str, line: u32) -> bool {
+    a.rule == rule && a.line <= line && a.line + 2 >= line
 }
 
 impl fmt::Display for Tok {
@@ -168,46 +196,61 @@ fn lex(src: &str) -> (Vec<Tok>, Vec<Allow>) {
             }
             '"' => {
                 let l = line;
+                let start = i;
                 i = skip_string(&b, i, &mut line);
                 toks.push(Tok {
-                    text: String::new(),
+                    text: inner_text(&b, start + 1, i.saturating_sub(1)),
                     line: l,
                     kind: TokKind::Lit,
+                    span: Span { start, end: i },
                 });
             }
             '\'' => {
                 // Char literal vs lifetime.
                 let l = line;
+                let start = i;
                 if b.get(i + 1) == Some(&'\\') {
-                    // '\x41' / '\n' / '\u{..}'
-                    i += 2;
+                    // '\x41' / '\n' / '\u{..}' / '\''. Skip the opening
+                    // quote, backslash AND the escaped char before hunting
+                    // the closing quote, so `'\''` terminates on its real
+                    // closer instead of the escaped quote.
+                    i = (i + 3).min(b.len());
                     while i < b.len() && b[i] != '\'' {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
                         i += 1;
                     }
-                    i += 1;
+                    i = (i + 1).min(b.len());
                     toks.push(Tok {
-                        text: String::new(),
+                        text: inner_text(&b, start + 1, (i.max(start + 2)) - 1),
                         line: l,
                         kind: TokKind::Lit,
+                        span: Span { start, end: i },
                     });
                 } else if b.get(i + 2) == Some(&'\'') {
+                    if b[i + 1] == '\n' {
+                        line += 1;
+                    }
                     i += 3;
                     toks.push(Tok {
-                        text: String::new(),
+                        text: inner_text(&b, start + 1, i - 1),
                         line: l,
                         kind: TokKind::Lit,
+                        span: Span { start, end: i },
                     });
                 } else {
                     // Lifetime: 'ident
                     i += 1;
-                    let start = i;
+                    let id_start = i;
                     while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
                         i += 1;
                     }
                     toks.push(Tok {
-                        text: b[start..i].iter().collect(),
+                        text: b[id_start..i].iter().collect(),
                         line: l,
                         kind: TokKind::Lifetime,
+                        span: Span { start, end: i },
                     });
                 }
             }
@@ -228,6 +271,7 @@ fn lex(src: &str) -> (Vec<Tok>, Vec<Allow>) {
                     text: b[start..i].iter().collect(),
                     line: l,
                     kind: TokKind::Num,
+                    span: Span { start, end: i },
                 });
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -246,15 +290,21 @@ fn lex(src: &str) -> (Vec<Tok>, Vec<Allow>) {
                         hashes += 1;
                     }
                     if b.get(i + hashes) == Some(&'"') {
+                        let content_start = i + hashes + 1;
                         if text.contains('r') {
-                            i = skip_raw_string(&b, i + hashes + 1, hashes, &mut line);
+                            i = skip_raw_string(&b, content_start, hashes, &mut line);
                         } else {
                             i = skip_string(&b, i + hashes, &mut line);
                         }
                         toks.push(Tok {
-                            text: String::new(),
+                            text: inner_text(
+                                &b,
+                                content_start,
+                                i.saturating_sub(1 + if text.contains('r') { hashes } else { 0 }),
+                            ),
                             line: l,
                             kind: TokKind::Lit,
+                            span: Span { start, end: i },
                         });
                         continue;
                     }
@@ -263,6 +313,7 @@ fn lex(src: &str) -> (Vec<Tok>, Vec<Allow>) {
                     text,
                     line: l,
                     kind: TokKind::Ident,
+                    span: Span { start, end: i },
                 });
             }
             c => {
@@ -270,6 +321,10 @@ fn lex(src: &str) -> (Vec<Tok>, Vec<Allow>) {
                     text: c.to_string(),
                     line,
                     kind: TokKind::Punct,
+                    span: Span {
+                        start: i,
+                        end: i + 1,
+                    },
                 });
                 i += 1;
             }
@@ -278,13 +333,23 @@ fn lex(src: &str) -> (Vec<Tok>, Vec<Allow>) {
     (toks, allows)
 }
 
+/// Slice of the char buffer as a `String`, clamped to valid bounds (the
+/// source may end mid-literal).
+fn inner_text(b: &[char], start: usize, end: usize) -> String {
+    let start = start.min(b.len());
+    let end = end.clamp(start, b.len());
+    b[start..end].iter().collect()
+}
+
 /// Skips a normal (escaped) string starting at the opening quote; returns
 /// the index just past the closing quote.
 fn skip_string(b: &[char], open: usize, line: &mut u32) -> usize {
     let mut i = open + 1;
     while i < b.len() {
         match b[i] {
-            '\\' => i += 2,
+            // Clamp: a trailing backslash at end-of-input must not push
+            // the span past the source.
+            '\\' => i = (i + 2).min(b.len()),
             '\n' => {
                 *line += 1;
                 i += 1;
@@ -463,10 +528,19 @@ mod tests {
     }
 
     #[test]
+    fn string_literal_content_is_recoverable() {
+        let f = SourceFile::scan("let n = reg.counter(\"gen.users\");");
+        let lit = f.tokens.iter().find(|t| t.kind == TokKind::Lit).unwrap();
+        assert_eq!(lit.text, "gen.users");
+    }
+
+    #[test]
     fn raw_strings_skipped() {
         let f = SourceFile::scan("let x = r#\"thread_rng \" quote\"#; let y = 1;");
         assert!(!f.tokens.iter().any(|t| t.is_ident("thread_rng")));
         assert!(f.tokens.iter().any(|t| t.is_ident("y")));
+        let lit = f.tokens.iter().find(|t| t.kind == TokKind::Lit).unwrap();
+        assert_eq!(lit.text, "thread_rng \" quote");
     }
 
     #[test]
@@ -477,6 +551,17 @@ mod tests {
             .iter()
             .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
         assert!(f.tokens.iter().any(|t| t.kind == TokKind::Lit));
+    }
+
+    #[test]
+    fn spans_round_trip_source_text() {
+        let src = "fn add(a_us: u64) -> u64 { a_us + 41 }";
+        let chars: Vec<char> = src.chars().collect();
+        let f = SourceFile::scan(src);
+        for t in &f.tokens {
+            let sliced: String = chars[t.span.start..t.span.end].iter().collect();
+            assert_eq!(sliced, t.text, "span must reproduce the token text");
+        }
     }
 
     #[test]

@@ -1,4 +1,9 @@
 //! Fixture-tree and self-check integration tests for `mcs-lint`.
+//!
+//! The fixture workspace under `fixtures/ws` plants exactly one violation
+//! per rule (R1–R10), one counter-example that must stay silent, and one
+//! suppression look-alike (an `allow` that genuinely covers a would-be
+//! diagnostic, so it is *live* and must not trip R10).
 
 #![allow(clippy::unwrap_used)]
 
@@ -29,7 +34,7 @@ fn fixture_tree_trips_every_rule_exactly_once() {
     rules.sort_unstable();
     assert_eq!(
         rules,
-        vec!["R1", "R2", "R3", "R4", "R5"],
+        vec!["R1", "R10", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"],
         "expected exactly one diagnostic per planted violation, got: {diags:#?}"
     );
 }
@@ -58,16 +63,72 @@ fn fixture_diagnostics_point_at_the_planted_lines() {
 
     let r5 = find("R5");
     assert_eq!(r5.file, "crates/core/src/lib.rs");
+
+    let r6 = find("R6");
+    assert_eq!(r6.file, "crates/sim/src/bad_time.rs");
+    assert_eq!(r6.line, 8);
+    assert!(r6.message.contains('+'), "{}", r6.message);
+
+    let r7 = find("R7");
+    assert_eq!(r7.file, "crates/trace/src/bad_cast.rs");
+    assert_eq!(r7.line, 6);
+    assert!(r7.message.contains("u32"), "{}", r7.message);
+
+    let r8 = find("R8");
+    assert_eq!(r8.file, "crates/storage/src/metrics_site.rs");
+    assert_eq!(r8.line, 16);
+    assert!(r8.message.contains("fixture.unlisted"), "{}", r8.message);
+
+    let r9 = find("R9");
+    assert_eq!(r9.file, "crates/analysis/src/bad_float_merge.rs");
+    assert_eq!(r9.line, 13);
+
+    let r10 = find("R10");
+    assert_eq!(r10.file, "crates/core/src/lib.rs");
+    assert_eq!(r10.line, 8);
+    assert!(
+        r10.message.contains("suppresses no diagnostic"),
+        "{}",
+        r10.message
+    );
+}
+
+#[test]
+fn counter_examples_and_live_allows_stay_silent() {
+    // Each planted file carries its violation plus a counter-example and
+    // an allowed look-alike; only the violation line may fire. A second
+    // diagnostic from any of these files means a counter-example leaked
+    // or a live allow failed to suppress (which would also trip R10).
+    let diags = fixture_diags();
+    for (file, expect) in [
+        ("crates/sim/src/bad_time.rs", 1),
+        ("crates/trace/src/bad_cast.rs", 1),
+        ("crates/storage/src/metrics_site.rs", 1),
+        ("crates/analysis/src/bad_float_merge.rs", 1),
+        // R5 (missing forbid) and R10 (stale allow) share the core root.
+        ("crates/core/src/lib.rs", 2),
+    ] {
+        let n = diags.iter().filter(|d| d.file == file).count();
+        assert_eq!(n, expect, "{file}: {diags:#?}");
+    }
+    // The fixture manifest's rows are all wired up; the reverse direction
+    // of R8 must not flag METRICS.md itself.
+    assert!(
+        !diags.iter().any(|d| d.file == "METRICS.md"),
+        "orphan-manifest diagnostics leaked: {diags:#?}"
+    );
 }
 
 #[test]
 fn allow_comments_and_test_code_suppress() {
-    // crates/trace in the fixture tree reproduces the R1/R3 patterns but
-    // under allow-comments, an order-free terminal, and #[cfg(test)];
-    // none may fire.
+    // crates/trace/src/allowed.rs reproduces the R1/R3 patterns but under
+    // allow-comments, an order-free terminal, and #[cfg(test)]; none may
+    // fire.
     let diags = fixture_diags();
     assert!(
-        !diags.iter().any(|d| d.file.starts_with("crates/trace/")),
+        !diags
+            .iter()
+            .any(|d| d.file == "crates/trace/src/allowed.rs"),
         "suppressed sites leaked diagnostics: {diags:#?}"
     );
 }
@@ -115,8 +176,17 @@ fn binary_exits_nonzero_on_fixtures_and_zero_on_workspace() {
         "fixture tree must fail the lint"
     );
     let stdout = String::from_utf8(bad.stdout).unwrap();
-    assert!(stdout.contains("[R1/map-iter]"), "{stdout}");
-    assert!(stdout.contains("[R5/unsafe]"), "{stdout}");
+    for tag in [
+        "[R1/map-iter]",
+        "[R5/unsafe]",
+        "[R6/time-arith]",
+        "[R7/cast-truncate]",
+        "[R8/metric-manifest]",
+        "[R9/float-merge]",
+        "[R10/stale-allow]",
+    ] {
+        assert!(stdout.contains(tag), "missing {tag}: {stdout}");
+    }
 
     let good = Command::new(bin).arg(workspace_root()).output().unwrap();
     assert_eq!(
@@ -125,6 +195,63 @@ fn binary_exits_nonzero_on_fixtures_and_zero_on_workspace() {
         "workspace must pass: {}",
         String::from_utf8_lossy(&good.stdout)
     );
+}
+
+#[test]
+fn debt_flag_reports_live_allows_per_rule() {
+    let bin = env!("CARGO_BIN_EXE_mcs-lint");
+    let out = Command::new(bin)
+        .arg("--debt")
+        .arg(fixture_root())
+        .output()
+        .unwrap();
+    // The debt ledger rides on stderr; the violations still fail the run.
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("suppression debt (live allows per rule)"),
+        "{err}"
+    );
+    // The fixture tree holds exactly one live allow per allow-bearing new
+    // rule (the look-alikes), plus map-iter/panic from allowed.rs. The
+    // stale core allow(panic) must NOT count — it suppresses nothing.
+    for (rule, n) in [
+        ("map-iter", 1),
+        ("panic", 1),
+        ("time-arith", 1),
+        ("cast-truncate", 1),
+        ("metric-manifest", 1),
+        ("float-merge", 1),
+        ("stale-allow", 0),
+        ("total", 6),
+    ] {
+        let row = format!("  {rule:<16} {n:>4}");
+        assert!(err.contains(&row), "missing row {row:?} in:\n{err}");
+    }
+}
+
+#[test]
+fn workspace_debt_ledger_renders() {
+    // No hard-coded workspace counts (they drift as the workspace
+    // evolves) — but the ledger must render and list every rule. Zero
+    // stale allows is already guaranteed by the clean self-check: a
+    // stale allow IS an R10 violation.
+    let bin = env!("CARGO_BIN_EXE_mcs-lint");
+    let out = Command::new(bin)
+        .arg("--debt")
+        .arg(workspace_root())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("suppression debt (live allows per rule)"),
+        "{err}"
+    );
+    for rule in mcs_lint::RULE_NAMES {
+        assert!(err.contains(rule), "missing rule {rule} in ledger:\n{err}");
+    }
+    assert!(err.contains("total"), "{err}");
 }
 
 #[test]
@@ -148,9 +275,12 @@ fn json_output_is_machine_readable() {
         "\"line\"",
         "\"message\"",
     ] {
-        assert_eq!(trimmed.matches(key).count(), 5, "missing {key}: {trimmed}");
+        assert_eq!(trimmed.matches(key).count(), 10, "missing {key}: {trimmed}");
     }
-    for rule in ["\"R1\"", "\"R2\"", "\"R3\"", "\"R4\"", "\"R5\""] {
+    for rule in [
+        "\"R1\"", "\"R2\"", "\"R3\"", "\"R4\"", "\"R5\"", "\"R6\"", "\"R7\"", "\"R8\"", "\"R9\"",
+        "\"R10\"",
+    ] {
         assert_eq!(trimmed.matches(rule).count(), 1, "{rule}: {trimmed}");
     }
     // No human-facing summary may pollute the JSON stream.

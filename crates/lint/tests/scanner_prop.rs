@@ -1,0 +1,204 @@
+//! Property tests for the span-aware scanner.
+//!
+//! A splitmix64-seeded corpus composes source text from fragments chosen
+//! to stress the lexer's hard cases — nested block comments, escaped and
+//! raw strings, char literals vs lifetimes, numeric shapes — and asserts
+//! the invariants every rule depends on:
+//!
+//! - scanning never panics, on well-formed text or on arbitrary prefixes
+//!   of it (truncation mid-literal included);
+//! - token spans are in-bounds, non-empty, and monotone (no overlap);
+//! - each token's recorded line equals 1 + the newline count before its
+//!   span start;
+//! - spans round-trip: re-slicing the source by a token's span reproduces
+//!   the token text exactly for `Ident`/`Num`/`Punct`, with the leading
+//!   quote for `Lifetime`, and is never shorter than the inner text for
+//!   `Lit` (whose span keeps the delimiters the text strips).
+
+#![allow(clippy::unwrap_used)]
+
+use mcs_lint::scanner::{SourceFile, TokKind};
+
+/// splitmix64 — tiny, seedable, and good enough to shuffle fragments.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fragments chosen to hit every lexer branch: comments (line, nested
+/// block, allow-annotated), every literal family, lifetimes, numeric
+/// shapes, and ordinary code.
+const FRAGMENTS: &[&str] = &[
+    "/* outer /* nested */ still comment */",
+    "/* multi\nline /* deeper\n */ comment */",
+    "// a line comment with allow( prose that is not an annotation",
+    "// mcs-lint: allow(map-iter, corpus reason)",
+    "\"a string with // no comment inside\"",
+    "\"escaped \\\" quote and \\\\ backslash\"",
+    "\"multi\nline\nstring\"",
+    "\"brace salad } { ) ( inside\"",
+    "r\"raw simple\"",
+    "r#\"raw with \"quotes\" inside\"#",
+    "r##\"raw with \"# inside\"##",
+    "b\"byte string\"",
+    "br#\"raw bytes \"q\" here\"#",
+    "'x'",
+    "'\\''",
+    "'\\n'",
+    "'\\u{41}'",
+    "&'a str",
+    "&'static [u8]",
+    "0xff_u32",
+    "0b1010_1010",
+    "3_600_000u64",
+    "1.5",
+    "9.75e2",
+    "0..10",
+    "let deadline_ms = now + 3_600_000;",
+    "fn merge(&mut self, other: &Self) { self.total += other.total; }",
+    "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }",
+    "#![forbid(unsafe_code)]",
+    "impl<'a, T: Ord> Wheel<'a, T> { fn slot(&self) -> u32 { 0 } }",
+    "match x { Some(v) => v, None => 0 }",
+    "reg.counter(\"sim.events.{kind}\")",
+    "let v: Vec<u64> = m.keys().copied().collect();",
+    "a -> b => c :: d .. e",
+    "_underscore _x1",
+];
+
+const SEPARATORS: &[&str] = &[" ", "\n", "\t", "\n\n", " \n "];
+
+/// Scans `src` and asserts every span/line invariant; returns the file.
+fn check(src: &str) -> SourceFile {
+    let f = SourceFile::scan(src);
+    let chars: Vec<char> = src.chars().collect();
+    let total_lines = chars.iter().filter(|c| **c == '\n').count() + 1;
+    let mut prev_end = 0usize;
+    for (idx, t) in f.tokens.iter().enumerate() {
+        assert!(
+            t.span.start >= prev_end,
+            "token {idx} overlaps its predecessor: {t:?}\nsource: {src:?}"
+        );
+        assert!(
+            t.span.start < t.span.end,
+            "token {idx} has an empty span: {t:?}\nsource: {src:?}"
+        );
+        assert!(
+            t.span.end <= chars.len(),
+            "token {idx} span escapes the source: {t:?}\nsource: {src:?}"
+        );
+        prev_end = t.span.end;
+
+        let newlines = chars[..t.span.start].iter().filter(|c| **c == '\n').count();
+        assert_eq!(
+            t.line as usize,
+            newlines + 1,
+            "token {idx} line drifted: {t:?}\nsource: {src:?}"
+        );
+
+        let slice: String = chars[t.span.start..t.span.end].iter().collect();
+        match t.kind {
+            TokKind::Ident | TokKind::Num | TokKind::Punct => assert_eq!(
+                slice, t.text,
+                "token {idx} span does not round-trip\nsource: {src:?}"
+            ),
+            TokKind::Lifetime => assert_eq!(
+                slice,
+                format!("'{}", t.text),
+                "lifetime {idx} span does not round-trip\nsource: {src:?}"
+            ),
+            TokKind::Lit => assert!(
+                t.span.end - t.span.start >= t.text.chars().count(),
+                "literal {idx} inner text outgrew its span: {t:?}\nsource: {src:?}"
+            ),
+        }
+    }
+    for a in &f.allows {
+        assert!(!a.rule.is_empty(), "empty allow rule\nsource: {src:?}");
+        assert!(
+            (a.line as usize) <= total_lines,
+            "allow line {} beyond {total_lines} lines\nsource: {src:?}",
+            a.line
+        );
+    }
+    f
+}
+
+#[test]
+fn seeded_corpus_scans_without_panics_and_spans_round_trip() {
+    for seed in 0..500u64 {
+        let mut rng = seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0x1405_7B7E_F767_814F;
+        let n = 8 + (splitmix64(&mut rng) % 40) as usize;
+        let mut src = String::new();
+        for _ in 0..n {
+            let frag = FRAGMENTS[(splitmix64(&mut rng) as usize) % FRAGMENTS.len()];
+            let sep = SEPARATORS[(splitmix64(&mut rng) as usize) % SEPARATORS.len()];
+            src.push_str(frag);
+            src.push_str(sep);
+        }
+        let full = check(&src);
+
+        // Scanning is a pure function of the text.
+        let again = SourceFile::scan(&src);
+        assert_eq!(full.tokens.len(), again.tokens.len(), "seed {seed}");
+        assert_eq!(full.allows.len(), again.allows.len(), "seed {seed}");
+
+        // Arbitrary prefixes (truncation mid-literal, mid-comment,
+        // mid-escape) must scan without panicking and keep the same
+        // invariants for whatever tokens survive.
+        let total = src.chars().count();
+        for _ in 0..3 {
+            let cut = (splitmix64(&mut rng) as usize) % (total + 1);
+            let prefix: String = src.chars().take(cut).collect();
+            check(&prefix);
+        }
+    }
+}
+
+#[test]
+fn pathological_literals_scan_cleanly() {
+    // Deterministic worst cases, checked token-by-token.
+    let f = check("let s = r##\"a \"# b\"## ; 'q' '\\\\' 'lt");
+    let lits: Vec<&str> = f
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Lit)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lits, vec!["a \"# b", "q", "\\\\"]);
+    assert_eq!(
+        f.tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count(),
+        1
+    );
+
+    // Unterminated forms at end-of-input: no panics, spans stay bounded.
+    for src in [
+        "\"unterminated",
+        "r#\"unterminated raw",
+        "'\\",
+        "/* unterminated /* nested",
+        "b\"",
+        "'",
+    ] {
+        check(src);
+    }
+}
+
+#[test]
+fn allows_survive_surrounding_noise() {
+    let f = check(
+        "/* block */ // mcs-lint: allow(cast-truncate, reason text)\n\
+         \"allow(panic, a string is not an annotation)\"\n\
+         // mcs-lint: allow(time-arith, second)\n",
+    );
+    let rules: Vec<&str> = f.allows.iter().map(|a| a.rule.as_str()).collect();
+    assert_eq!(rules, vec!["cast-truncate", "time-arith"]);
+    assert_eq!(f.allows[0].line, 1);
+    assert_eq!(f.allows[1].line, 3);
+}

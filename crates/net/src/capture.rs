@@ -109,7 +109,7 @@ impl FlowTrace {
         let mut out = Vec::with_capacity(self.chunk_records.len());
         let mut prev = 0;
         for c in &self.chunk_records {
-            out.push((c.completed_at - prev) as f64 / SEC as f64);
+            out.push(c.completed_at.saturating_sub(prev) as f64 / SEC as f64);
             prev = c.completed_at;
         }
         out
@@ -156,6 +156,8 @@ impl FlowTrace {
             ("net.timeouts", self.timeouts),
             ("net.fast_retransmits", self.fast_retransmits),
         ] {
+            // mcs-lint: allow(metric-manifest, every name in the literal
+            // array above is listed individually in METRICS.md)
             let c = metrics.counter(name);
             metrics.add(c, value);
         }

@@ -327,7 +327,8 @@ impl FlowRt {
                 // Keep cwnd, but pace one window's worth of segments over
                 // roughly one SRTT to rebuild the ACK clock without a burst.
                 let srtt = self.tcp.srtt().unwrap_or(100_000.0) as Time;
-                let segs = (self.tcp.send_window() / crate::tcp::MSS).max(1) as u32;
+                let segs = u32::try_from((self.tcp.send_window() / crate::tcp::MSS).max(1))
+                    .unwrap_or(u32::MAX);
                 self.pace_left = segs;
                 self.pace_interval = (srtt / segs as u64).max(200);
                 self.pace_next = now;
@@ -350,7 +351,7 @@ impl FlowRt {
                 .map(|t| now.saturating_sub(t))
                 .unwrap_or(0);
             self.trace.idle_records.push(IdleRecord {
-                before_batch: p.batch_index as u32,
+                before_batch: u32::try_from(p.batch_index).unwrap_or(u32::MAX),
                 idle,
                 app_idle: p.app_idle,
                 rto: self.tcp.rto(),
@@ -415,7 +416,7 @@ fn run_flows(cfgs: &[FlowConfig], link: LinkConfig, blackouts: &Windows) -> Vec<
         let fl = &mut eng.flows[f];
         fl.trace.total_bytes = fl.cfg.total_bytes;
         fl.trace.chunk_size = fl.cfg.chunk_size;
-        fl.trace.batches = fl.boundaries.len() as u32;
+        fl.trace.batches = u32::try_from(fl.boundaries.len()).unwrap_or(u32::MAX);
         fl.pending_idle = Some(PendingIdle {
             batch_index: 0,
             unlock_time: 0,
@@ -487,7 +488,7 @@ impl Handler<Ev> for Engine {
                     Ev::Unlock {
                         f,
                         batch_end,
-                        app_idle: delay_a + delay_b,
+                        app_idle: delay_a.saturating_add(delay_b),
                     },
                 );
             }
@@ -549,7 +550,7 @@ impl Engine {
             fl.snd_nxt = seq_end;
             if fl.pace_left > 0 {
                 fl.pace_left -= 1;
-                fl.pace_next = now.max(fl.pace_next) + fl.pace_interval;
+                fl.pace_next = now.max(fl.pace_next).saturating_add(fl.pace_interval);
             }
             fl.record_send_samples(now);
         }
@@ -595,7 +596,7 @@ impl Engine {
             }
         }
         fl.tcp.register_send(now, bytes);
-        fl.next_emit = now + fl.emit_interval;
+        fl.next_emit = now.saturating_add(fl.emit_interval);
         fl.last_data_send = Some(now);
         fl.rtt_map
             .entry(seq_end)
@@ -637,7 +638,7 @@ impl Engine {
         // A slow receiver stack (Android downloads) processes packets
         // sequentially, so its ACKs fall behind when data arrives faster
         // than it can handle — throttling the sender's ACK clock.
-        let processed_at = now.max(fl.rcv_busy) + fl.rcv_overhead;
+        let processed_at = now.max(fl.rcv_busy).saturating_add(fl.rcv_overhead);
         fl.rcv_busy = processed_at;
         // ACK policy: immediate per segment, or RFC 1122 delayed ACKs
         // (every second segment / 40 ms timer; out-of-order data always
@@ -649,7 +650,7 @@ impl Engine {
         } else {
             let epoch = self.flows[f].delack_epoch;
             ctx.schedule(
-                processed_at + 40 * crate::sim::MS,
+                processed_at.saturating_add(40 * crate::sim::MS),
                 self.comps[f],
                 Ev::DelackFire { f, epoch },
             );
@@ -668,7 +669,9 @@ impl Engine {
                 Direction::Download => fl.cfg.device.sample_clt(Direction::Download, &mut fl.rng),
             };
             ctx.schedule(
-                processed_at + delay_a + ack_delay,
+                processed_at
+                    .saturating_add(delay_a)
+                    .saturating_add(ack_delay),
                 self.comps[f],
                 Ev::CtrlArrive {
                     f,
@@ -695,7 +698,7 @@ impl Engine {
         let sacked: u64 = fl.ooo.iter().map(|(&s, &e)| e - s).sum();
         let ack_delay = fl.cfg.ack_delay;
         ctx.schedule(
-            processed_at + ack_delay,
+            processed_at.saturating_add(ack_delay),
             self.comps[f],
             Ev::AckArrive {
                 f,
@@ -813,7 +816,7 @@ impl Engine {
             .expect("unlock for known batch");
         // Sender has learned the batch completed end-to-end.
         fl.trace.chunk_records.push(ChunkRecord {
-            index: batch_index as u32,
+            index: u32::try_from(batch_index).unwrap_or(u32::MAX),
             bytes: batch_end
                 - if batch_index == 0 {
                     0

@@ -313,7 +313,8 @@ pub struct ResumeRow {
 impl ResumeRow {
     /// Time saved by resume support, as a fraction of the restart total.
     pub fn saving(&self) -> f64 {
-        1.0 - self.resume_total as f64 / self.restart_total.max(1) as f64
+        let frac = self.resume_total as f64 / self.restart_total.max(1) as f64;
+        1.0 - frac
     }
 }
 
@@ -342,8 +343,8 @@ pub fn run_resume_ablation(
     ));
     ResumeRow {
         fail_at_frac,
-        restart_total: first_leg.duration + restart_leg.duration,
-        resume_total: first_leg.duration + resume_leg.duration,
+        restart_total: first_leg.duration.saturating_add(restart_leg.duration),
+        resume_total: first_leg.duration.saturating_add(resume_leg.duration),
     }
 }
 

@@ -160,7 +160,7 @@ impl Link {
             return Transmit::Drop;
         }
         let start = self.busy_until.max(now);
-        self.busy_until = start + self.serialization_time(bytes);
+        self.busy_until = start.saturating_add(self.serialization_time(bytes));
         self.delivered += 1;
         let jitter = if self.cfg.jitter_mean > 0 {
             let u: f64 = rng.random::<f64>().max(1e-12);
@@ -168,7 +168,11 @@ impl Link {
         } else {
             0
         };
-        Transmit::Arrive(self.busy_until + self.cfg.delay + jitter)
+        Transmit::Arrive(
+            self.busy_until
+                .saturating_add(self.cfg.delay)
+                .saturating_add(jitter),
+        )
     }
 }
 

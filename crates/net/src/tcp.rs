@@ -270,7 +270,7 @@ impl TcpSender {
         self.in_recovery = false;
         self.dupacks = 0;
         self.backoffs += 1;
-        self.rto = (self.rto * 2).min(60 * crate::sim::SEC);
+        self.rto = self.rto.saturating_mul(2).min(60 * crate::sim::SEC);
         CwndEvent::Timeout
     }
 

@@ -43,9 +43,11 @@ impl SimClock {
     }
 
     /// Advances the clock by a relative delay (always legal) and returns
-    /// the new time.
+    /// the new time. Saturates at the end of time: a wrapping add would
+    /// silently move the clock *backwards*, breaking the monotonicity
+    /// invariant every downstream measurement rests on.
     pub fn advance_by(&mut self, delay: Time) -> Time {
-        self.now += delay;
+        self.now = self.now.saturating_add(delay);
         self.now
     }
 }
@@ -69,6 +71,17 @@ mod tests {
         let mut c = SimClock::new();
         c.advance_to(100).unwrap();
         assert_eq!(c.advance_to(100), Ok(100));
+    }
+
+    #[test]
+    fn advance_by_saturates_instead_of_wrapping() {
+        // Regression: `advance_by` used a bare `+=`, which near the end of
+        // time panicked in debug builds and wrapped the clock *backwards*
+        // in release builds — silently breaking monotonicity.
+        let mut c = SimClock::new();
+        c.advance_to(Time::MAX - 5).unwrap();
+        assert_eq!(c.advance_by(100), Time::MAX);
+        assert_eq!(c.now(), Time::MAX, "clock must never move backwards");
     }
 
     #[test]

@@ -138,9 +138,12 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` after a relative delay.
+    /// Schedules `event` after a relative delay. The deadline saturates
+    /// at the end of time: a wrapping add would compute a *past* deadline
+    /// and panic in [`EventQueue::schedule`] (debug) or corrupt event
+    /// order (release, before the monotonicity guard caught it).
     pub fn schedule_in(&mut self, delay: Time, event: E) {
-        self.schedule(self.now() + delay, event);
+        self.schedule(self.now().saturating_add(delay), event);
     }
 
     /// Pops the earliest event, advancing the clock to it. The
@@ -241,6 +244,19 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn schedule_in_saturates_near_the_end_of_time() {
+        // Regression: `schedule_in` computed `now() + delay` with a bare
+        // add; once the clock sat near `Time::MAX` the deadline wrapped
+        // into the past, panicking in `schedule` (debug) or corrupting
+        // event order before the monotonicity guard fired (release).
+        let mut q = EventQueue::new();
+        q.schedule(Time::MAX - 10, "late");
+        assert_eq!(q.pop(), Some((Time::MAX - 10, "late")));
+        q.schedule_in(100, "clamped");
+        assert_eq!(q.pop(), Some((Time::MAX, "clamped")));
     }
 
     #[test]

@@ -64,10 +64,13 @@ impl Summary {
         }
         let n1 = self.n as f64;
         let n2 = other.n as f64;
+        // mcs-lint: allow(float-merge, Chan pairwise mean update; shards merge in pinned index order per the R4 law)
         let delta = other.mean - self.mean;
         let total = n1 + n2;
+        // mcs-lint: allow(float-merge, Chan mean and M2 combination is deterministic under the pinned merge order)
         self.mean += delta * n2 / total;
         self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        // mcs-lint: allow(float-merge, integer count plus f64 sum; sum follows the same pinned merge order)
         self.n += other.n;
         self.sum += other.sum;
         self.min = self.min.min(other.min);

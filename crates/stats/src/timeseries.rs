@@ -52,6 +52,7 @@ impl HourlySeries {
             "cannot merge hourly series with different horizons"
         );
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            // mcs-lint: allow(float-merge, bins hold integer-valued f64 below 2^53 so bin-wise sums are exact)
             *a += b;
         }
     }

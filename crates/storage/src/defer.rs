@@ -70,14 +70,16 @@ impl DeferPolicy {
         let mut h = now_ms.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         h ^= h >> 31;
         let slot_ms = h % (self.spread_hours.max(1) as u64 * 3_600_000);
-        let day_start = now_ms - (now_ms % 86_400_000);
-        let today_run = day_start + self.run_hour as u64 * 3_600_000 + slot_ms;
+        let day_start = now_ms - (now_ms % 86_400_000); // mcs-lint: allow(time-arith, x - (x % d) cannot underflow)
+        let today_run = day_start
+            .saturating_add(self.run_hour as u64 * 3_600_000)
+            .saturating_add(slot_ms);
         let target = if today_run > now_ms {
             today_run
         } else {
-            today_run + 86_400_000
+            today_run.saturating_add(86_400_000)
         };
-        let cap = now_ms + self.max_defer_hours as u64 * 3_600_000;
+        let cap = now_ms.saturating_add(self.max_defer_hours as u64 * 3_600_000);
         if target <= cap {
             return target;
         }
@@ -88,9 +90,9 @@ impl DeferPolicy {
         let mut hour = now_ms / 3_600_000 + 1;
         let peak_exit = loop {
             if !self.is_peak_hour((hour % 24) as u32) {
-                break hour * 3_600_000;
+                break hour.saturating_mul(3_600_000);
             }
-            hour += 1;
+            hour = hour.saturating_add(1);
             if hour > now_ms / 3_600_000 + 25 {
                 return now_ms; // every hour is peak: nothing to escape to
             }
@@ -231,7 +233,7 @@ pub fn evaluate_deferral(
                 window_start
             };
             let window_ms = policy.spread_hours.max(1) as u64 * 3_600_000;
-            if run_at < window_start + window_ms {
+            if run_at < window_start.saturating_add(window_ms) {
                 let slices = policy.spread_hours.max(1) as u64;
                 for j in 0..slices {
                     deferred[clamp(window_start + j * 3_600_000)] +=
@@ -268,6 +270,27 @@ mod tests {
     use super::*;
 
     const H: u64 = 3_600_000;
+
+    #[test]
+    fn execute_at_near_end_of_time_does_not_wrap() {
+        // Regression: the defer cap was computed with a bare
+        // `now_ms + max_defer_hours * H`. For submissions near
+        // `u64::MAX` the cap wrapped to a tiny value, so every deferral
+        // target compared "over cap" and the walk to the next off-peak
+        // hour overflowed too (debug panic / release wrap-around into the
+        // past). The policy must stay total over the whole u64 domain.
+        let p = DeferPolicy::default();
+        // A peak-hour submission close enough to the end of time that
+        // both the cap and the trough target overflow a bare add.
+        let day = 86_400_000u64;
+        // Start of the last *full* day before the end of time (the final
+        // partial day is too short to ever reach hour 20).
+        let day_start = u64::MAX - (u64::MAX % day) - day;
+        let now_ms = day_start + 20 * H; // hour 20: peak
+        assert!(p.is_peak_hour(((now_ms / H) % 24) as u32));
+        let at = p.execute_at_ms(now_ms);
+        assert!(at >= now_ms, "deferral must never travel back in time");
+    }
 
     #[test]
     fn peak_hours_detected() {

@@ -15,7 +15,7 @@ impl Digest {
         let mut s = String::with_capacity(32);
         for b in self.0 {
             // mcs-lint: allow(panic, nibbles are < 16, always valid hex digits)
-            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+            s.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
             s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
         }
         s

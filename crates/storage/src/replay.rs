@@ -237,6 +237,14 @@ struct PlannedOp {
 /// did — user by user, sessions chronological within each user — and draw
 /// from the same RNG stream at the same points, so the planned workload is
 /// bit-identical to what the old single loop executed.
+/// Absolute µs deadline for a trace op stamped at `at_ms`. Saturates at
+/// the end of time: the bare `* 1000` it replaces wrapped for
+/// `at_ms > u64::MAX / 1000`, scheduling the op in the *past* and
+/// silently reordering the faulted timeline.
+fn op_deadline_us(at_ms: u64) -> u64 {
+    at_ms.saturating_mul(MS)
+}
+
 fn plan_ops(gen: &TraceGenerator, cfg: &ReplayConfig) -> Vec<PlannedOp> {
     let mut rng = stream_rng(cfg.seed, 0x5EB1A4);
     // Disjoint stream for the shared-pool fallback of users who *do* own
@@ -436,7 +444,11 @@ fn replay_inner(
     // attribution bit-identical to the old loop (module docs).
     for (i, op) in eng.ops.iter().enumerate() {
         let fe = eng.svc.metadata().closest_frontend(op.user);
-        let at = if time_gated { op.at_ms * MS } else { i as u64 };
+        let at = if time_gated {
+            op_deadline_us(op.at_ms)
+        } else {
+            i as u64
+        };
         sim.schedule(at, comps[fe], i);
     }
     sim.run(&mut eng);
@@ -481,6 +493,18 @@ mod tests {
             ..TraceConfig::default()
         })
         .unwrap()
+    }
+
+    #[test]
+    fn op_deadline_saturates_instead_of_wrapping() {
+        // Regression: the time-gated schedule loop converted trace
+        // milliseconds to simulator microseconds with a bare `* 1000`;
+        // any op stamped past `u64::MAX / 1000` ms wrapped to a *small*
+        // deadline and replayed out of order.
+        assert_eq!(op_deadline_us(5), 5 * MS);
+        assert_eq!(op_deadline_us(u64::MAX / MS), u64::MAX / MS * MS);
+        assert_eq!(op_deadline_us(u64::MAX / MS + 1), u64::MAX);
+        assert_eq!(op_deadline_us(u64::MAX), u64::MAX);
     }
 
     #[test]

@@ -185,14 +185,30 @@ impl<W: Write> ColumnarWriter<W> {
 
     fn flush_block(&mut self) -> io::Result<()> {
         let n = self.buf.len();
+        // On-disk block fields are u32; a block that cannot express its own
+        // lengths must fail loudly, not truncate into a corrupt file.
+        fn u32_len(n: usize, what: &str) -> io::Result<u32> {
+            u32::try_from(n).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{what} ({n}) exceeds the u32 block format"),
+                )
+            })
+        }
         let payload_len =
             4 + 8 * self.new_users.len() + 4 + 8 * self.new_devices.len() + n * RECORD_BYTES;
         let mut payload = Vec::with_capacity(payload_len);
-        put_u32(&mut payload, self.new_users.len() as u32);
+        put_u32(
+            &mut payload,
+            u32_len(self.new_users.len(), "user dictionary")?,
+        );
         for &u in &self.new_users {
             payload.extend_from_slice(&u.to_le_bytes());
         }
-        put_u32(&mut payload, self.new_devices.len() as u32);
+        put_u32(
+            &mut payload,
+            u32_len(self.new_devices.len(), "device dictionary")?,
+        );
         for &d in &self.new_devices {
             payload.extend_from_slice(&d.to_le_bytes());
         }
@@ -220,8 +236,10 @@ impl<W: Write> ColumnarWriter<W> {
         for (r, _, _) in &self.buf {
             payload.extend_from_slice(&r.rtt_ms.to_le_bytes());
         }
-        self.w.write_all(&(n as u32).to_le_bytes())?;
-        self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.w
+            .write_all(&u32_len(n, "record count")?.to_le_bytes())?;
+        self.w
+            .write_all(&u32_len(payload.len(), "payload length")?.to_le_bytes())?;
         self.w.write_all(&payload)?;
         self.buf.clear();
         self.new_users.clear();
@@ -326,10 +344,7 @@ impl<R: BufRead> ColumnarRecords<R> {
             return Err(ReadError::UnsupportedVersion { found: version });
         }
         let expected = fnv1a64(&header[..12]);
-        let found = u64::from_le_bytes(
-            // mcs-lint: allow(panic, 20-byte array slice of fixed width)
-            header[12..20].try_into().unwrap_or([0; 8]),
-        );
+        let found = u64::from_le_bytes(header[12..20].try_into().unwrap_or([0; 8]));
         if expected != found {
             return Err(ReadError::HeaderChecksum { expected, found });
         }
@@ -405,9 +420,9 @@ impl<R: BufRead> ColumnarRecords<R> {
                 None => {
                     out.push(Err(ReadError::DictIndex {
                         block,
-                        record: i as u32,
+                        record: u32::try_from(i).unwrap_or(u32::MAX),
                         index: ui,
-                        len: self.users.len() as u32,
+                        len: u32::try_from(self.users.len()).unwrap_or(u32::MAX),
                     }));
                     continue;
                 }
@@ -417,9 +432,9 @@ impl<R: BufRead> ColumnarRecords<R> {
                 None => {
                     out.push(Err(ReadError::DictIndex {
                         block,
-                        record: i as u32,
+                        record: u32::try_from(i).unwrap_or(u32::MAX),
                         index: di,
-                        len: self.devices.len() as u32,
+                        len: u32::try_from(self.devices.len()).unwrap_or(u32::MAX),
                     }));
                     continue;
                 }
@@ -429,7 +444,7 @@ impl<R: BufRead> ColumnarRecords<R> {
                 None => {
                     out.push(Err(ReadError::OpCode {
                         block,
-                        record: i as u32,
+                        record: u32::try_from(i).unwrap_or(u32::MAX),
                         code: op,
                     }));
                     continue;

@@ -848,7 +848,7 @@ fn write_csv_record<W: Write>(mut w: W, r: &LogRecord) -> io::Result<()> {
         r.processing_ms,
         r.srv_ms,
         r.rtt_ms,
-        r.proxied as u8,
+        u8::from(r.proxied),
     )
 }
 

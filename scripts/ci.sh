@@ -8,7 +8,12 @@ cargo test -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
-cargo run -p mcs-lint --release
+# Determinism/contract audit (rules R1-R10): machine-readable report for
+# artifact upload, suppression-debt ledger on stderr, nonzero exit on any
+# diagnostic.
+mkdir -p target
+cargo run -p mcs-lint --release -- --json > target/lint-report.json
+cargo run -p mcs-lint --release -- --debt
 # Chaos smoke test: corrupted-trace ingestion + seeded fault-plan replay
 # (bit-identical across runs, availability bounded, no panics).
 cargo run --release --example chaos_replay
