@@ -176,6 +176,9 @@ fn draw_windows(seed: u64, stream: u64, horizon_ms: u64, per_day: f64, mean_ms: 
 pub mod streams {
     /// Chunk-transfer timeout coins (one per `(op, attempt)`).
     pub const CHUNK_TIMEOUT: u64 = 0xFB02;
+    /// Per-chunk send-timeout coins for the resumable transfer protocol
+    /// (one per `(op, chunk, send)`).
+    pub const CHUNK_SEND: u64 = 0xFB03;
 }
 
 /// The materialised fault timeline for one simulated deployment.
@@ -324,6 +327,20 @@ impl FaultPlan {
             self.seed,
             streams::CHUNK_TIMEOUT,
             op.wrapping_mul(64).wrapping_add(attempt as u64),
+        ) < self.chunk_timeout_prob
+    }
+
+    /// Does the `send`-th transmission of `chunk` within operation `op`
+    /// time out on a browned-out front-end? The resumable transfer
+    /// protocol flips one coin per individual chunk send, keyed by the
+    /// whole `(op, chunk, send)` triple on a stream disjoint from
+    /// [`FaultPlan::chunk_timeout`], so decisions are order-free however
+    /// out-of-order sends and resumed attempts interleave.
+    pub fn chunk_send_timeout(&self, op: u64, chunk: u64, send: u32) -> bool {
+        unit_coin(
+            split_seed(self.seed, op),
+            streams::CHUNK_SEND,
+            chunk.wrapping_mul(64).wrapping_add(send as u64),
         ) < self.chunk_timeout_prob
     }
 }
@@ -498,6 +515,35 @@ mod tests {
         let hits = (0..n).filter(|&op| plan.chunk_timeout(op, 0)).count();
         let frac = hits as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.02, "timeout frac {frac}");
+    }
+
+    #[test]
+    fn chunk_send_timeout_is_stateless_and_tracks_probability() {
+        let plan = FaultPlan {
+            seed: 77,
+            chunk_timeout_prob: 0.3,
+            ..FaultPlan::none(1)
+        };
+        // Pure in the (op, chunk, send) triple, and distinct coordinates
+        // draw distinct coins.
+        assert_eq!(
+            plan.chunk_send_timeout(1, 2, 3),
+            plan.chunk_send_timeout(1, 2, 3)
+        );
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|&chunk| plan.chunk_send_timeout(5, chunk, 1))
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "send-timeout frac {frac}");
+        // Disjoint from the whole-file coin stream: the same key must not
+        // reproduce `chunk_timeout`'s decisions wholesale.
+        let overlap = (0..n)
+            .filter(|&op| plan.chunk_timeout(op, 1) == plan.chunk_send_timeout(op, op, 1))
+            .count() as f64
+            / n as f64;
+        assert!(overlap < 0.9, "streams look correlated: {overlap}");
+        assert!(!FaultPlan::none(1).chunk_send_timeout(0, 0, 0));
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod transfer_stats;
+
 pub struct MetricAcc {
     pub total: u64,
 }

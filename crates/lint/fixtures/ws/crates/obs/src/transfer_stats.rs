@@ -1,0 +1,49 @@
+//! R4 counter-example, transfer-shaped: a mergeable roll-up of chunk
+//! transfer activity (sessions, sends, resume savings) whose field-wise
+//! u64 sum is the shard-reduce monoid. Its merge-law test vouches for
+//! it, so R4 must stay silent — and every field is an integer counter,
+//! so R9 has nothing to say about the merge body either.
+
+pub struct TransferStatsAcc {
+    pub sessions: u64,
+    pub resumed_sessions: u64,
+    pub chunks_sent: u64,
+    pub chunks_resent: u64,
+    pub resume_saved_bytes: u64,
+}
+
+impl TransferStatsAcc {
+    pub fn merge(&mut self, other: &Self) {
+        self.sessions += other.sessions;
+        self.resumed_sessions += other.resumed_sessions;
+        self.chunks_sent += other.chunks_sent;
+        self.chunks_resent += other.chunks_resent;
+        self.resume_saved_bytes += other.resume_saved_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TransferStatsAcc;
+
+    #[test]
+    fn transfer_stats_merge_law_shards_add() {
+        let mut left = TransferStatsAcc {
+            sessions: 2,
+            resumed_sessions: 1,
+            chunks_sent: 40,
+            chunks_resent: 4,
+            resume_saved_bytes: 1024,
+        };
+        left.merge(&TransferStatsAcc {
+            sessions: 1,
+            resumed_sessions: 0,
+            chunks_sent: 10,
+            chunks_resent: 1,
+            resume_saved_bytes: 512,
+        });
+        assert_eq!(left.sessions, 3);
+        assert_eq!(left.chunks_sent, 50);
+        assert_eq!(left.resume_saved_bytes, 1536);
+    }
+}

@@ -119,6 +119,12 @@ impl FrontEnd {
         self.chunks.len()
     }
 
+    /// Is a chunk with this digest resident? (Used after GC to decide
+    /// whether the metadata chunk index should drop its entry.)
+    pub fn has_chunk(&self, digest: &Digest) -> bool {
+        self.chunks.contains_key(digest)
+    }
+
     /// Bytes of unique chunk data resident.
     pub fn stored_bytes(&self) -> u64 {
         self.chunks.values().map(|m| m.size).sum()

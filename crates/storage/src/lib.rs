@@ -13,6 +13,10 @@
 //! * [`service`] — the clustered façade used by examples and tests, with
 //!   fault-aware `try_store`/`try_retrieve` paths (retry, failover,
 //!   degraded-mode telemetry) driven by an injected [`mcs_faults::FaultPlan`],
+//! * [`transfer`] — the resumable, out-of-order chunk-transfer protocol
+//!   (per-chunk MD5 verification, arrival windows, resume-from-partial)
+//!   that `try_store_resumable`/`try_retrieve_resumable` drive on an
+//!   `mcs-sim` timeline,
 //! * [`error`] — the [`ServiceError`] taxonomy those paths return,
 //! * [`defer`] — the "smart auto backup" deferred-upload scheduler
 //!   (§3.2.2 implication) with peak-load/QoE evaluation,
@@ -34,6 +38,7 @@ pub mod metadata;
 pub mod replay;
 pub mod service;
 pub mod tier;
+pub mod transfer;
 
 pub use cache::LruCache;
 pub use content::{Content, FileManifest, CHUNK_SIZE};
@@ -48,3 +53,7 @@ pub use replay::{
 };
 pub use service::{FaultTelemetry, RetrieveOutcome, StorageService, StoreOutcome};
 pub use tier::{Tier, TierPolicy, TieredStore};
+pub use transfer::{
+    run_transfer_attempt, AttemptReport, Channel, ChunkFate, ChunkState, Stall, TransferConfig,
+    TransferError, TransferSession, TransferStats,
+};

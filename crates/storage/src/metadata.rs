@@ -75,6 +75,11 @@ pub struct MetadataServer {
     namespaces: BTreeMap<UserId, BTreeMap<String, FileEntry>>,
     /// Published share URLs.
     urls: BTreeMap<ShareUrl, Digest>,
+    /// Chunk index: chunk digest → front-ends holding a verified copy.
+    /// The dedup-aware half of the resumable transfer protocol: a resumed
+    /// (or partially-known) upload consults this to skip chunks the
+    /// target front-end already proved it has.
+    chunk_index: BTreeMap<Digest, BTreeSet<usize>>,
     /// Number of front-end servers to spread uploads over.
     frontends: usize,
     /// Counters.
@@ -125,11 +130,53 @@ impl MetadataServer {
         }
     }
 
-    /// Marks an upload complete: the content now exists on `frontend` and
-    /// future stores of it deduplicate.
+    /// Marks an upload complete: the content now exists on `frontend`,
+    /// future stores of it deduplicate at file level, and every chunk of
+    /// it enters the chunk index for chunk-level dedup.
     pub fn complete_upload(&mut self, manifest: FileManifest, frontend: usize) {
+        for digest in &manifest.chunk_digests {
+            self.record_chunk(*digest, frontend);
+        }
         self.known
             .insert(manifest.file_digest, (manifest, frontend));
+    }
+
+    /// Records that `frontend` holds a verified copy of the chunk with
+    /// this digest. Called per verified chunk by resumable uploads, so a
+    /// stalled transfer's progress survives in the index.
+    pub fn record_chunk(&mut self, digest: Digest, frontend: usize) {
+        self.chunk_index.entry(digest).or_default().insert(frontend);
+    }
+
+    /// Does the chunk index record a verified copy of `digest` on
+    /// `frontend`?
+    pub fn frontend_has_chunk(&self, digest: &Digest, frontend: usize) -> bool {
+        self.chunk_index
+            .get(digest)
+            .is_some_and(|fes| fes.contains(&frontend))
+    }
+
+    /// Indices of `manifest`'s chunks that the index records on
+    /// `frontend` — what a resumed upload may skip.
+    pub fn chunks_on_frontend(&self, manifest: &FileManifest, frontend: usize) -> BTreeSet<u64> {
+        manifest
+            .chunk_digests
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| self.frontend_has_chunk(d, frontend))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// Drops `frontend` from the chunk's index entry (the front-end
+    /// reclaimed its last reference during GC).
+    pub fn unrecord_chunk(&mut self, digest: &Digest, frontend: usize) {
+        if let Some(fes) = self.chunk_index.get_mut(digest) {
+            fes.remove(&frontend);
+            if fes.is_empty() {
+                self.chunk_index.remove(digest);
+            }
+        }
     }
 
     /// Resolves a path in a user's namespace for retrieval.
@@ -366,6 +413,34 @@ mod tests {
         let (got, _) = md.begin_retrieve(1, "note.txt").unwrap();
         assert_eq!(got.file_digest, v2.file_digest);
         assert_eq!(md.distinct_contents(), 2, "old content still exists");
+    }
+
+    #[test]
+    fn chunk_index_tracks_per_frontend_copies() {
+        let mut md = MetadataServer::new(2).unwrap();
+        let m = manifest("big.bin", 3, 3 * 512 * 1024);
+        assert_eq!(m.chunk_count(), 3);
+        assert!(md.chunks_on_frontend(&m, 0).is_empty());
+        // A stalled upload verified chunks 0 and 2 on front-end 1.
+        md.record_chunk(m.chunk_digests[0], 1);
+        md.record_chunk(m.chunk_digests[2], 1);
+        assert_eq!(
+            md.chunks_on_frontend(&m, 1).into_iter().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert!(md.chunks_on_frontend(&m, 0).is_empty(), "per-frontend");
+        assert!(md.frontend_has_chunk(&m.chunk_digests[0], 1));
+        assert!(!md.frontend_has_chunk(&m.chunk_digests[1], 1));
+        // Completing an upload indexes every chunk on the hosting fe.
+        md.complete_upload(m.clone(), 0);
+        assert_eq!(md.chunks_on_frontend(&m, 0).len(), 3);
+        // GC on fe 1 unrecords its copies; fe 0's survive.
+        md.unrecord_chunk(&m.chunk_digests[0], 1);
+        md.unrecord_chunk(&m.chunk_digests[2], 1);
+        assert!(md.chunks_on_frontend(&m, 1).is_empty());
+        assert_eq!(md.chunks_on_frontend(&m, 0).len(), 3);
+        // Unrecording an unknown pair is a no-op, not a panic.
+        md.unrecord_chunk(&Digest([1; 16]), 7);
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! one loop, so a replay under [`FaultPlan::none`] is *bit-identical* to a
 //! fair-weather replay.
 //!
+//! With [`ReplayConfig::resumable`] (the default) faulted operations move
+//! through the resumable chunk-transfer protocol ([`crate::transfer`]):
+//! an interrupted transfer keeps its verified chunks, retries move only
+//! what is missing, and the stats grow resume accounting
+//! (`resumed_transfers`, `resume_saved_bytes`). Setting it to `false`
+//! retries whole files — the baseline the §3.3 sync-efficiency
+//! comparison measures against.
+//!
 //! The replay runs on the shared `mcs-sim` timeline (DESIGN.md §10) in two
 //! phases: a *plan* phase walks the trace in its original per-user order
 //! (so every RNG draw replays the pre-timeline sequence bit for bit) and
@@ -59,6 +67,13 @@ pub struct ReplayConfig {
     pub popular_pool: u64,
     /// RNG seed for duplicate selection.
     pub seed: u64,
+    /// Drive faulted operations through the resumable chunk-transfer
+    /// protocol (`try_store_resumable`/`try_retrieve_resumable`): an
+    /// interrupted transfer keeps its verified chunks and a retry moves
+    /// only the missing ones. `false` falls back to whole-file retry —
+    /// the comparison baseline for the §3.3 sync-efficiency question.
+    /// Fair-weather replays are bit-identical either way.
+    pub resumable: bool,
 }
 
 impl Default for ReplayConfig {
@@ -68,6 +83,7 @@ impl Default for ReplayConfig {
             duplicate_prob: 0.03,
             popular_pool: 64,
             seed: 7,
+            resumable: true,
         }
     }
 }
@@ -106,6 +122,11 @@ pub struct ReplayStats {
     pub chunk_timeouts: u64,
     /// Bytes moved by attempts that did not complete (retry inflation).
     pub retry_bytes: u64,
+    /// Transfer attempts that started with partial progress already
+    /// verified (resumable protocol only).
+    pub resumed_transfers: u64,
+    /// Bytes resumes did not re-move that whole-file retries would have.
+    pub resume_saved_bytes: u64,
 }
 
 impl ReplayStats {
@@ -323,6 +344,43 @@ struct ReplayEngine {
     /// execution order equals plan order on both timelines: sessions are
     /// chronologically sorted and the queue breaks time ties by insertion).
     owned: BTreeMap<u64, Vec<String>>,
+    /// Dispatch faulted ops through the resumable chunk-transfer paths
+    /// ([`ReplayConfig::resumable`]).
+    resumable: bool,
+}
+
+impl ReplayEngine {
+    /// `try_store` or `try_store_resumable`, per the config. Free of
+    /// `&mut self` so `handle` can keep borrowing the planned op.
+    fn do_store(
+        svc: &mut StorageService,
+        resumable: bool,
+        user: u64,
+        name: &str,
+        content: &Content,
+        now_ms: u64,
+    ) -> Result<crate::service::StoreOutcome, ServiceError> {
+        if resumable {
+            svc.try_store_resumable(user, name, content, now_ms)
+        } else {
+            svc.try_store(user, name, content, now_ms)
+        }
+    }
+
+    /// `try_retrieve` or `try_retrieve_resumable`, per the config.
+    fn do_retrieve(
+        svc: &mut StorageService,
+        resumable: bool,
+        user: u64,
+        path: &str,
+        now_ms: u64,
+    ) -> Result<crate::service::RetrieveOutcome, ServiceError> {
+        if resumable {
+            svc.try_retrieve_resumable(user, path, now_ms)
+        } else {
+            svc.try_retrieve(user, path, now_ms)
+        }
+    }
 }
 
 impl Handler<usize> for ReplayEngine {
@@ -335,7 +393,7 @@ impl Handler<usize> for ReplayEngine {
         let user = self.ops[op].user;
         match &self.ops[op].kind {
             PlannedKind::Store { name, content } => {
-                match self.svc.try_store(user, name, content, now_ms) {
+                match Self::do_store(&mut self.svc, self.resumable, user, name, content, now_ms) {
                     Ok(out) => {
                         self.obs.inc(self.ids.stores);
                         self.obs.add(self.ids.bytes_uploaded, out.bytes_uploaded);
@@ -354,16 +412,19 @@ impl Handler<usize> for ReplayEngine {
                 self.obs.inc(self.ids.retrieves);
                 let owned_name = self.owned.get(&user).and_then(|v| v.last()).cloned();
                 match owned_name {
-                    Some(name) => match self.svc.try_retrieve(user, &name, now_ms) {
-                        Ok(got) => {
-                            self.obs
-                                .add(self.ids.bytes_downloaded, got.bytes_downloaded);
-                            self.obs
-                                .observe(self.ids.retrieve_bytes, got.bytes_downloaded);
+                    Some(name) => {
+                        match Self::do_retrieve(&mut self.svc, self.resumable, user, &name, now_ms)
+                        {
+                            Ok(got) => {
+                                self.obs
+                                    .add(self.ids.bytes_downloaded, got.bytes_downloaded);
+                                self.obs
+                                    .observe(self.ids.retrieve_bytes, got.bytes_downloaded);
+                            }
+                            Err(ServiceError::NotFound) => self.obs.inc(self.ids.retrieve_misses),
+                            Err(_) => self.obs.inc(self.ids.failed_retrieves),
                         }
-                        Err(ServiceError::NotFound) => self.obs.inc(self.ids.retrieve_misses),
-                        Err(_) => self.obs.inc(self.ids.failed_retrieves),
-                    },
+                    }
                     None => {
                         let seed = *fallback_seed;
                         let content = Content::Synthetic {
@@ -377,10 +438,20 @@ impl Handler<usize> for ReplayEngine {
                         // charges (see `ReplayStats::failed_retrieves`).
                         let name = format!("shared/{seed}");
                         let owner = u64::MAX - seed;
-                        match self.svc.try_retrieve(owner, &name, now_ms) {
+                        match Self::do_retrieve(&mut self.svc, self.resumable, owner, &name, now_ms)
+                        {
                             Ok(_) => {} // exists; the counted retrieve follows
                             Err(ServiceError::NotFound) => {
-                                if self.svc.try_store(owner, &name, &content, now_ms).is_err() {
+                                if Self::do_store(
+                                    &mut self.svc,
+                                    self.resumable,
+                                    owner,
+                                    &name,
+                                    &content,
+                                    now_ms,
+                                )
+                                .is_err()
+                                {
                                     self.obs.inc(self.ids.failed_retrieves);
                                     return;
                                 }
@@ -390,7 +461,8 @@ impl Handler<usize> for ReplayEngine {
                                 return;
                             }
                         }
-                        match self.svc.try_retrieve(owner, &name, now_ms) {
+                        match Self::do_retrieve(&mut self.svc, self.resumable, owner, &name, now_ms)
+                        {
                             Ok(got) => {
                                 self.obs
                                     .add(self.ids.bytes_downloaded, got.bytes_downloaded);
@@ -434,6 +506,7 @@ fn replay_inner(
         ids,
         ops: plan_ops(gen, cfg),
         owned: BTreeMap::new(),
+        resumable: cfg.resumable,
     };
     // Each planned operation becomes one event on its front-end's
     // component. The faulted timeline runs in global trace-time order
@@ -470,6 +543,8 @@ fn replay_inner(
         failovers: t.failovers,
         chunk_timeouts: t.chunk_timeouts,
         retry_bytes: t.retry_bytes,
+        resumed_transfers: t.resumed_transfers,
+        resume_saved_bytes: t.resume_saved_bytes,
     };
     // One snapshot carries all three layers: replay.*, storage.* and the
     // timeline's own sim.* per-component event counts.
@@ -676,6 +751,48 @@ mod tests {
             .filter(|fe| snap.counters[&format!("sim.events.frontend/{fe}")] > 0)
             .count();
         assert!(busy > 1, "only {busy} of {} front-ends busy", cfg.frontends);
+    }
+
+    #[test]
+    fn resumable_replay_saves_bytes_over_whole_file_retry() {
+        let gen = small_gen(57);
+        let cfg = ReplayConfig::default();
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            seed: 3,
+            horizon_ms: gen.config().horizon_ms(),
+            n_frontends: cfg.frontends,
+            frontend_outages_per_day: 24.0,
+            frontend_outage_mean_ms: 1_800_000.0,
+            frontend_brownouts_per_day: 24.0,
+            frontend_brownout_mean_ms: 3_600_000.0,
+            chunk_timeout_prob: 0.9,
+            metadata_outages_per_day: 12.0,
+            metadata_outage_mean_ms: 600_000.0,
+            ..FaultPlanConfig::default()
+        })
+        .unwrap();
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let whole = replay_trace_faulted(
+            &gen,
+            &ReplayConfig {
+                resumable: false,
+                ..cfg
+            },
+            &plan,
+            retry,
+        )
+        .unwrap()
+        .1;
+        let resume = replay_trace_faulted(&gen, &cfg, &plan, retry).unwrap().1;
+        // Whole-file retry never resumes, by definition.
+        assert_eq!(whole.resumed_transfers, 0);
+        assert_eq!(whole.resume_saved_bytes, 0);
+        // The resumable protocol does, and the savings are real bytes.
+        assert!(resume.resumed_transfers > 0, "{resume:?}");
+        assert!(resume.resume_saved_bytes > 0, "{resume:?}");
     }
 
     #[test]

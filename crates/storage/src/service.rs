@@ -11,20 +11,44 @@
 //! any live front-end; retrievals cannot — content has one home), and
 //! return a [`ServiceError`] when the budget runs out. Without a plan
 //! installed, `try_*` degrade to the infallible paths.
+//!
+//! The third surface is the resumable pair,
+//! [`StorageService::try_store_resumable`] /
+//! [`StorageService::try_retrieve_resumable`]: files move chunk-by-chunk
+//! through the [`crate::transfer`] protocol on an `mcs-sim` timeline, so
+//! a mid-transfer outage keeps the verified chunks — uploads persist them
+//! in the metadata chunk index (and dedup against it), downloads keep a
+//! client-side partial manifest — and a later attempt re-sends only what
+//! is missing instead of restarting from byte zero.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::Serialize;
 
 use mcs_faults::{unit_coin, ConfigError, FaultPlan, RetryPolicy};
-use mcs_obs::{CounterId, Registry};
+use mcs_obs::{CounterId, HistId, Registry};
+use mcs_stats::rng::split_seed;
 
 use crate::content::{Content, FileManifest};
 use crate::error::ServiceError;
 use crate::frontend::FrontEnd;
+use crate::md5::Digest;
 use crate::metadata::{MetadataServer, ShareUrl, StoreDecision, UserId};
+use crate::transfer::{
+    run_transfer_attempt, Channel, ChunkFate, Stall, TransferConfig, TransferSession, TransferStats,
+};
 
 /// Coin stream for retry-backoff jitter (disjoint from the fault plan's
 /// own streams; see `mcs_faults::plan::streams`).
 const STREAM_BACKOFF: u64 = 0xFB01;
+
+/// Coin stream for per-chunk timeout-detection pacing in the resumable
+/// paths (again disjoint from every plan stream).
+const STREAM_CHUNK_PACE: u64 = 0xFB04;
+
+/// Arrival-window size the resumable paths run with: chunks in flight at
+/// once per transfer (the protocol's out-of-order tolerance).
+const TRANSFER_WINDOW: usize = 8;
 
 /// Outcome of one file store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +89,12 @@ pub struct FaultTelemetry {
     /// Bytes moved (or re-moved) by attempts that did not complete —
     /// the retry-inflated traffic a fair-weather model never sees.
     pub retry_bytes: u64,
+    /// Resumable transfer attempts that started from partial progress
+    /// instead of byte zero (view over `transfer.resumed_sessions`).
+    pub resumed_transfers: u64,
+    /// Bytes those resumes did *not* re-send that a whole-file retry
+    /// would have (view over `transfer.resume_saved_bytes`).
+    pub resume_saved_bytes: u64,
 }
 
 /// The whole service.
@@ -92,6 +122,20 @@ pub struct StorageService {
     ids: TelemetryIds,
     /// Monotone operation counter keying per-op fault/jitter coins.
     op_seq: u64,
+    /// Client-side partial downloads keyed by (user, path): the `.part`
+    /// manifest a resumed [`Self::try_retrieve_resumable`] picks up.
+    partial_downloads: BTreeMap<(UserId, String), PartialDownload>,
+}
+
+/// A persisted partial download: which chunks of which content version
+/// the client already holds verified.
+#[derive(Debug, Clone)]
+struct PartialDownload {
+    /// Content version the partial belongs to (a replaced file discards
+    /// the stale partial).
+    file_digest: Digest,
+    /// Verified chunk indices.
+    verified: BTreeSet<u64>,
 }
 
 /// Handles into [`StorageService::obs`] for the hot-path counters.
@@ -103,6 +147,13 @@ struct TelemetryIds {
     failed_ops: CounterId,
     retry_bytes: CounterId,
     backoff_ms: CounterId,
+    tx_sessions: CounterId,
+    tx_resumed: CounterId,
+    tx_chunks_sent: CounterId,
+    tx_chunks_resent: CounterId,
+    tx_chunks_deduped: CounterId,
+    tx_resume_saved_bytes: CounterId,
+    tx_chunks_per_resume: HistId,
 }
 
 impl TelemetryIds {
@@ -114,7 +165,48 @@ impl TelemetryIds {
             failed_ops: obs.counter("storage.failed_ops"),
             retry_bytes: obs.counter("storage.retry_bytes"),
             backoff_ms: obs.counter("storage.backoff_ms"),
+            tx_sessions: obs.counter("transfer.sessions"),
+            tx_resumed: obs.counter("transfer.resumed_sessions"),
+            tx_chunks_sent: obs.counter("transfer.chunks_sent"),
+            tx_chunks_resent: obs.counter("transfer.chunks_resent"),
+            tx_chunks_deduped: obs.counter("transfer.chunks_deduped"),
+            tx_resume_saved_bytes: obs.counter("transfer.resume_saved_bytes"),
+            tx_chunks_per_resume: obs.histogram("transfer.chunks_per_resume"),
         }
+    }
+}
+
+/// [`Channel`] implementation over a fault plan: sends observe the bound
+/// front-end's outage/brownout windows at their own timeline instants,
+/// and per-send timeout coins come off dedicated stateless streams so
+/// fates are order-free.
+struct PlanChannel<'a> {
+    plan: &'a FaultPlan,
+    retry: &'a RetryPolicy,
+    fe: usize,
+    op: u64,
+}
+
+impl Channel for PlanChannel<'_> {
+    fn send(&mut self, chunk: u64, send: u32, now_ms: u64) -> ChunkFate {
+        if self.plan.frontend_down(self.fe, now_ms) {
+            return ChunkFate::Down;
+        }
+        if self.plan.frontend_degraded(self.fe, now_ms)
+            && self.plan.chunk_send_timeout(self.op, chunk, send)
+        {
+            // Timeout detection paces like a retry: capped exponential
+            // backoff in the send ordinal, jittered by its own coin.
+            let coin = unit_coin(
+                split_seed(self.plan.seed, self.op),
+                STREAM_CHUNK_PACE,
+                chunk.wrapping_mul(64).wrapping_add(send as u64),
+            );
+            return ChunkFate::Timeout {
+                detect_after_ms: self.retry.backoff_ms(send, coin),
+            };
+        }
+        ChunkFate::Deliver { ack_after_ms: 0 }
     }
 }
 
@@ -133,6 +225,7 @@ impl StorageService {
             obs,
             ids,
             op_seq: 0,
+            partial_downloads: BTreeMap::new(),
         })
     }
 
@@ -162,6 +255,21 @@ impl StorageService {
             chunk_timeouts: self.obs.counter_value(self.ids.chunk_timeouts),
             failed_ops: self.obs.counter_value(self.ids.failed_ops),
             retry_bytes: self.obs.counter_value(self.ids.retry_bytes),
+            resumed_transfers: self.obs.counter_value(self.ids.tx_resumed),
+            resume_saved_bytes: self.obs.counter_value(self.ids.tx_resume_saved_bytes),
+        }
+    }
+
+    /// Chunk-transfer protocol counters, materialised from the registry's
+    /// `transfer.*` names (the [`TransferStats`] monoid).
+    pub fn transfer_stats(&self) -> TransferStats {
+        TransferStats {
+            sessions: self.obs.counter_value(self.ids.tx_sessions),
+            resumed_sessions: self.obs.counter_value(self.ids.tx_resumed),
+            chunks_sent: self.obs.counter_value(self.ids.tx_chunks_sent),
+            chunks_resent: self.obs.counter_value(self.ids.tx_chunks_resent),
+            chunks_deduped: self.obs.counter_value(self.ids.tx_chunks_deduped),
+            resume_saved_bytes: self.obs.counter_value(self.ids.tx_resume_saved_bytes),
         }
     }
 
@@ -404,6 +512,317 @@ impl StorageService {
         }
     }
 
+    /// Books one engine attempt's protocol counters.
+    fn book_attempt(&mut self, report: &crate::transfer::AttemptReport) {
+        self.obs.add(self.ids.tx_chunks_sent, report.chunks_sent);
+        self.obs
+            .add(self.ids.tx_chunks_resent, report.chunks_resent);
+        self.obs.add(self.ids.chunk_timeouts, report.timeouts);
+        self.obs.add(self.ids.retry_bytes, report.bytes_resent);
+    }
+
+    /// Books resume accounting if `session` starts this attempt with
+    /// partial progress: what a whole-file retry would have re-sent.
+    fn book_resume(&mut self, session: &TransferSession) {
+        if session.verified_count() > 0 && !session.is_complete() {
+            self.obs.inc(self.ids.tx_resumed);
+            self.obs
+                .add(self.ids.tx_resume_saved_bytes, session.bytes_verified());
+            self.obs.observe(
+                self.ids.tx_chunks_per_resume,
+                session.missing().len() as u64,
+            );
+        }
+    }
+
+    /// Resumable fault-aware store: the upload moves chunk-by-chunk
+    /// through the [`crate::transfer`] protocol on an `mcs-sim` timeline.
+    ///
+    /// Differences from [`Self::try_store`]:
+    ///
+    /// - A brownout costs individual chunk re-sends (per-send coins on
+    ///   `mcs_faults::plan::streams::CHUNK_SEND`), not the whole file.
+    /// - A mid-transfer outage stalls the attempt but every verified
+    ///   chunk stays resident on the front-end **and** in the metadata
+    ///   chunk index, so the retry — or a whole new operation for the
+    ///   same content — resumes with only the missing chunks.
+    /// - Chunk-level dedup: chunks the index already records on the
+    ///   chosen front-end are skipped outright (`transfer.chunks_deduped`),
+    ///   so a resumed upload of partially-known content never re-sends
+    ///   verified bytes.
+    ///
+    /// `bytes_uploaded` reports what *this operation* actually moved —
+    /// resumed/deduped chunks are excluded, which is exactly the paper's
+    /// wasted-bandwidth question. Without an installed plan this is
+    /// [`Self::store`]. Failed stores leave no namespace entry; their
+    /// partial chunks await a resume (GC reclaims them if the content is
+    /// later stored and deleted).
+    pub fn try_store_resumable(
+        &mut self,
+        user: UserId,
+        name: &str,
+        content: &Content,
+        now_ms: u64,
+    ) -> Result<StoreOutcome, ServiceError> {
+        let Some((plan, retry)) = self.faults.clone() else {
+            return Ok(self.store(user, name, content, now_ms));
+        };
+        self.op_seq += 1;
+        let op = self.op_seq;
+        let mut t = Self::await_metadata(&mut self.obs, &self.ids, &plan, &retry, op, now_ms)?;
+
+        let manifest = FileManifest::build(name, content);
+        // File-level dedup pre-check, same contract as try_store.
+        if self.metadata.knows(&manifest.file_digest) {
+            let decision = self.metadata.begin_store(user, manifest, t);
+            debug_assert_eq!(decision, StoreDecision::Deduplicated);
+            return Ok(StoreOutcome {
+                deduplicated: true,
+                bytes_uploaded: 0,
+                frontend: None,
+            });
+        }
+
+        let n = self.frontends.len();
+        let preferred = self.metadata.closest_frontend(user);
+        let cfg = TransferConfig {
+            window: TRANSFER_WINDOW,
+            max_chunk_sends: retry.max_attempts,
+        };
+        self.obs.inc(self.ids.tx_sessions);
+        // The in-op partial: (bound front-end, session, bytes this op
+        // actually uploaded). Sessions are sticky to their front-end —
+        // chunks live server-side, so failing over means starting a new
+        // session on the new home (minus whatever the chunk index
+        // already proves is there).
+        let mut bound: Option<(usize, TransferSession, u64)> = None;
+        let mut attempts = 1u32;
+        loop {
+            let chosen = match &bound {
+                Some((fe, _, _)) if !plan.frontend_down(*fe, t) => Some(*fe),
+                _ => {
+                    let mut found = None;
+                    for k in 0..n {
+                        let fe = (preferred + k) % n;
+                        if plan.frontend_down(fe, t) {
+                            continue;
+                        }
+                        if k > 0 {
+                            self.obs.inc(self.ids.failovers);
+                        }
+                        found = Some(fe);
+                        break;
+                    }
+                    found
+                }
+            };
+            let failure = match chosen {
+                None => ServiceError::AllFrontendsDown { attempts },
+                Some(fe) => {
+                    let rebind = !matches!(&bound, Some((b, _, _)) if *b == fe);
+                    if rebind {
+                        if let Some((_, _, wasted)) = bound.take() {
+                            // The old home's partial cannot serve the new
+                            // one: those bytes become retry waste. (They
+                            // stay resident + indexed on the old front-end
+                            // for future ops to dedup against.)
+                            self.obs.add(self.ids.retry_bytes, wasted);
+                        }
+                        let mut session = TransferSession::new(manifest.clone(), cfg.window);
+                        let known = self.metadata.chunks_on_frontend(&manifest, fe);
+                        for &i in &known {
+                            let _ = session.skip_verified(i);
+                        }
+                        if !known.is_empty() {
+                            self.obs.add(self.ids.tx_chunks_deduped, known.len() as u64);
+                        }
+                        bound = Some((fe, session, 0));
+                    }
+                    let Some((_, session, uploaded)) = bound.as_mut() else {
+                        // Unreachable by construction (the rebind above
+                        // always leaves a session bound); treated as an
+                        // unavailable front-end rather than a panic.
+                        return Err(ServiceError::FrontendUnavailable {
+                            frontend: fe,
+                            attempts,
+                        });
+                    };
+                    let mut stall = None;
+                    if !session.is_complete() {
+                        self.book_resume(session);
+                        let mut channel = PlanChannel {
+                            plan: &plan,
+                            retry: &retry,
+                            fe,
+                            op,
+                        };
+                        let report = run_transfer_attempt(
+                            session,
+                            &mut channel,
+                            |i| manifest.chunk_digests[i as usize],
+                            &cfg,
+                            t,
+                        );
+                        self.book_attempt(&report);
+                        // Apply verified chunks in ack order: they are
+                        // durable on the front-end and indexed for dedup
+                        // even if the operation later fails.
+                        for &(i, at) in &report.verified {
+                            let d = manifest.chunk_digests[i as usize];
+                            self.frontends[fe].put_chunk(d, manifest.chunk_size(i), at);
+                            self.metadata.record_chunk(d, fe);
+                            *uploaded = uploaded.saturating_add(manifest.chunk_size(i));
+                        }
+                        t = t.max(report.end_ms);
+                        stall = report.stall;
+                    }
+                    match stall {
+                        None => {
+                            let decision = self.metadata.begin_store(user, manifest.clone(), t);
+                            debug_assert!(matches!(decision, StoreDecision::Upload { .. }));
+                            let bytes_uploaded = *uploaded;
+                            self.metadata.complete_upload(manifest, fe);
+                            return Ok(StoreOutcome {
+                                deduplicated: false,
+                                bytes_uploaded,
+                                frontend: Some(fe),
+                            });
+                        }
+                        Some(Stall::FrontendDown { .. }) => ServiceError::FrontendUnavailable {
+                            frontend: fe,
+                            attempts,
+                        },
+                        Some(Stall::ChunkBudget { .. }) => ServiceError::ChunkTimeout {
+                            frontend: fe,
+                            attempts,
+                        },
+                    }
+                }
+            };
+            if !retry.allows(attempts) {
+                self.obs.inc(self.ids.failed_ops);
+                return Err(failure);
+            }
+            self.obs.inc(self.ids.retries);
+            let delay = retry.backoff_ms(attempts, Self::backoff_coin(&plan, op, attempts));
+            self.obs.add(self.ids.backoff_ms, delay);
+            t = t.saturating_add(delay);
+            attempts += 1;
+        }
+    }
+
+    /// Resumable fault-aware retrieve: the download moves chunk-by-chunk
+    /// through the [`crate::transfer`] protocol, and a download that
+    /// exhausts its retry budget mid-transfer remembers which chunks the
+    /// client already verified. The next retrieve of the same path — if
+    /// the content is unchanged — resumes with only the missing chunks
+    /// (`transfer.resumed_sessions` / `transfer.resume_saved_bytes`).
+    ///
+    /// `bytes_downloaded` reports the full file size the client ends up
+    /// with; the front-end's hourly download load only grows by the bytes
+    /// each attempt actually served. Without an installed plan this is
+    /// [`Self::retrieve`] with `None` mapped to [`ServiceError::NotFound`].
+    pub fn try_retrieve_resumable(
+        &mut self,
+        user: UserId,
+        path: &str,
+        now_ms: u64,
+    ) -> Result<RetrieveOutcome, ServiceError> {
+        let Some((plan, retry)) = self.faults.clone() else {
+            return self
+                .retrieve(user, path, now_ms)
+                .ok_or(ServiceError::NotFound);
+        };
+        self.op_seq += 1;
+        let op = self.op_seq;
+        let mut t = Self::await_metadata(&mut self.obs, &self.ids, &plan, &retry, op, now_ms)?;
+
+        let Some((manifest, fe)) = self.metadata.begin_retrieve(user, path) else {
+            return Err(ServiceError::NotFound);
+        };
+        let cfg = TransferConfig {
+            window: TRANSFER_WINDOW,
+            max_chunk_sends: retry.max_attempts,
+        };
+        // Resume a matching interrupted download of this path; a stale
+        // partial (the content changed in between) is discarded.
+        let key = (user, path.to_string());
+        let mut session = match self.partial_downloads.remove(&key) {
+            Some(p) if p.file_digest == manifest.file_digest => {
+                TransferSession::resume(manifest.clone(), &p.verified, cfg.window)
+            }
+            _ => TransferSession::new(manifest.clone(), cfg.window),
+        };
+        self.obs.inc(self.ids.tx_sessions);
+        let mut attempts = 1u32;
+        loop {
+            let failure = if plan.frontend_down(fe, t) {
+                ServiceError::FrontendUnavailable {
+                    frontend: fe,
+                    attempts,
+                }
+            } else {
+                self.book_resume(&session);
+                let mut channel = PlanChannel {
+                    plan: &plan,
+                    retry: &retry,
+                    fe,
+                    op,
+                };
+                let report = run_transfer_attempt(
+                    &mut session,
+                    &mut channel,
+                    |i| manifest.chunk_digests[i as usize],
+                    &cfg,
+                    t,
+                );
+                self.book_attempt(&report);
+                // Each chunk verified this attempt was served once by the
+                // front-end, at its ack instant.
+                for &(i, at) in &report.verified {
+                    let _ = self.frontends[fe].get_chunk(&manifest.chunk_digests[i as usize], at);
+                }
+                t = t.max(report.end_ms);
+                match report.stall {
+                    None => {
+                        return Ok(RetrieveOutcome {
+                            bytes_downloaded: manifest.size,
+                            frontend: fe,
+                        });
+                    }
+                    Some(Stall::FrontendDown { .. }) => ServiceError::FrontendUnavailable {
+                        frontend: fe,
+                        attempts,
+                    },
+                    Some(Stall::ChunkBudget { .. }) => ServiceError::ChunkTimeout {
+                        frontend: fe,
+                        attempts,
+                    },
+                }
+            };
+            if !retry.allows(attempts) {
+                self.obs.inc(self.ids.failed_ops);
+                // Keep the client-side partial for the next retrieve of
+                // this path: that is what makes the download resumable.
+                if session.verified_count() > 0 && !session.is_complete() {
+                    self.partial_downloads.insert(
+                        key,
+                        PartialDownload {
+                            file_digest: manifest.file_digest,
+                            verified: session.verified_set(),
+                        },
+                    );
+                }
+                return Err(failure);
+            }
+            self.obs.inc(self.ids.retries);
+            let delay = retry.backoff_ms(attempts, Self::backoff_coin(&plan, op, attempts));
+            self.obs.add(self.ids.backoff_ms, delay);
+            t = t.saturating_add(delay);
+            attempts += 1;
+        }
+    }
+
     /// Publishes a share URL.
     pub fn publish_url(&mut self, user: UserId, path: &str) -> Option<ShareUrl> {
         self.metadata.publish_url(user, path)
@@ -447,6 +866,13 @@ impl StorageService {
                 m
             };
             freed += self.frontends[fe].reclaim_file(&manifest);
+            // Drop chunk-index entries for chunks the reclaim actually
+            // freed (shared chunks stay resident and stay indexed).
+            for d in &manifest.chunk_digests {
+                if !self.frontends[fe].has_chunk(d) {
+                    self.metadata.unrecord_chunk(d, fe);
+                }
+            }
             self.metadata.forget(&digest);
         }
         freed
@@ -737,6 +1163,158 @@ mod tests {
         let got = svc.retrieve(2, "b", 2).expect("routed");
         assert_eq!(got.bytes_downloaded, 1_500_000);
         assert!(svc.frontends().iter().all(|f| f.missing_gets == 0));
+    }
+
+    #[test]
+    fn resumable_paths_with_none_plan_match_infallible_paths() {
+        let mut plain = StorageService::new(4, 24).unwrap();
+        let mut faulted = StorageService::new(4, 24).unwrap();
+        faulted
+            .set_fault_plan(FaultPlan::none(4), RetryPolicy::default())
+            .unwrap();
+        for i in 0..20u64 {
+            let c = photo(i % 5);
+            let name = format!("f{i}");
+            let a = plain.store(i % 3, &name, &c, i * 100);
+            let b = faulted
+                .try_store_resumable(i % 3, &name, &c, i * 100)
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        for i in 0..20u64 {
+            let name = format!("f{i}");
+            let a = plain.retrieve(i % 3, &name, 10_000);
+            let b = faulted.try_retrieve_resumable(i % 3, &name, 10_000).ok();
+            assert_eq!(a, b);
+        }
+        assert_eq!(faulted.telemetry(), FaultTelemetry::default());
+        // Server-side state is bit-identical too: same chunk requests,
+        // same hourly loads, same residency.
+        for (p, f) in plain.frontends().iter().zip(faulted.frontends()) {
+            assert_eq!(p.chunk_puts, f.chunk_puts);
+            assert_eq!(p.chunk_gets, f.chunk_gets);
+            assert_eq!(p.stored_bytes(), f.stored_bytes());
+            assert_eq!(p.upload_load, f.upload_load);
+            assert_eq!(p.download_load, f.download_load);
+        }
+    }
+
+    #[test]
+    fn mid_transfer_outage_resumes_only_missing_chunks() {
+        // 8-chunk file; a brownout that hardens into a full outage
+        // interrupts the first upload partway, leaving a partial on the
+        // front-end and in the metadata chunk index.
+        let size = 4_000_000u64;
+        let content = Content::Synthetic { seed: 21, size };
+        let mut svc = StorageService::new(1, 24).unwrap();
+        let mut plan = FaultPlan::none(1);
+        plan.seed = 9;
+        plan.frontend_brownouts[0] = mcs_faults::Windows::new(vec![(0, 200)]);
+        plan.frontend_outages[0] = mcs_faults::Windows::new(vec![(200, u64::MAX)]);
+        plan.chunk_timeout_prob = 0.5;
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        svc.set_fault_plan(plan, retry).unwrap();
+        let err = svc
+            .try_store_resumable(1, "big.bin", &content, 0)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::AllFrontendsDown { .. } | ServiceError::FrontendUnavailable { .. }
+        ));
+        let stats1 = svc.transfer_stats();
+        let verified = svc.frontends()[0].distinct_chunks() as u64;
+        let partial_bytes = svc.frontends()[0].stored_bytes();
+        assert!(
+            verified > 0 && verified < 8,
+            "partial progress: {verified}/8"
+        );
+        // The failed store left no namespace entry, but the chunks stay.
+        assert!(svc.metadata().list(1).is_empty());
+
+        // Weather clears; the retried upload resumes via the chunk index.
+        svc.set_fault_plan(FaultPlan::none(1), RetryPolicy::default())
+            .unwrap();
+        let out = svc
+            .try_store_resumable(1, "big.bin", &content, 10_000)
+            .unwrap();
+        assert!(!out.deduplicated);
+        assert_eq!(
+            out.bytes_uploaded,
+            size - partial_bytes,
+            "only missing bytes moved"
+        );
+        let stats2 = svc.transfer_stats();
+        assert_eq!(stats2.chunks_deduped - stats1.chunks_deduped, verified);
+        assert_eq!(
+            stats2.chunks_sent - stats1.chunks_sent,
+            8 - verified,
+            "resume sent only the missing chunks"
+        );
+        assert_eq!(stats2.resumed_sessions - stats1.resumed_sessions, 1);
+        assert_eq!(
+            stats2.resume_saved_bytes - stats1.resume_saved_bytes,
+            partial_bytes
+        );
+        // FaultTelemetry materialises the same registry counters.
+        let t = svc.telemetry();
+        assert_eq!(t.resumed_transfers, stats2.resumed_sessions);
+        assert_eq!(t.resume_saved_bytes, stats2.resume_saved_bytes);
+        let m = svc.metrics();
+        assert_eq!(
+            m.counter_by_name("transfer.chunks_deduped"),
+            Some(stats2.chunks_deduped)
+        );
+        assert_eq!(
+            m.counter_by_name("transfer.resumed_sessions"),
+            Some(stats2.resumed_sessions)
+        );
+        // The finished file is whole and fully retrievable.
+        assert_eq!(svc.stored_bytes(), size);
+        let got = svc.try_retrieve_resumable(1, "big.bin", 20_000).unwrap();
+        assert_eq!(got.bytes_downloaded, size);
+        assert!(svc.frontends().iter().all(|f| f.missing_gets == 0));
+    }
+
+    #[test]
+    fn interrupted_download_resumes_from_partial() {
+        let size = 4_000_000u64;
+        let content = Content::Synthetic { seed: 22, size };
+        let mut svc = StorageService::new(1, 24).unwrap();
+        svc.store(1, "big.bin", &content, 0);
+        let mut plan = FaultPlan::none(1);
+        plan.seed = 5;
+        plan.frontend_brownouts[0] = mcs_faults::Windows::new(vec![(0, 200)]);
+        plan.frontend_outages[0] = mcs_faults::Windows::new(vec![(200, u64::MAX)]);
+        plan.chunk_timeout_prob = 0.5;
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        svc.set_fault_plan(plan, retry).unwrap();
+        let err = svc.try_retrieve_resumable(1, "big.bin", 0).unwrap_err();
+        assert!(!matches!(err, ServiceError::NotFound));
+        let served_partial: f64 = svc.frontends()[0].download_load.iter().sum();
+        assert!(
+            served_partial > 0.0 && served_partial < size as f64,
+            "partial download: {served_partial}"
+        );
+
+        svc.set_fault_plan(FaultPlan::none(1), RetryPolicy::default())
+            .unwrap();
+        let got = svc.try_retrieve_resumable(1, "big.bin", 10_000).unwrap();
+        assert_eq!(got.bytes_downloaded, size);
+        assert_eq!(svc.telemetry().resumed_transfers, 1);
+        // Across both calls every chunk was served exactly once: the
+        // resume re-requested none the client already verified.
+        let served: f64 = svc.frontends()[0].download_load.iter().sum();
+        assert_eq!(served, size as f64);
+        // The partial is consumed: the next retrieve is a fresh session.
+        let before = svc.transfer_stats().resumed_sessions;
+        svc.try_retrieve_resumable(1, "big.bin", 20_000).unwrap();
+        assert_eq!(svc.transfer_stats().resumed_sessions, before);
     }
 }
 

@@ -1,101 +1,151 @@
-//! The §4 performance story as a runnable scenario: upload the same file
-//! from an Android and an iOS device over the simulated service, watch the
-//! slow-start restarts, then apply each §4.3 mitigation.
+//! The resumable chunk-transfer protocol (`mcs-storage::transfer`) as a
+//! runnable tour: a 10 MB file moves as twenty 512 KB chunks (§2.1) over
+//! channels of worsening weather — fair, latency-skewed, lossy, and one
+//! that dies mid-transfer — and the session resumes from its verified
+//! set instead of byte zero. The final section shows the dedup-aware
+//! half: chunks the target already holds are skipped outright.
+//!
+//! Every section asserts its invariants, so this doubles as a CI smoke
+//! test (`scripts/ci.sh` runs it).
 //!
 //! ```text
 //! cargo run --release --example chunk_transfer
 //! ```
 
-use mcs::net::chunkflow::FlowConfig;
-use mcs::net::device::DeviceProfile;
-use mcs::net::sim::SEC;
-use mcs::net::simulate_flow;
-use mcs::render::bytes;
-use mcs::stats::descriptive;
+use std::collections::BTreeSet;
 
-fn show(label: &str, cfg: &FlowConfig) {
-    let t = simulate_flow(cfg);
-    let chunk_times = t.chunk_times_s();
-    // The shared interpolating median: a hand-rolled `v[len / 2]` takes
-    // the *upper* element on even-length samples and prints NaN when a
-    // flow records no chunks.
-    let median = if chunk_times.is_empty() {
-        0.0
-    } else {
-        descriptive::median(&chunk_times)
-    };
-    println!(
-        "{label:<34} {:>9}/s   median chunk {:>6.2}s   restarts {:>3}   idles>RTO {:>5.1}%",
-        bytes(t.goodput_bps()),
-        median,
-        t.idle_restarts,
-        t.frac_idle_over_rto() * 100.0,
-    );
-}
+use mcs::render::bytes;
+use mcs::storage::{
+    run_transfer_attempt, ChunkFate, Content, FileManifest, Stall, TransferConfig, TransferSession,
+};
 
 fn main() {
-    let file = 10u64 << 20; // the paper's 10 MB test file
-    println!("uploading a 10 MB file, 512 KB chunks, deployed configuration:\n");
-    let android = FlowConfig::upload(DeviceProfile::android(), file, 1);
-    let ios = FlowConfig::upload(DeviceProfile::ios(), file, 2);
-    show("android (deployed)", &android);
-    show("ios (deployed)", &ios);
+    let content = Content::Synthetic {
+        seed: 77,
+        size: 10 << 20,
+    };
+    let m = FileManifest::build("tour/video.mp4", &content);
+    let digest_of = |i: u64| m.chunk_digests[i as usize];
+    let cfg = TransferConfig::default();
+    let chunks = m.chunk_count();
+    println!(
+        "transferring {} as {} x 512 KB chunks (window {}, {} sends/chunk per attempt)\n",
+        bytes(m.size as f64),
+        chunks,
+        cfg.window,
+        cfg.max_chunk_sends,
+    );
 
-    println!("\nwhy android is slow — the Fig. 13 view (first 5 seconds):");
-    let t = simulate_flow(&android);
-    let mut last_printed = 0u64;
-    for &(at, inflight) in &t.inflight_samples {
-        if at > 5 * SEC {
-            break;
+    // --- 1. Fair weather: every chunk delivers, acks are instant. --------
+    let mut s = TransferSession::new(m.clone(), cfg.window);
+    let mut fair = |_c: u64, _s: u32, _t: u64| ChunkFate::Deliver { ack_after_ms: 0 };
+    let r = run_transfer_attempt(&mut s, &mut fair, digest_of, &cfg, 0);
+    assert!(s.is_complete() && r.stall.is_none());
+    assert_eq!(r.chunks_sent, chunks);
+    assert_eq!(r.chunks_resent, 0);
+    println!(
+        "fair weather     {} chunks sent, 0 re-sent, {} moved",
+        r.chunks_sent,
+        bytes(r.bytes_sent as f64)
+    );
+
+    // --- 2. Out-of-order arrival: earlier chunks take longer, so acks ----
+    //     land in reverse order; the session finalizes when the *last*
+    //     chunk verifies, whichever index that is.
+    let mut s = TransferSession::new(m.clone(), chunks as usize);
+    let mut skewed = |c: u64, _s: u32, _t: u64| ChunkFate::Deliver {
+        ack_after_ms: (chunks - c) * 10,
+    };
+    let r = run_transfer_attempt(&mut s, &mut skewed, digest_of, &cfg, 0);
+    assert!(s.is_complete());
+    let order: Vec<u64> = r.verified.iter().map(|&(c, _)| c).collect();
+    assert_eq!(order.first(), Some(&(chunks - 1)), "last chunk acks first");
+    assert_eq!(order.last(), Some(&0), "chunk 0 finalizes the session");
+    println!(
+        "out-of-order     acks landed {:?}.., finalized at t={} ms on chunk 0",
+        &order[..4.min(order.len())],
+        r.end_ms
+    );
+
+    // --- 3. Lossy channel: every third chunk's first send is lost and ----
+    //     re-sent after the retransmission timer. The re-sent share is the
+    //     retry-inflated traffic the paper's whole-file client multiplies.
+    let mut s = TransferSession::new(m.clone(), cfg.window);
+    let mut lossy = |c: u64, send: u32, _t: u64| {
+        if c.is_multiple_of(3) && send == 1 {
+            ChunkFate::Timeout {
+                detect_after_ms: 40,
+            }
+        } else {
+            ChunkFate::Deliver { ack_after_ms: 5 }
         }
-        if at < last_printed + SEC / 2 {
-            continue;
+    };
+    let r = run_transfer_attempt(&mut s, &mut lossy, digest_of, &cfg, 0);
+    assert!(s.is_complete());
+    assert!(r.timeouts > 0 && r.chunks_resent == r.timeouts);
+    println!(
+        "lossy channel    {} timeouts, {} re-sent ({} retry-inflated)",
+        r.timeouts,
+        r.chunks_resent,
+        bytes(r.bytes_resent as f64)
+    );
+
+    // --- 4. Mid-transfer outage, then resume-from-partial. ---------------
+    //     The peer dies after seven acks; the attempt stalls, the verified
+    //     set persists, and the resumed session moves only what is missing.
+    let mut s = TransferSession::new(m.clone(), cfg.window);
+    let mut acked = 0u64;
+    let mut dying = |_c: u64, _s: u32, _t: u64| {
+        if acked < 7 {
+            acked += 1;
+            ChunkFate::Deliver { ack_after_ms: 1 }
+        } else {
+            ChunkFate::Down
         }
-        last_printed = at;
-        let bar = "#".repeat((inflight / 4096) as usize);
-        println!(
-            "  t={:>4.1}s inflight {:>6} B {}",
-            at as f64 / SEC as f64,
-            inflight,
-            bar
-        );
+    };
+    let r1 = run_transfer_attempt(&mut s, &mut dying, digest_of, &cfg, 0);
+    assert!(matches!(r1.stall, Some(Stall::FrontendDown { .. })));
+    let saved: BTreeSet<u64> = s.verified_set();
+    assert_eq!(saved.len(), 7);
+    println!(
+        "outage           stalled at t={} ms with {}/{} chunks verified ({})",
+        r1.end_ms,
+        saved.len(),
+        chunks,
+        bytes(s.bytes_verified() as f64)
+    );
+
+    let mut resumed = TransferSession::resume(m.clone(), &saved, cfg.window);
+    let r2 = run_transfer_attempt(&mut resumed, &mut fair, digest_of, &cfg, 60_000);
+    assert!(resumed.is_complete());
+    assert_eq!(r2.chunks_sent, chunks - saved.len() as u64);
+    assert_eq!(
+        resumed.finalize().expect("complete").file_digest,
+        m.file_digest,
+        "resumed file is byte-identical"
+    );
+    println!(
+        "resume           sent only the {} missing chunks; {} never re-moved",
+        r2.chunks_sent,
+        bytes(s.bytes_verified() as f64)
+    );
+
+    // --- 5. Dedup-aware sync: the metadata chunk index says the target ---
+    //     already holds the even-indexed chunks (a sibling device uploaded
+    //     them), so the session skips them without a single send.
+    let mut deduped = TransferSession::new(m.clone(), cfg.window);
+    for i in (0..chunks).step_by(2) {
+        deduped.skip_verified(i).expect("pending chunk");
     }
+    let skipped = deduped.verified_count();
+    let r3 = run_transfer_attempt(&mut deduped, &mut fair, digest_of, &cfg, 0);
+    assert!(deduped.is_complete());
+    assert_eq!(r3.chunks_sent, chunks - skipped);
+    println!(
+        "dedup-aware      chunk index held {skipped} chunks; sent {} ({} saved)",
+        r3.chunks_sent,
+        bytes(deduped.bytes_verified() as f64 - r3.bytes_sent as f64)
+    );
 
-    println!("\nmitigations (§4.3), android upload:\n");
-    show("deployed (512 KB, SSAI on)", &android);
-    show(
-        "2 MB chunks",
-        &FlowConfig {
-            chunk_size: 2 << 20,
-            ..android
-        },
-    );
-    show(
-        "batch 4 chunks per request",
-        &FlowConfig {
-            batch_chunks: 4,
-            ..android
-        },
-    );
-    show(
-        "SSAI disabled",
-        &FlowConfig {
-            disable_ssai: true,
-            ..android
-        },
-    );
-    show(
-        "paced restart",
-        &FlowConfig {
-            pacing_after_idle: true,
-            ..android
-        },
-    );
-    show(
-        "server window scaling",
-        &FlowConfig {
-            server_window_scaling: true,
-            ..android
-        },
-    );
+    println!("\nchunk-transfer tour: all assertions held");
 }

@@ -23,6 +23,13 @@ cargo run --release --example observability
 # snapshots (sim.* counters included) byte-identical across runs and
 # thread counts.
 cargo run --release --example fleet_replay
+# Transfer-protocol tour: out-of-order arrival, resume-from-partial,
+# dedup-aware skips — every section asserts its invariants.
+cargo run --release --example chunk_transfer
+# Sync-protocol evaluation: whole-file retry vs. chunk-resume under a
+# chaos plan, §3.3 optimisations over the same workload, bit-identical
+# across runs and thread counts.
+cargo run --release --example sync_protocol
 # Out-of-core ingest: sharded JSONL + columnar traces streamed back
 # bit-identical to the in-memory pipeline at several thread counts.
 cargo run --release --example big_trace

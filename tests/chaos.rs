@@ -130,6 +130,65 @@ fn outage_plan_degrades_gracefully_without_panicking() {
 }
 
 #[test]
+fn resumable_replay_snapshots_identical_across_thread_counts() {
+    // The resumable chunk-transfer protocol must actually resume under a
+    // rough plan, and everything it adds — engine scheduling, chunk-index
+    // dedup, resume accounting — must stay bit-identical across runs and
+    // trace-generation thread counts.
+    let plan = rough_plan(&gen_with_threads(1));
+    let retry = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let cfg = ReplayConfig::default();
+    let (_, base_stats, base_snap) =
+        replay_trace_faulted_observed(&gen_with_threads(1), &cfg, &plan, retry).unwrap();
+    assert!(base_stats.resumed_transfers > 0, "{base_stats:?}");
+    assert!(base_stats.resume_saved_bytes > 0, "{base_stats:?}");
+    assert_eq!(
+        base_snap.counters["transfer.resumed_sessions"],
+        base_stats.resumed_transfers
+    );
+    assert_eq!(
+        base_snap.counters["transfer.resume_saved_bytes"],
+        base_stats.resume_saved_bytes
+    );
+    let base_json = base_snap.to_json();
+    for threads in [2usize, 4] {
+        let (_, stats, snap) =
+            replay_trace_faulted_observed(&gen_with_threads(threads), &cfg, &plan, retry).unwrap();
+        assert_eq!(stats, base_stats, "threads = {threads}");
+        assert_eq!(
+            snap.to_json(),
+            base_json,
+            "resumed replay snapshot must be byte-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn none_plan_resumable_and_whole_file_replays_collapse_to_fair_weather() {
+    let gen = gen_with_threads(0);
+    let cfg = ReplayConfig::default(); // resumable protocol
+    let whole = ReplayConfig {
+        resumable: false,
+        ..cfg
+    };
+    let none = FaultPlan::none(cfg.frontends);
+    let (_, fair) = replay_trace(&gen, &cfg).unwrap();
+    let (_, resumable) = replay_trace_faulted(&gen, &cfg, &none, RetryPolicy::default()).unwrap();
+    let (_, whole_file) =
+        replay_trace_faulted(&gen, &whole, &none, RetryPolicy::default()).unwrap();
+    assert_eq!(
+        fair, resumable,
+        "the resumable protocol under no faults is invisible"
+    );
+    assert_eq!(fair, whole_file);
+    assert_eq!(fair.resumed_transfers, 0);
+    assert_eq!(fair.resume_saved_bytes, 0);
+}
+
+#[test]
 fn empty_plan_collapses_to_fair_weather_replay() {
     let gen = gen_with_threads(0);
     let cfg = ReplayConfig::default();
