@@ -13,13 +13,13 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
-use mcs_faults::Windows;
+use mcs_faults::{ConfigError, Windows};
 use mcs_sim::{CompId, Ctx, Handler, Simulation};
 use mcs_stats::rng::stream_rng;
 
 use crate::capture::{ChunkRecord, FlowTrace, IdleRecord};
 use crate::device::{DeviceProfile, Direction, ServerProfile};
-use crate::link::{Link, LinkConfig, Transmit};
+use crate::link::{Link, LinkConfig, LinkStats, Transmit};
 use crate::sim::Time;
 use crate::tcp::{CwndEvent, TcpConfig, TcpSender};
 
@@ -102,14 +102,28 @@ impl FlowConfig {
         }
     }
 
-    fn validate(&self) {
-        assert!(self.chunk_size > 0, "chunk size must be positive");
-        assert!(self.total_bytes > 0, "flow must move at least one byte");
-        assert!(self.batch_chunks >= 1, "batch must be at least one chunk");
-        if let Err(e) = self.data_link.validate() {
-            // mcs-lint: allow(panic, validate() is a documented precondition check)
-            panic!("invalid data link: {e}");
+    /// Checks the flow parameters and its data link, mirroring the typed
+    /// rejection contract of the storage constructors (R3: library code
+    /// returns [`ConfigError`] instead of panicking).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.chunk_size == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "chunk size",
+                requirement: "must be positive",
+            });
         }
+        if self.total_bytes == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "flow total bytes",
+                requirement: "must move at least one byte",
+            });
+        }
+        if self.batch_chunks == 0 {
+            return Err(ConfigError::ZeroCount {
+                what: "chunks per batch",
+            });
+        }
+        self.data_link.validate()
     }
 }
 
@@ -175,13 +189,34 @@ pub fn simulate_flow(cfg: &FlowConfig) -> FlowTrace {
 /// `FaultPlan::link_blackouts_us()` from `mcs-faults` to drive the packet
 /// layer from the same seeded plan as the service layer.
 pub fn simulate_flow_with_blackouts(cfg: &FlowConfig, blackouts: &Windows) -> FlowTrace {
-    cfg.validate();
-    let mut traces = run_flows(std::slice::from_ref(cfg), cfg.data_link, blackouts);
-    // mcs-lint: allow(panic, Simulation::run returns one trace per input flow)
-    let mut t = traces.pop().expect("one flow in, one trace out");
+    match try_simulate_flow_with_blackouts(cfg, blackouts) {
+        Ok(t) => t,
+        // mcs-lint: allow(panic, convenience wrapper; fallible path is try_simulate_flow_with_blackouts)
+        Err(e) => panic!("invalid flow config: {e}"),
+    }
+}
+
+/// Fallible [`simulate_flow`]: returns a typed [`ConfigError`] instead of
+/// panicking on an invalid flow or link configuration.
+pub fn try_simulate_flow(cfg: &FlowConfig) -> Result<FlowTrace, ConfigError> {
+    try_simulate_flow_with_blackouts(cfg, &Windows::empty())
+}
+
+/// Fallible [`simulate_flow_with_blackouts`].
+pub fn try_simulate_flow_with_blackouts(
+    cfg: &FlowConfig,
+    blackouts: &Windows,
+) -> Result<FlowTrace, ConfigError> {
+    cfg.validate()?;
+    let mut link = Link::new(cfg.data_link)?;
+    link.set_blackouts(blackouts.clone());
+    let (mut traces, _) = run_flows(std::slice::from_ref(cfg), link);
+    // `run_flows` returns one trace per input flow, so the pop cannot
+    // miss; an empty vec would already have tripped the loop above.
+    let mut t = traces.pop().unwrap_or_default();
     // Single-flow runs own the link, so the global drop counters are theirs.
     t.duration = t.duration.max(1);
-    t
+    Ok(t)
 }
 
 /// Runs several flows **sharing one bottleneck link** (and therefore
@@ -193,27 +228,59 @@ pub fn simulate_flow_with_blackouts(cfg: &FlowConfig, blackouts: &Windows) -> Fl
 /// from the drop-tail queue, and RTTs inflate with the shared backlog.
 /// Each flow keeps its own device/server model and RNG stream; the
 /// per-flow `data_link` configs are ignored in favour of `shared_link`.
-pub fn simulate_shared(cfgs: &[FlowConfig], shared_link: LinkConfig) -> Vec<FlowTrace> {
-    simulate_shared_with_blackouts(cfgs, shared_link, &Windows::empty())
+pub fn try_simulate_shared(
+    cfgs: &[FlowConfig],
+    shared_link: LinkConfig,
+) -> Result<Vec<FlowTrace>, ConfigError> {
+    try_simulate_shared_with_blackouts(cfgs, shared_link, &Windows::empty())
 }
 
-/// [`simulate_shared`] with blackout windows on the shared bottleneck:
+/// [`try_simulate_shared`] with blackout windows on the shared bottleneck:
 /// an outage hits every flow at once, the §4 contention story plus a
-/// correlated failure.
-pub fn simulate_shared_with_blackouts(
+/// correlated failure. Rejects invalid flow or link configurations with a
+/// typed [`ConfigError`] instead of panicking (R3 contract).
+pub fn try_simulate_shared_with_blackouts(
     cfgs: &[FlowConfig],
     shared_link: LinkConfig,
     blackouts: &Windows,
-) -> Vec<FlowTrace> {
-    assert!(!cfgs.is_empty(), "need at least one flow");
-    if let Err(e) = shared_link.validate() {
-        // mcs-lint: allow(panic, validate() is a documented precondition check)
-        panic!("invalid shared link: {e}");
+) -> Result<Vec<FlowTrace>, ConfigError> {
+    Ok(try_simulate_shared_report(cfgs, shared_link, blackouts)?.traces)
+}
+
+/// Everything a shared run produced: the per-flow traces plus the final
+/// counter snapshot of the bottleneck link, so callers can check the
+/// conservation invariant `offered == delivered + drops` without poking
+/// at per-flow approximations.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SharedReport {
+    /// Per-flow traces, in input order.
+    pub traces: Vec<FlowTrace>,
+    /// Final bottleneck-link counters (see [`LinkStats::conserves`]).
+    pub link: LinkStats,
+}
+
+/// [`try_simulate_shared_with_blackouts`] returning the bottleneck-link
+/// counters alongside the traces.
+pub fn try_simulate_shared_report(
+    cfgs: &[FlowConfig],
+    shared_link: LinkConfig,
+    blackouts: &Windows,
+) -> Result<SharedReport, ConfigError> {
+    if cfgs.is_empty() {
+        return Err(ConfigError::ZeroCount {
+            what: "flows on the shared link",
+        });
     }
     for c in cfgs {
-        c.validate();
+        c.validate()?;
     }
-    run_flows(cfgs, shared_link, blackouts)
+    let mut link = Link::new(shared_link)?;
+    link.set_blackouts(blackouts.clone());
+    let (traces, stats) = run_flows(cfgs, link);
+    Ok(SharedReport {
+        traces,
+        link: stats,
+    })
 }
 
 /// Per-flow runtime state.
@@ -392,10 +459,7 @@ struct Engine {
 
 /// Builds the shared timeline, seeds each flow's initial sends and runs
 /// the simulation until every flow finishes (or the budget trips).
-fn run_flows(cfgs: &[FlowConfig], link: LinkConfig, blackouts: &Windows) -> Vec<FlowTrace> {
-    // mcs-lint: allow(panic, link config validated by the simulate_* entry points)
-    let mut link = Link::new(link).expect("validated link config");
-    link.set_blackouts(blackouts.clone());
+fn run_flows(cfgs: &[FlowConfig], link: Link) -> (Vec<FlowTrace>, LinkStats) {
     let mut sim: Simulation<Ev> = Simulation::new();
     let comps: Vec<CompId> = (0..cfgs.len())
         .map(|i| sim.add_component(format!("flow/{i}")))
@@ -445,7 +509,8 @@ fn run_flows(cfgs: &[FlowConfig], link: LinkConfig, blackouts: &Windows) -> Vec<
             fl.trace.blackout_drops = eng.link.blackout_drops;
         }
     }
-    eng.flows.into_iter().map(|fl| fl.trace).collect()
+    let stats = eng.link.stats();
+    (eng.flows.into_iter().map(|fl| fl.trace).collect(), stats)
 }
 
 impl Handler<Ev> for Engine {
@@ -1147,7 +1212,7 @@ mod tests {
             upload(DeviceProfile::ios(), 4 * 512 * 1024, 70),
             upload(DeviceProfile::android(), 4 * 512 * 1024, 71),
         ];
-        let traces = simulate_shared(&cfgs, quiet_link());
+        let traces = try_simulate_shared(&cfgs, quiet_link()).unwrap();
         assert_eq!(traces.len(), 2);
         for t in &traces {
             assert!(!t.aborted);
@@ -1174,7 +1239,7 @@ mod tests {
             upload(DeviceProfile::ios(), 4 * 512 * 1024, 80),
             upload(DeviceProfile::ios(), 4 * 512 * 1024, 81),
         ];
-        let shared = simulate_shared(&cfgs, narrow);
+        let shared = try_simulate_shared(&cfgs, narrow).unwrap();
         let slowest = shared.iter().map(|t| t.duration).max().unwrap();
         assert!(
             slowest > alone.duration * 14 / 10,
@@ -1201,7 +1266,7 @@ mod tests {
                 ..upload(DeviceProfile::ios(), share, 91 + i)
             })
             .collect();
-        let traces = simulate_shared(&cfgs, quiet_link());
+        let traces = try_simulate_shared(&cfgs, quiet_link()).unwrap();
         let slowest = traces.iter().map(|t| t.duration).max().unwrap();
         assert!(
             slowest * 2 < one.duration,
@@ -1217,8 +1282,8 @@ mod tests {
             upload(DeviceProfile::ios(), 2 * 512 * 1024, 100),
             upload(DeviceProfile::android(), 2 * 512 * 1024, 101),
         ];
-        let a = simulate_shared(&cfgs, quiet_link());
-        let b = simulate_shared(&cfgs, quiet_link());
+        let a = try_simulate_shared(&cfgs, quiet_link()).unwrap();
+        let b = try_simulate_shared(&cfgs, quiet_link()).unwrap();
         assert_eq!(a, b);
     }
 

@@ -13,6 +13,7 @@ use mcs_stats::Ecdf;
 use crate::capture::FlowTrace;
 use crate::chunkflow::{simulate_flow, FlowConfig};
 use crate::device::{DeviceProfile, Direction};
+use crate::profile::LinkProfile;
 use crate::sim::SEC;
 
 /// The paper's three test file sizes, bytes.
@@ -23,6 +24,9 @@ pub const PAPER_FILE_SIZES: [u64; 3] = [2 << 20, 10 << 20, 80 << 20];
 pub struct CampaignResult {
     /// Device name ("android" / "ios").
     pub device: &'static str,
+    /// Radio-access profile the campaign ran on (see
+    /// [`LinkProfile::name`]; "baseline" is the paper's measured regime).
+    pub profile: &'static str,
     /// Transfer direction.
     pub direction: Direction,
     /// Per-chunk transfer times pooled over all flows, seconds (Fig. 12).
@@ -63,8 +67,29 @@ impl CampaignResult {
 }
 
 /// Runs `flows_per_size` flows per paper file size for one device and
-/// direction.
+/// direction on the paper's measured baseline regime. Identical (bit for
+/// bit) to [`run_campaign_on`] with
+/// [`LinkProfile::measured_baseline`].
 pub fn run_campaign(
+    device: DeviceProfile,
+    direction: Direction,
+    flows_per_size: u32,
+    seed: u64,
+) -> CampaignResult {
+    run_campaign_on(
+        &LinkProfile::measured_baseline(),
+        device,
+        direction,
+        flows_per_size,
+        seed,
+    )
+}
+
+/// [`run_campaign`] on an arbitrary radio-access regime: each flow draws
+/// its own link from the profile's seeded distribution (keyed by the
+/// flow seed), so campaigns stay deterministic per `(profile, seed)`.
+pub fn run_campaign_on(
+    profile: &LinkProfile,
     device: DeviceProfile,
     direction: Direction,
     flows_per_size: u32,
@@ -85,8 +110,8 @@ pub fn run_campaign(
                 .wrapping_add((i as u64) << 32)
                 .wrapping_add(f as u64);
             let cfg = match direction {
-                Direction::Upload => FlowConfig::upload(device, size, flow_seed),
-                Direction::Download => FlowConfig::download(device, size, flow_seed),
+                Direction::Upload => FlowConfig::upload_via(profile, device, size, flow_seed),
+                Direction::Download => FlowConfig::download_via(profile, device, size, flow_seed),
             };
             let t = simulate_flow(&cfg);
             debug_assert!(!t.aborted, "flow aborted");
@@ -107,6 +132,7 @@ pub fn run_campaign(
     let over_rto = idle_over_rto.iter().filter(|&&r| r > 1.0).count();
     CampaignResult {
         device: device.name,
+        profile: profile.name,
         direction,
         chunk_times_s,
         idle_times_s,
@@ -114,6 +140,98 @@ pub fn run_campaign(
         over_rto_frac: over_rto as f64 / idle_over_rto.len().max(1) as f64,
         idle_over_rto,
         mean_goodput: goodput_sum / flows.max(1) as f64,
+    }
+}
+
+/// One cell of the device × profile × file-size scenario matrix
+/// (`examples/scenario_matrix.rs`): pooled upload and download statistics
+/// for `flows` flows of one size on one regime.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioCell {
+    /// Radio-access profile name.
+    pub profile: &'static str,
+    /// Device name.
+    pub device: &'static str,
+    /// File size, bytes.
+    pub file_bytes: u64,
+    /// Flows per direction pooled into the cell.
+    pub flows: u32,
+    /// Median per-chunk upload time, seconds (the Fig. 12 statistic).
+    pub upload_median_chunk_s: f64,
+    /// Mean upload duration, seconds (the Fig. 13 statistic).
+    pub upload_mean_duration_s: f64,
+    /// Mean upload goodput, bytes/s.
+    pub upload_goodput_bps: f64,
+    /// Mean download goodput, bytes/s (Fig. 15: uploads sit far below
+    /// this when the server window stays unscaled).
+    pub download_goodput_bps: f64,
+    /// Fraction of upload idle gaps exceeding the RTO (Fig. 16c).
+    pub upload_over_rto_frac: f64,
+    /// Fraction of upload idle gaps that restarted slow start.
+    pub upload_restart_frac: f64,
+}
+
+/// Runs one scenario-matrix cell: `flows` uploads and `flows` downloads
+/// of `file_bytes` for one device on one profile. Deterministic in
+/// `(profile, device, file_bytes, flows, seed)`.
+pub fn run_scenario_cell(
+    profile: &LinkProfile,
+    device: DeviceProfile,
+    file_bytes: u64,
+    flows: u32,
+    seed: u64,
+) -> ScenarioCell {
+    let mut chunk_times_s: Vec<f64> = Vec::new();
+    let mut up_duration_s = 0.0;
+    let mut up_goodput = 0.0;
+    let mut down_goodput = 0.0;
+    let mut restarts = 0u64;
+    let mut over_rto = 0u64;
+    let mut idles = 0u64;
+    for f in 0..flows {
+        let flow_seed = seed
+            .wrapping_mul(1_000_003)
+            .wrapping_add(u64::from(f) << 16);
+        let up = simulate_flow(&FlowConfig::upload_via(
+            profile, device, file_bytes, flow_seed,
+        ));
+        chunk_times_s.extend(up.chunk_times_s());
+        let up_secs = up.duration as f64 / SEC as f64;
+        up_duration_s += up_secs;
+        up_goodput += up.goodput_bps();
+        for r in &up.idle_records {
+            if r.restarted {
+                restarts += 1;
+            }
+            if r.idle_over_rto() > 1.0 {
+                over_rto += 1;
+            }
+            idles += 1;
+        }
+        let down = simulate_flow(&FlowConfig::download_via(
+            profile,
+            device,
+            file_bytes,
+            flow_seed.wrapping_add(1),
+        ));
+        down_goodput += down.goodput_bps();
+    }
+    chunk_times_s.sort_by(f64::total_cmp);
+    let fl = f64::from(flows.max(1));
+    ScenarioCell {
+        profile: profile.name,
+        device: device.name,
+        file_bytes,
+        flows,
+        upload_median_chunk_s: chunk_times_s
+            .get(chunk_times_s.len() / 2)
+            .copied()
+            .unwrap_or(0.0),
+        upload_mean_duration_s: up_duration_s / fl,
+        upload_goodput_bps: up_goodput / fl,
+        download_goodput_bps: down_goodput / fl,
+        upload_over_rto_frac: over_rto as f64 / idles.max(1) as f64,
+        upload_restart_frac: restarts as f64 / idles.max(1) as f64,
     }
 }
 
@@ -287,7 +405,8 @@ pub fn run_parallel_upload(
             FlowConfig::upload(device, bytes.max(1), seed + i as u64)
         })
         .collect();
-    let traces = crate::chunkflow::simulate_shared(&cfgs, cfgs[0].data_link);
+    let traces =
+        crate::chunkflow::try_simulate_shared(&cfgs, cfgs[0].data_link).unwrap_or_default();
     let slowest = traces.iter().map(|t| t.duration).max().unwrap_or(1);
     ParallelUploadResult {
         connections: k,

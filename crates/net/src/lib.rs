@@ -26,16 +26,22 @@ pub mod chunkflow;
 pub mod device;
 pub mod experiments;
 pub mod link;
+pub mod profile;
 mod proptests;
 pub mod sim;
 pub mod tcp;
 
 pub use capture::{ChunkRecord, FlowTrace, IdleRecord};
 pub use chunkflow::{
-    simulate_flow, simulate_flow_with_blackouts, simulate_shared, simulate_shared_with_blackouts,
-    FlowConfig,
+    simulate_flow, simulate_flow_with_blackouts, try_simulate_flow,
+    try_simulate_flow_with_blackouts, try_simulate_shared, try_simulate_shared_report,
+    try_simulate_shared_with_blackouts, FlowConfig, SharedReport,
 };
 pub use device::{DeviceProfile, Direction, ServerProfile};
-pub use link::{Link, LinkConfig};
+pub use link::{Link, LinkConfig, LinkStats};
+pub use profile::{
+    access_cap_bps, fluid_cap_bps, simulate_fair_share, FairFlowSpec, FairShareOutcome,
+    LinkProfile, ProfileMix,
+};
 pub use sim::{EventQueue, Time, MS, SEC};
 pub use tcp::{TcpConfig, TcpSender, MSS};

@@ -56,13 +56,41 @@ impl LinkConfig {
                 requirement: "must be positive",
             });
         }
-        if !(0.0..1.0).contains(&self.loss_prob) {
+        // Closed range: `loss_prob == 1.0` is a valid (if hostile) link —
+        // every packet is offered and lost, which is exactly what a
+        // saturating-interference scenario wants to model. The half-open
+        // `(0.0..1.0)` check this replaces rejected it while the sampler
+        // and tests could construct it.
+        if !(0.0..=1.0).contains(&self.loss_prob) {
             return Err(ConfigError::OutOfRange {
                 what: "loss probability",
-                requirement: "must lie in [0,1)",
+                requirement: "must lie in [0,1]",
             });
         }
         Ok(())
+    }
+}
+
+/// Point-in-time copy of a link's conservation counters
+/// (`delivered + buffer_drops + random_drops + blackout_drops == offered`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct LinkStats {
+    /// Packets offered to the link.
+    pub offered: u64,
+    /// Packets dropped by the drop-tail buffer.
+    pub buffer_drops: u64,
+    /// Packets dropped by random loss.
+    pub random_drops: u64,
+    /// Packets dropped inside a blackout window.
+    pub blackout_drops: u64,
+    /// Packets delivered to the far end.
+    pub delivered: u64,
+}
+
+impl LinkStats {
+    /// Whether the conservation invariant holds.
+    pub fn conserves(&self) -> bool {
+        self.delivered + self.buffer_drops + self.random_drops + self.blackout_drops == self.offered
     }
 }
 
@@ -123,6 +151,17 @@ impl Link {
     /// Configuration in force.
     pub fn config(&self) -> &LinkConfig {
         &self.cfg
+    }
+
+    /// Snapshot of the conservation counters.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            offered: self.offered,
+            buffer_drops: self.buffer_drops,
+            random_drops: self.random_drops,
+            blackout_drops: self.blackout_drops,
+            delivered: self.delivered,
+        }
     }
 
     /// Serialization time of `bytes` at the link rate, µs.
@@ -312,11 +351,48 @@ mod tests {
         })
         .is_err());
         assert!(Link::new(LinkConfig {
-            loss_prob: 1.0,
+            loss_prob: 1.5,
+            ..LinkConfig::default()
+        })
+        .is_err());
+        assert!(Link::new(LinkConfig {
+            loss_prob: -0.1,
+            ..LinkConfig::default()
+        })
+        .is_err());
+        assert!(Link::new(LinkConfig {
+            loss_prob: f64::NAN,
             ..LinkConfig::default()
         })
         .is_err());
         assert!(Link::new(LinkConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn loss_prob_one_is_a_valid_saturated_link() {
+        // Regression (pre-PR failure): `validate` used the half-open range
+        // `(0.0..1.0)`, rejecting the boundary value `loss_prob: 1.0` that
+        // the constructors and tests are entitled to build — a fully lossy
+        // link is the legitimate "saturating interference" corner of the
+        // profile space. The closed range accepts it, and every offered
+        // packet books as a random drop with conservation intact.
+        let mut l = Link::new(LinkConfig {
+            loss_prob: 1.0,
+            ..LinkConfig::default()
+        })
+        .expect("loss_prob 1.0 lies in the closed range [0,1]");
+        let mut rng = stream_rng(9, 0);
+        for i in 0..50u64 {
+            assert!(
+                matches!(l.transmit(i * 100_000, 1000, &mut rng), Transmit::Drop),
+                "a fully lossy link must drop every packet"
+            );
+        }
+        assert_eq!(l.random_drops, 50);
+        assert_eq!(l.delivered, 0);
+        let s = l.stats();
+        assert!(s.conserves());
+        assert_eq!(s.offered, 50);
     }
 
     #[test]

@@ -184,4 +184,48 @@ proptest! {
             slow.duration
         );
     }
+
+    /// The ISSUE-10 conservation property: for every preset radio-access
+    /// profile, with its own random loss *and* a blackout window *and*
+    /// 1/2/4 flows fair-sharing one bottleneck, every packet the link was
+    /// offered is accounted for as delivered or one drop class, and every
+    /// flow still moves its bytes end to end.
+    #[test]
+    fn prop_shared_profile_flows_conserve_packets(
+        profile_idx in 0usize..4,
+        n_flows_exp in 0u32..3, // 1, 2, 4 flows
+        start_ms in 200u64..2_000,
+        len_ms in 20u64..300,
+        seed in 0u64..500,
+    ) {
+        let profile = crate::profile::LinkProfile::presets()[profile_idx];
+        let n = 1usize << n_flows_exp;
+        let shared = profile.flow_link(seed);
+        let cfgs: Vec<FlowConfig> = (0..n)
+            .map(|i| FlowConfig {
+                data_link: shared,
+                ack_delay: shared.delay,
+                ..FlowConfig::upload(
+                    if i % 2 == 0 { DeviceProfile::ios() } else { DeviceProfile::android() },
+                    512 * 1024,
+                    seed.wrapping_add(i as u64),
+                )
+            })
+            .collect();
+        let out = Windows::new(vec![(start_ms * MS, (start_ms + len_ms) * MS)]);
+        let report =
+            crate::chunkflow::try_simulate_shared_report(&cfgs, shared, &out).unwrap();
+        prop_assert!(
+            report.link.conserves(),
+            "profile {}: {:?} does not conserve",
+            profile.name,
+            report.link
+        );
+        prop_assert!(report.link.offered > 0);
+        for t in &report.traces {
+            prop_assert!(!t.aborted, "profile {} aborted a flow", profile.name);
+            let delivered: u64 = t.chunk_records.iter().map(|c| c.bytes).sum();
+            prop_assert_eq!(delivered, 512 * 1024);
+        }
+    }
 }

@@ -46,6 +46,7 @@ use rand::RngExt;
 use serde::Serialize;
 
 use mcs_faults::{ConfigError, FaultPlan, RetryPolicy};
+use mcs_net::profile::{access_cap_bps, simulate_fair_share, FairFlowSpec, ProfileMix};
 use mcs_obs::{CounterId, HistId, Registry, Snapshot};
 use mcs_sim::{CompId, Ctx, Handler, Simulation, MS};
 use mcs_stats::rng::stream_rng;
@@ -74,6 +75,17 @@ pub struct ReplayConfig {
     /// the comparison baseline for the §3.3 sync-efficiency question.
     /// Fair-weather replays are bit-identical either way.
     pub resumable: bool,
+    /// Radio-access population for the network model: when set, every
+    /// user draws a [`mcs_net::LinkProfile`] from this seeded mix, the
+    /// bytes each operation actually moved become flows on their
+    /// front-end's shared link, and [`simulate_fair_share`] turns them
+    /// into the `net.profile.*` metric families. `None` (the default)
+    /// skips the network pass entirely, keeping snapshots bit-identical
+    /// to pre-profile replays.
+    pub profiles: Option<ProfileMix>,
+    /// Shared front-end link rate the per-front-end flows split
+    /// max-min-fairly, bits per second. Only read when `profiles` is set.
+    pub frontend_link_bps: u64,
 }
 
 impl Default for ReplayConfig {
@@ -84,6 +96,8 @@ impl Default for ReplayConfig {
             popular_pool: 64,
             seed: 7,
             resumable: true,
+            profiles: None,
+            frontend_link_bps: 10_000_000_000,
         }
     }
 }
@@ -347,6 +361,11 @@ struct ReplayEngine {
     /// Dispatch faulted ops through the resumable chunk-transfer paths
     /// ([`ReplayConfig::resumable`]).
     resumable: bool,
+    /// Bytes each planned op actually moved over the network (post-dedup
+    /// uploads, served downloads; 0 for metadata-only or failed ops).
+    /// Input to the fair-share network pass when
+    /// [`ReplayConfig::profiles`] is set.
+    op_bytes: Vec<u64>,
 }
 
 impl ReplayEngine {
@@ -397,6 +416,7 @@ impl Handler<usize> for ReplayEngine {
                     Ok(out) => {
                         self.obs.inc(self.ids.stores);
                         self.obs.add(self.ids.bytes_uploaded, out.bytes_uploaded);
+                        self.op_bytes[op] = out.bytes_uploaded;
                         self.obs.observe(self.ids.store_bytes, content.size());
                         if out.deduplicated {
                             self.obs.add(self.ids.bytes_deduplicated, content.size());
@@ -420,6 +440,7 @@ impl Handler<usize> for ReplayEngine {
                                     .add(self.ids.bytes_downloaded, got.bytes_downloaded);
                                 self.obs
                                     .observe(self.ids.retrieve_bytes, got.bytes_downloaded);
+                                self.op_bytes[op] = got.bytes_downloaded;
                             }
                             Err(ServiceError::NotFound) => self.obs.inc(self.ids.retrieve_misses),
                             Err(_) => self.obs.inc(self.ids.failed_retrieves),
@@ -468,6 +489,7 @@ impl Handler<usize> for ReplayEngine {
                                     .add(self.ids.bytes_downloaded, got.bytes_downloaded);
                                 self.obs
                                     .observe(self.ids.retrieve_bytes, got.bytes_downloaded);
+                                self.op_bytes[op] = got.bytes_downloaded;
                             }
                             Err(ServiceError::NotFound) => self.obs.inc(self.ids.retrieve_misses),
                             Err(_) => self.obs.inc(self.ids.failed_retrieves),
@@ -479,11 +501,92 @@ impl Handler<usize> for ReplayEngine {
     }
 }
 
+/// The fleet network pass (see [`ReplayConfig::profiles`]): every byte-
+/// moving operation becomes one flow on its front-end's shared link, its
+/// fair share capped by the user's own radio-access link (drawn per user
+/// from the seeded mix), and the fluid fair-share model prices the
+/// contention. Books the `net.profile.*` metric families:
+/// flow counts and bytes per profile, transfer-time histograms per
+/// profile, allocation recomputes, and per-front-end peak concurrency.
+///
+/// Runs after the service replay and reads only planned ops and their
+/// realised byte counts, so it never perturbs the service-layer numbers;
+/// iteration is in front-end then op order, so the booked metrics are
+/// deterministic across runs and thread counts.
+fn book_profile_flows(
+    eng: &mut ReplayEngine,
+    cfg: &ReplayConfig,
+    mix: &ProfileMix,
+) -> Result<(), ConfigError> {
+    // Mobile clients scale their receive window (2–4 MB); the deployed
+    // upload path is clamped at the unscaled 64 KB (§4.1).
+    const UPLOAD_RWND: u64 = 65_535;
+    const DOWNLOAD_RWND: u64 = 2 * 1024 * 1024;
+    let mut per_fe: Vec<Vec<FairFlowSpec>> = vec![Vec::new(); cfg.frontends];
+    let mut names: Vec<Vec<&'static str>> = vec![Vec::new(); cfg.frontends];
+    for (i, op) in eng.ops.iter().enumerate() {
+        let bytes = eng.op_bytes[i];
+        if bytes == 0 {
+            // Metadata-only (deduplicated store), failed or empty op:
+            // nothing crossed the network.
+            continue;
+        }
+        let profile = mix.draw(cfg.seed, op.user);
+        let link = profile.user_link(cfg.seed, op.user);
+        let rwnd = match op.kind {
+            PlannedKind::Store { .. } => UPLOAD_RWND,
+            PlannedKind::Retrieve { .. } => DOWNLOAD_RWND,
+        };
+        let fe = eng.svc.metadata().closest_frontend(op.user);
+        per_fe[fe].push(FairFlowSpec {
+            arrival: op_deadline_us(op.at_ms),
+            bytes,
+            rate_cap_bps: access_cap_bps(&link, rwnd),
+        });
+        names[fe].push(profile.name);
+    }
+    let recomputes = eng.obs.counter("net.profile.recomputes");
+    let peak = eng.obs.histogram("net.profile.peak_active");
+    let mut ids: BTreeMap<&'static str, (CounterId, CounterId, HistId)> = BTreeMap::new();
+    for (flows, flow_names) in per_fe.iter().zip(&names) {
+        if flows.is_empty() {
+            continue;
+        }
+        let out = simulate_fair_share(cfg.frontend_link_bps, flows)?;
+        eng.obs.add(recomputes, out.recomputes);
+        eng.obs.observe(peak, out.peak_active);
+        for (k, spec) in flows.iter().enumerate() {
+            let name = flow_names[k];
+            let (flows_id, bytes_id, time_id) = *ids.entry(name).or_insert_with(|| {
+                (
+                    eng.obs.counter(&format!("net.profile.flows.{name}")),
+                    eng.obs.counter(&format!("net.profile.bytes.{name}")),
+                    eng.obs
+                        .histogram(&format!("net.profile.transfer_us.{name}")),
+                )
+            });
+            eng.obs.inc(flows_id);
+            eng.obs.add(bytes_id, spec.bytes);
+            eng.obs.observe(time_id, out.durations[k]);
+        }
+    }
+    Ok(())
+}
+
 fn replay_inner(
     gen: &TraceGenerator,
     cfg: &ReplayConfig,
     faults: Option<(FaultPlan, RetryPolicy)>,
 ) -> Result<(StorageService, ReplayStats, Snapshot), ConfigError> {
+    if let Some(mix) = &cfg.profiles {
+        mix.validate()?;
+        if cfg.frontend_link_bps == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "front-end link rate",
+                requirement: "must be positive",
+            });
+        }
+    }
     let horizon_hours = (gen.config().horizon_ms() / 3_600_000) as usize;
     let mut svc = StorageService::new(cfg.frontends, horizon_hours)?;
     // Only a plan that can actually fire gates anything on time; an empty
@@ -507,7 +610,9 @@ fn replay_inner(
         ops: plan_ops(gen, cfg),
         owned: BTreeMap::new(),
         resumable: cfg.resumable,
+        op_bytes: Vec::new(),
     };
+    eng.op_bytes = vec![0; eng.ops.len()];
     // Each planned operation becomes one event on its front-end's
     // component. The faulted timeline runs in global trace-time order
     // (windows are time-gated; insertion order breaks same-millisecond
@@ -525,6 +630,10 @@ fn replay_inner(
         sim.schedule(at, comps[fe], i);
     }
     sim.run(&mut eng);
+
+    if let Some(mix) = &cfg.profiles {
+        book_profile_flows(&mut eng, cfg, mix)?;
+    }
 
     let ReplayEngine {
         svc, mut obs, ids, ..
@@ -607,6 +716,52 @@ mod tests {
         let (_, a) = replay_trace(&gen, &ReplayConfig::default()).unwrap();
         let (_, b) = replay_trace(&gen, &ReplayConfig::default()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_mix_books_network_metrics_without_touching_service_stats() {
+        let gen = small_gen(43);
+        let base_cfg = ReplayConfig::default();
+        let (_, base_stats, base_snap) = replay_trace_observed(&gen, &base_cfg).unwrap();
+        let cfg = ReplayConfig {
+            profiles: Some(ProfileMix::mobile()),
+            frontend_link_bps: 100_000_000,
+            ..base_cfg
+        };
+        let (_, stats, snap) = replay_trace_observed(&gen, &cfg).unwrap();
+        // The network pass prices contention; it must not perturb the
+        // service layer.
+        assert_eq!(stats, base_stats);
+        // Every byte-moving op became exactly one priced flow.
+        let flows: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("net.profile.flows."))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(flows > 0);
+        let priced_bytes: u64 = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("net.profile.bytes."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(
+            priced_bytes,
+            stats.bytes_uploaded + stats.bytes_downloaded,
+            "priced bytes must equal the bytes the service actually moved"
+        );
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, _)| n == "net.profile.recomputes"));
+        // Deterministic, and absent without a mix.
+        let (_, _, snap2) = replay_trace_observed(&gen, &cfg).unwrap();
+        assert_eq!(snap, snap2);
+        assert!(!base_snap
+            .counters
+            .iter()
+            .any(|(n, _)| n.starts_with("net.profile.")));
     }
 
     #[test]

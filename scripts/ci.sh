@@ -30,6 +30,11 @@ cargo run --release --example chunk_transfer
 # chaos plan, §3.3 optimisations over the same workload, bit-identical
 # across runs and thread counts.
 cargo run --release --example sync_protocol
+# Scenario matrix: device x radio-profile x file-size sweep. Asserts the
+# Fig 12/13/15 orderings under the measured baseline, the fair-share vs
+# packet-level parity band, and byte-identical reports across 2 runs x 2
+# thread counts (small smoke matrix; --full runs the paper's 2/10/80 MB).
+cargo run --release --example scenario_matrix
 # Out-of-core ingest: sharded JSONL + columnar traces streamed back
 # bit-identical to the in-memory pipeline at several thread counts.
 cargo run --release --example big_trace
